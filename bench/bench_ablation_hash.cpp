@@ -1,0 +1,83 @@
+// Ablation: tabulation hashing (paper's fast path, ref [33]) vs the
+// Carter-Wegman degree-3 polynomial over 2^61-1 (the portable reference).
+// Both are 4-universal; this quantifies the speed difference that justifies
+// the paper's choice of tabulation for 32-bit keys.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "hash/cw_hash.h"
+#include "hash/tabulation_hash.h"
+
+namespace {
+
+using namespace scd;
+
+std::vector<std::uint32_t> make_keys() {
+  std::vector<std::uint32_t> keys(1u << 16);
+  common::Rng rng(5);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.next_u64());
+  return keys;
+}
+
+void BM_TabulationHash16(benchmark::State& state) {
+  const hash::TabulationHashFamily family(1, 5);
+  const auto keys = make_keys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(family.hash16(i % 5, keys[i & 0xffff]));
+    ++i;
+  }
+}
+BENCHMARK(BM_TabulationHash16);
+
+void BM_TabulationHashAll8(benchmark::State& state) {
+  const hash::TabulationHashFamily family(1, 8);
+  const auto keys = make_keys();
+  std::uint16_t out[8];
+  std::size_t i = 0;
+  for (auto _ : state) {
+    family.hash_all(keys[i & 0xffff], out);
+    benchmark::DoNotOptimize(out[0]);
+    ++i;
+  }
+}
+BENCHMARK(BM_TabulationHashAll8);
+
+void BM_CwHash16(benchmark::State& state) {
+  const hash::CwHashFamily family(1, 5);
+  const auto keys = make_keys();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(family.hash16(i % 5, keys[i & 0xffff]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CwHash16);
+
+void BM_CwHash16WideKeys(benchmark::State& state) {
+  const hash::CwHashFamily family(1, 5);
+  common::Rng rng(6);
+  std::vector<std::uint64_t> keys(1u << 16);
+  for (auto& k : keys) k = rng.next_u64();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(family.hash16(i % 5, keys[i & 0xffff]));
+    ++i;
+  }
+}
+BENCHMARK(BM_CwHash16WideKeys);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("\n==== Ablation: hash family throughput ====\n");
+  std::printf("# tabulation (3 table lookups) vs CW polynomial (3 mulmods); "
+              "both 4-universal\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation: optimized median exchange networks (paper refs [16, 37]) vs the
+// generic nth_element selection, at the paper's H values {5, 9, 25}. This is
+// the measurement behind §4.2's "our choices of H ... are driven by the fact
+// that we can use optimized median networks".
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "sketch/median.h"
+
+namespace {
+
+using namespace scd;
+
+std::vector<double> make_values(std::size_t n, std::size_t copies) {
+  std::vector<double> values(n * copies);
+  common::Rng rng(7);
+  for (auto& v : values) v = rng.normal();
+  return values;
+}
+
+void BM_MedianNetwork(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto values = make_values(n, 4096);
+  std::vector<double> buf(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t offset = (i++ % 4096) * n;
+    std::copy(values.begin() + offset, values.begin() + offset + n,
+              buf.begin());
+    benchmark::DoNotOptimize(sketch::median_inplace(buf));
+  }
+}
+BENCHMARK(BM_MedianNetwork)->Arg(5)->Arg(9)->Arg(25);
+
+void BM_MedianNthElement(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto values = make_values(n, 4096);
+  std::vector<double> buf(n);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const std::size_t offset = (i++ % 4096) * n;
+    std::copy(values.begin() + offset, values.begin() + offset + n,
+              buf.begin());
+    benchmark::DoNotOptimize(sketch::median_nth_element(buf));
+  }
+}
+BENCHMARK(BM_MedianNthElement)->Arg(5)->Arg(9)->Arg(25);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("\n==== Ablation: median networks vs nth_element ====\n");
+  std::printf("# exchange networks for H in {5, 9, 25} (the paper's H "
+              "choices) vs generic selection\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Appendix A/B: Monte-Carlo measurement of the k-ary estimator guarantees.
+//   Theorem 1: E[v^h_a] = v_a, Var <= F2/(K-1)
+//   Theorems 2/3: the H-row median makes deviations beyond alpha*T*sqrt(F2)
+//                 exponentially unlikely in H
+//   Theorems 4/5: E[F2^est] = F2, Var <= 2*F2^2/(K-1)
+// The paper's worked example: K=2^16, H=20, flagging at sqrt(F2)/32 neither
+// misses keys above sqrt(F2)/16 nor flags keys below sqrt(F2)/64.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "sketch/kary_sketch.h"
+#include "support/bench_util.h"
+
+int main() {
+  using namespace scd;
+  bench::print_header("Appendix A/B", "estimator quality Monte-Carlo",
+                      "unbiased ESTIMATE/ESTIMATEF2 with the stated variance "
+                      "bounds; median keeps tails tiny");
+
+  // Heavy-tailed ground truth: 5000 keys, Pareto magnitudes, random signs.
+  common::Rng rng(99);
+  std::vector<std::pair<std::uint64_t, double>> stream;
+  double f2 = 0.0;
+  for (std::uint64_t i = 0; i < 5000; ++i) {
+    const double v = rng.pareto(1.0, 1.3) * (rng.bernoulli(0.5) ? 1.0 : -1.0);
+    stream.emplace_back(1000 + i, v);
+    f2 += v * v;
+  }
+  const std::uint64_t probe = 1000;  // first key
+  const double truth = stream.front().second;
+
+  constexpr std::size_t kK = 1024;
+  constexpr int kTrials = 600;
+  common::RunningStats est_h1, f2_h1, est_h9, f2_h9;
+  for (int seed = 1; seed <= kTrials; ++seed) {
+    const auto f1 = sketch::make_cw_family(seed, 1);
+    sketch::KarySketch64 s1(f1, kK);
+    const auto f9 = sketch::make_cw_family(seed ^ 0xabcdef, 9);
+    sketch::KarySketch64 s9(f9, kK);
+    for (const auto& [key, value] : stream) {
+      s1.update(key, value);
+      s9.update(key, value);
+    }
+    est_h1.add(s1.estimate(probe));
+    f2_h1.add(s1.estimate_f2());
+    est_h9.add(s9.estimate(probe));
+    f2_h9.add(s9.estimate_f2());
+  }
+
+  const double var_bound = f2 / (kK - 1);
+  std::printf("value estimate, H=1: mean=%.4f (truth %.4f), var=%.4f "
+              "(bound %.4f)\n",
+              est_h1.mean(), truth, est_h1.variance(), var_bound);
+  std::printf("value estimate, H=9: mean=%.4f, max|dev|=%.4f vs H=1 "
+              "max|dev|=%.4f\n",
+              est_h9.mean(),
+              std::max(std::abs(est_h9.max() - truth),
+                       std::abs(est_h9.min() - truth)),
+              std::max(std::abs(est_h1.max() - truth),
+                       std::abs(est_h1.min() - truth)));
+  std::printf("F2 estimate, H=1: mean=%.1f (truth %.1f), var=%.3g (bound "
+              "%.3g)\n",
+              f2_h1.mean(), f2, f2_h1.variance(),
+              2.0 * f2 * f2 / (kK - 1));
+
+  const double sem = std::sqrt(var_bound / kTrials);
+  bench::check(std::abs(est_h1.mean() - truth) < 4 * sem,
+               "Theorem 1: per-row ESTIMATE is unbiased",
+               common::str_format("|bias|=%.4f, 4*SEM=%.4f",
+                                  std::abs(est_h1.mean() - truth), 4 * sem));
+  bench::check(est_h1.variance() < 1.4 * var_bound,
+               "Theorem 1: Var(v^h_a) <= F2/(K-1)",
+               common::str_format("var=%.4f bound=%.4f", est_h1.variance(),
+                                  var_bound));
+  bench::check(std::max(std::abs(est_h9.max() - truth),
+                        std::abs(est_h9.min() - truth)) <
+                   std::max(std::abs(est_h1.max() - truth),
+                            std::abs(est_h1.min() - truth)),
+               "Theorems 2/3: H-row median shrinks extreme deviations", "");
+  const double f2_sem = std::sqrt(2.0 * f2 * f2 / (kK - 1) / kTrials);
+  bench::check(std::abs(f2_h1.mean() - f2) < 4 * f2_sem,
+               "Theorem 4: ESTIMATEF2 is unbiased",
+               common::str_format("|bias|=%.1f, 4*SEM=%.1f",
+                                  std::abs(f2_h1.mean() - f2), 4 * f2_sem));
+  bench::check(f2_h9.min() > 0.6 * f2 && f2_h9.max() < 1.4 * f2,
+               "Theorem 5: H=9 median F2 stays within +-40% in every trial",
+               common::str_format("range [%.2f, %.2f] x F2", f2_h9.min() / f2,
+                                  f2_h9.max() / f2));
+
+  // Paper's worked example at full scale (one trial, H=20, K=2^16).
+  {
+    const auto family = sketch::make_cw_family(7777, 20);
+    sketch::KarySketch64 sketch(family, 1u << 16);
+    common::Rng rng2(7);
+    double example_f2 = 0.0;
+    for (std::uint64_t i = 0; i < 50000; ++i) {
+      const double v = rng2.uniform(0.5, 1.5);
+      sketch.update(i, v);
+      example_f2 += v * v;
+    }
+    const double norm = std::sqrt(example_f2);
+    // Plant keys straddling the detection band.
+    sketch.update(900001, norm / 16.0);
+    sketch.update(900002, norm / 64.0);
+    const double threshold = norm / 32.0;
+    bench::check(std::abs(sketch.estimate(900001)) >= threshold,
+                 "worked example: key with |v|=sqrt(F2)/16 is flagged at "
+                 "threshold sqrt(F2)/32",
+                 "");
+    bench::check(std::abs(sketch.estimate(900002)) < threshold,
+                 "worked example: key with |v|=sqrt(F2)/64 is not flagged",
+                 "");
+  }
+  return bench::finish();
+}

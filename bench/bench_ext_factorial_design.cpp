@@ -1,0 +1,67 @@
+// Extension (§6 "better guidelines for choosing parameters"): a 2^3 full
+// factorial study, decomposed with Yates' algorithm, of how H, K, and the
+// EWMA smoothing constant affect top-N similarity on the small router.
+//
+// The paper conjectures "H has overall impact independent of other
+// parameters"; the factorial decomposition makes that testable: H and K
+// should carry large main effects with a noticeable H*K interaction (small
+// K needs large H), while alpha's effect on *similarity* (not energy) stays
+// comparatively small.
+#include <cstdio>
+
+#include "gridsearch/factorial.h"
+#include "support/bench_util.h"
+#include "support/experiments.h"
+
+int main() {
+  using namespace scd;
+  bench::print_header(
+      "Extension: full-factorial parameter study",
+      "Yates decomposition of mean top-100 similarity over (H, K, alpha)",
+      "K and H dominate, with an H*K interaction; alpha matters least");
+
+  const double interval = 300.0;
+  const auto& stream = bench::stream_for("small", interval);
+  const std::size_t warmup = bench::warmup_intervals(interval);
+
+  const std::vector<gridsearch::Factor> factors{
+      {"H", 1.0, 9.0},
+      {"K", 512.0, 16384.0},
+      {"alpha", 0.2, 0.8},
+  };
+  const gridsearch::Response response =
+      [&stream, warmup](const std::vector<double>& levels) {
+        forecast::ModelConfig model;
+        model.kind = forecast::ModelKind::kEwma;
+        model.alpha = levels[2];
+        const auto& truth = bench::truth_for(stream, model);
+        const auto sketch = bench::sketch_errors_for(
+            stream, model, static_cast<std::size_t>(levels[0]),
+            static_cast<std::size_t>(levels[1]));
+        return bench::topn_similarity_series(truth, sketch, 100, 1.0, warmup)
+            .mean;
+      };
+
+  const auto result = gridsearch::full_factorial(factors, response);
+  std::printf("grand mean similarity: %.3f\n", result.effect("mean").value);
+  std::printf("%-12s %10s %s\n", "effect", "value", "order");
+  for (const auto& effect : result.ranked()) {
+    std::printf("%-12s %+10.4f %d\n", effect.name.c_str(), effect.value,
+                effect.order);
+  }
+
+  const double h = std::abs(result.effect("H").value);
+  const double k = std::abs(result.effect("K").value);
+  const double alpha = std::abs(result.effect("alpha").value);
+  const double hk = std::abs(result.effect("H*K").value);
+  bench::check(k >= alpha && h >= alpha,
+               "sketch dimensions matter more than the smoothing constant",
+               common::str_format("|K|=%.4f |H|=%.4f |alpha|=%.4f", k, h,
+                                  alpha));
+  bench::check(hk > alpha * 0.5 || hk > 0.01,
+               "H and K interact (small K needs large H, cf. Figure 7)",
+               common::str_format("|H*K|=%.4f", hk));
+  bench::check(result.effect("K").value > 0 && result.effect("H").value > 0,
+               "raising either sketch dimension improves similarity", "");
+  return bench::finish();
+}

@@ -1,0 +1,72 @@
+// Figure 2: effect of the number of hash functions H on the relative
+// difference, with randomly chosen model parameters.
+//   (a) EWMA at K=1024, (b) ARIMA0 at K=8192, H in {1, 5, 9, 25}.
+//
+// Paper shape: no need to increase H beyond 5 — the H=5/9/25 CDFs are
+// essentially on top of each other and tight around 0%.
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "support/bench_util.h"
+#include "support/experiments.h"
+
+int main() {
+  using namespace scd;
+  bench::print_header(
+      "Figure 2", "relative difference vs H (random params, 300s interval)",
+      "H beyond 5 gives no meaningful accuracy improvement");
+
+  constexpr double kInterval = 300.0;
+  const std::size_t warmup = bench::warmup_intervals(kInterval);
+  const std::vector<std::string> routers{"large", "medium", "small"};
+  const std::vector<std::size_t> hs{1, 5, 9, 25};
+
+  struct Panel {
+    forecast::ModelKind kind;
+    std::size_t k;
+  };
+  const std::vector<Panel> panels{{forecast::ModelKind::kEwma, 1024},
+                                  {forecast::ModelKind::kArima0, 8192}};
+
+  for (const auto& panel : panels) {
+    std::printf("\n--- model=%s K=%zu ---\n",
+                forecast::model_kind_name(panel.kind), panel.k);
+    double spread_h1 = 0.0, spread_h5 = 0.0, spread_h25 = 0.0;
+    for (const std::size_t h : hs) {
+      common::EmpiricalCdf cdf;
+      for (const auto& router : routers) {
+        const auto& stream = bench::stream_for(router, kInterval);
+        for (const auto& config :
+             bench::random_model_configs(panel.kind, 6, 2002, 10)) {
+          cdf.add(bench::energy_relative_difference(stream, config, h, panel.k,
+                                                    warmup));
+        }
+      }
+      std::vector<std::pair<double, double>> points;
+      for (double q : {0.05, 0.5, 0.95}) {
+        points.emplace_back(cdf.quantile(q), q);
+      }
+      bench::print_series(common::str_format("H=%zu(reldiff%%, cdf)", h),
+                          points);
+      const double spread =
+          std::max(std::abs(cdf.quantile(0.05)), std::abs(cdf.quantile(0.95)));
+      if (h == 1) spread_h1 = spread;
+      if (h == 5) spread_h5 = spread;
+      if (h == 25) spread_h25 = spread;
+    }
+    bench::check(
+        spread_h5 <= spread_h1 * 1.5 + 0.1,
+        common::str_format("%s: H=5 at least as tight as H=1",
+                           forecast::model_kind_name(panel.kind)),
+        common::str_format("spread(H=1)=%.3f%% spread(H=5)=%.3f%%", spread_h1,
+                           spread_h5));
+    bench::check(
+        std::abs(spread_h25 - spread_h5) < std::max(0.5, spread_h5),
+        common::str_format("%s: H=25 adds nothing over H=5 (paper claim)",
+                           forecast::model_kind_name(panel.kind)),
+        common::str_format("spread(H=5)=%.3f%% spread(H=25)=%.3f%%", spread_h5,
+                           spread_h25));
+  }
+  return bench::finish();
+}

@@ -1,0 +1,68 @@
+// Figure 3: effect of the number of buckets K on the relative difference,
+// with randomly chosen model parameters.
+//   (a) EWMA, (b) ARIMA0; H = 5; K in {1024, 8192, 65536}.
+//
+// Paper shape: once K = 8192 the relative difference becomes insignificant;
+// K = 65536 buys nothing more.
+#include <cmath>
+#include <cstdio>
+
+#include "common/stats.h"
+#include "support/bench_util.h"
+#include "support/experiments.h"
+
+int main() {
+  using namespace scd;
+  bench::print_header(
+      "Figure 3", "relative difference vs K (random params, H=5, 300s)",
+      "K=8192 already makes the relative difference insignificant");
+
+  constexpr double kInterval = 300.0;
+  constexpr std::size_t kH = 5;
+  const std::size_t warmup = bench::warmup_intervals(kInterval);
+  const std::vector<std::string> routers{"large", "medium", "small"};
+  const std::vector<std::size_t> ks{1024, 8192, 65536};
+
+  for (const auto kind :
+       {forecast::ModelKind::kEwma, forecast::ModelKind::kArima0}) {
+    std::printf("\n--- model=%s ---\n", forecast::model_kind_name(kind));
+    double spread_1k = 0.0, spread_8k = 0.0, spread_64k = 0.0;
+    for (const std::size_t k : ks) {
+      common::EmpiricalCdf cdf;
+      for (const auto& router : routers) {
+        const auto& stream = bench::stream_for(router, kInterval);
+        for (const auto& config :
+             bench::random_model_configs(kind, 6, 3003, 10)) {
+          cdf.add(
+              bench::energy_relative_difference(stream, config, kH, k, warmup));
+        }
+      }
+      std::vector<std::pair<double, double>> points;
+      for (double q : {0.05, 0.5, 0.95}) {
+        points.emplace_back(cdf.quantile(q), q);
+      }
+      bench::print_series(common::str_format("K=%zu(reldiff%%, cdf)", k),
+                          points);
+      const double spread =
+          std::max(std::abs(cdf.quantile(0.05)), std::abs(cdf.quantile(0.95)));
+      if (k == 1024) spread_1k = spread;
+      if (k == 8192) spread_8k = spread;
+      if (k == 65536) spread_64k = spread;
+    }
+    bench::check(spread_8k < 2.0,
+                 common::str_format(
+                     "%s: K=8192 relative difference insignificant (<2%%)",
+                     forecast::model_kind_name(kind)),
+                 common::str_format("spread=%.3f%%", spread_8k));
+    bench::check(spread_8k <= spread_1k + 0.05,
+                 common::str_format("%s: K=8192 no worse than K=1024",
+                                    forecast::model_kind_name(kind)),
+                 common::str_format("1K=%.3f%% 8K=%.3f%%", spread_1k, spread_8k));
+    bench::check(
+        spread_64k < 2.0 && std::abs(spread_64k - spread_8k) < 1.0,
+        common::str_format("%s: K=65536 adds little over K=8192",
+                           forecast::model_kind_name(kind)),
+        common::str_format("8K=%.3f%% 64K=%.3f%%", spread_8k, spread_64k));
+  }
+  return bench::finish();
+}

@@ -1,0 +1,61 @@
+// Figure 5: mean top-N similarity vs K for the EWMA model on the large
+// router (H=5, K in {8192, 32768, 65536}), (a) 300 s and (b) 60 s intervals.
+//
+// Paper shape: at K=32768 similarity exceeds 0.95 even for N=1000; for
+// N<=100 the overlap is nearly 100%; K=65536 gives limited extra benefit.
+#include <cstdio>
+#include <map>
+
+#include "support/bench_util.h"
+#include "support/experiments.h"
+
+int main() {
+  using namespace scd;
+  bench::print_header(
+      "Figure 5", "mean top-N similarity vs K (EWMA, large router, H=5)",
+      "K=32768 -> >0.95 for all N, ~1.0 for N<=100; 64K adds little");
+
+  for (const double interval : {300.0, 60.0}) {
+    std::printf("\n--- interval=%.0fs ---\n", interval);
+    const auto& stream = bench::stream_for("large", interval);
+    const auto model = bench::cached_grid_model(
+        "large", interval, forecast::ModelKind::kEwma);
+    const std::size_t warmup = bench::warmup_intervals(interval);
+    const auto& truth = bench::truth_for(stream, model);
+    std::map<std::pair<std::size_t, std::size_t>, double> mean_sim;
+    for (const std::size_t k : {8192u, 32768u, 65536u}) {
+      const auto sketch = bench::sketch_errors_for(stream, model, 5, k);
+      std::vector<std::pair<double, double>> points;
+      for (const std::size_t n : {50u, 100u, 500u, 1000u}) {
+        const auto series =
+            bench::topn_similarity_series(truth, sketch, n, 1.0, warmup);
+        mean_sim[{k, n}] = series.mean;
+        points.emplace_back(static_cast<double>(n), series.mean);
+      }
+      bench::print_series(common::str_format("K=%zu(N, mean_similarity)", k),
+                          points);
+    }
+    bench::check(mean_sim[{32768, 1000}] > 0.9,
+                 common::str_format(
+                     "interval=%.0fs: K=32768 similarity >0.9 even at N=1000",
+                     interval),
+                 common::str_format("mean=%.3f", mean_sim[{32768, 1000}]));
+    bench::check(mean_sim[{32768, 50}] > 0.97,
+                 common::str_format(
+                     "interval=%.0fs: K=32768 nearly perfect for small N",
+                     interval),
+                 common::str_format("mean=%.3f", mean_sim[{32768, 50}]));
+    bench::check(
+        mean_sim[{65536, 1000}] - mean_sim[{32768, 1000}] < 0.05,
+        common::str_format(
+            "interval=%.0fs: K=65536 of limited additional benefit", interval),
+        common::str_format("32K=%.3f 64K=%.3f", mean_sim[{32768, 1000}],
+                           mean_sim[{65536, 1000}]));
+    bench::check(
+        mean_sim[{8192, 1000}] <= mean_sim[{32768, 1000}] + 0.02,
+        common::str_format("interval=%.0fs: similarity grows with K", interval),
+        common::str_format("8K=%.3f 32K=%.3f", mean_sim[{8192, 1000}],
+                           mean_sim[{32768, 1000}]));
+  }
+  return bench::finish();
+}

@@ -1,0 +1,62 @@
+// Figure 6: comparing the per-flow top-N against the sketch top-X*N
+// (X in {1, 1.25, 1.5, 1.75, 2}) for the EWMA model on the large router,
+// H=5, K=8192, (a) 300 s and (b) 60 s intervals.
+//
+// Paper shape: widening the sketch list raises the similarity markedly at
+// K=8192; X ~ 1.5 already achieves very high accuracy and larger X only
+// buys marginal gains (at a false-positive cost).
+#include <cstdio>
+#include <map>
+
+#include "support/bench_util.h"
+#include "support/experiments.h"
+
+int main() {
+  using namespace scd;
+  bench::print_header(
+      "Figure 6", "top-N vs top-X*N similarity (EWMA, large router, K=8192)",
+      "X=1.5 recovers most of the K=8192 gap; beyond that marginal gains");
+
+  for (const double interval : {300.0, 60.0}) {
+    std::printf("\n--- interval=%.0fs ---\n", interval);
+    const auto& stream = bench::stream_for("large", interval);
+    const auto model = bench::cached_grid_model(
+        "large", interval, forecast::ModelKind::kEwma);
+    const std::size_t warmup = bench::warmup_intervals(interval);
+    const auto& truth = bench::truth_for(stream, model);
+    const auto sketch = bench::sketch_errors_for(stream, model, 5, 8192);
+    std::map<std::pair<std::size_t, int>, double> mean_sim;  // (N, X*100)
+    for (const std::size_t n : {50u, 100u, 500u}) {
+      std::vector<std::pair<double, double>> points;
+      for (const double x : {1.0, 1.25, 1.5, 1.75, 2.0}) {
+        const auto series =
+            bench::topn_similarity_series(truth, sketch, n, x, warmup);
+        mean_sim[{n, static_cast<int>(x * 100)}] = series.mean;
+        points.emplace_back(x, series.mean);
+      }
+      bench::print_series(common::str_format("N=%zu(X, mean_similarity)", n),
+                          points);
+    }
+    for (const std::size_t n : {50u, 100u, 500u}) {
+      const double s1 = mean_sim[{n, 100}];
+      const double s15 = mean_sim[{n, 150}];
+      const double s2 = mean_sim[{n, 200}];
+      bench::check(s15 >= s1,
+                   common::str_format(
+                       "interval=%.0fs N=%zu: X=1.5 improves over X=1",
+                       interval, n),
+                   common::str_format("X1=%.3f X1.5=%.3f", s1, s15));
+      bench::check(s15 > 0.9,
+                   common::str_format(
+                       "interval=%.0fs N=%zu: very high accuracy by X=1.5",
+                       interval, n),
+                   common::str_format("%.3f", s15));
+      bench::check(s2 - s15 <= (s15 - s1) + 0.02,
+                   common::str_format(
+                       "interval=%.0fs N=%zu: gains beyond X=1.5 are marginal",
+                       interval, n),
+                   common::str_format("X1.5=%.3f X2=%.3f", s15, s2));
+    }
+  }
+  return bench::finish();
+}

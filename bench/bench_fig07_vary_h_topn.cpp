@@ -1,0 +1,62 @@
+// Figure 7: effect of H on top-N similarity for the EWMA model, large
+// router. (a) interval=300 s with K=8192 — a small K needs H >= 9 for high
+// similarity at large N; (b) interval=60 s with K=32768 — a large K makes
+// H=5 sufficient (similarity ~1), exposing the space/computation trade-off.
+#include <cstdio>
+#include <map>
+
+#include "support/bench_util.h"
+#include "support/experiments.h"
+
+int main() {
+  using namespace scd;
+  bench::print_header(
+      "Figure 7", "top-N similarity vs H (EWMA, large router)",
+      "K=8192 needs H≈9 for large N; K=32768 is already accurate at H=5");
+
+  struct Panel {
+    double interval;
+    std::size_t k;
+  };
+  const std::vector<Panel> panels{{300.0, 8192}, {60.0, 32768}};
+  for (const auto& panel : panels) {
+    std::printf("\n--- interval=%.0fs K=%zu ---\n", panel.interval, panel.k);
+    const auto& stream = bench::stream_for("large", panel.interval);
+    const auto model = bench::cached_grid_model(
+        "large", panel.interval, forecast::ModelKind::kEwma);
+    const std::size_t warmup = bench::warmup_intervals(panel.interval);
+    const auto& truth = bench::truth_for(stream, model);
+    std::map<std::pair<std::size_t, std::size_t>, double> mean_sim;  // (H, N)
+    for (const std::size_t h : {1u, 5u, 9u, 25u}) {
+      const auto sketch = bench::sketch_errors_for(stream, model, h, panel.k);
+      std::vector<std::pair<double, double>> points;
+      for (const std::size_t n : {50u, 100u, 500u, 1000u}) {
+        const auto series =
+            bench::topn_similarity_series(truth, sketch, n, 1.0, warmup);
+        mean_sim[{h, n}] = series.mean;
+        points.emplace_back(static_cast<double>(n), series.mean);
+      }
+      bench::print_series(common::str_format("H=%zu(N, mean_similarity)", h),
+                          points);
+    }
+    if (panel.k == 8192) {
+      bench::check(mean_sim[{9, 1000}] >= mean_sim[{1, 1000}],
+                   "K=8192: larger H helps at large N",
+                   common::str_format("H1=%.3f H9=%.3f", mean_sim[{1, 1000}],
+                                      mean_sim[{9, 1000}]));
+      bench::check(mean_sim[{1, 1000}] < 0.97,
+                   "K=8192: H=1 is not sufficient for large N",
+                   common::str_format("H1=%.3f", mean_sim[{1, 1000}]));
+    } else {
+      bench::check(mean_sim[{5, 1000}] > 0.9,
+                   "K=32768: H=5 already gives high similarity (paper: "
+                   "increasing K beats increasing H)",
+                   common::str_format("H5=%.3f", mean_sim[{5, 1000}]));
+      bench::check(mean_sim[{25, 1000}] - mean_sim[{5, 1000}] < 0.05,
+                   "K=32768: H=25 over H=5 is not worth the CPU",
+                   common::str_format("H5=%.3f H25=%.3f", mean_sim[{5, 1000}],
+                                      mean_sim[{25, 1000}]));
+    }
+  }
+  return bench::finish();
+}

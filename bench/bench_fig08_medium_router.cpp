@@ -1,0 +1,73 @@
+// Figure 8: the Figure 5/6 experiments repeated on the medium router
+// ("all files have similar output"). EWMA, H=5.
+//   (a) 300 s: mean top-N similarity vs K in {8192, 32768, 65536}
+//   (b) 60 s:  top-N vs top-X*N at K=8192
+#include <cstdio>
+#include <map>
+
+#include "support/bench_util.h"
+#include "support/experiments.h"
+
+int main() {
+  using namespace scd;
+  bench::print_header(
+      "Figure 8", "similarity metrics on the medium router (EWMA, H=5)",
+      "same shape as the large router: K=32768 accurate, X=1.5 closes the "
+      "K=8192 gap");
+
+  // (a) top-N vs K at 300 s.
+  {
+    const double interval = 300.0;
+    std::printf("\n--- (a) top-N vs K, interval=300s ---\n");
+    const auto& stream = bench::stream_for("medium", interval);
+    const auto model = bench::cached_grid_model(
+        "medium", interval, forecast::ModelKind::kEwma);
+    const std::size_t warmup = bench::warmup_intervals(interval);
+    const auto& truth = bench::truth_for(stream, model);
+    std::map<std::size_t, double> sim_at_k;
+    for (const std::size_t k : {8192u, 32768u, 65536u}) {
+      const auto sketch = bench::sketch_errors_for(stream, model, 5, k);
+      std::vector<std::pair<double, double>> points;
+      for (const std::size_t n : {50u, 100u, 500u, 1000u}) {
+        const auto series =
+            bench::topn_similarity_series(truth, sketch, n, 1.0, warmup);
+        points.emplace_back(static_cast<double>(n), series.mean);
+        if (n == 1000) sim_at_k[k] = series.mean;
+      }
+      bench::print_series(common::str_format("K=%zu(N, mean_similarity)", k),
+                          points);
+    }
+    bench::check(sim_at_k[32768] > 0.9,
+                 "medium router: K=32768 similarity >0.9 at N=1000",
+                 common::str_format("%.3f", sim_at_k[32768]));
+  }
+
+  // (b) top-N vs top-X*N at 60 s, K=8192.
+  {
+    const double interval = 60.0;
+    std::printf("\n--- (b) top-N vs top-X*N, interval=60s, K=8192 ---\n");
+    const auto& stream = bench::stream_for("medium", interval);
+    const auto model = bench::cached_grid_model(
+        "medium", interval, forecast::ModelKind::kEwma);
+    const std::size_t warmup = bench::warmup_intervals(interval);
+    const auto& truth = bench::truth_for(stream, model);
+    const auto sketch = bench::sketch_errors_for(stream, model, 5, 8192);
+    double s1 = 0.0, s15 = 0.0;
+    for (const std::size_t n : {50u, 100u, 500u}) {
+      std::vector<std::pair<double, double>> points;
+      for (const double x : {1.0, 1.25, 1.5, 1.75, 2.0}) {
+        const auto series =
+            bench::topn_similarity_series(truth, sketch, n, x, warmup);
+        points.emplace_back(x, series.mean);
+        if (n == 500 && x == 1.0) s1 = series.mean;
+        if (n == 500 && x == 1.5) s15 = series.mean;
+      }
+      bench::print_series(common::str_format("N=%zu(X, mean_similarity)", n),
+                          points);
+    }
+    bench::check(s15 >= s1 && s15 > 0.9,
+                 "medium router: X=1.5 yields very high accuracy at K=8192",
+                 common::str_format("X1=%.3f X1.5=%.3f", s1, s15));
+  }
+  return bench::finish();
+}

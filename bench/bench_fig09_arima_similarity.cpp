@@ -1,0 +1,50 @@
+// Figure 9: top-N similarity vs K for the ARIMA0 model (d=0), H=5,
+// interval=300 s, on the large and medium router files ("all models had
+// similar results" — this verifies model-independence of the accuracy).
+#include <cstdio>
+#include <map>
+
+#include "support/bench_util.h"
+#include "support/experiments.h"
+
+int main() {
+  using namespace scd;
+  bench::print_header(
+      "Figure 9", "top-N similarity vs K for ARIMA0 (H=5, 300s)",
+      "same shape as EWMA: accuracy is model-independent");
+
+  const double interval = 300.0;
+  const std::size_t warmup = bench::warmup_intervals(interval);
+  for (const std::string router : {"large", "medium"}) {
+    std::printf("\n--- router=%s ---\n", router.c_str());
+    const auto& stream = bench::stream_for(router, interval);
+    const auto model = bench::cached_grid_model(
+        router, interval, forecast::ModelKind::kArima0);
+    std::printf("grid model: %s\n", model.to_string().c_str());
+    const auto& truth = bench::truth_for(stream, model);
+    std::map<std::size_t, double> sim_n1000;
+    for (const std::size_t k : {8192u, 32768u, 65536u}) {
+      const auto sketch = bench::sketch_errors_for(stream, model, 5, k);
+      std::vector<std::pair<double, double>> points;
+      for (const std::size_t n : {50u, 100u, 500u, 1000u}) {
+        const auto series =
+            bench::topn_similarity_series(truth, sketch, n, 1.0, warmup);
+        points.emplace_back(static_cast<double>(n), series.mean);
+        if (n == 1000) sim_n1000[k] = series.mean;
+      }
+      bench::print_series(common::str_format("K=%zu(N, mean_similarity)", k),
+                          points);
+    }
+    bench::check(sim_n1000[32768] > 0.9,
+                 common::str_format(
+                     "%s: ARIMA0 matches the EWMA shape at K=32768",
+                     router.c_str()),
+                 common::str_format("%.3f", sim_n1000[32768]));
+    bench::check(sim_n1000[8192] <= sim_n1000[32768] + 0.02,
+                 common::str_format("%s: similarity grows with K",
+                                    router.c_str()),
+                 common::str_format("8K=%.3f 32K=%.3f", sim_n1000[8192],
+                                    sim_n1000[32768]));
+  }
+  return bench::finish();
+}

@@ -1,0 +1,8 @@
+// Figure 10: thresholding on the large router at 60 s intervals with the
+// non-seasonal Holt-Winters model. See support/threshold_figure.h.
+#include "support/threshold_figure.h"
+
+int main() {
+  scd::bench::run_threshold_figure("Figure 10", 60.0);
+  return scd::bench::finish();
+}

@@ -1,0 +1,8 @@
+// Figure 11: thresholding on the large router at 300 s intervals with the
+// non-seasonal Holt-Winters model. See support/threshold_figure.h.
+#include "support/threshold_figure.h"
+
+int main() {
+  scd::bench::run_threshold_figure("Figure 11", 300.0);
+  return scd::bench::finish();
+}

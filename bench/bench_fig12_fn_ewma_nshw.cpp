@@ -1,0 +1,11 @@
+// Figure 12: thresholding false negatives, medium router, 300 s interval,
+// EWMA and non-seasonal Holt-Winters models.
+#include "support/fnfp_figure.h"
+
+int main() {
+  scd::bench::run_fnfp_figure(
+      "Figure 12",
+      {scd::forecast::ModelKind::kEwma, scd::forecast::ModelKind::kHoltWinters},
+      /*false_negatives=*/true);
+  return scd::bench::finish();
+}

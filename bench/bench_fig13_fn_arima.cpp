@@ -1,0 +1,11 @@
+// Figure 13: thresholding false negatives, medium router, 300 s interval,
+// ARIMA models with d=0 and d=1.
+#include "support/fnfp_figure.h"
+
+int main() {
+  scd::bench::run_fnfp_figure(
+      "Figure 13",
+      {scd::forecast::ModelKind::kArima0, scd::forecast::ModelKind::kArima1},
+      /*false_negatives=*/true);
+  return scd::bench::finish();
+}

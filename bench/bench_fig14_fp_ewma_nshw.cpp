@@ -1,0 +1,11 @@
+// Figure 14: thresholding false positives, medium router, 300 s interval,
+// EWMA and non-seasonal Holt-Winters models.
+#include "support/fnfp_figure.h"
+
+int main() {
+  scd::bench::run_fnfp_figure(
+      "Figure 14",
+      {scd::forecast::ModelKind::kEwma, scd::forecast::ModelKind::kHoltWinters},
+      /*false_negatives=*/false);
+  return scd::bench::finish();
+}

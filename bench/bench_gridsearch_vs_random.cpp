@@ -1,0 +1,72 @@
+// §5.1 grid-search validation (the experiment described in the text after
+// Figure 3): for each (model, router, interval), compare the per-flow total
+// energy obtained with the grid-searched parameters against the per-flow
+// energies of randomly chosen parameters.
+//
+// Paper claims: (i) grid search is never worse than any random
+// parameterization; (ii) in at least 20% of cases the random parameters are
+// at least twice as bad.
+#include <cstdio>
+#include <vector>
+
+#include "eval/truth.h"
+#include "support/bench_util.h"
+#include "support/experiments.h"
+
+int main() {
+  using namespace scd;
+  bench::print_header(
+      "Grid search vs random (§5.1)",
+      "per-flow total energy: grid-searched vs random parameters",
+      "grid never worse than random; >=20% of random cases are >=2x worse");
+
+  const std::vector<std::string> routers{"large", "medium", "small"};
+  const std::vector<double> intervals{300.0, 60.0};
+  constexpr std::size_t kRandomCount = 8;
+
+  std::size_t comparisons = 0;
+  std::size_t grid_worse = 0;
+  std::size_t random_twice_as_bad = 0;
+
+  for (const double interval : intervals) {
+    const std::size_t warmup = bench::warmup_intervals(interval);
+    for (const auto& router : routers) {
+      const auto& stream = bench::stream_for(router, interval);
+      for (const auto kind : forecast::all_model_kinds()) {
+        const auto grid_config =
+            bench::cached_grid_model(router, interval, kind);
+        const double grid_energy =
+            eval::compute_perflow_truth(stream, grid_config, false)
+                .total_energy(warmup);
+        std::printf("%-6s %4.0fs %-7s grid %-38s energy=%.4g\n",
+                    router.c_str(), interval,
+                    forecast::model_kind_name(kind),
+                    grid_config.to_string().c_str(), grid_energy);
+        const auto randoms = bench::random_model_configs(
+            kind, kRandomCount, 4004, interval <= 60.0 ? 12 : 10);
+        for (const auto& config : randoms) {
+          const double random_energy =
+              eval::compute_perflow_truth(stream, config, false)
+                  .total_energy(warmup);
+          ++comparisons;
+          if (grid_energy > random_energy * 1.001) ++grid_worse;
+          if (random_energy >= 2.0 * grid_energy) ++random_twice_as_bad;
+        }
+      }
+    }
+  }
+
+  const double twice_frac =
+      static_cast<double>(random_twice_as_bad) / static_cast<double>(comparisons);
+  std::printf("\ncomparisons=%zu grid_worse=%zu random>=2x-worse=%zu (%.0f%%)\n",
+              comparisons, grid_worse, random_twice_as_bad, 100.0 * twice_frac);
+  bench::check(grid_worse == 0,
+               "grid search never worse than random parameters",
+               common::str_format("%zu violations of %zu", grid_worse,
+                                  comparisons));
+  bench::check(twice_frac >= 0.10,
+               "a sizable fraction of random params are >=2x worse "
+               "(paper: >=20% of cases)",
+               common::str_format("%.0f%%", 100.0 * twice_frac));
+  return bench::finish();
+}

@@ -1,0 +1,57 @@
+// Shared experiment drivers for the §5.2 accuracy figures: top-N similarity
+// (Figures 4-9) and threshold-based false negatives/positives (Figures
+// 10-15). Each driver compares a sketch configuration against the per-flow
+// truth on the same intervalized stream.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "eval/intervalized.h"
+#include "eval/sketch_path.h"
+#include "eval/truth.h"
+#include "forecast/model_config.h"
+
+namespace scd::bench {
+
+/// Per-flow truth memoized per (stream, model) within the process.
+const eval::PerFlowTruth& truth_for(const eval::IntervalizedStream& stream,
+                                    const forecast::ModelConfig& model);
+
+/// §5.1 Relative Difference: total energy from the sketch path at (H, K)
+/// vs the exact per-flow total energy, as a percentage (Figures 1-3).
+double energy_relative_difference(const eval::IntervalizedStream& stream,
+                                  const forecast::ModelConfig& model,
+                                  std::size_t h, std::size_t k,
+                                  std::size_t warmup);
+
+/// Sketch-path errors for one (H, K); not memoized (each figure sweeps its
+/// own configurations).
+eval::SketchPathResult sketch_errors_for(
+    const eval::IntervalizedStream& stream,
+    const forecast::ModelConfig& model, std::size_t h, std::size_t k);
+
+/// Per-interval top-N similarity (per-flow top-N vs sketch top-X*N) over
+/// intervals >= warmup where both sides are ready.
+struct SimilaritySeries {
+  std::vector<std::pair<double, double>> points;  // (interval index, value)
+  double mean = 0.0;
+};
+SimilaritySeries topn_similarity_series(const eval::PerFlowTruth& truth,
+                                        const eval::SketchPathResult& sketch,
+                                        std::size_t n, double x,
+                                        std::size_t warmup);
+
+/// Mean per-interval threshold metrics for one threshold fraction.
+struct ThresholdStats {
+  double mean_pf_alarms = 0.0;
+  double mean_sk_alarms = 0.0;
+  double mean_false_negative = 0.0;
+  double mean_false_positive = 0.0;
+};
+ThresholdStats threshold_stats(const eval::PerFlowTruth& truth,
+                               const eval::SketchPathResult& sketch,
+                               double threshold, std::size_t warmup);
+
+}  // namespace scd::bench

@@ -1,0 +1,70 @@
+// Shared driver for Figures 12-15: mean false-negative / false-positive
+// ratio vs K on the medium router at 300 s intervals, H=5, thresholds
+// {0.01, 0.02, 0.05, 0.07}, for a pair of forecast models.
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "support/bench_util.h"
+#include "support/experiments.h"
+
+namespace scd::bench {
+
+inline void run_fnfp_figure(const char* figure,
+                            std::vector<forecast::ModelKind> kinds,
+                            bool false_negatives) {
+  const char* metric = false_negatives ? "false negatives" : "false positives";
+  print_header(
+      figure,
+      common::str_format("%s vs K, medium router, 300s, H=5", metric),
+      "well below 1% for thresholds > 0.01 once K >= 32768");
+
+  const double interval = 300.0;
+  const auto& stream = stream_for("medium", interval);
+  const std::size_t warmup = warmup_intervals(interval);
+  const std::vector<double> thresholds{0.01, 0.02, 0.05, 0.07};
+
+  for (const auto kind : kinds) {
+    const auto model = cached_grid_model("medium", interval, kind);
+    std::printf("\n--- model=%s (%s) ---\n", forecast::model_kind_name(kind),
+                model.to_string().c_str());
+    const auto& truth = truth_for(stream, model);
+    // ratio[threshold index][k index]
+    std::vector<std::vector<double>> ratio(thresholds.size());
+    const std::vector<std::size_t> ks{8192, 32768, 65536};
+    for (const std::size_t k : ks) {
+      const auto sketch = sketch_errors_for(stream, model, 5, k);
+      for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
+        const auto stats = threshold_stats(truth, sketch, thresholds[ti], warmup);
+        ratio[ti].push_back(false_negatives ? stats.mean_false_negative
+                                            : stats.mean_false_positive);
+      }
+    }
+    for (std::size_t ti = 0; ti < thresholds.size(); ++ti) {
+      std::vector<std::pair<double, double>> points;
+      for (std::size_t ki = 0; ki < ks.size(); ++ki) {
+        points.emplace_back(static_cast<double>(ks[ki]), ratio[ti][ki]);
+      }
+      print_series(common::str_format("%s_T%.2f(K, ratio)",
+                                      forecast::model_kind_name(kind),
+                                      thresholds[ti]),
+                   points);
+    }
+    // Claims: at K>=32768 and thresholds > 0.01 the ratio is ~1% or less.
+    check(ratio[1][1] < 0.03,
+          common::str_format("%s: %s ~1%% at K=32768, threshold 0.02",
+                             forecast::model_kind_name(kind), metric),
+          common::str_format("%.4f", ratio[1][1]));
+    check(ratio[2][1] < 0.02,
+          common::str_format("%s: %s below ~1%% at K=32768, threshold 0.05",
+                             forecast::model_kind_name(kind), metric),
+          common::str_format("%.4f", ratio[2][1]));
+    check(ratio[1][2] <= ratio[1][0] + 0.01,
+          common::str_format("%s: %s do not grow with K",
+                             forecast::model_kind_name(kind), metric),
+          common::str_format("8K=%.4f 64K=%.4f", ratio[1][0], ratio[1][2]));
+  }
+}
+
+}  // namespace scd::bench

@@ -1,0 +1,101 @@
+// Model shoot-out: runs all seven forecasting models (the paper's six plus
+// the seasonal extension) over one router trace at the sketch level and
+// prints a comparison table — residual error energy, alarm volume, and
+// whether the embedded DoS was caught. A compact version of the paper's
+// §5 methodology for picking a model on your own traffic.
+//
+//   ./build/examples/compare_models [router]   (default: small)
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "core/pipeline.h"
+#include "forecast/model_factory.h"
+#include "traffic/router_profiles.h"
+#include "traffic/synthetic.h"
+
+namespace {
+
+using namespace scd;
+
+forecast::ModelConfig default_params(forecast::ModelKind kind) {
+  forecast::ModelConfig config;
+  config.kind = kind;
+  config.window = 5;
+  config.alpha = 0.6;
+  config.beta = 0.3;
+  config.gamma = 0.3;
+  config.period = 12;  // one hour of 5-minute intervals
+  config.arima.d = kind == forecast::ModelKind::kArima1 ? 1 : 0;
+  config.arima.p = 1;
+  config.arima.q = 1;
+  config.arima.ar = {0.5, 0.0};
+  config.arima.ma = {0.2, 0.0};
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string router = argc > 1 ? argv[1] : "small";
+  const auto& profile = traffic::router_by_name(router);
+  traffic::SyntheticTraceGenerator generator(profile.config);
+  const auto records = generator.generate();
+
+  // Locate the profile's DoS target for the "caught it?" column.
+  std::uint64_t dos_target = 0;
+  double dos_start = 0.0, dos_end = 0.0;
+  for (const auto& anomaly : profile.config.anomalies) {
+    if (anomaly.kind == traffic::AnomalyKind::kDosAttack) {
+      dos_target = generator.dst_ip_of_rank(anomaly.target_rank);
+      dos_start = anomaly.start_s;
+      dos_end = anomaly.start_s + anomaly.duration_s;
+    }
+  }
+
+  std::printf("router '%s': %zu records; comparing models at H=5, K=32768, "
+              "T=0.1, 300 s intervals\n\n",
+              profile.name.c_str(), records.size());
+  std::printf("%-8s %-14s %-10s %-10s %s\n", "model", "total |error|",
+              "alarms", "DoS hit", "params");
+
+  const auto paper_kinds = forecast::all_model_kinds();
+  std::vector<forecast::ModelKind> kinds(paper_kinds.begin(),
+                                         paper_kinds.end());
+  kinds.push_back(forecast::ModelKind::kSeasonalHoltWinters);
+  for (const auto kind : kinds) {
+    core::PipelineConfig config;
+    config.interval_s = 300.0;
+    config.h = 5;
+    config.k = 32768;
+    config.model = default_params(kind);
+    config.threshold = 0.1;
+    config.max_alarms_per_interval = 50;
+    core::ChangeDetectionPipeline pipeline(config);
+    for (const auto& r : records) pipeline.add_record(r);
+    pipeline.flush();
+
+    double total_f2 = 0.0;
+    std::size_t alarms = 0;
+    bool dos_hit = false;
+    for (const auto& report : pipeline.reports()) {
+      if (!report.detection_ran || report.start_s < 3600.0) continue;
+      total_f2 += std::max(report.estimated_error_f2, 0.0);
+      alarms += report.alarms.size();
+      if (dos_target != 0 && report.start_s < dos_end &&
+          report.end_s > dos_start) {
+        for (const auto& alarm : report.alarms) {
+          if (alarm.key == dos_target) dos_hit = true;
+        }
+      }
+    }
+    std::printf("%-8s %-14.4g %-10zu %-10s %s\n",
+                forecast::model_kind_name(kind), std::sqrt(total_f2), alarms,
+                dos_target == 0 ? "n/a" : (dos_hit ? "yes" : "NO"),
+                config.model.to_string().c_str());
+  }
+  std::printf("\nlower total |error| = model fits this traffic better; alarm\n"
+              "counts at a fixed T show the false-positive cost of a poor "
+              "fit.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// DoS attack detection — the paper's headline application.
+//
+// Generates a 4-hour backbone-style trace (the "medium" router profile) with
+// an embedded DoS attack and an outage, then runs sketch-based change
+// detection keyed on destination IP. Shows how the ranked forecast errors
+// surface the attack target at its onset, the recovery "negative change"
+// when the attack stops, and the outage as a mass of negative errors.
+//
+//   ./build/examples/dos_detection
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "common/strutil.h"
+#include "core/pipeline.h"
+#include "traffic/router_profiles.h"
+#include "traffic/synthetic.h"
+
+int main() {
+  using namespace scd;
+
+  const traffic::RouterProfile& profile = traffic::router_by_name("medium");
+  traffic::SyntheticTraceGenerator generator(profile.config);
+  std::printf("generating trace for router '%s' (4 h, ~%.0f records/s)...\n",
+              profile.name.c_str(), profile.config.base_rate);
+  const auto records = generator.generate();
+  const auto stats = traffic::summarize_trace(records);
+  std::printf("trace: %s\n\nground-truth anomalies:\n", stats.to_string().c_str());
+  for (const auto& anomaly : profile.config.anomalies) {
+    std::printf("  %s", anomaly.to_string().c_str());
+    if (anomaly.kind != traffic::AnomalyKind::kPortScan &&
+        anomaly.kind != traffic::AnomalyKind::kOutage) {
+      std::printf("  -> dst %s",
+                  common::ipv4_to_string(
+                      generator.dst_ip_of_rank(anomaly.target_rank))
+                      .c_str());
+    }
+    std::printf("\n");
+  }
+
+  core::PipelineConfig config;
+  config.interval_s = 300.0;  // 5-minute intervals, paper default
+  config.h = 5;
+  config.k = 32768;
+  config.key_kind = traffic::KeyKind::kDstIp;
+  config.update_kind = traffic::UpdateKind::kBytes;
+  config.model.kind = forecast::ModelKind::kEwma;
+  config.model.alpha = 0.7;
+  config.threshold = 0.1;
+  config.max_alarms_per_interval = 5;
+
+  core::ChangeDetectionPipeline pipeline(config);
+  for (const auto& r : records) pipeline.add_record(r);
+  pipeline.flush();
+
+  std::printf("\n%-9s %-8s %-7s %s\n", "interval", "records", "alarms",
+              "top changes (dst ip: forecast error in bytes)");
+  const double warmup_end = 3600.0;
+  for (const auto& report : pipeline.reports()) {
+    if (!report.detection_ran || report.end_s <= warmup_end) continue;
+    std::string tops;
+    for (std::size_t i = 0; i < std::min<std::size_t>(2, report.alarms.size());
+         ++i) {
+      const auto& alarm = report.alarms[i];
+      tops += common::str_format(
+          "%s: %+.2gMB  ",
+          common::ipv4_to_string(static_cast<std::uint32_t>(alarm.key)).c_str(),
+          alarm.error / 1e6);
+    }
+    std::printf("%4.0f-%4.0fs %-8llu %-7zu %s\n", report.start_s, report.end_s,
+                static_cast<unsigned long long>(report.records),
+                report.alarms.size(), tops.c_str());
+  }
+
+  // Verify the attack target was caught at onset.
+  bool attack_caught = false, recovery_caught = false;
+  std::uint64_t dos_target = 0;
+  double dos_start = 0, dos_end = 0;
+  for (const auto& anomaly : profile.config.anomalies) {
+    if (anomaly.kind == traffic::AnomalyKind::kDosAttack) {
+      dos_target = generator.dst_ip_of_rank(anomaly.target_rank);
+      dos_start = anomaly.start_s;
+      dos_end = anomaly.start_s + anomaly.duration_s;
+    }
+  }
+  for (const auto& report : pipeline.reports()) {
+    for (const auto& alarm : report.alarms) {
+      if (alarm.key != dos_target) continue;
+      if (alarm.error > 0 && report.start_s < dos_end &&
+          report.end_s > dos_start) {
+        attack_caught = true;
+      }
+      if (alarm.error < 0 && report.start_s >= dos_end - 1) {
+        recovery_caught = true;
+      }
+    }
+  }
+  std::printf("\nDoS onset flagged:    %s\n", attack_caught ? "YES" : "NO");
+  std::printf("DoS recovery flagged: %s (negative change when attack ends)\n",
+              recovery_caught ? "YES" : "NO");
+  return attack_caught ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// Flash crowd vs DoS: comparing forecast models on a gradual surge.
+//
+// A flash crowd ramps up over 20 minutes instead of switching on instantly.
+// A trend-aware model (non-seasonal Holt-Winters) absorbs the ramp into its
+// trend component and keeps flagging only the *onset*, while trendless EWMA
+// keeps alarming through the whole surge. This example quantifies that
+// difference — the kind of triage §1.3 motivates ("an anomaly can be a
+// benign surge ... or an attack").
+//
+//   ./build/examples/flash_crowd
+#include <cstdio>
+#include <vector>
+
+#include "common/strutil.h"
+#include "core/pipeline.h"
+#include "traffic/synthetic.h"
+
+namespace {
+
+scd::traffic::SyntheticConfig scenario() {
+  scd::traffic::SyntheticConfig config;
+  config.seed = 99;
+  config.duration_s = 7200.0;  // 2 hours
+  config.base_rate = 80.0;
+  config.num_hosts = 10000;
+  config.zipf_exponent = 1.05;
+  scd::traffic::AnomalySpec crowd;
+  crowd.kind = scd::traffic::AnomalyKind::kFlashCrowd;
+  crowd.start_s = 4200.0;
+  crowd.duration_s = 2400.0;  // 20 min up, 20 min down
+  crowd.magnitude = 400.0;
+  crowd.target_rank = 3000;  // a previously-cold destination
+  config.anomalies.push_back(crowd);
+  return config;
+}
+
+struct RunResult {
+  std::vector<double> target_errors;  // per interval, 0 when not flagged
+  std::size_t intervals = 0;
+};
+
+RunResult run_with_model(const std::vector<scd::traffic::FlowRecord>& records,
+                         std::uint32_t target,
+                         const scd::forecast::ModelConfig& model) {
+  scd::core::PipelineConfig config;
+  config.interval_s = 300.0;
+  config.h = 5;
+  config.k = 32768;
+  config.model = model;
+  config.threshold = 0.15;
+  scd::core::ChangeDetectionPipeline pipeline(config);
+  for (const auto& r : records) pipeline.add_record(r);
+  pipeline.flush();
+  RunResult result;
+  result.intervals = pipeline.reports().size();
+  result.target_errors.assign(result.intervals, 0.0);
+  for (const auto& report : pipeline.reports()) {
+    for (const auto& alarm : report.alarms) {
+      if (alarm.key == target) result.target_errors[report.index] = alarm.error;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace scd;
+  const auto config = scenario();
+  traffic::SyntheticTraceGenerator generator(config);
+  std::printf("generating 2 h trace with a flash crowd (ramp 4200-6600 s)...\n");
+  const auto records = generator.generate();
+  const auto target = generator.dst_ip_of_rank(3000);
+  std::printf("crowd destination: %s\n\n",
+              common::ipv4_to_string(target).c_str());
+
+  forecast::ModelConfig ewma;
+  ewma.kind = forecast::ModelKind::kEwma;
+  ewma.alpha = 0.5;
+  forecast::ModelConfig nshw;
+  nshw.kind = forecast::ModelKind::kHoltWinters;
+  nshw.alpha = 0.5;
+  nshw.beta = 0.6;
+
+  const auto r_ewma = run_with_model(records, target, ewma);
+  const auto r_nshw = run_with_model(records, target, nshw);
+
+  std::printf("%-12s %-22s %-22s\n", "interval", "EWMA error on target",
+              "NSHW error on target");
+  std::size_t ewma_flags = 0, nshw_flags = 0;
+  for (std::size_t t = 0; t < r_ewma.intervals; ++t) {
+    const double te = r_ewma.target_errors[t];
+    const double th = r_nshw.target_errors[t];
+    if (te != 0.0) ++ewma_flags;
+    if (th != 0.0) ++nshw_flags;
+    if (te == 0.0 && th == 0.0) continue;
+    std::printf("%4zu (%4.0fs) %-22s %-22s\n", t,
+                static_cast<double>(t) * 300.0,
+                te ? common::str_format("%+.2f MB", te / 1e6).c_str() : "-",
+                th ? common::str_format("%+.2f MB", th / 1e6).c_str() : "-");
+  }
+  std::printf(
+      "\nintervals flagged on the crowd destination: EWMA=%zu  NSHW=%zu\n",
+      ewma_flags, nshw_flags);
+  std::printf(
+      "a trend-aware model flags the onset, then tracks the ramp; a\n"
+      "trendless model keeps re-alarming while the surge grows.\n");
+  return 0;
+}

@@ -1,0 +1,155 @@
+// Multi-router aggregation — the payoff of sketch linearity (§1.2: "sketches
+// can be combined in an arithmetical sense").
+//
+// Three edge routers carry ECMP-split traffic toward the same host space. A
+// distributed DoS sends one third of its volume through each router, so no
+// single vantage point sees a dominant change. Each router exports its
+// per-interval observed sketch (serialized, exactly as it would cross the
+// wire); a central collector deserializes, COMBINEs them into a
+// network-wide sketch stream, and runs change detection on the combined
+// view — where the attack is unmistakable.
+//
+//   ./build/examples/multi_router
+#include <cstdio>
+#include <vector>
+
+#include "common/strutil.h"
+#include "detect/detection.h"
+#include "eval/intervalized.h"
+#include "forecast/runner.h"
+#include "sketch/serialize.h"
+#include "traffic/synthetic.h"
+
+namespace {
+
+using namespace scd;
+
+constexpr double kIntervalS = 300.0;
+constexpr std::size_t kH = 5;
+constexpr std::size_t kK = 32768;
+constexpr std::uint64_t kSharedHashSeed = 424242;  // all exporters agree
+constexpr std::uint64_t kHostSpace = 777;
+constexpr std::size_t kVictimRank = 400;
+
+traffic::SyntheticConfig router_config(std::uint64_t seed) {
+  traffic::SyntheticConfig config;
+  config.seed = seed;
+  config.host_space_seed = kHostSpace;  // same destinations on every path
+  config.duration_s = 7200.0;
+  config.base_rate = 70.0;
+  config.num_hosts = 20000;
+  config.zipf_exponent = 1.05;
+  traffic::AnomalySpec dos;  // one third of the attack on each router
+  dos.kind = traffic::AnomalyKind::kDosAttack;
+  dos.start_s = 4500.0;
+  dos.duration_s = 600.0;
+  dos.magnitude = 16.0;  // per-path share: small against local noise
+  dos.target_rank = kVictimRank;
+  config.anomalies.push_back(dos);
+  return config;
+}
+
+/// One router's exporter: observed sketch per interval, serialized.
+std::vector<std::vector<std::uint8_t>> export_sketches(
+    const traffic::SyntheticConfig& config, std::size_t num_intervals) {
+  traffic::SyntheticTraceGenerator generator(config);
+  const auto records = generator.generate();
+  const eval::IntervalizedStream stream(records, kIntervalS,
+                                        traffic::KeyKind::kDstIp,
+                                        traffic::UpdateKind::kBytes);
+  const auto family = sketch::make_tabulation_family(kSharedHashSeed, kH);
+  std::vector<std::vector<std::uint8_t>> packets;
+  for (std::size_t t = 0; t < num_intervals; ++t) {
+    sketch::KarySketch observed(family, kK);
+    if (t < stream.num_intervals()) stream.fill_observed_sketch(t, observed);
+    packets.push_back(sketch::sketch_to_bytes(observed));
+  }
+  return packets;
+}
+
+/// Rank (1-based) of `key` among the per-interval forecast errors estimated
+/// from an error sketch, probing a fixed candidate population.
+std::size_t rank_of_key(const sketch::KarySketch& error_sketch,
+                        std::uint32_t key,
+                        const std::vector<std::uint64_t>& candidates) {
+  const auto ranked = detect::rank_by_abs_error(
+      candidates,
+      [&error_sketch](std::uint64_t k) { return error_sketch.estimate(k); });
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i].key == key) return i + 1;
+  }
+  return ranked.size() + 1;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::size_t kIntervals = 24;  // 2 h at 5 min
+  const std::vector<std::uint64_t> router_seeds{11, 22, 33};
+
+  std::printf("exporting per-interval sketches from 3 routers "
+              "(H=%zu, K=%zu, shared hash seed)...\n", kH, kK);
+  std::vector<std::vector<std::vector<std::uint8_t>>> exports;
+  for (const auto seed : router_seeds) {
+    exports.push_back(export_sketches(router_config(seed), kIntervals));
+  }
+  const std::size_t packet_bytes = exports[0][0].size();
+  std::printf("export packet: %.1f KB per router per interval\n",
+              static_cast<double>(packet_bytes) / 1024.0);
+
+  // The collector: deserialize, COMBINE, forecast, detect.
+  sketch::FamilyRegistry registry;
+  traffic::SyntheticTraceGenerator reference(router_config(router_seeds[0]));
+  const std::uint32_t victim = reference.dst_ip_of_rank(kVictimRank);
+  // Candidate population for ranking (in production this is the key replay
+  // stream; here we probe the shared host space).
+  std::vector<std::uint64_t> candidates;
+  for (std::size_t rank = 0; rank < 20000; ++rank) {
+    candidates.push_back(reference.dst_ip_of_rank(rank));
+  }
+
+  forecast::ModelConfig model;
+  model.kind = forecast::ModelKind::kEwma;
+  model.alpha = 0.6;
+
+  // One runner per single-router view plus one for the combined view.
+  std::vector<std::unique_ptr<forecast::ForecastRunner<sketch::KarySketch>>>
+      runners;
+  sketch::KarySketch prototype =
+      sketch::sketch_from_bytes(exports[0][0], registry);
+  prototype.set_zero();
+  for (std::size_t i = 0; i < router_seeds.size() + 1; ++i) {
+    runners.push_back(
+        std::make_unique<forecast::ForecastRunner<sketch::KarySketch>>(
+            model, prototype));
+  }
+
+  std::printf("\n%-10s %-28s %s\n", "interval",
+              "victim error rank per router", "rank in combined view");
+  for (std::size_t t = 0; t < kIntervals; ++t) {
+    sketch::KarySketch combined = prototype;
+    std::string per_router;
+    bool all_ready = true;
+    for (std::size_t r = 0; r < router_seeds.size(); ++r) {
+      sketch::KarySketch observed =
+          sketch::sketch_from_bytes(exports[r][t], registry);
+      combined.add_scaled(observed, 1.0);  // COMBINE(1, S1, 1, S2, 1, S3)
+      const auto step = runners[r]->step(observed);
+      if (step.has_value() && t >= 15 && t <= 17) {
+        per_router += common::str_format(
+            "#%-5zu", rank_of_key(step->error, victim, candidates));
+      } else if (!step.has_value()) {
+        all_ready = false;
+      }
+    }
+    const auto combined_step = runners.back()->step(combined);
+    if (combined_step.has_value() && all_ready && t >= 15 && t <= 17) {
+      std::printf("%-10zu %-28s #%zu\n", t, per_router.c_str(),
+                  rank_of_key(combined_step->error, victim, candidates));
+    }
+  }
+  std::printf("\n(attack spans intervals 15-16; per-router shares are diluted"
+              "\n by local noise, the combined sketch ranks the victim at or"
+              "\n near the top — without any router exporting raw records)\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Online monitoring — the §6 extensions in one program:
+//   * kNextInterval key replay (no per-interval key storage beyond a sampled
+//     set; changes in interval t are detected from keys arriving in t+1),
+//   * key sampling (only 30% of keys are checked),
+//   * periodic online re-fitting of the forecast model via grid search over
+//     the recent sketch history.
+//
+//   ./build/examples/online_monitor
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/strutil.h"
+#include "core/pipeline.h"
+#include "traffic/router_profiles.h"
+#include "traffic/synthetic.h"
+
+int main() {
+  using namespace scd;
+
+  const traffic::RouterProfile& profile = traffic::router_by_name("small");
+  traffic::SyntheticTraceGenerator generator(profile.config);
+  std::printf("streaming router '%s' (4 h) through the online monitor...\n\n",
+              profile.name.c_str());
+  const auto records = generator.generate();
+
+  core::PipelineConfig config;
+  config.interval_s = 300.0;
+  config.h = 5;
+  config.k = 8192;
+  config.model.kind = forecast::ModelKind::kEwma;
+  config.model.alpha = 0.2;           // deliberately poor starting point
+  config.threshold = 0.1;
+  config.replay = core::KeyReplayMode::kNextInterval;
+  config.key_sample_rate = 0.3;       // §6: combine with sampling
+  config.refit_every = 12;            // re-fit hourly (12 x 5 min)
+  config.refit_window = 12;
+  config.max_alarms_per_interval = 3;
+
+  core::ChangeDetectionPipeline pipeline(config);
+  pipeline.set_report_callback([&pipeline](const core::IntervalReport& r) {
+    if (!r.detection_ran) return;
+    std::printf("[%5.0f s] keys_checked=%-6zu est|e|=%-10.3g alarms=%zu",
+                r.start_s, r.keys_checked,
+                std::sqrt(std::max(r.estimated_error_f2, 0.0)),
+                r.alarms.size());
+    for (const auto& alarm : r.alarms) {
+      std::printf("  %s:%+.2gMB",
+                  common::ipv4_to_string(static_cast<std::uint32_t>(alarm.key))
+                      .c_str(),
+                  alarm.error / 1e6);
+    }
+    std::printf("\n");
+  });
+
+  const double alpha_before = pipeline.active_model().alpha;
+  for (const auto& r : records) pipeline.add_record(r);
+  pipeline.flush();
+  const double alpha_after = pipeline.active_model().alpha;
+
+  std::printf("\nonline re-fit: EWMA alpha %.3f -> %.3f\n", alpha_before,
+              alpha_after);
+  std::printf("note: next-interval replay trades one interval of latency for\n"
+              "zero key storage; keys that never reappear are missed, which\n"
+              "is acceptable for DoS-style targets (§3.3).\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+#include "common/flags.h"
+
+#include <cstdlib>
+
+#include "common/strutil.h"
+
+namespace scd::common {
+
+void FlagParser::add_flag(const std::string& name, const std::string& help,
+                          const std::string& default_value) {
+  flags_[name] = Flag{help, default_value, false};
+}
+
+bool FlagParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool have_value = false;
+    if (const auto eq = name.find('='); eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      have_value = true;
+    }
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      error_ = "unknown flag: --" + name;
+      return false;
+    }
+    if (!have_value) {
+      // Accept "--flag value" unless the next token is another flag (then
+      // treat as a boolean set to "true").
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+    it->second.set = true;
+  }
+  return true;
+}
+
+std::string FlagParser::get(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() ? it->second.value : std::string{};
+}
+
+bool FlagParser::has(const std::string& name) const {
+  const auto it = flags_.find(name);
+  return it != flags_.end() && it->second.set;
+}
+
+std::optional<double> FlagParser::get_double(const std::string& name) const {
+  const std::string v = get(name);
+  if (v.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+std::optional<std::int64_t> FlagParser::get_int(const std::string& name) const {
+  const std::string v = get(name);
+  if (v.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') return std::nullopt;
+  return parsed;
+}
+
+bool FlagParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::string FlagParser::help(const std::string& usage) const {
+  std::string out = "usage: " + usage + "\n\nflags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out += str_format("  --%-18s %s", name.c_str(), flag.help.c_str());
+    if (!flag.value.empty() && !flag.set) {
+      out += str_format(" (default: %s)", flag.value.c_str());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace scd::common

@@ -1,0 +1,49 @@
+// Minimal command-line flag parsing for the example/tool binaries.
+// Supports --name=value, --name value, and bare --bool-flag. Unrecognized
+// flags are an error; positional arguments are collected in order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace scd::common {
+
+class FlagParser {
+ public:
+  /// Registers a flag with a help line. Call before parse().
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value = "");
+
+  /// Parses argv. Returns false (and fills error()) on unknown flags or
+  /// missing values.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string get(const std::string& name) const;
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::optional<double> get_double(const std::string& name) const;
+  [[nodiscard]] std::optional<std::int64_t> get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Formatted help text listing all registered flags.
+  [[nodiscard]] std::string help(const std::string& usage) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string value;
+    bool set = false;
+  };
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  std::string error_;
+};
+
+}  // namespace scd::common

@@ -1,0 +1,51 @@
+// Minimal leveled logger for library diagnostics. Intentionally tiny:
+// experiments print their own structured output; this is for warnings and
+// progress notes only.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace scd::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are discarded. Default: kInfo.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes one formatted line to stderr (thread-safe at the line level).
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) noexcept : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace scd::common
+
+#define SCD_LOG(level)                                       \
+  if (static_cast<int>(level) < static_cast<int>(::scd::common::log_level())) \
+    ;                                                        \
+  else                                                       \
+    ::scd::common::detail::LogStream(level)
+
+#define SCD_DEBUG() SCD_LOG(::scd::common::LogLevel::kDebug)
+#define SCD_INFO() SCD_LOG(::scd::common::LogLevel::kInfo)
+#define SCD_WARN() SCD_LOG(::scd::common::LogLevel::kWarn)
+#define SCD_ERROR() SCD_LOG(::scd::common::LogLevel::kError)

@@ -1,0 +1,102 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace scd::common {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : samples_(std::move(samples)) {}
+
+void EmpiricalCdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void EmpiricalCdf::finalize() {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::at(double x) {
+  finalize();
+  if (samples_.empty()) return 0.0;
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) {
+  finalize();
+  assert(!samples_.empty());
+  assert(q >= 0.0 && q <= 1.0);
+  if (samples_.size() == 1) return samples_.front();
+  const double pos = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return samples_[lo] + frac * (samples_[hi] - samples_[lo]);
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(std::size_t points) {
+  finalize();
+  std::vector<std::pair<double, double>> out;
+  if (samples_.empty() || points == 0) return out;
+  out.reserve(points);
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  if (points == 1 || hi == lo) {
+    out.emplace_back(lo, at(lo));
+    return out;
+  }
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(x, at(x));
+  }
+  return out;
+}
+
+double quantile(std::vector<double> samples, double q) {
+  EmpiricalCdf cdf(std::move(samples));
+  return cdf.quantile(q);
+}
+
+}  // namespace scd::common

@@ -1,0 +1,68 @@
+// Streaming statistics and empirical distribution helpers used by the
+// evaluation harness and the property tests.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace scd::common {
+
+/// Welford-style running mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  /// Unbiased sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Empirical CDF over a batch of samples. Built once, then queried; the
+/// figure harnesses use it to print the CDF curves of Figures 1-3.
+class EmpiricalCdf {
+ public:
+  EmpiricalCdf() = default;
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  void add(double x);
+  /// Sorts the sample buffer; called automatically by queries.
+  void finalize();
+
+  /// Fraction of samples <= x.
+  [[nodiscard]] double at(double x);
+  /// q-quantile for q in [0, 1] (linear interpolation between order stats).
+  [[nodiscard]] double quantile(double q);
+
+  [[nodiscard]] std::size_t size() const noexcept { return samples_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return samples_.empty(); }
+  [[nodiscard]] const std::vector<double>& samples() const noexcept { return samples_; }
+
+  /// Evenly spaced (x, cdf(x)) points across [min, max] for plotting/printing.
+  [[nodiscard]] std::vector<std::pair<double, double>> curve(std::size_t points);
+
+ private:
+  std::vector<double> samples_;
+  bool sorted_ = false;
+};
+
+/// Exact q-quantile of a sample vector (copies and selects).
+[[nodiscard]] double quantile(std::vector<double> samples, double q);
+
+}  // namespace scd::common

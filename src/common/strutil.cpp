@@ -1,0 +1,67 @@
+#include "common/strutil.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <sstream>
+
+namespace scd::common {
+
+std::string str_format(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  if (needed < 0) {
+    va_end(args_copy);
+    return {};
+  }
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  va_end(args_copy);
+  return out;
+}
+
+std::string human_count(double value) {
+  const char* suffix = "";
+  double scaled = value;
+  if (value >= 1e9) {
+    scaled = value / 1e9;
+    suffix = "G";
+  } else if (value >= 1e6) {
+    scaled = value / 1e6;
+    suffix = "M";
+  } else if (value >= 1e3) {
+    scaled = value / 1e3;
+    suffix = "K";
+  }
+  return str_format("%.2f%s", scaled, suffix);
+}
+
+std::string ipv4_to_string(std::uint32_t addr) {
+  return str_format("%u.%u.%u.%u", (addr >> 24) & 0xff, (addr >> 16) & 0xff,
+                    (addr >> 8) & 0xff, addr & 0xff);
+}
+
+bool parse_ipv4(const std::string& text, std::uint32_t& out) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trailing = '\0';
+  const int matched =
+      std::sscanf(text.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) return false;
+  out = (a << 24) | (b << 16) | (c << 8) | d;
+  return true;
+}
+
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> parts;
+  std::string item;
+  std::istringstream stream(text);
+  while (std::getline(stream, item, delim)) parts.push_back(item);
+  if (!text.empty() && text.back() == delim) parts.emplace_back();
+  if (text.empty()) parts.emplace_back();
+  return parts;
+}
+
+}  // namespace scd::common

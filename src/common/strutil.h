@@ -1,0 +1,26 @@
+// Small string/formatting helpers (GCC 12 lacks <format>).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scd::common {
+
+/// printf-style formatting into a std::string.
+[[nodiscard]] std::string str_format(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// "1.23K", "4.5M" style human-readable counts.
+[[nodiscard]] std::string human_count(double value);
+
+/// Dotted-quad rendering of a host-order IPv4 address.
+[[nodiscard]] std::string ipv4_to_string(std::uint32_t addr);
+
+/// Parses dotted-quad IPv4 into host order; returns false on malformed input.
+[[nodiscard]] bool parse_ipv4(const std::string& text, std::uint32_t& out);
+
+/// Splits on a delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(const std::string& text, char delim);
+
+}  // namespace scd::common

@@ -1,0 +1,54 @@
+#include "core/multi_resolution.h"
+
+#include <stdexcept>
+
+namespace scd::core {
+
+MultiResolutionPipeline::MultiResolutionPipeline(
+    std::vector<PipelineConfig> levels) {
+  if (levels.size() < 2) {
+    throw std::invalid_argument(
+        "MultiResolutionPipeline: needs at least two levels");
+  }
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    if (!traffic::aggregates(levels[i - 1].key_kind, levels[i].key_kind)) {
+      throw std::invalid_argument(
+          "MultiResolutionPipeline: levels must go coarse -> fine along the "
+          "destination hierarchy");
+    }
+    if (levels[i].interval_s != levels[0].interval_s) {
+      throw std::invalid_argument(
+          "MultiResolutionPipeline: all levels must share interval_s");
+    }
+  }
+  for (auto& config : levels) {
+    kinds_.push_back(config.key_kind);
+    pipelines_.push_back(
+        std::make_unique<ChangeDetectionPipeline>(std::move(config)));
+  }
+}
+
+void MultiResolutionPipeline::add_record(const traffic::FlowRecord& record) {
+  for (auto& pipeline : pipelines_) pipeline->add_record(record);
+}
+
+void MultiResolutionPipeline::flush() {
+  for (auto& pipeline : pipelines_) pipeline->flush();
+}
+
+std::vector<detect::Alarm> MultiResolutionPipeline::drill_down(
+    std::size_t level, const detect::Alarm& alarm) const {
+  std::vector<detect::Alarm> refined;
+  if (level + 1 >= pipelines_.size()) return refined;
+  const traffic::KeyKind coarse = kinds_[level];
+  const auto& fine_reports = pipelines_[level + 1]->reports();
+  if (alarm.interval >= fine_reports.size()) return refined;
+  for (const detect::Alarm& candidate : fine_reports[alarm.interval].alarms) {
+    if (traffic::project_key(candidate.key, coarse) == alarm.key) {
+      refined.push_back(candidate);
+    }
+  }
+  return refined;
+}
+
+}  // namespace scd::core

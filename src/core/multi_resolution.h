@@ -1,0 +1,43 @@
+// MultiResolutionPipeline — simultaneous change detection at several
+// aggregation levels of the destination hierarchy (§2.1: keys as prefixes
+// achieve "higher levels of aggregation"). One record feed drives every
+// level; drill_down() connects a coarse alarm to the finer-level alarms
+// inside it, the workflow an operator follows from a /16 alert to the
+// offending host.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.h"
+
+namespace scd::core {
+
+class MultiResolutionPipeline {
+ public:
+  /// Levels must be ordered coarse -> fine along the destination hierarchy
+  /// (e.g. /16, /24, host) and share interval_s; throws
+  /// std::invalid_argument otherwise.
+  explicit MultiResolutionPipeline(std::vector<PipelineConfig> levels);
+
+  void add_record(const traffic::FlowRecord& record);
+  void flush();
+
+  [[nodiscard]] std::size_t num_levels() const noexcept {
+    return pipelines_.size();
+  }
+  [[nodiscard]] const ChangeDetectionPipeline& level(std::size_t i) const {
+    return *pipelines_[i];
+  }
+
+  /// Alarms at `level + 1` (one step finer) within the same interval whose
+  /// key projects onto the coarse alarm's key. Empty for the finest level.
+  [[nodiscard]] std::vector<detect::Alarm> drill_down(
+      std::size_t level, const detect::Alarm& alarm) const;
+
+ private:
+  std::vector<traffic::KeyKind> kinds_;
+  std::vector<std::unique_ptr<ChangeDetectionPipeline>> pipelines_;
+};
+
+}  // namespace scd::core

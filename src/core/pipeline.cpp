@@ -1,0 +1,378 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/random.h"
+#include "detect/detection.h"
+#include "forecast/runner.h"
+#include "gridsearch/grid_search.h"
+#include "hash/cw_hash.h"
+#include "hash/tabulation_hash.h"
+#include "sketch/kary_sketch.h"
+
+namespace scd::core {
+
+void PipelineConfig::validate() const {
+  if (!(interval_s > 0.0)) {
+    throw std::invalid_argument("PipelineConfig: interval_s must be > 0");
+  }
+  if (!hash::valid_bucket_count(k) || k < 2) {
+    throw std::invalid_argument(
+        "PipelineConfig: k must be a power of two in [2, 65536]");
+  }
+  if (h < 1 || h > sketch::kMaxRows) {
+    throw std::invalid_argument("PipelineConfig: h must be in [1, 32]");
+  }
+  if (!(key_sample_rate > 0.0) || key_sample_rate > 1.0) {
+    throw std::invalid_argument(
+        "PipelineConfig: key_sample_rate must be in (0, 1]");
+  }
+  if (!(threshold >= 0.0)) {
+    throw std::invalid_argument("PipelineConfig: threshold must be >= 0");
+  }
+  if (!(baseline_alpha > 0.0) || baseline_alpha > 1.0) {
+    throw std::invalid_argument(
+        "PipelineConfig: baseline_alpha must be in (0, 1]");
+  }
+  if (!model.valid()) {
+    throw std::invalid_argument("PipelineConfig: invalid forecast model: " +
+                                model.to_string());
+  }
+  if (min_consecutive < 1) {
+    throw std::invalid_argument("PipelineConfig: min_consecutive must be >= 1");
+  }
+  if (refit_every > 0 && refit_window < 4) {
+    throw std::invalid_argument(
+        "PipelineConfig: refit_window must be >= 4 when re-fitting");
+  }
+}
+
+namespace {
+
+class EngineBase {
+ public:
+  virtual ~EngineBase() = default;
+  virtual void add(std::uint64_t key, double update, double time_s) = 0;
+  virtual void flush() = 0;
+  [[nodiscard]] virtual const forecast::ModelConfig& active_model()
+      const noexcept = 0;
+  [[nodiscard]] virtual PipelineStats stats() const noexcept = 0;
+};
+
+template <typename Family>
+class Engine final : public EngineBase {
+ public:
+  using Sketch = sketch::BasicKarySketch<Family>;
+  using Emit = std::function<void(IntervalReport&&)>;
+
+  Engine(const PipelineConfig& config, Emit emit)
+      : config_(config),
+        emit_(std::move(emit)),
+        family_(std::make_shared<const Family>(config.seed, config.h)),
+        observed_(family_, config.k),
+        active_model_(config.model),
+        sample_rng_(config.seed ^ 0x5a5a5a5a5a5a5a5aULL),
+        interval_rng_(config.seed ^ 0x1234abcd5678ef90ULL),
+        current_len_(config.interval_s) {
+    if (config_.randomize_intervals) current_len_ = draw_interval_length();
+    rebuild_runner();
+  }
+
+  void add(std::uint64_t key, double update, double time_s) override {
+    if (!started_) {
+      started_ = true;
+      current_start_ = time_s;
+    }
+    if (time_s < current_start_) {
+      throw std::invalid_argument(
+          "ChangeDetectionPipeline: records must be time-ordered");
+    }
+    if (!std::isfinite(update)) {
+      throw std::invalid_argument(
+          "ChangeDetectionPipeline: update must be finite");
+    }
+    while (time_s >= current_start_ + current_len_) close_interval();
+    observed_.update(key, update);
+    ++records_in_interval_;
+    ++stats_.records;
+    if (config_.key_sample_rate >= 1.0 ||
+        sample_rng_.bernoulli(config_.key_sample_rate)) {
+      keys_.insert(key);
+    }
+  }
+
+  void flush() override {
+    if (!started_) return;
+    close_interval();
+    if (pending_.has_value()) {
+      // kNextInterval: the last error sketch never sees future keys; emit an
+      // empty-detection report so the interval is still accounted for.
+      emit_pending({});
+    }
+  }
+
+  [[nodiscard]] const forecast::ModelConfig& active_model()
+      const noexcept override {
+    return active_model_;
+  }
+
+  [[nodiscard]] PipelineStats stats() const noexcept override {
+    PipelineStats s = stats_;
+    s.sketch_bytes = observed_.table_bytes();
+    return s;
+  }
+
+ private:
+  struct Pending {
+    Sketch error;
+    double est_f2;
+    IntervalReport report;  // partially filled
+  };
+
+  void rebuild_runner() {
+    const Sketch prototype(family_, config_.k);
+    runner_ = std::make_unique<forecast::ForecastRunner<Sketch>>(active_model_,
+                                                                 prototype);
+  }
+
+  [[nodiscard]] double draw_interval_length() noexcept {
+    const double len = interval_rng_.exponential(1.0 / config_.interval_s);
+    return std::clamp(len, 0.25 * config_.interval_s,
+                      4.0 * config_.interval_s);
+  }
+
+  void close_interval() {
+    IntervalReport report;
+    report.index = interval_index_;
+    report.start_s = current_start_;
+    report.end_s = current_start_ + current_len_;
+    report.records = records_in_interval_;
+
+    if (config_.randomize_intervals) {
+      // Normalize to per-nominal-interval volume so intervals of different
+      // lengths are comparable (§6; sketch linearity makes this a scale).
+      observed_.scale(config_.interval_s / current_len_);
+    }
+
+    if (config_.refit_every > 0) {
+      history_.push_back(observed_);
+      if (history_.size() > config_.refit_window) history_.pop_front();
+    }
+
+    const auto step = runner_->step(observed_);
+
+    if (config_.replay == KeyReplayMode::kNextInterval) {
+      // This interval's keys detect the *previous* interval's changes.
+      if (pending_.has_value()) {
+        emit_pending(std::vector<std::uint64_t>(keys_.begin(), keys_.end()));
+      }
+      if (step.has_value()) {
+        Pending p{std::move(step->error), 0.0, std::move(report)};
+        p.est_f2 = p.error.estimate_f2();
+        p.report.detection_ran = true;
+        pending_.emplace(std::move(p));
+      } else {
+        emit_(std::move(report));
+      }
+    } else {
+      if (step.has_value()) {
+        report.detection_ran = true;
+        const double est_f2 = step->error.estimate_f2();
+        fill_detection(step->error, est_f2,
+                       std::vector<std::uint64_t>(keys_.begin(), keys_.end()),
+                       report);
+      }
+      emit_(std::move(report));
+    }
+
+    observed_.set_zero();
+    keys_.clear();
+    records_in_interval_ = 0;
+    ++stats_.intervals_closed;
+    current_start_ += current_len_;
+    if (config_.randomize_intervals) current_len_ = draw_interval_length();
+    ++interval_index_;
+
+    maybe_refit();
+  }
+
+  void emit_pending(const std::vector<std::uint64_t>& keys) {
+    Pending p = std::move(*pending_);
+    pending_.reset();
+    fill_detection(p.error, p.est_f2, keys, p.report);
+    emit_(std::move(p.report));
+  }
+
+  void fill_detection(const Sketch& error, double est_f2,
+                      const std::vector<std::uint64_t>& keys,
+                      IntervalReport& report) {
+    report.keys_checked = keys.size();
+    report.estimated_error_f2 = est_f2;
+    // Threshold anchor: this interval's F2, or the smoothed history (which
+    // a large in-progress change cannot inflate).
+    double anchor_f2 = std::max(est_f2, 0.0);
+    if (config_.baseline == ThresholdBaseline::kSmoothedF2) {
+      if (have_smoothed_f2_) anchor_f2 = smoothed_f2_;
+      smoothed_f2_ = have_smoothed_f2_
+                         ? config_.baseline_alpha * std::max(est_f2, 0.0) +
+                               (1.0 - config_.baseline_alpha) * smoothed_f2_
+                         : std::max(est_f2, 0.0);
+      have_smoothed_f2_ = true;
+    }
+    const double l2 = std::sqrt(anchor_f2);
+    report.alarm_threshold = config_.threshold * l2;
+    if (l2 <= 0.0) return;  // degenerate error signal: nothing to flag
+    auto ranked = detect::rank_by_abs_error(
+        keys, [&error](std::uint64_t key) { return error.estimate(key); });
+    auto flagged =
+        config_.criterion == DetectionCriterion::kTopN
+            ? detect::top_n(ranked, config_.max_alarms_per_interval)
+            : detect::above_threshold(ranked, config_.threshold, l2);
+    // Hysteresis (§6): require min_consecutive consecutive trips per key.
+    std::vector<detect::KeyError> persistent;
+    if (config_.min_consecutive > 1) {
+      std::unordered_map<std::uint64_t, std::size_t> streaks;
+      streaks.reserve(flagged.size() * 2);
+      for (const detect::KeyError& e : flagged) {
+        const auto it = alarm_streaks_.find(e.key);
+        const std::size_t streak = 1 + (it != alarm_streaks_.end() ? it->second : 0);
+        streaks.emplace(e.key, streak);
+        if (streak >= config_.min_consecutive) persistent.push_back(e);
+      }
+      alarm_streaks_ = std::move(streaks);  // keys not flagged reset to 0
+      flagged = persistent;
+    }
+    const auto capped =
+        flagged.subspan(0, std::min(flagged.size(),
+                                    config_.max_alarms_per_interval));
+    report.alarms = detect::make_alarms(capped, report.index,
+                                        report.alarm_threshold);
+    stats_.alarms += report.alarms.size();
+  }
+
+  void maybe_refit() {
+    if (config_.refit_every == 0 || interval_index_ == 0) return;
+    if (interval_index_ % config_.refit_every != 0) return;
+    if (history_.size() < 4) return;  // not enough signal to fit
+    const Sketch prototype(family_, config_.k);
+    const gridsearch::Objective objective =
+        [this, &prototype](const forecast::ModelConfig& candidate) {
+          forecast::ForecastRunner<Sketch> trial(candidate, prototype);
+          double total = 0.0;
+          for (const Sketch& obs : history_) {
+            if (const auto step = trial.step(obs); step.has_value()) {
+              total += std::max(step->error.estimate_f2(), 0.0);
+            }
+          }
+          return total;
+        };
+    gridsearch::GridSearchOptions options;
+    options.max_window = std::max<std::size_t>(2, history_.size() / 2);
+    const auto result =
+        gridsearch::grid_search(active_model_.kind, objective, options);
+    active_model_ = result.best;
+    ++stats_.refits;
+    // Swap in the re-fitted model, warmed with the retained history.
+    rebuild_runner();
+    for (const Sketch& obs : history_) (void)runner_->step(obs);
+  }
+
+  PipelineConfig config_;
+  Emit emit_;
+  std::shared_ptr<const Family> family_;
+  Sketch observed_;
+  std::unique_ptr<forecast::ForecastRunner<Sketch>> runner_;
+  forecast::ModelConfig active_model_;
+  common::Rng sample_rng_;
+  common::Rng interval_rng_;
+  double current_len_;
+  bool started_ = false;
+  double current_start_ = 0.0;
+  std::size_t interval_index_ = 0;
+  std::uint64_t records_in_interval_ = 0;
+  std::unordered_set<std::uint64_t> keys_;
+  std::unordered_map<std::uint64_t, std::size_t> alarm_streaks_;
+  double smoothed_f2_ = 0.0;
+  bool have_smoothed_f2_ = false;
+  std::optional<Pending> pending_;
+  std::deque<Sketch> history_;
+  PipelineStats stats_;
+};
+
+}  // namespace
+
+class ChangeDetectionPipeline::Impl {
+ public:
+  explicit Impl(PipelineConfig config) : config_(std::move(config)) {
+    config_.validate();
+    const auto emit = [this](IntervalReport&& report) {
+      if (callback_) callback_(report);
+      reports_.push_back(std::move(report));
+    };
+    if (traffic::key_fits_32bit(config_.key_kind)) {
+      engine_ = std::make_unique<Engine<hash::TabulationHashFamily>>(config_,
+                                                                     emit);
+    } else {
+      engine_ = std::make_unique<Engine<hash::CwHashFamily>>(config_, emit);
+    }
+  }
+
+  PipelineConfig config_;
+  std::unique_ptr<EngineBase> engine_;
+  std::vector<IntervalReport> reports_;
+  std::function<void(const IntervalReport&)> callback_;
+};
+
+ChangeDetectionPipeline::ChangeDetectionPipeline(PipelineConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+ChangeDetectionPipeline::~ChangeDetectionPipeline() = default;
+ChangeDetectionPipeline::ChangeDetectionPipeline(
+    ChangeDetectionPipeline&&) noexcept = default;
+ChangeDetectionPipeline& ChangeDetectionPipeline::operator=(
+    ChangeDetectionPipeline&&) noexcept = default;
+
+void ChangeDetectionPipeline::add_record(const traffic::FlowRecord& record) {
+  add(traffic::extract_key(record, impl_->config_.key_kind),
+      traffic::extract_update(record, impl_->config_.update_kind),
+      traffic::record_time_s(record));
+}
+
+void ChangeDetectionPipeline::add(std::uint64_t key, double update,
+                                  double time_s) {
+  impl_->engine_->add(key, update, time_s);
+}
+
+void ChangeDetectionPipeline::flush() { impl_->engine_->flush(); }
+
+const std::vector<IntervalReport>& ChangeDetectionPipeline::reports()
+    const noexcept {
+  return impl_->reports_;
+}
+
+void ChangeDetectionPipeline::set_report_callback(
+    std::function<void(const IntervalReport&)> callback) {
+  impl_->callback_ = std::move(callback);
+}
+
+const forecast::ModelConfig& ChangeDetectionPipeline::active_model()
+    const noexcept {
+  return impl_->engine_->active_model();
+}
+
+PipelineStats ChangeDetectionPipeline::stats() const noexcept {
+  return impl_->engine_->stats();
+}
+
+const PipelineConfig& ChangeDetectionPipeline::config() const noexcept {
+  return impl_->config_;
+}
+
+}  // namespace scd::core

@@ -1,0 +1,151 @@
+// ChangeDetectionPipeline — the library's public entry point.
+//
+// Wires together the three modules of §2.2 over a live record stream:
+//   sketch module      -> observed sketch S_o(t) per interval
+//   forecasting module -> forecast sketch S_f(t) and error sketch S_e(t)
+//   change detection   -> alarms for keys with |error| >= T * sqrt(F2(S_e))
+//
+// Key replay (the "where do keys come from" problem of §3.3) supports:
+//   * kCurrentInterval — remember the interval's distinct keys and replay
+//     them when the interval closes (the paper's brute-force/two-pass
+//     behaviour, exact but keeps per-interval key state);
+//   * kNextInterval — detect changes of interval t using the keys that
+//     arrive during interval t+1 (the paper's online alternative: misses
+//     only keys that never return, "often acceptable for DoS detection").
+// Both modes honor key_sample_rate (§6's sampling extension).
+//
+// Optional online re-fitting (§6 "online change detection"): every
+// refit_every intervals the model parameters are re-estimated by grid
+// search over the last refit_window observed sketches.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "detect/alarm.h"
+#include "forecast/model_config.h"
+#include "traffic/flow_record.h"
+#include "traffic/key_extract.h"
+
+namespace scd::core {
+
+enum class KeyReplayMode {
+  kCurrentInterval,
+  kNextInterval,
+};
+
+/// How alarms are selected from the ranked forecast errors (§6: "the
+/// technique can be asked to only report the top N major changes, or the
+/// changes that are above a threshold").
+enum class DetectionCriterion {
+  kThreshold,  // |error| >= threshold * ||S_e||  (paper default)
+  kTopN,       // the max_alarms_per_interval largest |error| keys
+};
+
+/// Which L2 norm anchors the threshold. kCurrentF2 is the paper's T_A.
+/// kSmoothedF2 uses an EWMA of *past* intervals' F2 instead, so a massive
+/// change cannot inflate its own threshold and mask itself.
+enum class ThresholdBaseline {
+  kCurrentF2,
+  kSmoothedF2,
+};
+
+struct PipelineConfig {
+  double interval_s = 300.0;             // paper's default tradeoff (§4.2)
+  std::size_t h = 5;                     // hash functions
+  std::size_t k = 32768;                 // buckets per row
+  std::uint64_t seed = 0x5eedc0de;       // hash-family seed
+  traffic::KeyKind key_kind = traffic::KeyKind::kDstIp;
+  traffic::UpdateKind update_kind = traffic::UpdateKind::kBytes;
+  forecast::ModelConfig model{};         // defaults to EWMA(0.5)
+  double threshold = 0.05;               // T in T_A = T * sqrt(ESTIMATEF2)
+  DetectionCriterion criterion = DetectionCriterion::kThreshold;
+  ThresholdBaseline baseline = ThresholdBaseline::kCurrentF2;
+  /// EWMA weight for kSmoothedF2 (history weight = 1 - this).
+  double baseline_alpha = 0.3;
+  KeyReplayMode replay = KeyReplayMode::kCurrentInterval;
+  double key_sample_rate = 1.0;          // fraction of keys replayed
+  /// §6 boundary-effect mitigation: draw each interval's length from an
+  /// exponential distribution with mean interval_s (clamped to
+  /// [0.25, 4] * interval_s) and normalize the observed sketch by the
+  /// actual length before forecasting — possible because sketches are
+  /// linear. Changes that would straddle a fixed boundary land in randomly
+  /// different intervals instead of being systematically split.
+  bool randomize_intervals = false;
+  std::size_t max_alarms_per_interval = 1000;  // report cap (top-N style)
+  /// §6 false-positive reduction: only report a key after it exceeds the
+  /// threshold in this many consecutive detections (1 = no hysteresis).
+  /// State kept is O(keys currently above threshold).
+  std::size_t min_consecutive = 1;
+  std::size_t refit_every = 0;           // 0 = no online re-fitting
+  std::size_t refit_window = 24;         // history intervals for re-fitting
+
+  /// Throws std::invalid_argument when out of range (bad K, sample rate...).
+  void validate() const;
+};
+
+/// Lifetime counters for capacity planning and monitoring.
+struct PipelineStats {
+  std::uint64_t records = 0;        // items fed
+  std::size_t intervals_closed = 0;
+  std::size_t alarms = 0;
+  std::size_t refits = 0;           // online re-fits performed
+  std::size_t sketch_bytes = 0;     // register memory of one sketch (H*K*8)
+};
+
+/// Everything the pipeline learned about one closed interval.
+struct IntervalReport {
+  std::size_t index = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  std::uint64_t records = 0;
+  /// False during model warm-up (no forecast existed for this interval).
+  bool detection_ran = false;
+  std::size_t keys_checked = 0;
+  double estimated_error_f2 = 0.0;  // ESTIMATEF2(S_e(t))
+  double alarm_threshold = 0.0;     // T_A
+  std::vector<detect::Alarm> alarms;  // sorted by |error| descending
+};
+
+class ChangeDetectionPipeline {
+ public:
+  explicit ChangeDetectionPipeline(PipelineConfig config);
+  ~ChangeDetectionPipeline();
+  ChangeDetectionPipeline(ChangeDetectionPipeline&&) noexcept;
+  ChangeDetectionPipeline& operator=(ChangeDetectionPipeline&&) noexcept;
+
+  /// Feeds one flow record (key/update extracted per config). Records must
+  /// arrive in nondecreasing time order.
+  void add_record(const traffic::FlowRecord& record);
+
+  /// Feeds one raw (key, update) item at an absolute time — the Turnstile
+  /// interface for non-NetFlow sources.
+  void add(std::uint64_t key, double update, double time_s);
+
+  /// Closes the interval in progress (and, in kNextInterval mode, emits the
+  /// final pending detection). Call once at end of stream.
+  void flush();
+
+  /// Reports for all closed intervals so far.
+  [[nodiscard]] const std::vector<IntervalReport>& reports() const noexcept;
+
+  /// Invoked synchronously as each interval report is produced.
+  void set_report_callback(std::function<void(const IntervalReport&)> callback);
+
+  /// Model currently in use (changes after online re-fitting).
+  [[nodiscard]] const forecast::ModelConfig& active_model() const noexcept;
+
+  /// Lifetime counters (records fed, intervals closed, alarms, re-fits,
+  /// sketch memory).
+  [[nodiscard]] PipelineStats stats() const noexcept;
+
+  [[nodiscard]] const PipelineConfig& config() const noexcept;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace scd::core

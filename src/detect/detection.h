@@ -1,0 +1,77 @@
+// Change-detection primitives over an arbitrary error source (§3.3).
+//
+// An ErrorSource maps a key to its (estimated or exact) forecast error for
+// the current interval; the two instantiations are the k-ary error sketch's
+// ESTIMATE and a lookup into the per-flow error vector. The detection
+// criteria — top-N ranking and L2-relative thresholding — are shared.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "detect/alarm.h"
+
+namespace scd::detect {
+
+template <typename F>
+concept ErrorSource = requires(const F f, std::uint64_t key) {
+  { f(key) } -> std::convertible_to<double>;
+};
+
+/// Sorts in-place by |error| descending, key ascending on ties.
+inline void sort_by_abs_error(std::vector<KeyError>& errors) {
+  std::sort(errors.begin(), errors.end(),
+            [](const KeyError& a, const KeyError& b) {
+              const double ea = std::abs(a.error);
+              const double eb = std::abs(b.error);
+              if (ea != eb) return ea > eb;
+              return a.key < b.key;
+            });
+}
+
+/// Evaluates the error of every candidate key; returns pairs sorted by
+/// |error| descending (ties broken by key for determinism).
+template <ErrorSource F>
+[[nodiscard]] std::vector<KeyError> rank_by_abs_error(
+    std::span<const std::uint64_t> keys, const F& error_of) {
+  std::vector<KeyError> ranked;
+  ranked.reserve(keys.size());
+  for (const std::uint64_t key : keys) ranked.push_back({key, error_of(key)});
+  sort_by_abs_error(ranked);
+  return ranked;
+}
+
+/// First n entries of an already-ranked list (whole list if shorter).
+[[nodiscard]] inline std::span<const KeyError> top_n(
+    std::span<const KeyError> ranked, std::size_t n) noexcept {
+  return ranked.subspan(0, std::min(n, ranked.size()));
+}
+
+/// Keys whose |error| >= fraction * l2_norm (the thresholding detection
+/// criterion of §5.2.2). `ranked` must be sorted by |error| descending.
+[[nodiscard]] inline std::span<const KeyError> above_threshold(
+    std::span<const KeyError> ranked, double fraction, double l2_norm) noexcept {
+  const double cut = fraction * l2_norm;
+  const auto it = std::partition_point(
+      ranked.begin(), ranked.end(),
+      [cut](const KeyError& e) { return std::abs(e.error) >= cut; });
+  return ranked.subspan(0, static_cast<std::size_t>(it - ranked.begin()));
+}
+
+/// Converts threshold survivors into alarms for interval `interval`.
+[[nodiscard]] inline std::vector<Alarm> make_alarms(
+    std::span<const KeyError> flagged, std::size_t interval,
+    double threshold_abs) {
+  std::vector<Alarm> alarms;
+  alarms.reserve(flagged.size());
+  for (const KeyError& e : flagged) {
+    alarms.push_back({interval, e.key, e.error, threshold_abs});
+  }
+  return alarms;
+}
+
+}  // namespace scd::detect

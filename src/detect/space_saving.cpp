@@ -1,0 +1,67 @@
+#include "detect/space_saving.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scd::detect {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity_ >= 1);
+  entries_.reserve(capacity_);
+}
+
+void SpaceSaving::update(std::uint64_t key, double weight) {
+  assert(weight >= 0.0);
+  total_ += weight;
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    Slot& slot = it->second;
+    order_.erase(slot.order_it);
+    slot.count += weight;
+    slot.order_it = order_.emplace(slot.count, key);
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    Slot slot;
+    slot.count = weight;
+    slot.error = 0.0;
+    slot.order_it = order_.emplace(weight, key);
+    entries_.emplace(key, slot);
+    return;
+  }
+  // Evict the minimum counter; the newcomer inherits its count as error.
+  const auto min_it = order_.begin();
+  const double min_count = min_it->first;
+  const std::uint64_t evicted = min_it->second;
+  order_.erase(min_it);
+  entries_.erase(evicted);
+  Slot slot;
+  slot.count = min_count + weight;
+  slot.error = min_count;
+  slot.order_it = order_.emplace(slot.count, key);
+  entries_.emplace(key, slot);
+}
+
+std::vector<SpaceSaving::Entry> SpaceSaving::top(std::size_t n) const {
+  std::vector<Entry> result;
+  result.reserve(std::min(n, entries_.size()));
+  for (auto it = order_.rbegin(); it != order_.rend() && result.size() < n;
+       ++it) {
+    const Slot& slot = entries_.at(it->second);
+    result.push_back({it->second, slot.count, slot.error});
+  }
+  return result;
+}
+
+double SpaceSaving::guaranteed(std::uint64_t key) const {
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) return 0.0;
+  return it->second.count - it->second.error;
+}
+
+void SpaceSaving::clear() {
+  entries_.clear();
+  order_.clear();
+  total_ = 0.0;
+}
+
+}  // namespace scd::detect

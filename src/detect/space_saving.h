@@ -1,0 +1,64 @@
+// Space-Saving heavy-hitter detection (Metwally et al.) — the baseline the
+// paper's §1.1 positions against: "heavy-hitters do not necessarily
+// correspond to flows experiencing significant changes". This implementation
+// lets the ablation bench quantify that claim: the overlap between the top-N
+// heavy hitters and the top-N heavy *changers* on the same interval is low
+// precisely when change detection matters (attacks against normally-cold
+// keys).
+//
+// Weighted variant: a fixed budget of counters; an unmonitored key evicts
+// the minimum counter and inherits its count as overestimation error.
+// Guarantees: every key with true weight > W/capacity is monitored, and
+// count - error <= true weight <= count.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace scd::detect {
+
+class SpaceSaving {
+ public:
+  struct Entry {
+    std::uint64_t key = 0;
+    double count = 0.0;  // upper bound on the key's weight
+    double error = 0.0;  // overestimation inherited at adoption
+  };
+
+  /// Budget of monitored keys. Memory is O(capacity), independent of the
+  /// stream.
+  explicit SpaceSaving(std::size_t capacity);
+
+  /// Adds weight (must be >= 0; heavy-hitter counting is insertion-only).
+  void update(std::uint64_t key, double weight);
+
+  /// The n largest counters, sorted by count descending.
+  [[nodiscard]] std::vector<Entry> top(std::size_t n) const;
+
+  /// Lower-bound guaranteed weight (count - error) for a key; 0 if the key
+  /// is not monitored.
+  [[nodiscard]] double guaranteed(std::uint64_t key) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] double total_weight() const noexcept { return total_; }
+
+  void clear();
+
+ private:
+  struct Slot {
+    double count = 0.0;
+    double error = 0.0;
+    std::multimap<double, std::uint64_t>::iterator order_it;
+  };
+
+  std::size_t capacity_;
+  double total_ = 0.0;
+  std::unordered_map<std::uint64_t, Slot> entries_;
+  // count -> key, ascending; begin() is the eviction candidate.
+  std::multimap<double, std::uint64_t> order_;
+};
+
+}  // namespace scd::detect

@@ -1,0 +1,85 @@
+#include "eval/ground_truth.h"
+
+#include <algorithm>
+
+namespace scd::eval {
+
+std::vector<LabeledAnomaly> labeled_anomalies(
+    const traffic::SyntheticTraceGenerator& generator) {
+  std::vector<LabeledAnomaly> labels;
+  for (const auto& spec : generator.config().anomalies) {
+    if (spec.kind != traffic::AnomalyKind::kDosAttack &&
+        spec.kind != traffic::AnomalyKind::kFlashCrowd) {
+      continue;  // no single target key to label
+    }
+    LabeledAnomaly label;
+    label.target_key = generator.dst_ip_of_rank(spec.target_rank);
+    label.start_s = spec.start_s;
+    label.end_s = spec.start_s + spec.duration_s;
+    labels.push_back(label);
+  }
+  return labels;
+}
+
+namespace {
+
+/// True when the alarm matches a label: right key, and the interval overlaps
+/// the anomaly window extended by one interval (the recovery change).
+bool matches_label(const core::IntervalReport& report,
+                   const detect::Alarm& alarm, const LabeledAnomaly& label,
+                   double interval_s) {
+  if (alarm.key != label.target_key) return false;
+  return report.start_s < label.end_s + interval_s &&
+         report.end_s > label.start_s;
+}
+
+}  // namespace
+
+std::vector<RocPoint> threshold_roc(
+    const std::vector<traffic::FlowRecord>& records,
+    const std::vector<LabeledAnomaly>& labels, core::PipelineConfig base,
+    const std::vector<double>& thresholds, double warmup_s) {
+  std::vector<RocPoint> curve;
+  curve.reserve(thresholds.size());
+  for (const double threshold : thresholds) {
+    core::PipelineConfig config = base;
+    config.threshold = threshold;
+    core::ChangeDetectionPipeline pipeline(config);
+    for (const auto& r : records) pipeline.add_record(r);
+    pipeline.flush();
+
+    std::vector<bool> detected(labels.size(), false);
+    std::size_t false_alarms = 0;
+    std::size_t intervals = 0;
+    for (const auto& report : pipeline.reports()) {
+      if (!report.detection_ran || report.start_s < warmup_s) continue;
+      ++intervals;
+      for (const auto& alarm : report.alarms) {
+        bool matched = false;
+        for (std::size_t i = 0; i < labels.size(); ++i) {
+          if (matches_label(report, alarm, labels[i], config.interval_s)) {
+            detected[i] = true;
+            matched = true;
+          }
+        }
+        if (!matched) ++false_alarms;
+      }
+    }
+    RocPoint point;
+    point.threshold = threshold;
+    point.detection_rate =
+        labels.empty()
+            ? 1.0
+            : static_cast<double>(std::count(detected.begin(), detected.end(),
+                                             true)) /
+                  static_cast<double>(labels.size());
+    point.false_alarms_per_interval =
+        intervals == 0 ? 0.0
+                       : static_cast<double>(false_alarms) /
+                             static_cast<double>(intervals);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace scd::eval

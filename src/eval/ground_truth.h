@@ -1,0 +1,51 @@
+// Ground-truth scoring against injected anomalies.
+//
+// The paper evaluates sketch-vs-per-flow fidelity because its real traces
+// have no labeled anomalies. Our synthetic substrate does: every trace
+// carries its AnomalySpec list, so we can score the *detector itself* —
+// detection rate versus false-alarm volume as the threshold T sweeps, the
+// application-level view the paper's title promises.
+//
+// Labeling: an alarm (interval, key) is a true detection when the interval
+// overlaps an anomaly's active window and the key is that anomaly's target
+// (for DoS / flash crowd; the recovery interval right after the window also
+// counts, since the turnstile model flags the negative change). All other
+// alarms count as false alarms. Port scans and outages have no single
+// target key and are excluded from labeling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "traffic/synthetic.h"
+
+namespace scd::eval {
+
+struct LabeledAnomaly {
+  std::uint64_t target_key = 0;
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Extracts the labelable (single-target) anomalies of a generator config.
+[[nodiscard]] std::vector<LabeledAnomaly> labeled_anomalies(
+    const traffic::SyntheticTraceGenerator& generator);
+
+struct RocPoint {
+  double threshold = 0.0;
+  /// Fraction of labeled anomalies detected (target flagged in-window).
+  double detection_rate = 0.0;
+  /// Mean non-anomaly alarms per evaluated interval.
+  double false_alarms_per_interval = 0.0;
+};
+
+/// Runs the pipeline once per threshold over the records and scores each run
+/// against the labels. `base` supplies everything but the threshold;
+/// intervals before `warmup_s` are ignored.
+[[nodiscard]] std::vector<RocPoint> threshold_roc(
+    const std::vector<traffic::FlowRecord>& records,
+    const std::vector<LabeledAnomaly>& labels, core::PipelineConfig base,
+    const std::vector<double>& thresholds, double warmup_s);
+
+}  // namespace scd::eval

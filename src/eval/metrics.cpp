@@ -1,0 +1,65 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "detect/detection.h"
+
+namespace scd::eval {
+
+double relative_difference_pct(double sketch_energy,
+                               double perflow_energy) noexcept {
+  if (perflow_energy == 0.0) return sketch_energy == 0.0 ? 0.0 : 100.0;
+  return 100.0 * (sketch_energy - perflow_energy) / perflow_energy;
+}
+
+double topn_similarity(std::span<const detect::KeyError> perflow_ranked,
+                       std::span<const detect::KeyError> sketch_ranked,
+                       std::size_t n, double x) {
+  const std::size_t pf_n = std::min(n, perflow_ranked.size());
+  if (pf_n == 0) return 1.0;  // nothing to find
+  const auto sk_n = std::min(
+      static_cast<std::size_t>(std::llround(x * static_cast<double>(n))),
+      sketch_ranked.size());
+  std::unordered_set<std::uint64_t> sketch_top;
+  sketch_top.reserve(sk_n * 2);
+  for (std::size_t i = 0; i < sk_n; ++i) sketch_top.insert(sketch_ranked[i].key);
+  std::size_t common = 0;
+  for (std::size_t i = 0; i < pf_n; ++i) {
+    if (sketch_top.contains(perflow_ranked[i].key)) ++common;
+  }
+  return static_cast<double>(common) / static_cast<double>(pf_n);
+}
+
+double ThresholdCounts::false_negative_ratio() const noexcept {
+  if (perflow_alarms == 0) return 0.0;
+  return static_cast<double>(perflow_alarms - common) /
+         static_cast<double>(perflow_alarms);
+}
+
+double ThresholdCounts::false_positive_ratio() const noexcept {
+  if (sketch_alarms == 0) return 0.0;
+  return static_cast<double>(sketch_alarms - common) /
+         static_cast<double>(sketch_alarms);
+}
+
+ThresholdCounts threshold_counts(
+    std::span<const detect::KeyError> perflow_ranked, double perflow_l2,
+    std::span<const detect::KeyError> sketch_ranked, double sketch_l2,
+    double fraction) {
+  const auto pf = detect::above_threshold(perflow_ranked, fraction, perflow_l2);
+  const auto sk = detect::above_threshold(sketch_ranked, fraction, sketch_l2);
+  ThresholdCounts counts;
+  counts.perflow_alarms = pf.size();
+  counts.sketch_alarms = sk.size();
+  std::unordered_set<std::uint64_t> sk_keys;
+  sk_keys.reserve(sk.size() * 2);
+  for (const detect::KeyError& e : sk) sk_keys.insert(e.key);
+  for (const detect::KeyError& e : pf) {
+    if (sk_keys.contains(e.key)) ++counts.common;
+  }
+  return counts;
+}
+
+}  // namespace scd::eval

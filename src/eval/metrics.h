@@ -1,0 +1,43 @@
+// Accuracy metrics of §5: relative difference of total energy (Figures 1-3),
+// top-N similarity and top-N vs top-X*N (Figures 4-9), and thresholding
+// false-negative/false-positive ratios (Figures 10-15).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "detect/alarm.h"
+
+namespace scd::eval {
+
+/// (sketch - perflow) / perflow, in percent (§5.1's Relative Difference).
+[[nodiscard]] double relative_difference_pct(double sketch_energy,
+                                             double perflow_energy) noexcept;
+
+/// |top-N(per-flow) ∩ top-(X*N)(sketch)| / N. Both lists must be sorted by
+/// |error| descending; X = 1 gives the plain top-N similarity of §5.2.1.
+[[nodiscard]] double topn_similarity(
+    std::span<const detect::KeyError> perflow_ranked,
+    std::span<const detect::KeyError> sketch_ranked, std::size_t n,
+    double x = 1.0);
+
+struct ThresholdCounts {
+  std::size_t perflow_alarms = 0;  // N_pf(phi)
+  std::size_t sketch_alarms = 0;   // N_sk(phi)
+  std::size_t common = 0;          // N_AB(phi)
+
+  /// (N_pf - N_AB) / N_pf; 0 when N_pf = 0.
+  [[nodiscard]] double false_negative_ratio() const noexcept;
+  /// (N_sk - N_AB) / N_sk; 0 when N_sk = 0.
+  [[nodiscard]] double false_positive_ratio() const noexcept;
+};
+
+/// Applies the |error| >= fraction * L2 criterion to both ranked lists and
+/// counts the overlap (§5.2.2). L2 norms are supplied separately: exact for
+/// per-flow, sqrt(ESTIMATEF2) for the sketch.
+[[nodiscard]] ThresholdCounts threshold_counts(
+    std::span<const detect::KeyError> perflow_ranked, double perflow_l2,
+    std::span<const detect::KeyError> sketch_ranked, double sketch_l2,
+    double fraction);
+
+}  // namespace scd::eval

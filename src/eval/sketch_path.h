@@ -1,0 +1,43 @@
+// Sketch-side evaluation path: builds the observed sketch per interval,
+// runs the forecasting model at the sketch level, and reconstructs forecast
+// errors for the interval's candidate keys via two-pass replay (§3.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "detect/alarm.h"
+#include "eval/intervalized.h"
+#include "forecast/model_config.h"
+
+namespace scd::eval {
+
+struct SketchPathOptions {
+  std::size_t h = 5;
+  std::size_t k = 32768;
+  std::uint64_t seed = 0x5eedc0de;  // hash-family seed
+  /// When false, only the ESTIMATEF2 series is produced (sufficient for the
+  /// energy experiments and the grid-search objective).
+  bool collect_errors = true;
+};
+
+struct SketchIntervalErrors {
+  bool ready = false;
+  /// ESTIMATEF2(S_e(t)) — the estimated second moment of the error signal.
+  double est_f2 = 0.0;
+  /// Candidate keys' estimated errors, sorted by |error| descending.
+  std::vector<detect::KeyError> ranked;
+};
+
+struct SketchPathResult {
+  std::vector<SketchIntervalErrors> intervals;
+
+  [[nodiscard]] double total_energy(std::size_t warmup_intervals) const;
+  [[nodiscard]] double total_f2(std::size_t warmup_intervals) const;
+};
+
+[[nodiscard]] SketchPathResult compute_sketch_errors(
+    const IntervalizedStream& stream, const forecast::ModelConfig& config,
+    const SketchPathOptions& options);
+
+}  // namespace scd::eval

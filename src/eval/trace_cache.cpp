@@ -1,0 +1,60 @@
+#include "eval/trace_cache.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <mutex>
+
+#include "common/logging.h"
+#include "traffic/synthetic.h"
+#include "traffic/trace_io.h"
+
+namespace scd::eval {
+
+std::string trace_cache_dir() {
+  if (const char* dir = std::getenv("SCD_TRACE_DIR")) return dir;
+  return "traces";
+}
+
+const std::vector<traffic::FlowRecord>& cached_trace(
+    const traffic::RouterProfile& profile) {
+  static std::mutex mutex;
+  static std::map<std::string, std::vector<traffic::FlowRecord>> memory_cache;
+
+  const std::lock_guard<std::mutex> lock(mutex);
+  if (const auto it = memory_cache.find(profile.name); it != memory_cache.end()) {
+    return it->second;
+  }
+
+  const std::filesystem::path dir = trace_cache_dir();
+  const std::filesystem::path path = dir / (profile.name + ".scdt");
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  if (std::filesystem::exists(path)) {
+    try {
+      auto records = traffic::read_trace(path.string());
+      SCD_INFO() << "trace cache: loaded " << profile.name << " ("
+                 << records.size() << " records) from " << path.string();
+      return memory_cache.emplace(profile.name, std::move(records))
+          .first->second;
+    } catch (const std::exception& e) {
+      SCD_WARN() << "trace cache: rereading " << path.string()
+                 << " failed (" << e.what() << "); regenerating";
+    }
+  }
+
+  traffic::SyntheticTraceGenerator generator(profile.config);
+  auto records = generator.generate();
+  SCD_INFO() << "trace cache: generated " << profile.name << " ("
+             << records.size() << " records)";
+  try {
+    traffic::write_trace(path.string(), records);
+  } catch (const std::exception& e) {
+    SCD_WARN() << "trace cache: persisting " << path.string() << " failed ("
+               << e.what() << "); continuing in-memory";
+  }
+  return memory_cache.emplace(profile.name, std::move(records)).first->second;
+}
+
+}  // namespace scd::eval

@@ -1,0 +1,50 @@
+#include "eval/truth.h"
+
+#include <cmath>
+
+#include "detect/detection.h"
+#include "forecast/runner.h"
+#include "perflow/dense_vector.h"
+
+namespace scd::eval {
+
+double PerFlowTruth::total_energy(std::size_t warmup_intervals) const {
+  return std::sqrt(total_f2(warmup_intervals));
+}
+
+double PerFlowTruth::total_f2(std::size_t warmup_intervals) const {
+  double sum = 0.0;
+  for (std::size_t t = warmup_intervals; t < intervals.size(); ++t) {
+    if (intervals[t].ready) sum += intervals[t].f2;
+  }
+  return sum;
+}
+
+PerFlowTruth compute_perflow_truth(const IntervalizedStream& stream,
+                                   const forecast::ModelConfig& config,
+                                   bool collect_errors) {
+  using perflow::DenseVector;
+  PerFlowTruth truth;
+  truth.intervals.resize(stream.num_intervals());
+  const DenseVector prototype(stream.dictionary().size());
+  forecast::ForecastRunner<DenseVector> runner(config, prototype);
+  for (std::size_t t = 0; t < stream.num_intervals(); ++t) {
+    const DenseVector observed = stream.observed_dense(t);
+    const auto step = runner.step(observed);
+    IntervalTruth& out = truth.intervals[t];
+    if (!step.has_value()) continue;
+    out.ready = true;
+    out.f2 = step->error.f2();
+    if (collect_errors) {
+      const auto updates = stream.interval(t);
+      out.ranked.reserve(updates.size());
+      for (const AggregatedUpdate& u : updates) {
+        out.ranked.push_back({u.key, step->error[u.dense_index]});
+      }
+      detect::sort_by_abs_error(out.ranked);
+    }
+  }
+  return truth;
+}
+
+}  // namespace scd::eval

@@ -1,0 +1,42 @@
+// Per-flow ground truth: exact forecast errors for every interval, produced
+// by running the chosen model over the full dense signal (paper §2.2's
+// "ideal environment" analysis). This is the baseline every accuracy figure
+// in §5 compares sketches against.
+#pragma once
+
+#include <vector>
+
+#include "detect/alarm.h"
+#include "eval/intervalized.h"
+#include "forecast/model_config.h"
+
+namespace scd::eval {
+
+struct IntervalTruth {
+  /// False while the model is warming up; no error data then.
+  bool ready = false;
+  /// Exact F2 of the full error vector (all keys, including keys absent from
+  /// the interval whose error is -forecast).
+  double f2 = 0.0;
+  /// Errors of the interval's candidate keys (the keys that appeared in the
+  /// interval — the two-pass replay set), sorted by |error| descending.
+  std::vector<detect::KeyError> ranked;
+};
+
+struct PerFlowTruth {
+  std::vector<IntervalTruth> intervals;
+
+  /// Total energy sqrt(sum of F2 over ready intervals >= warmup).
+  [[nodiscard]] double total_energy(std::size_t warmup_intervals) const;
+  /// Total squared energy sum of F2 (the grid-search objective form).
+  [[nodiscard]] double total_f2(std::size_t warmup_intervals) const;
+};
+
+/// Runs the model per-flow over the whole stream.
+/// When `collect_errors` is false only the F2 series is produced (cheaper;
+/// sufficient for the energy experiments of Figures 1-3).
+[[nodiscard]] PerFlowTruth compute_perflow_truth(
+    const IntervalizedStream& stream, const forecast::ModelConfig& config,
+    bool collect_errors = true);
+
+}  // namespace scd::eval

@@ -1,0 +1,48 @@
+#include "eval/tsv_export.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/strutil.h"
+
+namespace scd::eval {
+
+TsvWriter::TsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path, std::ios::trunc), columns_(columns.size()) {
+  if (!out_) throw std::runtime_error("TsvWriter: cannot open " + path);
+  out_ << "#";
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    out_ << (i == 0 ? "" : "\t") << columns[i];
+  }
+  out_ << "\n";
+}
+
+void TsvWriter::row(const std::vector<double>& values) {
+  assert(values.size() == columns_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << (i == 0 ? "" : "\t") << scd::common::str_format("%g", values[i]);
+  }
+  out_ << "\n";
+  ++rows_;
+}
+
+void TsvWriter::row(const std::vector<std::string>& values) {
+  assert(values.size() == columns_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    out_ << (i == 0 ? "" : "\t") << values[i];
+  }
+  out_ << "\n";
+  ++rows_;
+}
+
+const std::string& tsv_export_dir() {
+  static const std::string dir = [] {
+    const char* env = std::getenv("SCD_OUT_DIR");
+    return env != nullptr ? std::string(env) : std::string();
+  }();
+  return dir;
+}
+
+}  // namespace scd::eval

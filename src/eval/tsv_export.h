@@ -1,0 +1,34 @@
+// TSV export of experiment series — lets the bench binaries drop
+// plot-ready files next to their stdout output. Files are only written when
+// enabled (the benches key off $SCD_OUT_DIR), so normal runs stay clean.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace scd::eval {
+
+class TsvWriter {
+ public:
+  /// Opens (truncates) path and writes a '#'-prefixed header row. Throws
+  /// std::runtime_error if the file cannot be created.
+  TsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Appends one row; must match the header's column count (asserted).
+  void row(const std::vector<double>& values);
+  void row(const std::vector<std::string>& values);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+/// Directory for exported series; empty when export is disabled. Reads
+/// $SCD_OUT_DIR once per process.
+[[nodiscard]] const std::string& tsv_export_dir();
+
+}  // namespace scd::eval

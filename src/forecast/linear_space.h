@@ -1,0 +1,58 @@
+// The LinearSignal concept: the abstraction that lets every forecasting model
+// be written once and instantiated both at the sketch level (the paper's
+// contribution, via k-ary sketch linearity) and at the per-flow level (the
+// exact baseline, via DenseVector). §3.2: "All six models can be implemented
+// on top of sketches by exploiting the linearity property of sketches."
+#pragma once
+
+#include <concepts>
+
+namespace scd::forecast {
+
+template <typename V>
+concept LinearSignal = std::copyable<V> && requires(V v, const V& cv, double c) {
+  { v.set_zero() };
+  { v.scale(c) };
+  { v.add_scaled(cv, c) };
+};
+
+/// Scalar instantiation — a single univariate time series. Used by unit tests
+/// to validate every model against hand-computed forecasts, and by the
+/// per-flow engine when only one key is of interest.
+class ScalarSignal {
+ public:
+  ScalarSignal() = default;
+  explicit ScalarSignal(double v) noexcept : value_(v) {}
+
+  void set_zero() noexcept { value_ = 0.0; }
+  void scale(double c) noexcept { value_ *= c; }
+  void add_scaled(const ScalarSignal& other, double c) noexcept {
+    value_ += c * other.value_;
+  }
+
+  [[nodiscard]] double value() const noexcept { return value_; }
+  void set_value(double v) noexcept { value_ = v; }
+
+ private:
+  double value_ = 0.0;
+};
+
+static_assert(LinearSignal<ScalarSignal>);
+
+/// out = a - b, built from the prototype's structure.
+template <LinearSignal V>
+[[nodiscard]] V subtract(const V& a, const V& b) {
+  V out = a;
+  out.add_scaled(b, -1.0);
+  return out;
+}
+
+/// Returns a zero-valued signal with the same structure as the prototype.
+template <LinearSignal V>
+[[nodiscard]] V zero_like(const V& prototype) {
+  V out = prototype;
+  out.set_zero();
+  return out;
+}
+
+}  // namespace scd::forecast

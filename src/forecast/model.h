@@ -1,0 +1,37 @@
+// Abstract forecasting model over an arbitrary linear signal space.
+//
+// Protocol per time interval t (paper §2.2):
+//   1. if ready(), call forecast_into(f)   -> S_f(t)
+//   2. call observe(o)                     -> feeds S_o(t) into the state
+// The caller computes the error signal S_e(t) = S_o(t) - S_f(t).
+//
+// ready() is false while the model is still warming up (e.g. NSHW needs two
+// observations to initialize its trend component).
+#pragma once
+
+#include <cstddef>
+
+#include "forecast/linear_space.h"
+
+namespace scd::forecast {
+
+template <LinearSignal V>
+class ForecastModel {
+ public:
+  virtual ~ForecastModel() = default;
+
+  /// True when enough history exists to produce a forecast for the next
+  /// interval.
+  [[nodiscard]] virtual bool ready() const noexcept = 0;
+
+  /// Writes the forecast for the next interval. Precondition: ready().
+  virtual void forecast_into(V& out) const = 0;
+
+  /// Feeds the observed signal for the interval the last forecast covered.
+  virtual void observe(const V& observed) = 0;
+
+  /// Number of observe() calls so far.
+  [[nodiscard]] virtual std::size_t observed_count() const noexcept = 0;
+};
+
+}  // namespace scd::forecast

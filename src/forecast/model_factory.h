@@ -1,0 +1,44 @@
+// Runtime model construction from a ModelConfig, templated over the signal
+// space. The same config therefore drives both the sketch-level and the
+// per-flow instantiation of an experiment.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+
+#include "forecast/arima.h"
+#include "forecast/model.h"
+#include "forecast/model_config.h"
+#include "forecast/seasonal.h"
+#include "forecast/smoothing.h"
+
+namespace scd::forecast {
+
+template <LinearSignal V>
+[[nodiscard]] std::unique_ptr<ForecastModel<V>> make_model(
+    const ModelConfig& config, const V& prototype) {
+  if (!config.valid()) {
+    throw std::invalid_argument("invalid forecast model configuration: " +
+                                config.to_string());
+  }
+  switch (config.kind) {
+    case ModelKind::kMovingAverage:
+      return std::make_unique<MovingAverageModel<V>>(config.window, prototype);
+    case ModelKind::kSShapedMA:
+      return std::make_unique<SShapedMaModel<V>>(config.window, prototype);
+    case ModelKind::kEwma:
+      return std::make_unique<EwmaModel<V>>(config.alpha, prototype);
+    case ModelKind::kHoltWinters:
+      return std::make_unique<HoltWintersModel<V>>(config.alpha, config.beta,
+                                                   prototype);
+    case ModelKind::kArima0:
+    case ModelKind::kArima1:
+      return std::make_unique<ArimaModel<V>>(config.arima, prototype);
+    case ModelKind::kSeasonalHoltWinters:
+      return std::make_unique<SeasonalHoltWintersModel<V>>(
+          config.alpha, config.beta, config.gamma, config.period, prototype);
+  }
+  throw std::invalid_argument("unknown forecast model kind");
+}
+
+}  // namespace scd::forecast

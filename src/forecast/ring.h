@@ -1,0 +1,46 @@
+// Fixed-capacity history ring for forecasting state (past observations, past
+// errors). Indexed by "ago": ago=1 is the most recent element.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+namespace scd::forecast {
+
+template <typename V>
+class HistoryRing {
+ public:
+  explicit HistoryRing(std::size_t capacity) : capacity_(capacity) {
+    assert(capacity_ >= 1);
+    slots_.reserve(capacity_);
+  }
+
+  void push(const V& v) {
+    if (slots_.size() < capacity_) {
+      slots_.push_back(v);
+      head_ = slots_.size() - 1;
+    } else {
+      head_ = (head_ + 1) % capacity_;
+      slots_[head_] = v;
+    }
+  }
+
+  /// Element observed `ago` steps in the past (1 = most recent).
+  [[nodiscard]] const V& back(std::size_t ago) const noexcept {
+    assert(ago >= 1 && ago <= slots_.size());
+    const std::size_t idx = (head_ + capacity_ - (ago - 1)) % capacity_;
+    return slots_[idx];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
+  [[nodiscard]] bool full() const noexcept { return slots_.size() == capacity_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::vector<V> slots_;
+};
+
+}  // namespace scd::forecast

@@ -1,0 +1,51 @@
+// ForecastRunner: the per-interval driver loop shared by the sketch path and
+// the per-flow path. Feeds observations to a model and hands back the error
+// signal S_e(t) = S_o(t) - S_f(t) once the model is warmed up (§2.2).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "forecast/linear_space.h"
+#include "forecast/model.h"
+#include "forecast/model_config.h"
+#include "forecast/model_factory.h"
+
+namespace scd::forecast {
+
+template <LinearSignal V>
+class ForecastRunner {
+ public:
+  ForecastRunner(const ModelConfig& config, const V& prototype)
+      : model_(make_model<V>(config, prototype)),
+        scratch_(zero_like(prototype)) {}
+
+  /// Result of one interval: the forecast and the error, absent during model
+  /// warm-up.
+  struct Step {
+    V forecast;
+    V error;
+  };
+
+  /// Processes one interval's observed signal. Returns the forecast/error
+  /// pair for this interval, or nullopt while warming up.
+  [[nodiscard]] std::optional<Step> step(const V& observed) {
+    std::optional<Step> result;
+    if (model_->ready()) {
+      model_->forecast_into(scratch_);
+      Step s{scratch_, subtract(observed, scratch_)};
+      result.emplace(std::move(s));
+    }
+    model_->observe(observed);
+    return result;
+  }
+
+  [[nodiscard]] const ForecastModel<V>& model() const noexcept { return *model_; }
+
+ private:
+  std::unique_ptr<ForecastModel<V>> model_;
+  V scratch_;
+};
+
+}  // namespace scd::forecast

@@ -1,0 +1,207 @@
+// The four simple smoothing models of §3.2.1: MA, SMA, EWMA, and
+// non-seasonal Holt-Winters. Each is templated over the signal space, so the
+// identical code produces forecast sketches and per-flow forecasts.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <vector>
+
+#include "forecast/linear_space.h"
+#include "forecast/model.h"
+#include "forecast/ring.h"
+
+namespace scd::forecast {
+
+/// Moving average: S_f(t) = (1/W) * sum_{i=1..W} S_o(t-i). While fewer than
+/// W observations exist the window is truncated to the available history.
+template <LinearSignal V>
+class MovingAverageModel final : public ForecastModel<V> {
+ public:
+  MovingAverageModel(std::size_t window, const V& prototype)
+      : window_(window), history_(window), zero_(zero_like(prototype)) {
+    assert(window_ >= 1);
+  }
+
+  [[nodiscard]] bool ready() const noexcept override { return count_ >= 1; }
+
+  void forecast_into(V& out) const override {
+    assert(ready());
+    const std::size_t n = history_.size();
+    out = zero_;
+    const double w = 1.0 / static_cast<double>(n);
+    for (std::size_t ago = 1; ago <= n; ++ago) out.add_scaled(history_.back(ago), w);
+  }
+
+  void observe(const V& observed) override {
+    history_.push(observed);
+    ++count_;
+  }
+
+  [[nodiscard]] std::size_t observed_count() const noexcept override {
+    return count_;
+  }
+
+ private:
+  std::size_t window_;
+  HistoryRing<V> history_;
+  V zero_;
+  std::size_t count_ = 0;
+};
+
+/// S-shaped moving average: weighted MA giving the most recent half of the
+/// window equal (full) weight and the earlier half linearly decayed weight
+/// (§3.2.1, discussion in ref [19]). With m = ceil(W/2):
+///   w_i = 1                          for i <= m   (i = intervals ago)
+///   w_i = (W - i + 1) / (W - m + 1)  for i >  m
+template <LinearSignal V>
+class SShapedMaModel final : public ForecastModel<V> {
+ public:
+  SShapedMaModel(std::size_t window, const V& prototype)
+      : window_(window), history_(window), zero_(zero_like(prototype)) {
+    assert(window_ >= 1);
+    weights_.resize(window_);
+    const std::size_t m = (window_ + 1) / 2;
+    for (std::size_t i = 1; i <= window_; ++i) {
+      weights_[i - 1] =
+          i <= m ? 1.0
+                 : static_cast<double>(window_ - i + 1) /
+                       static_cast<double>(window_ - m + 1);
+    }
+  }
+
+  [[nodiscard]] bool ready() const noexcept override { return count_ >= 1; }
+
+  void forecast_into(V& out) const override {
+    assert(ready());
+    const std::size_t n = history_.size();
+    double total = 0.0;
+    for (std::size_t ago = 1; ago <= n; ++ago) total += weights_[ago - 1];
+    out = zero_;
+    for (std::size_t ago = 1; ago <= n; ++ago) {
+      out.add_scaled(history_.back(ago), weights_[ago - 1] / total);
+    }
+  }
+
+  void observe(const V& observed) override {
+    history_.push(observed);
+    ++count_;
+  }
+
+  [[nodiscard]] std::size_t observed_count() const noexcept override {
+    return count_;
+  }
+
+ private:
+  std::size_t window_;
+  HistoryRing<V> history_;
+  V zero_;
+  std::vector<double> weights_;  // weights_[i-1] = weight for "i ago"
+  std::size_t count_ = 0;
+};
+
+/// EWMA: S_f(t) = alpha * S_o(t-1) + (1 - alpha) * S_f(t-1); S_f(2) = S_o(1).
+template <LinearSignal V>
+class EwmaModel final : public ForecastModel<V> {
+ public:
+  EwmaModel(double alpha, const V& prototype)
+      : alpha_(alpha), forecast_(zero_like(prototype)) {
+    assert(alpha_ >= 0.0 && alpha_ <= 1.0);
+  }
+
+  [[nodiscard]] bool ready() const noexcept override { return count_ >= 1; }
+
+  void forecast_into(V& out) const override {
+    assert(ready());
+    out = forecast_;
+  }
+
+  void observe(const V& observed) override {
+    if (count_ == 0) {
+      forecast_ = observed;  // S_f(2) = S_o(1)
+    } else {
+      forecast_.scale(1.0 - alpha_);
+      forecast_.add_scaled(observed, alpha_);
+    }
+    ++count_;
+  }
+
+  [[nodiscard]] std::size_t observed_count() const noexcept override {
+    return count_;
+  }
+
+ private:
+  double alpha_;
+  V forecast_;  // the forecast for the *next* interval
+  std::size_t count_ = 0;
+};
+
+/// Non-seasonal Holt-Winters (§3.2.1): separate smoothing component S_s and
+/// trend component S_t,
+///   S_s(t) = alpha * S_o(t-1) + (1-alpha) * S_f(t-1),  S_s(2) = S_o(1)
+///   S_t(t) = beta * (S_s(t) - S_s(t-1)) + (1-beta) * S_t(t-1),
+///   S_t(2) = S_o(2) - S_o(1)
+///   S_f(t) = S_s(t) + S_t(t)
+/// The trend initialization uses S_o(2), so the first causal forecast is for
+/// t = 3: ready() requires two observations.
+template <LinearSignal V>
+class HoltWintersModel final : public ForecastModel<V> {
+ public:
+  HoltWintersModel(double alpha, double beta, const V& prototype)
+      : alpha_(alpha),
+        beta_(beta),
+        smooth_(zero_like(prototype)),
+        trend_(zero_like(prototype)),
+        first_obs_(zero_like(prototype)) {
+    assert(alpha_ >= 0.0 && alpha_ <= 1.0);
+    assert(beta_ >= 0.0 && beta_ <= 1.0);
+  }
+
+  [[nodiscard]] bool ready() const noexcept override { return count_ >= 2; }
+
+  void forecast_into(V& out) const override {
+    assert(ready());
+    out = smooth_;
+    out.add_scaled(trend_, 1.0);
+  }
+
+  void observe(const V& observed) override {
+    if (count_ == 0) {
+      first_obs_ = observed;
+      smooth_ = observed;  // S_s(2) = S_o(1)
+    } else {
+      if (count_ == 1) {
+        // S_t(2) = S_o(2) - S_o(1); the pre-update forecast S_f(2) is
+        // S_s(2) + S_t(2).
+        trend_ = subtract(observed, first_obs_);
+      }
+      // Advance: S_s(t+1) = alpha*S_o(t) + (1-alpha)*S_f(t), with
+      // S_f(t) = S_s(t) + S_t(t) the forecast covering this observation.
+      V prev_smooth = smooth_;
+      V forecast = smooth_;
+      forecast.add_scaled(trend_, 1.0);
+      smooth_ = forecast;
+      smooth_.scale(1.0 - alpha_);
+      smooth_.add_scaled(observed, alpha_);
+      // S_t(t+1) = beta*(S_s(t+1) - S_s(t)) + (1-beta)*S_t(t)
+      V delta = subtract(smooth_, prev_smooth);
+      trend_.scale(1.0 - beta_);
+      trend_.add_scaled(delta, beta_);
+    }
+    ++count_;
+  }
+
+  [[nodiscard]] std::size_t observed_count() const noexcept override {
+    return count_;
+  }
+
+ private:
+  double alpha_;
+  double beta_;
+  V smooth_;  // S_s for the next interval
+  V trend_;   // S_t for the next interval
+  V first_obs_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace scd::forecast

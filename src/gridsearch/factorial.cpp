@@ -1,0 +1,79 @@
+#include "gridsearch/factorial.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace scd::gridsearch {
+
+std::vector<Effect> FactorialResult::ranked() const {
+  std::vector<Effect> sorted(effects.begin() + 1, effects.end());
+  std::sort(sorted.begin(), sorted.end(), [](const Effect& a, const Effect& b) {
+    return std::abs(a.value) > std::abs(b.value);
+  });
+  return sorted;
+}
+
+const Effect& FactorialResult::effect(const std::string& name) const {
+  for (const Effect& e : effects) {
+    if (e.name == name) return e;
+  }
+  throw std::out_of_range("no such effect: " + name);
+}
+
+FactorialResult full_factorial(const std::vector<Factor>& factors,
+                               const Response& response) {
+  const std::size_t k = factors.size();
+  assert(k >= 1 && k <= 16);
+  const std::size_t n = 1u << k;
+
+  FactorialResult result;
+  result.runs.resize(n);
+  std::vector<double> levels(k);
+  for (std::size_t run = 0; run < n; ++run) {
+    for (std::size_t j = 0; j < k; ++j) {
+      levels[j] = (run >> j) & 1 ? factors[j].high : factors[j].low;
+    }
+    result.runs[run] = response(levels);
+  }
+
+  // Yates' algorithm: k passes of pairwise (sum, difference) over the runs
+  // in standard order; entry i then holds 2^(k-1) * effect_i (and entry 0
+  // holds 2^k * mean).
+  std::vector<double> work = result.runs;
+  std::vector<double> next(n);
+  for (std::size_t pass = 0; pass < k; ++pass) {
+    for (std::size_t i = 0; i < n / 2; ++i) {
+      next[i] = work[2 * i] + work[2 * i + 1];
+      next[n / 2 + i] = work[2 * i + 1] - work[2 * i];
+    }
+    work.swap(next);
+  }
+
+  result.effects.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Effect& e = result.effects[i];
+    if (i == 0) {
+      e.name = "mean";
+      e.order = 0;
+      e.value = work[0] / static_cast<double>(n);
+      continue;
+    }
+    std::string name;
+    int order = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if ((i >> j) & 1) {
+        if (!name.empty()) name += "*";
+        name += factors[j].name;
+        ++order;
+      }
+    }
+    e.name = name;
+    e.order = order;
+    e.value = work[i] / static_cast<double>(n / 2);
+  }
+  return result;
+}
+
+}  // namespace scd::gridsearch

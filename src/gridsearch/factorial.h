@@ -1,0 +1,58 @@
+// Two-level full-factorial experiment design with Yates' algorithm — the
+// §6 "better guidelines for choosing parameters" item: "The full factorial
+// method in the statistical experimental design domain can help ... The
+// tedium related to having multiple runs can also be reduced for example by
+// using Yates' algorithm" (paper refs [5], Box/Hunter/Hunter).
+//
+// Each of k factors takes a low(-) and high(+) level; the design evaluates
+// all 2^k combinations once and decomposes the response into the grand
+// mean, k main effects, and all interaction effects. Effect magnitudes
+// answer the paper's question directly: which knobs (H, K, interval, model
+// parameter...) actually matter, and which interact.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace scd::gridsearch {
+
+struct Factor {
+  std::string name;
+  double low = 0.0;
+  double high = 1.0;
+};
+
+/// Maps a level assignment (one value per factor, each either its low or
+/// high level) to the measured response.
+using Response = std::function<double(const std::vector<double>&)>;
+
+struct Effect {
+  /// "mean" for the grand mean, a factor name for a main effect, or a
+  /// '*'-joined combination ("H*K") for an interaction.
+  std::string name;
+  double value = 0.0;
+  /// Number of factors involved (0 = grand mean, 1 = main effect, ...).
+  int order = 0;
+};
+
+struct FactorialResult {
+  /// All 2^k runs in standard (Yates) order; runs[i] holds the response for
+  /// the assignment whose bit j selects factor j's high level.
+  std::vector<double> runs;
+  /// Effects in Yates order; effects[0] is the grand mean.
+  std::vector<Effect> effects;
+
+  /// Main effects and interactions sorted by |value| descending (grand mean
+  /// excluded).
+  [[nodiscard]] std::vector<Effect> ranked() const;
+  /// Lookup by name ("K", "H*K"); throws std::out_of_range if absent.
+  [[nodiscard]] const Effect& effect(const std::string& name) const;
+};
+
+/// Runs the full 2^k design (factors.size() <= 16) and returns the Yates
+/// decomposition. The response is invoked exactly 2^k times.
+[[nodiscard]] FactorialResult full_factorial(const std::vector<Factor>& factors,
+                                             const Response& response);
+
+}  // namespace scd::gridsearch

@@ -1,0 +1,31 @@
+#include "hash/cw_hash.h"
+
+#include "common/random.h"
+
+namespace scd::hash {
+
+namespace {
+/// Uniform value in [0, p) drawn by rejection from a SplitMix64 stream.
+std::uint64_t draw_mod_p(std::uint64_t& state) noexcept {
+  for (;;) {
+    const std::uint64_t v = scd::common::splitmix64(state) >> 3;  // < 2^61
+    if (v < kMersenne61) return v;
+  }
+}
+}  // namespace
+
+CwHashFamily::CwHashFamily(std::uint64_t seed, std::size_t rows)
+    : seed_(seed) {
+  coeffs_.reserve(rows);
+  std::uint64_t state = seed ^ 0xc3a5c85c97cb3127ULL;
+  for (std::size_t i = 0; i < rows; ++i) {
+    Coeffs c{};
+    c.a0 = draw_mod_p(state);
+    c.a1 = draw_mod_p(state);
+    c.a2 = draw_mod_p(state);
+    c.a3 = draw_mod_p(state);
+    coeffs_.push_back(c);
+  }
+}
+
+}  // namespace scd::hash

@@ -1,0 +1,28 @@
+// The hashing interface consumed by the sketch library.
+//
+// A HashFamily16 provides `rows()` independent 4-universal hash functions,
+// each mapping a 64-bit key to a 16-bit value. Sketches derive a bucket in
+// [K] (K a power of two, K <= 2^16) by masking the low bits, which preserves
+// (approximate) 4-universality. Independence across rows comes from
+// independent seeding.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+
+namespace scd::hash {
+
+template <typename F>
+concept HashFamily16 = requires(const F f, std::size_t row, std::uint64_t key) {
+  { f.hash16(row, key) } noexcept -> std::same_as<std::uint16_t>;
+  { f.rows() } noexcept -> std::same_as<std::size_t>;
+};
+
+/// Returns true iff k is a power of two in [1, 2^16] — the bucket counts the
+/// sketch library accepts.
+[[nodiscard]] constexpr bool valid_bucket_count(std::size_t k) noexcept {
+  return k >= 1 && k <= (1u << 16) && (k & (k - 1)) == 0;
+}
+
+}  // namespace scd::hash

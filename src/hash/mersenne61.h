@@ -1,0 +1,38 @@
+// Arithmetic modulo the Mersenne prime p = 2^61 - 1, the field underlying the
+// Carter-Wegman polynomial hash family (paper refs [10, 39]). Mersenne form
+// lets us reduce without division.
+#pragma once
+
+#include <cstdint>
+
+namespace scd::hash {
+
+inline constexpr std::uint64_t kMersenne61 = (1ULL << 61) - 1;
+
+/// Reduces any 64-bit value into [0, p). Input may be up to 2^64-1.
+[[nodiscard]] constexpr std::uint64_t reduce61(std::uint64_t x) noexcept {
+  x = (x & kMersenne61) + (x >> 61);
+  if (x >= kMersenne61) x -= kMersenne61;
+  return x;
+}
+
+/// (a + b) mod p for a, b < p.
+[[nodiscard]] constexpr std::uint64_t add_mod61(std::uint64_t a,
+                                                std::uint64_t b) noexcept {
+  std::uint64_t s = a + b;  // < 2^62, no overflow
+  if (s >= kMersenne61) s -= kMersenne61;
+  return s;
+}
+
+/// (a * b) mod p for a, b < p, via 128-bit intermediate.
+[[nodiscard]] constexpr std::uint64_t mul_mod61(std::uint64_t a,
+                                                std::uint64_t b) noexcept {
+  const unsigned __int128 z = static_cast<unsigned __int128>(a) * b;
+  const auto lo = static_cast<std::uint64_t>(z & kMersenne61);
+  const auto hi = static_cast<std::uint64_t>(z >> 61);
+  // lo < 2^61, hi < 2^67/2^61... hi < 2^61 as well since a,b < 2^61 implies
+  // z < 2^122 so hi < 2^61. Their sum fits in 64 bits.
+  return add_mod61(lo, reduce61(hi));
+}
+
+}  // namespace scd::hash

@@ -1,0 +1,22 @@
+#include "hash/tabulation_hash.h"
+
+#include "common/random.h"
+
+namespace scd::hash {
+
+TabulationHashFamily::TabulationHashFamily(std::uint64_t seed, std::size_t rows)
+    : rows_(rows), seed_(seed) {
+  const std::size_t groups = (rows + 3) / 4;
+  tables_.resize(groups);
+  std::uint64_t state = seed ^ 0x9ae16a3b2f90404fULL;
+  for (Tables& t : tables_) {
+    t.t0.resize(1u << 16);
+    t.t1.resize(1u << 16);
+    t.t2.resize((1u << 17) - 1);
+    for (auto& e : t.t0) e = scd::common::splitmix64(state);
+    for (auto& e : t.t1) e = scd::common::splitmix64(state);
+    for (auto& e : t.t2) e = scd::common::splitmix64(state);
+  }
+}
+
+}  // namespace scd::hash

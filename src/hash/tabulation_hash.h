@@ -1,0 +1,84 @@
+// Tabulation-based 4-universal hashing for 32-bit keys (Thorup & Zhang,
+// paper ref [33]) — the scheme the paper's implementation and Table 1 use.
+//
+// A 32-bit key is split into two 16-bit characters x0, x1. With three
+// character tables filled with independent uniform values,
+//
+//     h(x) = T0[x0] ^ T1[x1] ^ T2[x0 + x1]
+//
+// is 4-universal (the derived character x0 + x1 in [0, 2^17) is what lifts
+// simple tabulation from 3- to 4-universality for two characters).
+//
+// Each table entry is a 64-bit word holding four independent 16-bit lanes, so
+// one triple of lookups yields four independent hash functions; a family of
+// H rows uses ceil(H/4) table triples. This reproduces the paper's "each hash
+// computation produces 8 independent 16-bit hash values" layout (two triples).
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_family.h"
+
+namespace scd::hash {
+
+class TabulationHashFamily {
+ public:
+  /// Creates `rows` independent hash functions over 32-bit keys, with table
+  /// contents derived deterministically from `seed`.
+  TabulationHashFamily(std::uint64_t seed, std::size_t rows);
+
+  /// Hashes the key with hash function `row`. Precondition: key < 2^32
+  /// (use CwHashFamily for wider keys).
+  [[nodiscard]] std::uint16_t hash16(std::size_t row,
+                                     std::uint64_t key) const noexcept {
+    assert(key <= 0xffffffffULL);
+    const std::size_t group = row >> 2;
+    const unsigned lane = static_cast<unsigned>(row & 3) * 16;
+    return static_cast<std::uint16_t>(hash_group(group, static_cast<std::uint32_t>(key)) >> lane);
+  }
+
+  /// One packed evaluation: 4 independent 16-bit values for group `group`.
+  [[nodiscard]] std::uint64_t hash_group(std::size_t group,
+                                         std::uint32_t key) const noexcept {
+    const Tables& t = tables_[group];
+    const std::uint32_t x0 = key & 0xffff;
+    const std::uint32_t x1 = key >> 16;
+    return t.t0[x0] ^ t.t1[x1] ^ t.t2[x0 + x1];
+  }
+
+  /// Fills `out[0..n)` (n = rows()) with all hash values of `key` using one
+  /// packed lookup per 4 rows — the paper's batched hashing pattern.
+  void hash_all(std::uint32_t key, std::uint16_t* out) const noexcept {
+    std::size_t row = 0;
+    for (std::size_t g = 0; g < tables_.size(); ++g) {
+      std::uint64_t packed = hash_group(g, key);
+      for (unsigned lane = 0; lane < 4 && row < rows_; ++lane, ++row) {
+        out[row] = static_cast<std::uint16_t>(packed);
+        packed >>= 16;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+
+  /// The seed this family was constructed from (for serialization: a family
+  /// is fully determined by (seed, rows)).
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  struct Tables {
+    std::vector<std::uint64_t> t0;  // 2^16 entries
+    std::vector<std::uint64_t> t1;  // 2^16 entries
+    std::vector<std::uint64_t> t2;  // 2^17 - 1 entries (index x0 + x1)
+  };
+  std::vector<Tables> tables_;
+  std::size_t rows_;
+  std::uint64_t seed_ = 0;
+};
+
+static_assert(HashFamily16<TabulationHashFamily>);
+
+}  // namespace scd::hash

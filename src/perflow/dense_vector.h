@@ -1,0 +1,60 @@
+// DenseVector: the exact per-flow signal space.
+//
+// One component per distinct key (indexed via KeyDictionary). Running the
+// forecasting models over DenseVector applies each (shared-parameter) linear
+// model to every flow's univariate series simultaneously — this *is* the
+// paper's per-flow analysis, and it is the accuracy baseline for every
+// figure in §5.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "forecast/linear_space.h"
+
+namespace scd::perflow {
+
+class DenseVector {
+ public:
+  DenseVector() = default;
+  explicit DenseVector(std::size_t dimension) : values_(dimension, 0.0) {}
+
+  void set_zero() noexcept {
+    std::fill(values_.begin(), values_.end(), 0.0);
+  }
+
+  void scale(double c) noexcept {
+    for (double& v : values_) v *= c;
+  }
+
+  void add_scaled(const DenseVector& other, double c) noexcept {
+    assert(values_.size() == other.values_.size());
+    for (std::size_t i = 0; i < values_.size(); ++i) {
+      values_[i] += c * other.values_[i];
+    }
+  }
+
+  [[nodiscard]] double& operator[](std::size_t i) noexcept { return values_[i]; }
+  [[nodiscard]] double operator[](std::size_t i) const noexcept {
+    return values_[i];
+  }
+
+  [[nodiscard]] std::size_t dimension() const noexcept { return values_.size(); }
+  [[nodiscard]] std::span<const double> values() const noexcept { return values_; }
+
+  /// Exact second moment F2 = sum_i v_i^2.
+  [[nodiscard]] double f2() const noexcept {
+    double s = 0.0;
+    for (double v : values_) s += v * v;
+    return s;
+  }
+
+ private:
+  std::vector<double> values_;
+};
+
+static_assert(scd::forecast::LinearSignal<DenseVector>);
+
+}  // namespace scd::perflow

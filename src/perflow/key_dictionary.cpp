@@ -1,0 +1,22 @@
+#include "perflow/key_dictionary.h"
+
+namespace scd::perflow {
+
+std::size_t KeyDictionary::intern(std::uint64_t key) {
+  const auto [it, inserted] = index_.try_emplace(key, keys_.size());
+  if (inserted) keys_.push_back(key);
+  return it->second;
+}
+
+std::optional<std::size_t> KeyDictionary::lookup(std::uint64_t key) const {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+void KeyDictionary::reserve(std::size_t n) {
+  index_.reserve(n);
+  keys_.reserve(n);
+}
+
+}  // namespace scd::perflow

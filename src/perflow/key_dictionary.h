@@ -1,0 +1,38 @@
+// KeyDictionary: bijection between 64-bit flow keys and dense indices
+// [0, size). Built in the first pass of offline analysis; the dense side
+// feeds DenseVector, the key side drives sketch ESTIMATE replay (§3.3's
+// two-pass algorithm).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace scd::perflow {
+
+class KeyDictionary {
+ public:
+  /// Returns the index for the key, inserting it if new.
+  std::size_t intern(std::uint64_t key);
+
+  /// Returns the index if the key is known.
+  [[nodiscard]] std::optional<std::size_t> lookup(std::uint64_t key) const;
+
+  [[nodiscard]] std::uint64_t key_at(std::size_t index) const noexcept {
+    return keys_[index];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  [[nodiscard]] const std::vector<std::uint64_t>& keys() const noexcept {
+    return keys_;
+  }
+
+  void reserve(std::size_t n);
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::vector<std::uint64_t> keys_;
+};
+
+}  // namespace scd::perflow

@@ -1,0 +1,136 @@
+// Count sketch (Charikar, Chen, Farach-Colton — paper ref [11]) and
+// Count-Min sketch (Cormode & Muthukrishnan).
+//
+// These are the comparison points for the k-ary design: the paper notes that
+// "the most common operations on k-ary sketch use simpler operations and are
+// more efficient than the corresponding operations defined on count
+// sketches". The ablation bench (bench_ablation_sketch_type) quantifies the
+// accuracy/speed trade-off among the three on identical streams.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hash/hash_family.h"
+#include "hash/tabulation_hash.h"
+#include "sketch/kary_sketch.h"  // kMaxRows
+#include "sketch/median.h"
+
+namespace scd::sketch {
+
+/// Count sketch: per row, the key is hashed to a bucket and to a +/-1 sign;
+/// the estimate is the median over rows of sign * register. Uses a family of
+/// 2H hash functions: rows [0, H) for buckets, rows [H, 2H) for signs.
+template <hash::HashFamily16 Family>
+class BasicCountSketch {
+ public:
+  using FamilyPtr = std::shared_ptr<const Family>;
+
+  /// The family must have 2 * depth rows.
+  BasicCountSketch(FamilyPtr family, std::size_t depth, std::size_t k)
+      : family_(std::move(family)),
+        depth_(depth),
+        k_(k),
+        table_(depth * k, 0.0) {
+    assert(family_ != nullptr && family_->rows() >= 2 * depth_);
+    assert(hash::valid_bucket_count(k_) && k_ >= 2);
+    assert(depth_ >= 1 && depth_ <= kMaxRows);
+  }
+
+  void update(std::uint64_t key, double u) noexcept {
+    const std::uint64_t mask = k_ - 1;
+    for (std::size_t i = 0; i < depth_; ++i) {
+      const std::size_t bucket = family_->hash16(i, key) & mask;
+      const double sign = sign_of(i, key);
+      table_[i * k_ + bucket] += sign * u;
+    }
+  }
+
+  [[nodiscard]] double estimate(std::uint64_t key) const noexcept {
+    const std::uint64_t mask = k_ - 1;
+    std::array<double, kMaxRows> est;
+    for (std::size_t i = 0; i < depth_; ++i) {
+      const std::size_t bucket = family_->hash16(i, key) & mask;
+      est[i] = sign_of(i, key) * table_[i * k_ + bucket];
+    }
+    return median_inplace(std::span<double>(est.data(), depth_));
+  }
+
+  /// Second-moment estimate: median over rows of sum_j T[i][j]^2 (the
+  /// classical AMS/count-sketch F2 estimator).
+  [[nodiscard]] double estimate_f2() const noexcept {
+    std::array<double, kMaxRows> est;
+    for (std::size_t i = 0; i < depth_; ++i) {
+      double sq = 0.0;
+      const double* row = &table_[i * k_];
+      for (std::size_t j = 0; j < k_; ++j) sq += row[j] * row[j];
+      est[i] = sq;
+    }
+    return median_inplace(std::span<double>(est.data(), depth_));
+  }
+
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t width() const noexcept { return k_; }
+
+ private:
+  [[nodiscard]] double sign_of(std::size_t i, std::uint64_t key) const noexcept {
+    return (family_->hash16(depth_ + i, key) & 1) ? 1.0 : -1.0;
+  }
+
+  FamilyPtr family_;
+  std::size_t depth_;
+  std::size_t k_;
+  std::vector<double> table_;
+};
+
+/// Count-Min sketch: nonnegative updates only; the estimate is the minimum
+/// register over rows (biased upward by collisions, never downward).
+template <hash::HashFamily16 Family>
+class BasicCountMinSketch {
+ public:
+  using FamilyPtr = std::shared_ptr<const Family>;
+
+  BasicCountMinSketch(FamilyPtr family, std::size_t k)
+      : family_(std::move(family)), k_(k), table_(family_->rows() * k, 0.0) {
+    assert(family_ != nullptr);
+    assert(hash::valid_bucket_count(k_) && k_ >= 2);
+  }
+
+  /// u must be >= 0; Count-Min's guarantee does not survive deletions in the
+  /// general turnstile model.
+  void update(std::uint64_t key, double u) noexcept {
+    assert(u >= 0.0);
+    const std::uint64_t mask = k_ - 1;
+    for (std::size_t i = 0; i < family_->rows(); ++i) {
+      table_[i * k_ + (family_->hash16(i, key) & mask)] += u;
+    }
+  }
+
+  [[nodiscard]] double estimate(std::uint64_t key) const noexcept {
+    const std::uint64_t mask = k_ - 1;
+    double best = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < family_->rows(); ++i) {
+      const double v = table_[i * k_ + (family_->hash16(i, key) & mask)];
+      if (v < best) best = v;
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::size_t depth() const noexcept { return family_->rows(); }
+  [[nodiscard]] std::size_t width() const noexcept { return k_; }
+
+ private:
+  FamilyPtr family_;
+  std::size_t k_;
+  std::vector<double> table_;
+};
+
+using CountSketch = BasicCountSketch<hash::TabulationHashFamily>;
+using CountMinSketch = BasicCountMinSketch<hash::TabulationHashFamily>;
+
+}  // namespace scd::sketch

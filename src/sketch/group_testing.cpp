@@ -1,0 +1,122 @@
+#include "sketch/group_testing.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <unordered_set>
+
+#include "sketch/median.h"
+
+namespace scd::sketch {
+
+GroupTestingSketch::GroupTestingSketch(FamilyPtr family, std::size_t k)
+    : family_(std::move(family)),
+      k_(k),
+      cells_(family_->rows() * k * kCellStride, 0.0) {
+  assert(family_ != nullptr);
+  assert(hash::valid_bucket_count(k_) && k_ >= 2);
+  assert(family_->rows() >= 1 && family_->rows() <= kMaxRows);
+}
+
+void GroupTestingSketch::update(std::uint32_t key, double u) noexcept {
+  const std::uint64_t mask = k_ - 1;
+  for (std::size_t row = 0; row < depth(); ++row) {
+    const std::size_t bucket = family_->hash16(row, key) & mask;
+    double* cell = &cells_[cell_index(row, bucket)];
+    cell[0] += u;
+    std::uint32_t bits = key;
+    while (bits != 0) {
+      const unsigned b = static_cast<unsigned>(__builtin_ctz(bits));
+      cell[1 + b] += u;
+      bits &= bits - 1;
+    }
+  }
+}
+
+double GroupTestingSketch::row_sum(std::size_t row) const noexcept {
+  double sum = 0.0;
+  for (std::size_t bucket = 0; bucket < k_; ++bucket) {
+    sum += cells_[cell_index(row, bucket)];
+  }
+  return sum;
+}
+
+double GroupTestingSketch::estimate(std::uint32_t key) const noexcept {
+  const std::uint64_t mask = k_ - 1;
+  const auto kd = static_cast<double>(k_);
+  std::array<double, kMaxRows> est;
+  for (std::size_t row = 0; row < depth(); ++row) {
+    const std::size_t bucket = family_->hash16(row, key) & mask;
+    const double total = cells_[cell_index(row, bucket)];
+    est[row] = (total - row_sum(row) / kd) / (1.0 - 1.0 / kd);
+  }
+  return median_inplace(std::span<double>(est.data(), depth()));
+}
+
+double GroupTestingSketch::estimate_f2() const noexcept {
+  const auto kd = static_cast<double>(k_);
+  std::array<double, kMaxRows> est;
+  for (std::size_t row = 0; row < depth(); ++row) {
+    double sq = 0.0;
+    for (std::size_t bucket = 0; bucket < k_; ++bucket) {
+      const double total = cells_[cell_index(row, bucket)];
+      sq += total * total;
+    }
+    const double sum = row_sum(row);
+    est[row] = (kd * sq - sum * sum) / (kd - 1.0);
+  }
+  return median_inplace(std::span<double>(est.data(), depth()));
+}
+
+std::vector<RecoveredKey> GroupTestingSketch::recover(
+    double threshold_abs) const {
+  const std::uint64_t mask = k_ - 1;
+  std::unordered_set<std::uint32_t> candidates;
+  for (std::size_t row = 0; row < depth(); ++row) {
+    for (std::size_t bucket = 0; bucket < k_; ++bucket) {
+      const double* cell = &cells_[cell_index(row, bucket)];
+      const double total = cell[0];
+      if (std::abs(total) < threshold_abs) continue;
+      // Read the dominating key's bits out of the bit counters.
+      std::uint32_t key = 0;
+      for (unsigned b = 0; b < kKeyBits; ++b) {
+        if (std::abs(cell[1 + b]) > std::abs(total) / 2.0) key |= 1u << b;
+      }
+      // The candidate must actually hash into this bucket in this row;
+      // bit-read corruption from colliding keys fails this test.
+      if ((family_->hash16(row, key) & mask) == bucket) candidates.insert(key);
+    }
+  }
+  std::vector<RecoveredKey> recovered;
+  for (const std::uint32_t key : candidates) {
+    const double value = estimate(key);
+    if (std::abs(value) >= threshold_abs) recovered.push_back({key, value});
+  }
+  std::sort(recovered.begin(), recovered.end(),
+            [](const RecoveredKey& a, const RecoveredKey& b) {
+              if (std::abs(a.value) != std::abs(b.value)) {
+                return std::abs(a.value) > std::abs(b.value);
+              }
+              return a.key < b.key;
+            });
+  return recovered;
+}
+
+void GroupTestingSketch::set_zero() noexcept {
+  std::fill(cells_.begin(), cells_.end(), 0.0);
+}
+
+void GroupTestingSketch::scale(double c) noexcept {
+  for (double& v : cells_) v *= c;
+}
+
+void GroupTestingSketch::add_scaled(const GroupTestingSketch& other,
+                                    double c) noexcept {
+  assert(family_ == other.family_ && k_ == other.k_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i] += c * other.cells_[i];
+  }
+}
+
+}  // namespace scd::sketch

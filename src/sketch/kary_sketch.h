@@ -1,0 +1,223 @@
+// k-ary sketch (paper §3.1) — the paper's core data structure.
+//
+// An H x K table of double registers; row i is paired with an independent
+// 4-universal hash function h_i. The four operations of §3.1 are provided:
+//
+//   UPDATE(S, a, u):    T[i][h_i(a)] += u for all rows
+//   ESTIMATE(S, a):     median_i (T[i][h_i(a)] - sum/K) / (1 - 1/K)
+//   ESTIMATEF2(S):      median_i K/(K-1) * sum_j T[i][j]^2 - sum^2/(K-1)
+//   COMBINE(c_l, S_l):  entry-wise linear combination
+//
+// Per-row estimates are unbiased with variance <= F2/(K-1) (Appendix A/B);
+// the median across rows makes the probability of an extreme estimate
+// exponentially small in H.
+//
+// The hash family is shared (by shared_ptr) among all sketches that must be
+// COMBINEd — linear combination is only meaningful between sketches drawn
+// with identical hash functions, and sharing also keeps the tabulation
+// tables' memory cost amortized across the whole forecasting pipeline.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "hash/cw_hash.h"
+#include "hash/hash_family.h"
+#include "hash/tabulation_hash.h"
+#include "sketch/median.h"
+
+namespace scd::sketch {
+
+inline constexpr std::size_t kMaxRows = 32;  // paper uses H <= 25
+
+template <hash::HashFamily16 Family>
+class BasicKarySketch {
+ public:
+  using FamilyPtr = std::shared_ptr<const Family>;
+
+  /// K must be a power of two in [2, 2^16]; the family supplies H = rows().
+  BasicKarySketch(FamilyPtr family, std::size_t k)
+      : family_(std::move(family)), k_(k), table_(family_->rows() * k, 0.0) {
+    assert(family_ != nullptr);
+    assert(hash::valid_bucket_count(k_) && k_ >= 2);
+    assert(family_->rows() >= 1 && family_->rows() <= kMaxRows);
+  }
+
+  [[nodiscard]] std::size_t depth() const noexcept { return family_->rows(); }
+  [[nodiscard]] std::size_t width() const noexcept { return k_; }
+  [[nodiscard]] const FamilyPtr& family() const noexcept { return family_; }
+
+  /// UPDATE — adds u to the key's register in every row.
+  void update(std::uint64_t key, double u) noexcept {
+    const std::size_t h = depth();
+    const std::uint64_t mask = k_ - 1;
+    if constexpr (requires(const Family f, std::uint32_t k32, std::uint16_t* o) {
+                    f.hash_all(k32, o);
+                  }) {
+      // Batched path (tabulation): one packed lookup per 4 rows.
+      std::array<std::uint16_t, kMaxRows> hv;
+      family_->hash_all(static_cast<std::uint32_t>(key), hv.data());
+      for (std::size_t i = 0; i < h; ++i) table_[i * k_ + (hv[i] & mask)] += u;
+    } else {
+      for (std::size_t i = 0; i < h; ++i) {
+        table_[i * k_ + (family_->hash16(i, key) & mask)] += u;
+      }
+    }
+    sum_valid_ = false;
+  }
+
+  /// Total update mass sum(S) = sum_j T[0][j]; identical across rows for any
+  /// sketch built by UPDATE/COMBINE. Cached until the next mutation. The
+  /// cache mirrors the paper's "compute sum once before ESTIMATE calls".
+  [[nodiscard]] double sum() const noexcept {
+    if (!sum_valid_) {
+      double s = 0.0;
+      for (std::size_t j = 0; j < k_; ++j) s += table_[j];
+      cached_sum_ = s;
+      sum_valid_ = true;
+    }
+    return cached_sum_;
+  }
+
+  /// ESTIMATE — reconstructs v_a from the sketch.
+  [[nodiscard]] double estimate(std::uint64_t key) const noexcept {
+    const std::size_t h = depth();
+    const std::uint64_t mask = k_ - 1;
+    const double per_bucket = sum() / static_cast<double>(k_);
+    const double denom = 1.0 - 1.0 / static_cast<double>(k_);
+    std::array<double, kMaxRows> est;
+    if constexpr (requires(const Family f, std::uint32_t k32, std::uint16_t* o) {
+                    f.hash_all(k32, o);
+                  }) {
+      std::array<std::uint16_t, kMaxRows> hv;
+      family_->hash_all(static_cast<std::uint32_t>(key), hv.data());
+      for (std::size_t i = 0; i < h; ++i) {
+        est[i] = (table_[i * k_ + (hv[i] & mask)] - per_bucket) / denom;
+      }
+    } else {
+      for (std::size_t i = 0; i < h; ++i) {
+        est[i] =
+            (table_[i * k_ + (family_->hash16(i, key) & mask)] - per_bucket) /
+            denom;
+      }
+    }
+    return median_inplace(std::span<double>(est.data(), h));
+  }
+
+  /// ESTIMATEF2 — estimates the second moment F2 = sum_a v_a^2.
+  [[nodiscard]] double estimate_f2() const noexcept {
+    const std::size_t h = depth();
+    const auto kd = static_cast<double>(k_);
+    const double s = sum();
+    std::array<double, kMaxRows> est;
+    for (std::size_t i = 0; i < h; ++i) {
+      double sq = 0.0;
+      const double* row = &table_[i * k_];
+      for (std::size_t j = 0; j < k_; ++j) sq += row[j] * row[j];
+      est[i] = (kd * sq - s * s) / (kd - 1.0);
+    }
+    return median_inplace(std::span<double>(est.data(), h));
+  }
+
+  /// Estimated L2 norm sqrt(max(F2^est, 0)); F2^est can be slightly negative
+  /// for near-empty sketches because it is an unbiased (not nonnegative)
+  /// estimator.
+  [[nodiscard]] double estimate_l2() const noexcept {
+    return std::sqrt(std::max(estimate_f2(), 0.0));
+  }
+
+  // ---- Linear-space operations (COMBINE) ------------------------------
+  // These make BasicKarySketch a LinearSignal so that every forecasting
+  // model in src/forecast runs unchanged at the sketch level.
+
+  void set_zero() noexcept {
+    std::fill(table_.begin(), table_.end(), 0.0);
+    cached_sum_ = 0.0;
+    sum_valid_ = true;
+  }
+
+  void scale(double c) noexcept {
+    for (double& v : table_) v *= c;
+    cached_sum_ *= c;
+  }
+
+  /// *this += c * other. Requires identical family and width.
+  void add_scaled(const BasicKarySketch& other, double c) noexcept {
+    assert(compatible(other));
+    for (std::size_t idx = 0; idx < table_.size(); ++idx) {
+      table_[idx] += c * other.table_[idx];
+    }
+    sum_valid_ = false;
+  }
+
+  [[nodiscard]] bool compatible(const BasicKarySketch& other) const noexcept {
+    return family_ == other.family_ && k_ == other.k_;
+  }
+
+  /// COMBINE(c_1, S_1, ..., c_l, S_l) as a free-standing construction.
+  [[nodiscard]] static BasicKarySketch combine(
+      std::span<const double> coeffs,
+      std::span<const BasicKarySketch* const> sketches) {
+    assert(!sketches.empty() && coeffs.size() == sketches.size());
+    BasicKarySketch out(sketches.front()->family_, sketches.front()->k_);
+    for (std::size_t l = 0; l < sketches.size(); ++l) {
+      out.add_scaled(*sketches[l], coeffs[l]);
+    }
+    return out;
+  }
+
+  /// Replaces the register table wholesale (deserialization). The data must
+  /// have been produced by a sketch with the same family and width.
+  void load_registers(std::span<const double> values) noexcept {
+    assert(values.size() == table_.size());
+    std::copy(values.begin(), values.end(), table_.begin());
+    sum_valid_ = false;
+  }
+
+  /// Raw register access for tests and serialization.
+  [[nodiscard]] std::span<const double> row(std::size_t i) const noexcept {
+    return {&table_[i * k_], k_};
+  }
+  [[nodiscard]] std::span<const double> registers() const noexcept {
+    return table_;
+  }
+
+  /// Memory footprint of the register table in bytes (excludes the shared
+  /// hash family).
+  [[nodiscard]] std::size_t table_bytes() const noexcept {
+    return table_.size() * sizeof(double);
+  }
+
+ private:
+  FamilyPtr family_;
+  std::size_t k_;
+  std::vector<double> table_;  // row-major H x K
+  mutable double cached_sum_ = 0.0;
+  mutable bool sum_valid_ = true;
+};
+
+/// Default k-ary sketch: tabulation hashing, 32-bit keys (the paper's
+/// configuration — destination IP keys).
+using KarySketch = BasicKarySketch<hash::TabulationHashFamily>;
+
+/// k-ary sketch over arbitrary 64-bit keys (e.g. src^dst pairs) using the
+/// Carter-Wegman polynomial family.
+using KarySketch64 = BasicKarySketch<hash::CwHashFamily>;
+
+/// Convenience: builds a shared tabulation family for H rows.
+[[nodiscard]] inline KarySketch::FamilyPtr make_tabulation_family(
+    std::uint64_t seed, std::size_t rows) {
+  return std::make_shared<hash::TabulationHashFamily>(seed, rows);
+}
+
+[[nodiscard]] inline KarySketch64::FamilyPtr make_cw_family(std::uint64_t seed,
+                                                            std::size_t rows) {
+  return std::make_shared<hash::CwHashFamily>(seed, rows);
+}
+
+}  // namespace scd::sketch

@@ -1,0 +1,211 @@
+#include "sketch/median.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace scd::sketch {
+
+namespace detail {
+
+namespace {
+inline void cswap(double& a, double& b) noexcept {
+  // Branch-free compare/exchange; compiles to min/max instructions.
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  a = lo;
+  b = hi;
+}
+}  // namespace
+
+double median3(double* p) noexcept {
+  cswap(p[0], p[1]);
+  cswap(p[1], p[2]);
+  cswap(p[0], p[1]);
+  return p[1];
+}
+
+double median5(double* p) noexcept {
+  cswap(p[0], p[1]);
+  cswap(p[3], p[4]);
+  cswap(p[0], p[3]);
+  cswap(p[1], p[4]);
+  cswap(p[1], p[2]);
+  cswap(p[2], p[3]);
+  cswap(p[1], p[2]);
+  return p[2];
+}
+
+double median7(double* p) noexcept {
+  cswap(p[0], p[5]);
+  cswap(p[0], p[3]);
+  cswap(p[1], p[6]);
+  cswap(p[2], p[4]);
+  cswap(p[0], p[1]);
+  cswap(p[3], p[5]);
+  cswap(p[2], p[6]);
+  cswap(p[2], p[3]);
+  cswap(p[3], p[6]);
+  cswap(p[4], p[5]);
+  cswap(p[1], p[4]);
+  cswap(p[1], p[3]);
+  cswap(p[3], p[4]);
+  return p[3];
+}
+
+double median9(double* p) noexcept {
+  cswap(p[1], p[2]);
+  cswap(p[4], p[5]);
+  cswap(p[7], p[8]);
+  cswap(p[0], p[1]);
+  cswap(p[3], p[4]);
+  cswap(p[6], p[7]);
+  cswap(p[1], p[2]);
+  cswap(p[4], p[5]);
+  cswap(p[7], p[8]);
+  cswap(p[0], p[3]);
+  cswap(p[5], p[8]);
+  cswap(p[4], p[7]);
+  cswap(p[3], p[6]);
+  cswap(p[1], p[4]);
+  cswap(p[2], p[5]);
+  cswap(p[4], p[7]);
+  cswap(p[4], p[2]);
+  cswap(p[6], p[4]);
+  cswap(p[4], p[2]);
+  return p[4];
+}
+
+double median25(double* p) noexcept {
+  cswap(p[0], p[1]);
+  cswap(p[3], p[4]);
+  cswap(p[2], p[4]);
+  cswap(p[2], p[3]);
+  cswap(p[6], p[7]);
+  cswap(p[5], p[7]);
+  cswap(p[5], p[6]);
+  cswap(p[9], p[10]);
+  cswap(p[8], p[10]);
+  cswap(p[8], p[9]);
+  cswap(p[12], p[13]);
+  cswap(p[11], p[13]);
+  cswap(p[11], p[12]);
+  cswap(p[15], p[16]);
+  cswap(p[14], p[16]);
+  cswap(p[14], p[15]);
+  cswap(p[18], p[19]);
+  cswap(p[17], p[19]);
+  cswap(p[17], p[18]);
+  cswap(p[21], p[22]);
+  cswap(p[20], p[22]);
+  cswap(p[20], p[21]);
+  cswap(p[23], p[24]);
+  cswap(p[2], p[5]);
+  cswap(p[3], p[6]);
+  cswap(p[0], p[6]);
+  cswap(p[0], p[3]);
+  cswap(p[4], p[7]);
+  cswap(p[1], p[7]);
+  cswap(p[1], p[4]);
+  cswap(p[11], p[14]);
+  cswap(p[8], p[14]);
+  cswap(p[8], p[11]);
+  cswap(p[12], p[15]);
+  cswap(p[9], p[15]);
+  cswap(p[9], p[12]);
+  cswap(p[13], p[16]);
+  cswap(p[10], p[16]);
+  cswap(p[10], p[13]);
+  cswap(p[20], p[23]);
+  cswap(p[17], p[23]);
+  cswap(p[17], p[20]);
+  cswap(p[21], p[24]);
+  cswap(p[18], p[24]);
+  cswap(p[18], p[21]);
+  cswap(p[19], p[22]);
+  cswap(p[8], p[17]);
+  cswap(p[9], p[18]);
+  cswap(p[0], p[18]);
+  cswap(p[0], p[9]);
+  cswap(p[10], p[19]);
+  cswap(p[1], p[19]);
+  cswap(p[1], p[10]);
+  cswap(p[11], p[20]);
+  cswap(p[2], p[20]);
+  cswap(p[2], p[11]);
+  cswap(p[12], p[21]);
+  cswap(p[3], p[21]);
+  cswap(p[3], p[12]);
+  cswap(p[13], p[22]);
+  cswap(p[4], p[22]);
+  cswap(p[4], p[13]);
+  cswap(p[14], p[23]);
+  cswap(p[5], p[23]);
+  cswap(p[5], p[14]);
+  cswap(p[15], p[24]);
+  cswap(p[6], p[24]);
+  cswap(p[6], p[15]);
+  cswap(p[7], p[16]);
+  cswap(p[7], p[19]);
+  cswap(p[13], p[21]);
+  cswap(p[15], p[23]);
+  cswap(p[7], p[13]);
+  cswap(p[7], p[15]);
+  cswap(p[1], p[9]);
+  cswap(p[3], p[11]);
+  cswap(p[5], p[17]);
+  cswap(p[11], p[17]);
+  cswap(p[9], p[17]);
+  cswap(p[4], p[10]);
+  cswap(p[6], p[12]);
+  cswap(p[7], p[14]);
+  cswap(p[4], p[6]);
+  cswap(p[4], p[7]);
+  cswap(p[12], p[14]);
+  cswap(p[10], p[14]);
+  cswap(p[6], p[7]);
+  cswap(p[10], p[12]);
+  cswap(p[6], p[10]);
+  cswap(p[6], p[17]);
+  cswap(p[12], p[17]);
+  cswap(p[7], p[17]);
+  cswap(p[7], p[10]);
+  cswap(p[12], p[18]);
+  cswap(p[7], p[12]);
+  cswap(p[10], p[18]);
+  cswap(p[12], p[20]);
+  cswap(p[10], p[20]);
+  cswap(p[10], p[12]);
+  return p[12];
+}
+
+}  // namespace detail
+
+double median_nth_element(std::span<double> buf) noexcept {
+  const std::size_t n = buf.size();
+  const std::size_t mid = n / 2;
+  std::nth_element(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(mid),
+                   buf.end());
+  const double upper = buf[mid];
+  if (n % 2 == 1) return upper;
+  // Even n: average the two central order statistics. The lower one is the
+  // max of the left partition nth_element produced.
+  const double lower =
+      *std::max_element(buf.begin(), buf.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lower + upper);
+}
+
+double median_inplace(std::span<double> buf) noexcept {
+  switch (buf.size()) {
+    case 0: return 0.0;
+    case 1: return buf[0];
+    case 2: return 0.5 * (buf[0] + buf[1]);
+    case 3: return detail::median3(buf.data());
+    case 5: return detail::median5(buf.data());
+    case 7: return detail::median7(buf.data());
+    case 9: return detail::median9(buf.data());
+    case 25: return detail::median25(buf.data());
+    default: return median_nth_element(buf);
+  }
+}
+
+}  // namespace scd::sketch

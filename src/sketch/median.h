@@ -1,0 +1,33 @@
+// Fast median selection.
+//
+// The paper picks H in {1, 5, 9, 25} precisely because optimized median
+// networks exist for those sizes (refs [16, 37] — Devillard's ANSI-C median
+// networks and the Huang/Yang/Tang median filter). We implement exchange
+// networks for n in {3, 5, 7, 9, 25}; any other size falls back to
+// std::nth_element. For even n the two central order statistics are averaged.
+//
+// All network functions permute the input buffer (callers pass scratch).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace scd::sketch {
+
+/// Median of buf (modifies buf). Dispatches to an exchange network for
+/// n in {1, 2, 3, 5, 7, 9, 25}, otherwise selects via nth_element.
+[[nodiscard]] double median_inplace(std::span<double> buf) noexcept;
+
+/// Always uses the general nth_element path; exposed for the median ablation
+/// bench and for differential tests against the networks.
+[[nodiscard]] double median_nth_element(std::span<double> buf) noexcept;
+
+namespace detail {
+[[nodiscard]] double median3(double* p) noexcept;
+[[nodiscard]] double median5(double* p) noexcept;
+[[nodiscard]] double median7(double* p) noexcept;
+[[nodiscard]] double median9(double* p) noexcept;
+[[nodiscard]] double median25(double* p) noexcept;
+}  // namespace detail
+
+}  // namespace scd::sketch

@@ -1,0 +1,157 @@
+#include "sketch/serialize.h"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace scd::sketch {
+
+namespace {
+
+template <typename T>
+void put(std::ostream& out, T value) {
+  // Little-endian byte-by-byte so the format is host-independent.
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.put(static_cast<char>((value >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+T get(std::istream& in) {
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    const int byte = in.get();
+    if (byte == std::char_traits<char>::eof()) {
+      throw std::runtime_error("sketch deserialization: truncated input");
+    }
+    value = static_cast<T>(value |
+                           (static_cast<T>(static_cast<unsigned char>(byte))
+                            << (8 * i)));
+  }
+  return value;
+}
+
+void put_double(std::ostream& out, double d) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &d, sizeof(bits));
+  put(out, bits);
+}
+
+double get_double(std::istream& in) {
+  const std::uint64_t bits = get<std::uint64_t>(in);
+  double d = 0.0;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+template <typename Sketch>
+void write_impl(std::ostream& out, const Sketch& sketch, FamilyKind kind) {
+  put(out, kSketchMagic);
+  put(out, kSketchVersion);
+  put(out, static_cast<std::uint8_t>(kind));
+  put(out, sketch.family()->seed());
+  put(out, static_cast<std::uint32_t>(sketch.depth()));
+  put(out, static_cast<std::uint32_t>(sketch.width()));
+  for (const double v : sketch.registers()) put_double(out, v);
+  if (!out) throw std::runtime_error("sketch serialization: write failed");
+}
+
+struct Header {
+  FamilyKind kind;
+  std::uint64_t seed;
+  std::size_t rows;
+  std::size_t k;
+};
+
+Header read_header(std::istream& in) {
+  if (get<std::uint32_t>(in) != kSketchMagic) {
+    throw std::runtime_error("sketch deserialization: bad magic");
+  }
+  if (get<std::uint32_t>(in) != kSketchVersion) {
+    throw std::runtime_error("sketch deserialization: unsupported version");
+  }
+  Header h{};
+  h.kind = static_cast<FamilyKind>(get<std::uint8_t>(in));
+  h.seed = get<std::uint64_t>(in);
+  h.rows = get<std::uint32_t>(in);
+  h.k = get<std::uint32_t>(in);
+  if (!hash::valid_bucket_count(h.k) || h.k < 2 || h.rows < 1 ||
+      h.rows > kMaxRows) {
+    throw std::runtime_error("sketch deserialization: invalid dimensions");
+  }
+  return h;
+}
+
+template <typename Sketch>
+Sketch read_body(std::istream& in, const Header& header,
+                 typename Sketch::FamilyPtr family) {
+  Sketch sketch(std::move(family), header.k);
+  std::vector<double> registers(header.rows * header.k);
+  for (double& v : registers) v = get_double(in);
+  sketch.load_registers(registers);
+  return sketch;
+}
+
+}  // namespace
+
+KarySketch::FamilyPtr FamilyRegistry::tabulation(std::uint64_t seed,
+                                                 std::size_t rows) {
+  auto& slot = tabulation_[{seed, rows}];
+  if (!slot) {
+    slot = std::make_shared<hash::TabulationHashFamily>(seed, rows);
+  }
+  return slot;
+}
+
+KarySketch64::FamilyPtr FamilyRegistry::carter_wegman(std::uint64_t seed,
+                                                      std::size_t rows) {
+  auto& slot = cw_[{seed, rows}];
+  if (!slot) {
+    slot = std::make_shared<hash::CwHashFamily>(seed, rows);
+  }
+  return slot;
+}
+
+void write_sketch(std::ostream& out, const KarySketch& sketch) {
+  write_impl(out, sketch, FamilyKind::kTabulation);
+}
+
+void write_sketch(std::ostream& out, const KarySketch64& sketch) {
+  write_impl(out, sketch, FamilyKind::kCarterWegman);
+}
+
+KarySketch read_sketch32(std::istream& in, FamilyRegistry& registry) {
+  const Header header = read_header(in);
+  if (header.kind != FamilyKind::kTabulation) {
+    throw std::runtime_error(
+        "sketch deserialization: expected tabulation family");
+  }
+  return read_body<KarySketch>(in, header,
+                               registry.tabulation(header.seed, header.rows));
+}
+
+KarySketch64 read_sketch64(std::istream& in, FamilyRegistry& registry) {
+  const Header header = read_header(in);
+  if (header.kind != FamilyKind::kCarterWegman) {
+    throw std::runtime_error(
+        "sketch deserialization: expected Carter-Wegman family");
+  }
+  return read_body<KarySketch64>(
+      in, header, registry.carter_wegman(header.seed, header.rows));
+}
+
+std::vector<std::uint8_t> sketch_to_bytes(const KarySketch& sketch) {
+  std::ostringstream out(std::ios::binary);
+  write_sketch(out, sketch);
+  const std::string str = out.str();
+  return {str.begin(), str.end()};
+}
+
+KarySketch sketch_from_bytes(const std::vector<std::uint8_t>& bytes,
+                             FamilyRegistry& registry) {
+  std::istringstream in(std::string(bytes.begin(), bytes.end()),
+                        std::ios::binary);
+  return read_sketch32(in, registry);
+}
+
+}  // namespace scd::sketch

@@ -1,0 +1,67 @@
+// Sketch serialization — the wire format for distributed collection.
+//
+// The linearity the paper exploits for forecasting is equally the basis for
+// distribution: every router exports its observed sketch per interval and a
+// collector COMBINEs them into a network-wide view (§1.2 "sketches can be
+// combined in an arithmetical sense"). Combination requires identical hash
+// functions, so the wire format carries (family kind, seed, rows) rather
+// than the tables themselves; receivers rebuild or share families through a
+// FamilyRegistry.
+//
+// Format (little-endian):
+//   magic "SCDK" u32 | version u32 | family_kind u8 | seed u64 | rows u32 |
+//   k u32 | registers: rows * k doubles
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sketch/kary_sketch.h"
+
+namespace scd::sketch {
+
+inline constexpr std::uint32_t kSketchMagic = 0x4b444353;  // "SCDK" LE
+inline constexpr std::uint32_t kSketchVersion = 1;
+
+enum class FamilyKind : std::uint8_t {
+  kTabulation = 0,
+  kCarterWegman = 1,
+};
+
+/// Shares hash families across deserialized sketches so that sketches
+/// arriving from different exporters with the same (kind, seed, rows) are
+/// COMBINE-compatible (family identity, not just value equality).
+class FamilyRegistry {
+ public:
+  [[nodiscard]] KarySketch::FamilyPtr tabulation(std::uint64_t seed,
+                                                 std::size_t rows);
+  [[nodiscard]] KarySketch64::FamilyPtr carter_wegman(std::uint64_t seed,
+                                                      std::size_t rows);
+
+ private:
+  std::map<std::pair<std::uint64_t, std::size_t>, KarySketch::FamilyPtr>
+      tabulation_;
+  std::map<std::pair<std::uint64_t, std::size_t>, KarySketch64::FamilyPtr> cw_;
+};
+
+/// Writes a sketch. Throws std::runtime_error on stream failure.
+void write_sketch(std::ostream& out, const KarySketch& sketch);
+void write_sketch(std::ostream& out, const KarySketch64& sketch);
+
+/// Reads a sketch previously written with write_sketch. Throws
+/// std::runtime_error on malformed input or a family-kind mismatch.
+[[nodiscard]] KarySketch read_sketch32(std::istream& in,
+                                       FamilyRegistry& registry);
+[[nodiscard]] KarySketch64 read_sketch64(std::istream& in,
+                                         FamilyRegistry& registry);
+
+/// Convenience: (de)serialize via a byte buffer (the "export packet").
+[[nodiscard]] std::vector<std::uint8_t> sketch_to_bytes(const KarySketch& s);
+[[nodiscard]] KarySketch sketch_from_bytes(
+    const std::vector<std::uint8_t>& bytes, FamilyRegistry& registry);
+
+}  // namespace scd::sketch

@@ -1,0 +1,37 @@
+// Injected traffic anomalies — the ground-truth change events the detector
+// must surface. These model the anomaly classes the paper's introduction
+// motivates: DoS attacks, flash crowds (benign surges), scans, and element
+// failures/outages.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scd::traffic {
+
+enum class AnomalyKind {
+  kDosAttack,    // sudden high-rate surge toward one destination
+  kFlashCrowd,   // linear ramp up then down toward one destination
+  kPortScan,     // one source touching many destinations with tiny flows
+  kOutage,       // traffic toward a set of top destinations drops sharply
+};
+
+[[nodiscard]] const char* anomaly_kind_name(AnomalyKind kind) noexcept;
+
+struct AnomalySpec {
+  AnomalyKind kind = AnomalyKind::kDosAttack;
+  double start_s = 0.0;      // trace-relative start time
+  double duration_s = 300.0;
+  /// Intensity knob. DoS/flash crowd: extra records per second at peak.
+  /// Port scan: destinations probed per second. Outage: fraction of affected
+  /// traffic dropped (0..1].
+  double magnitude = 100.0;
+  /// Population rank of the target destination (DoS, flash crowd) or the
+  /// number of top-ranked destinations affected (outage).
+  std::size_t target_rank = 0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace scd::traffic

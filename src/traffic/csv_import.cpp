@@ -1,0 +1,131 @@
+#include "traffic/csv_import.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+#include "common/strutil.h"
+
+namespace scd::traffic {
+
+namespace {
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  out = v;
+  return true;
+}
+
+std::string strip(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return {};
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+bool parse_flow_csv_line(const std::string& line, FlowRecord& out,
+                         std::string& error) {
+  const auto fields = scd::common::split(line, ',');
+  if (fields.size() != 8) {
+    error = scd::common::str_format("expected 8 fields, got %zu",
+                                    fields.size());
+    return false;
+  }
+  double time_s = 0.0;
+  if (!parse_double(strip(fields[0]), time_s) || time_s < 0.0) {
+    error = "bad time: " + fields[0];
+    return false;
+  }
+  FlowRecord r;
+  r.timestamp_us = static_cast<std::uint64_t>(time_s * 1e6);
+  if (!scd::common::parse_ipv4(strip(fields[1]), r.src_ip)) {
+    error = "bad src_ip: " + fields[1];
+    return false;
+  }
+  if (!scd::common::parse_ipv4(strip(fields[2]), r.dst_ip)) {
+    error = "bad dst_ip: " + fields[2];
+    return false;
+  }
+  std::uint64_t sport = 0, dport = 0, proto = 0, packets = 0, bytes = 0;
+  if (!parse_u64(strip(fields[3]), sport) || sport > 65535) {
+    error = "bad src_port: " + fields[3];
+    return false;
+  }
+  if (!parse_u64(strip(fields[4]), dport) || dport > 65535) {
+    error = "bad dst_port: " + fields[4];
+    return false;
+  }
+  if (!parse_u64(strip(fields[5]), proto) || proto > 255) {
+    error = "bad protocol: " + fields[5];
+    return false;
+  }
+  if (!parse_u64(strip(fields[6]), packets) || packets == 0 ||
+      packets > 0xffffffffULL) {
+    error = "bad packets: " + fields[6];
+    return false;
+  }
+  if (!parse_u64(strip(fields[7]), bytes)) {
+    error = "bad bytes: " + fields[7];
+    return false;
+  }
+  r.src_port = static_cast<std::uint16_t>(sport);
+  r.dst_port = static_cast<std::uint16_t>(dport);
+  r.protocol = static_cast<std::uint8_t>(proto);
+  r.packets = static_cast<std::uint32_t>(packets);
+  r.bytes = bytes;
+  out = r;
+  return true;
+}
+
+std::vector<FlowRecord> read_flow_csv(std::istream& in) {
+  std::vector<FlowRecord> records;
+  std::string line;
+  std::size_t line_number = 0;
+  bool first_data_line = true;
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string trimmed = strip(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    FlowRecord record;
+    std::string error;
+    if (!parse_flow_csv_line(trimmed, record, error)) {
+      if (first_data_line) {
+        // Tolerate a header row ("time,src_ip,...").
+        first_data_line = false;
+        continue;
+      }
+      throw std::runtime_error(scd::common::str_format(
+          "csv line %zu: %s", line_number, error.c_str()));
+    }
+    first_data_line = false;
+    records.push_back(record);
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const FlowRecord& a, const FlowRecord& b) {
+                     return a.timestamp_us < b.timestamp_us;
+                   });
+  return records;
+}
+
+std::vector<FlowRecord> read_flow_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open csv file: " + path);
+  return read_flow_csv(in);
+}
+
+}  // namespace scd::traffic

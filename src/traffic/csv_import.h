@@ -1,0 +1,32 @@
+// CSV flow import — the bridge from real exporter output (e.g. nfdump -o csv
+// or SiLK rwcut) into the library's FlowRecord stream.
+//
+// Expected columns (header optional, '#' comments ignored):
+//   time,src_ip,dst_ip,src_port,dst_port,protocol,packets,bytes
+// where `time` is seconds (integer or fractional, absolute or relative) and
+// addresses are dotted-quad. Records are sorted by time after parsing, so
+// unordered exports are accepted.
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "traffic/flow_record.h"
+
+namespace scd::traffic {
+
+/// Parses one CSV line. Returns false and fills `error` on malformed input.
+[[nodiscard]] bool parse_flow_csv_line(const std::string& line,
+                                       FlowRecord& out, std::string& error);
+
+/// Reads a whole CSV stream; skips a leading header row (detected by a
+/// non-numeric first field), blank lines and '#' comments. Throws
+/// std::runtime_error naming the line number on malformed rows.
+[[nodiscard]] std::vector<FlowRecord> read_flow_csv(std::istream& in);
+
+/// Convenience file-path overload.
+[[nodiscard]] std::vector<FlowRecord> read_flow_csv_file(
+    const std::string& path);
+
+}  // namespace scd::traffic

@@ -1,0 +1,30 @@
+// Keyed 32-bit Feistel permutation: maps flow-population ranks to
+// pseudo-random but collision-free IPv4 addresses. Injectivity matters —
+// two ranks sharing an address would silently merge their time series.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace scd::traffic {
+
+/// 4-round balanced Feistel network on 16-bit halves; a permutation of the
+/// full 32-bit domain for any key.
+[[nodiscard]] constexpr std::uint32_t feistel32(std::uint32_t x,
+                                                std::uint64_t key) noexcept {
+  std::uint32_t left = x >> 16;
+  std::uint32_t right = x & 0xffff;
+  for (int round = 0; round < 4; ++round) {
+    const std::uint64_t mixed = scd::common::mix64(
+        (static_cast<std::uint64_t>(right) << 32) ^ key ^
+        (static_cast<std::uint64_t>(round) << 60));
+    const std::uint32_t f = static_cast<std::uint32_t>(mixed) & 0xffff;
+    const std::uint32_t new_right = left ^ f;
+    left = right;
+    right = new_right;
+  }
+  return (left << 16) | right;
+}
+
+}  // namespace scd::traffic

@@ -1,0 +1,30 @@
+// FlowRecord: the NetFlow-style input tuple of the data stream (§2.1's
+// Turnstile-model items are derived from these via a KeyExtractor and an
+// update value). Fixed-layout POD so the binary trace format is trivial.
+#pragma once
+
+#include <cstdint>
+
+namespace scd::traffic {
+
+struct FlowRecord {
+  std::uint64_t timestamp_us = 0;  // record start time, microseconds
+  std::uint32_t src_ip = 0;        // host byte order
+  std::uint32_t dst_ip = 0;        // host byte order
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t protocol = 6;       // IPPROTO_TCP by default
+  std::uint8_t tos = 0;
+  std::uint16_t flags = 0;
+  std::uint32_t packets = 1;
+  std::uint64_t bytes = 0;
+
+  friend bool operator==(const FlowRecord&, const FlowRecord&) = default;
+};
+
+/// Seconds (floating) since trace start for a record.
+[[nodiscard]] inline double record_time_s(const FlowRecord& r) noexcept {
+  return static_cast<double>(r.timestamp_us) * 1e-6;
+}
+
+}  // namespace scd::traffic

@@ -1,0 +1,77 @@
+// Key/update extraction: instantiates the Turnstile model (§2.1) from flow
+// records. The paper's experiments use (key = destination IP, update =
+// bytes); alternative keys are provided for the other aggregation levels the
+// paper discusses (source IP, address pairs, prefixes).
+#pragma once
+
+#include <cstdint>
+
+#include "traffic/flow_record.h"
+
+namespace scd::traffic {
+
+enum class KeyKind {
+  kDstIp,        // paper default
+  kSrcIp,
+  kSrcDstPair,   // 64-bit (src << 32) | dst
+  kDstIpPrefix24,
+  kDstIpPrefix16,
+};
+
+enum class UpdateKind {
+  kBytes,  // paper default
+  kPackets,
+  kRecords,  // +1 per record (connection counting)
+};
+
+[[nodiscard]] constexpr std::uint64_t extract_key(const FlowRecord& r,
+                                                  KeyKind kind) noexcept {
+  switch (kind) {
+    case KeyKind::kDstIp: return r.dst_ip;
+    case KeyKind::kSrcIp: return r.src_ip;
+    case KeyKind::kSrcDstPair:
+      return (static_cast<std::uint64_t>(r.src_ip) << 32) | r.dst_ip;
+    case KeyKind::kDstIpPrefix24: return r.dst_ip & 0xffffff00u;
+    case KeyKind::kDstIpPrefix16: return r.dst_ip & 0xffff0000u;
+  }
+  return r.dst_ip;
+}
+
+[[nodiscard]] constexpr double extract_update(const FlowRecord& r,
+                                              UpdateKind kind) noexcept {
+  switch (kind) {
+    case UpdateKind::kBytes: return static_cast<double>(r.bytes);
+    case UpdateKind::kPackets: return static_cast<double>(r.packets);
+    case UpdateKind::kRecords: return 1.0;
+  }
+  return static_cast<double>(r.bytes);
+}
+
+/// True when the key domain fits in 32 bits (allows the tabulation-hash fast
+/// path; kSrcDstPair requires the 64-bit CW family).
+[[nodiscard]] constexpr bool key_fits_32bit(KeyKind kind) noexcept {
+  return kind != KeyKind::kSrcDstPair;
+}
+
+/// True when `coarse` is an aggregation of `fine` along the destination-IP
+/// hierarchy (host ⊂ /24 ⊂ /16) — the §2.1 multi-level-aggregation chain.
+[[nodiscard]] constexpr bool aggregates(KeyKind coarse, KeyKind fine) noexcept {
+  if (coarse == KeyKind::kDstIpPrefix16) {
+    return fine == KeyKind::kDstIpPrefix24 || fine == KeyKind::kDstIp;
+  }
+  if (coarse == KeyKind::kDstIpPrefix24) return fine == KeyKind::kDstIp;
+  return false;
+}
+
+/// Projects a fine-level key up to a coarse aggregation level.
+/// Precondition: aggregates(coarse, fine).
+[[nodiscard]] constexpr std::uint64_t project_key(std::uint64_t fine_key,
+                                                  KeyKind coarse) noexcept {
+  switch (coarse) {
+    case KeyKind::kDstIpPrefix24: return fine_key & 0xffffff00u;
+    case KeyKind::kDstIpPrefix16: return fine_key & 0xffff0000u;
+    default: return fine_key;
+  }
+}
+
+}  // namespace scd::traffic

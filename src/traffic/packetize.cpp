@@ -1,0 +1,80 @@
+#include "traffic/packetize.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace scd::traffic {
+
+Packetizer::Packetizer(PacketizerConfig config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.min_packet >= 1);
+  assert(config_.max_packet >= config_.min_packet);
+  assert(config_.flow_spread_s >= 0.0);
+}
+
+void Packetizer::packetize_record(
+    const FlowRecord& record,
+    const std::function<void(const PacketRecord&)>& sink) {
+  const std::uint32_t n = std::max<std::uint32_t>(1, record.packets);
+  // Draw provisional sizes, then scale so the train sums to record.bytes.
+  std::vector<double> sizes(n);
+  double total = 0.0;
+  for (double& s : sizes) {
+    s = rng_.uniform(static_cast<double>(config_.min_packet),
+                     static_cast<double>(config_.max_packet));
+    total += s;
+  }
+  const double scale =
+      total > 0.0 ? static_cast<double>(record.bytes) / total : 0.0;
+
+  std::vector<std::uint64_t> offsets(n);
+  const double spread_us = config_.flow_spread_s * 1e6;
+  for (auto& o : offsets) {
+    o = static_cast<std::uint64_t>(rng_.next_double() * spread_us);
+  }
+  std::sort(offsets.begin(), offsets.end());
+
+  std::uint64_t emitted = 0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    PacketRecord p;
+    p.timestamp_us = record.timestamp_us + offsets[i];
+    p.src_ip = record.src_ip;
+    p.dst_ip = record.dst_ip;
+    p.src_port = record.src_port;
+    p.dst_port = record.dst_port;
+    p.protocol = record.protocol;
+    if (i + 1 == n) {
+      // Last packet absorbs the rounding remainder so totals match exactly.
+      p.bytes = static_cast<std::uint32_t>(
+          record.bytes > emitted ? record.bytes - emitted : 0);
+    } else {
+      const auto size = static_cast<std::uint64_t>(sizes[i] * scale);
+      const std::uint64_t remaining = record.bytes - emitted;
+      p.bytes = static_cast<std::uint32_t>(std::min(size, remaining));
+    }
+    emitted += p.bytes;
+    sink(p);
+  }
+}
+
+std::vector<PacketRecord> Packetizer::packetize(
+    std::span<const FlowRecord> records) {
+  std::vector<PacketRecord> packets;
+  std::uint64_t expected = 0;
+  for (const FlowRecord& r : records) {
+    expected += std::max<std::uint32_t>(1, r.packets);
+  }
+  packets.reserve(expected);
+  for (const FlowRecord& r : records) {
+    packetize_record(r, [&packets](const PacketRecord& p) {
+      packets.push_back(p);
+    });
+  }
+  std::sort(packets.begin(), packets.end(),
+            [](const PacketRecord& a, const PacketRecord& b) {
+              return a.timestamp_us < b.timestamp_us;
+            });
+  return packets;
+}
+
+}  // namespace scd::traffic

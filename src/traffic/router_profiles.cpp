@@ -1,0 +1,101 @@
+#include "traffic/router_profiles.h"
+
+#include <stdexcept>
+
+namespace scd::traffic {
+
+namespace {
+
+RouterProfile make_profile(std::string name, std::string size_class,
+                           std::uint64_t seed, double base_rate,
+                           std::size_t hosts, double zipf,
+                           std::vector<AnomalySpec> anomalies) {
+  RouterProfile p;
+  p.name = std::move(name);
+  p.size_class = std::move(size_class);
+  p.config.seed = seed;
+  p.config.duration_s = 14400.0;  // 4 hours, as in the paper
+  p.config.base_rate = base_rate;
+  p.config.num_hosts = hosts;
+  p.config.zipf_exponent = zipf;
+  p.config.diurnal_amplitude = 0.35;
+  p.config.diurnal_period_s = 28800.0;
+  p.config.diurnal_phase = static_cast<double>(seed % 7) * 0.7;
+  p.config.anomalies = std::move(anomalies);
+  return p;
+}
+
+AnomalySpec anomaly(AnomalyKind kind, double start_s, double duration_s,
+                    double magnitude, std::size_t target_rank) {
+  AnomalySpec a;
+  a.kind = kind;
+  a.start_s = start_s;
+  a.duration_s = duration_s;
+  a.magnitude = magnitude;
+  a.target_rank = target_rank;
+  return a;
+}
+
+std::vector<RouterProfile> build_catalog() {
+  using K = AnomalyKind;
+  std::vector<RouterProfile> catalog;
+  // All anomalies start after the 1-hour model warm-up the paper uses.
+  catalog.push_back(make_profile(
+      "r01", "large", 101, 210.0, 60000, 1.05,
+      {anomaly(K::kDosAttack, 5400, 600, 400.0, 120),
+       anomaly(K::kFlashCrowd, 8000, 1200, 300.0, 2500),
+       anomaly(K::kPortScan, 11000, 300, 200.0, 0),
+       anomaly(K::kOutage, 12800, 600, 0.8, 20)}));
+  catalog.push_back(make_profile(
+      "r02", "", 102, 150.0, 45000, 1.10,
+      {anomaly(K::kDosAttack, 6200, 400, 250.0, 300),
+       anomaly(K::kOutage, 10500, 500, 0.7, 12)}));
+  catalog.push_back(make_profile(
+      "r03", "", 103, 110.0, 38000, 0.95,
+      {anomaly(K::kFlashCrowd, 7200, 1500, 180.0, 1200),
+       anomaly(K::kPortScan, 12000, 400, 120.0, 0)}));
+  catalog.push_back(make_profile(
+      "r04", "", 104, 80.0, 30000, 1.00,
+      {anomaly(K::kDosAttack, 9000, 300, 200.0, 700),
+       anomaly(K::kFlashCrowd, 11500, 900, 100.0, 60)}));
+  catalog.push_back(make_profile(
+      "r05", "medium", 105, 55.0, 22000, 1.05,
+      {anomaly(K::kDosAttack, 6000, 300, 150.0, 200),
+       anomaly(K::kFlashCrowd, 9000, 900, 120.0, 900),
+       anomaly(K::kOutage, 12000, 400, 0.7, 10)}));
+  catalog.push_back(make_profile(
+      "r06", "", 106, 40.0, 18000, 1.15,
+      {anomaly(K::kPortScan, 7800, 600, 80.0, 0),
+       anomaly(K::kDosAttack, 11000, 400, 110.0, 90)}));
+  catalog.push_back(make_profile(
+      "r07", "", 107, 30.0, 15000, 0.90,
+      {anomaly(K::kFlashCrowd, 8400, 1200, 70.0, 400)}));
+  catalog.push_back(make_profile(
+      "r08", "", 108, 22.0, 12000, 1.00,
+      {anomaly(K::kDosAttack, 7000, 500, 80.0, 150),
+       anomaly(K::kOutage, 11800, 600, 0.75, 8)}));
+  catalog.push_back(make_profile(
+      "r09", "", 109, 17.0, 10000, 1.10,
+      {anomaly(K::kFlashCrowd, 9600, 800, 50.0, 250)}));
+  catalog.push_back(make_profile(
+      "r10", "small", 110, 14.0, 8000, 1.05,
+      {anomaly(K::kDosAttack, 7000, 300, 60.0, 50),
+       anomaly(K::kPortScan, 10000, 600, 40.0, 0)}));
+  return catalog;
+}
+
+}  // namespace
+
+const std::vector<RouterProfile>& router_catalog() {
+  static const std::vector<RouterProfile> catalog = build_catalog();
+  return catalog;
+}
+
+const RouterProfile& router_by_name(const std::string& name) {
+  for (const RouterProfile& p : router_catalog()) {
+    if (p.name == name || p.size_class == name) return p;
+  }
+  throw std::out_of_range("unknown router profile: " + name);
+}
+
+}  // namespace scd::traffic

@@ -1,0 +1,29 @@
+// The catalog of ten synthetic "routers" standing in for the paper's ten
+// backbone NetFlow files (§4.1: 861K to 60M records across routers). Record
+// counts are scaled down ~20x so the full evaluation suite runs in minutes;
+// the spread (15x between small and large), popularity skew, and anomaly mix
+// mirror the paper's setup. The named profiles "large", "medium", "small"
+// correspond to the three representative files §5 reports on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "traffic/synthetic.h"
+
+namespace scd::traffic {
+
+struct RouterProfile {
+  std::string name;        // "r01".."r10"
+  std::string size_class;  // "large", "medium", "small", or ""
+  SyntheticConfig config;
+};
+
+/// All ten router profiles, largest first.
+[[nodiscard]] const std::vector<RouterProfile>& router_catalog();
+
+/// Lookup by name ("r03") or size class ("large", "medium", "small").
+/// Throws std::out_of_range for unknown names.
+[[nodiscard]] const RouterProfile& router_by_name(const std::string& name);
+
+}  // namespace scd::traffic

@@ -1,0 +1,204 @@
+#include "traffic/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+#include "common/strutil.h"
+#include "traffic/feistel.h"
+
+namespace scd::traffic {
+
+const char* anomaly_kind_name(AnomalyKind kind) noexcept {
+  switch (kind) {
+    case AnomalyKind::kDosAttack: return "dos";
+    case AnomalyKind::kFlashCrowd: return "flash-crowd";
+    case AnomalyKind::kPortScan: return "port-scan";
+    case AnomalyKind::kOutage: return "outage";
+  }
+  return "?";
+}
+
+std::string AnomalySpec::to_string() const {
+  return scd::common::str_format(
+      "%s[start=%.0fs dur=%.0fs mag=%.1f rank=%zu]", anomaly_kind_name(kind),
+      start_s, duration_s, magnitude, target_rank);
+}
+
+namespace {
+constexpr std::uint64_t kDstSalt = 0xd57a11a5ULL;
+constexpr std::uint64_t kSrcSalt = 0x5ca77e12ULL;
+
+std::uint64_t to_us(double seconds) noexcept {
+  return static_cast<std::uint64_t>(seconds * 1e6);
+}
+}  // namespace
+
+SyntheticTraceGenerator::SyntheticTraceGenerator(SyntheticConfig config)
+    : config_(std::move(config)),
+      popularity_(config_.num_hosts, config_.zipf_exponent) {
+  assert(config_.duration_s > 0.0);
+  assert(config_.base_rate > 0.0);
+  assert(config_.num_hosts >= 1);
+}
+
+std::uint32_t SyntheticTraceGenerator::dst_ip_of_rank(
+    std::size_t rank) const noexcept {
+  return feistel32(static_cast<std::uint32_t>(rank), host_seed() ^ kDstSalt);
+}
+
+double SyntheticTraceGenerator::rate_at(double t) const noexcept {
+  const double phase =
+      2.0 * std::numbers::pi * t / config_.diurnal_period_s + config_.diurnal_phase;
+  const double factor = 1.0 + config_.diurnal_amplitude * std::sin(phase);
+  return config_.base_rate * std::max(factor, 0.05);
+}
+
+double SyntheticTraceGenerator::anomaly_envelope(const AnomalySpec& spec,
+                                                 double t) noexcept {
+  if (t < spec.start_s || t >= spec.start_s + spec.duration_s) return 0.0;
+  const double rel = (t - spec.start_s) / spec.duration_s;
+  switch (spec.kind) {
+    case AnomalyKind::kDosAttack:
+    case AnomalyKind::kPortScan:
+    case AnomalyKind::kOutage:
+      return 1.0;  // abrupt on/off
+    case AnomalyKind::kFlashCrowd:
+      // Triangular ramp: peak at the midpoint — the gradual build-up and
+      // decay that distinguishes flash crowds from attacks.
+      return rel < 0.5 ? 2.0 * rel : 2.0 * (1.0 - rel);
+  }
+  return 0.0;
+}
+
+void SyntheticTraceGenerator::emit_baseline_second(
+    double t, std::vector<FlowRecord>& out, scd::common::Rng& rng) {
+  const std::uint64_t n = rng.poisson(rate_at(t));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::size_t rank = popularity_.sample(rng);
+    // Outages suppress traffic to the top-ranked destinations.
+    bool dropped = false;
+    for (const AnomalySpec& spec : config_.anomalies) {
+      if (spec.kind == AnomalyKind::kOutage &&
+          anomaly_envelope(spec, t) > 0.0 && rank < spec.target_rank &&
+          rng.bernoulli(spec.magnitude)) {
+        dropped = true;
+        break;
+      }
+    }
+    if (dropped) continue;
+    FlowRecord r;
+    r.timestamp_us = to_us(t + rng.next_double());
+    r.dst_ip = dst_ip_of_rank(rank);
+    r.src_ip = feistel32(
+        static_cast<std::uint32_t>(rng.next_below(config_.num_hosts * 4)),
+        host_seed() ^ kSrcSalt);
+    r.src_port = static_cast<std::uint16_t>(rng.next_in(1024, 65535));
+    r.dst_port = rng.bernoulli(0.6)
+                     ? static_cast<std::uint16_t>(
+                           rng.bernoulli(0.7) ? 80 : 443)
+                     : static_cast<std::uint16_t>(rng.next_in(1, 65535));
+    r.protocol = rng.bernoulli(0.85) ? 6 : 17;  // TCP / UDP mix
+    const double bytes = rng.lognormal(config_.bytes_mu, config_.bytes_sigma);
+    r.bytes = std::max<std::uint64_t>(40, static_cast<std::uint64_t>(bytes));
+    r.packets = static_cast<std::uint32_t>(
+        std::max<std::uint64_t>(1, r.bytes / 800));
+    out.push_back(r);
+  }
+}
+
+void SyntheticTraceGenerator::emit_anomaly_second(
+    const AnomalySpec& spec, double t, std::vector<FlowRecord>& out,
+    scd::common::Rng& rng) {
+  const double envelope = anomaly_envelope(spec, t);
+  if (envelope <= 0.0 || spec.kind == AnomalyKind::kOutage) return;
+  const std::uint64_t n = rng.poisson(spec.magnitude * envelope);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    FlowRecord r;
+    r.timestamp_us = to_us(t + rng.next_double());
+    switch (spec.kind) {
+      case AnomalyKind::kDosAttack:
+        r.dst_ip = dst_ip_of_rank(spec.target_rank);
+        // Spoofed sources drawn uniformly from the whole IPv4 space.
+        r.src_ip = static_cast<std::uint32_t>(rng.next_u64());
+        r.dst_port = 80;
+        r.src_port = static_cast<std::uint16_t>(rng.next_in(1024, 65535));
+        r.protocol = 6;
+        r.bytes = static_cast<std::uint64_t>(rng.next_in(40, 120));
+        r.packets = 1;
+        break;
+      case AnomalyKind::kFlashCrowd:
+        r.dst_ip = dst_ip_of_rank(spec.target_rank);
+        r.src_ip = feistel32(
+            static_cast<std::uint32_t>(rng.next_below(config_.num_hosts * 16)),
+            host_seed() ^ kSrcSalt);
+        r.dst_port = 80;
+        r.src_port = static_cast<std::uint16_t>(rng.next_in(1024, 65535));
+        r.protocol = 6;
+        r.bytes = std::max<std::uint64_t>(
+            200, static_cast<std::uint64_t>(rng.lognormal(8.5, 1.0)));
+        r.packets = static_cast<std::uint32_t>(
+            std::max<std::uint64_t>(1, r.bytes / 800));
+        break;
+      case AnomalyKind::kPortScan: {
+        // One scanner sweeping random destinations with minimal probes.
+        r.src_ip = feistel32(0x5ca9, host_seed() ^ kSrcSalt);
+        r.dst_ip = static_cast<std::uint32_t>(rng.next_u64());
+        r.dst_port = static_cast<std::uint16_t>(rng.next_in(1, 1024));
+        r.src_port = 40000;
+        r.protocol = 6;
+        r.bytes = 40;
+        r.packets = 1;
+        break;
+      }
+      case AnomalyKind::kOutage:
+        return;  // handled in emit_baseline_second
+    }
+    out.push_back(r);
+  }
+}
+
+std::vector<FlowRecord> SyntheticTraceGenerator::generate() {
+  scd::common::Rng rng(config_.seed);
+  std::vector<FlowRecord> out;
+  out.reserve(static_cast<std::size_t>(config_.base_rate * config_.duration_s * 1.2));
+  const auto seconds = static_cast<std::size_t>(std::ceil(config_.duration_s));
+  for (std::size_t s = 0; s < seconds; ++s) {
+    const auto t = static_cast<double>(s);
+    emit_baseline_second(t, out, rng);
+    for (const AnomalySpec& spec : config_.anomalies) {
+      emit_anomaly_second(spec, t, out, rng);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlowRecord& a, const FlowRecord& b) {
+              return a.timestamp_us < b.timestamp_us;
+            });
+  return out;
+}
+
+std::string TraceStats::to_string() const {
+  return scd::common::str_format(
+      "records=%llu bytes=%llu distinct_dsts=%zu duration=%.0fs",
+      static_cast<unsigned long long>(records),
+      static_cast<unsigned long long>(total_bytes), distinct_dsts, duration_s);
+}
+
+TraceStats summarize_trace(const std::vector<FlowRecord>& records) {
+  TraceStats stats;
+  stats.records = records.size();
+  std::unordered_set<std::uint32_t> dsts;
+  for (const FlowRecord& r : records) {
+    stats.total_bytes += r.bytes;
+    dsts.insert(r.dst_ip);
+  }
+  stats.distinct_dsts = dsts.size();
+  if (!records.empty()) {
+    stats.duration_s = record_time_s(records.back()) - record_time_s(records.front());
+  }
+  return stats;
+}
+
+}  // namespace scd::traffic

@@ -1,0 +1,92 @@
+// Synthetic traffic generation — the substitute for the paper's proprietary
+// tier-1 ISP NetFlow data (§4.1; see DESIGN.md "Substitutions").
+//
+// The generator produces a time-ordered stream of flow records with the
+// statistical properties the evaluation depends on:
+//   * heavy-tailed key popularity (Zipf over a host population, so sketch
+//     collisions are dominated by elephants, as with real traffic),
+//   * Poisson record arrivals modulated by a slow diurnal-style drift (so
+//     forecasting models have real signal to track),
+//   * log-normal flow byte sizes,
+//   * injected ground-truth anomalies (DoS, flash crowd, port scan, outage).
+// Everything derives from one 64-bit seed; identical configs produce
+// identical traces on any platform.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "traffic/anomaly.h"
+#include "traffic/flow_record.h"
+
+namespace scd::traffic {
+
+struct SyntheticConfig {
+  std::uint64_t seed = 1;
+  /// Seed for the rank -> IP address mapping only. 0 means "use `seed`".
+  /// Multiple routers sharing a host_space_seed see the same destination
+  /// address space (different traffic), which is what makes cross-router
+  /// sketch COMBINE meaningful (ECMP-split paths to the same hosts).
+  std::uint64_t host_space_seed = 0;
+  double duration_s = 14400.0;        // 4 hours, like the paper's dumps
+  double base_rate = 100.0;           // baseline records/second
+  std::size_t num_hosts = 20000;      // destination population size
+  double zipf_exponent = 1.0;         // popularity skew
+  double diurnal_amplitude = 0.3;     // fractional rate modulation
+  double diurnal_period_s = 28800.0;  // slow drift across the trace
+  double diurnal_phase = 0.0;
+  double bytes_mu = 6.9;              // lognormal: median ~1 KB per record
+  double bytes_sigma = 1.4;
+  std::vector<AnomalySpec> anomalies;
+};
+
+class SyntheticTraceGenerator {
+ public:
+  explicit SyntheticTraceGenerator(SyntheticConfig config);
+
+  /// Generates the full trace, sorted by timestamp.
+  [[nodiscard]] std::vector<FlowRecord> generate();
+
+  /// The destination address assigned to a popularity rank (rank 0 = most
+  /// popular). Lets tests and harnesses locate anomaly targets.
+  [[nodiscard]] std::uint32_t dst_ip_of_rank(std::size_t rank) const noexcept;
+
+  [[nodiscard]] const SyntheticConfig& config() const noexcept { return config_; }
+
+ private:
+  /// Seed governing the rank -> address mapping (host_space_seed or seed).
+  [[nodiscard]] std::uint64_t host_seed() const noexcept {
+    return config_.host_space_seed != 0 ? config_.host_space_seed
+                                        : config_.seed;
+  }
+  /// Baseline record rate at time t (diurnal modulation).
+  [[nodiscard]] double rate_at(double t) const noexcept;
+  /// Envelope in [0, 1] for an anomaly at time t (0 outside its window).
+  [[nodiscard]] static double anomaly_envelope(const AnomalySpec& spec,
+                                               double t) noexcept;
+
+  void emit_baseline_second(double t, std::vector<FlowRecord>& out,
+                            scd::common::Rng& rng);
+  void emit_anomaly_second(const AnomalySpec& spec, double t,
+                           std::vector<FlowRecord>& out,
+                           scd::common::Rng& rng);
+
+  SyntheticConfig config_;
+  scd::common::ZipfDistribution popularity_;
+};
+
+/// Summary statistics of a trace (printed by harnesses and trace_inspect).
+struct TraceStats {
+  std::uint64_t records = 0;
+  std::uint64_t total_bytes = 0;
+  std::size_t distinct_dsts = 0;
+  double duration_s = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] TraceStats summarize_trace(const std::vector<FlowRecord>& records);
+
+}  // namespace scd::traffic

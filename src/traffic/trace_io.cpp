@@ -1,0 +1,153 @@
+#include "traffic/trace_io.h"
+
+#include <array>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+namespace scd::traffic {
+
+namespace {
+
+// Serialization helpers: explicit little-endian packing so traces are
+// portable across hosts.
+template <typename T>
+void put_le(std::uint8_t*& p, T value) noexcept {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    *p++ = static_cast<std::uint8_t>(value >> (8 * i));
+  }
+}
+
+template <typename T>
+T get_le(const std::uint8_t*& p) noexcept {
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value = static_cast<T>(value | (static_cast<T>(*p++) << (8 * i)));
+  }
+  return value;
+}
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
+
+void encode_record(const FlowRecord& r, std::uint8_t* buf) noexcept {
+  std::uint8_t* p = buf;
+  put_le<std::uint64_t>(p, r.timestamp_us);
+  put_le<std::uint32_t>(p, r.src_ip);
+  put_le<std::uint32_t>(p, r.dst_ip);
+  put_le<std::uint16_t>(p, r.src_port);
+  put_le<std::uint16_t>(p, r.dst_port);
+  put_le<std::uint8_t>(p, r.protocol);
+  put_le<std::uint8_t>(p, r.tos);
+  put_le<std::uint16_t>(p, r.flags);
+  put_le<std::uint32_t>(p, r.packets);
+  put_le<std::uint64_t>(p, r.bytes);
+  assert(static_cast<std::size_t>(p - buf) == kTraceRecordBytes);
+}
+
+FlowRecord decode_record(const std::uint8_t* buf) noexcept {
+  const std::uint8_t* p = buf;
+  FlowRecord r;
+  r.timestamp_us = get_le<std::uint64_t>(p);
+  r.src_ip = get_le<std::uint32_t>(p);
+  r.dst_ip = get_le<std::uint32_t>(p);
+  r.src_port = get_le<std::uint16_t>(p);
+  r.dst_port = get_le<std::uint16_t>(p);
+  r.protocol = get_le<std::uint8_t>(p);
+  r.tos = get_le<std::uint8_t>(p);
+  r.flags = get_le<std::uint16_t>(p);
+  r.packets = get_le<std::uint32_t>(p);
+  r.bytes = get_le<std::uint64_t>(p);
+  return r;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc), path_(path) {
+  if (!out_) throw std::runtime_error("TraceWriter: cannot open " + path);
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  std::uint8_t* p = header.data();
+  put_le<std::uint32_t>(p, kTraceMagic);
+  put_le<std::uint32_t>(p, kTraceVersion);
+  put_le<std::uint64_t>(p, 0);  // patched by finish()
+  out_.write(reinterpret_cast<const char*>(header.data()), header.size());
+}
+
+TraceWriter::~TraceWriter() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructor must not throw; errors are observable via explicit finish().
+  }
+}
+
+void TraceWriter::append(const FlowRecord& record) {
+  assert(record.timestamp_us >= last_timestamp_ &&
+         "trace records must be time-ordered");
+  last_timestamp_ = record.timestamp_us;
+  std::array<std::uint8_t, kTraceRecordBytes> buf{};
+  encode_record(record, buf.data());
+  out_.write(reinterpret_cast<const char*>(buf.data()), buf.size());
+  if (!out_) throw std::runtime_error("TraceWriter: write failed on " + path_);
+  ++count_;
+}
+
+void TraceWriter::finish() {
+  if (finished_) return;
+  finished_ = true;
+  out_.seekp(8);  // record_count offset
+  std::array<std::uint8_t, 8> buf{};
+  std::uint8_t* p = buf.data();
+  put_le<std::uint64_t>(p, count_);
+  out_.write(reinterpret_cast<const char*>(buf.data()), buf.size());
+  out_.close();
+  if (!out_ && count_ > 0) {
+    throw std::runtime_error("TraceWriter: finalize failed on " + path_);
+  }
+}
+
+TraceReader::TraceReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("TraceReader: cannot open " + path);
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  in_.read(reinterpret_cast<char*>(header.data()), header.size());
+  if (!in_) throw std::runtime_error("TraceReader: truncated header in " + path);
+  const std::uint8_t* p = header.data();
+  const auto magic = get_le<std::uint32_t>(p);
+  const auto version = get_le<std::uint32_t>(p);
+  count_ = get_le<std::uint64_t>(p);
+  if (magic != kTraceMagic) {
+    throw std::runtime_error("TraceReader: bad magic in " + path);
+  }
+  if (version != kTraceVersion) {
+    throw std::runtime_error("TraceReader: unsupported version in " + path);
+  }
+}
+
+bool TraceReader::next(FlowRecord& out) {
+  if (read_ >= count_) return false;
+  std::array<std::uint8_t, kTraceRecordBytes> buf{};
+  in_.read(reinterpret_cast<char*>(buf.data()), buf.size());
+  if (!in_) return false;
+  out = decode_record(buf.data());
+  ++read_;
+  return true;
+}
+
+void write_trace(const std::string& path,
+                 const std::vector<FlowRecord>& records) {
+  TraceWriter writer(path);
+  for (const FlowRecord& r : records) writer.append(r);
+  writer.finish();
+}
+
+std::vector<FlowRecord> read_trace(const std::string& path) {
+  TraceReader reader(path);
+  std::vector<FlowRecord> records;
+  records.reserve(reader.record_count());
+  FlowRecord r;
+  while (reader.next(r)) records.push_back(r);
+  return records;
+}
+
+}  // namespace scd::traffic

@@ -1,0 +1,76 @@
+// Binary trace file format — the repository's stand-in for "netflow dumps"
+// (§4.1). Little-endian, fixed-size records:
+//
+//   header:  magic "SCDT" | u32 version | u64 record_count
+//   records: timestamp_us u64 | src_ip u32 | dst_ip u32 | src_port u16 |
+//            dst_port u16 | protocol u8 | tos u8 | flags u16 | packets u32 |
+//            bytes u64
+//
+// Records must be appended in nondecreasing timestamp order (asserted by the
+// writer), matching how routers emit flow export.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "traffic/flow_record.h"
+
+namespace scd::traffic {
+
+inline constexpr std::uint32_t kTraceMagic = 0x54444353;  // "SCDT" LE
+inline constexpr std::uint32_t kTraceVersion = 1;
+inline constexpr std::size_t kTraceRecordBytes = 36;
+
+class TraceWriter {
+ public:
+  /// Opens (truncates) the file and writes a provisional header. Throws
+  /// std::runtime_error on I/O failure.
+  explicit TraceWriter(const std::string& path);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void append(const FlowRecord& record);
+
+  /// Patches the record count into the header and closes the file. Called by
+  /// the destructor if not called explicitly; call it directly to observe
+  /// errors.
+  void finish();
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept { return count_; }
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::uint64_t count_ = 0;
+  std::uint64_t last_timestamp_ = 0;
+  bool finished_ = false;
+};
+
+class TraceReader {
+ public:
+  /// Opens and validates the header. Throws std::runtime_error on a missing
+  /// file, bad magic, or unsupported version.
+  explicit TraceReader(const std::string& path);
+
+  /// Reads the next record; returns false at end of stream.
+  [[nodiscard]] bool next(FlowRecord& out);
+
+  [[nodiscard]] std::uint64_t record_count() const noexcept { return count_; }
+
+ private:
+  std::ifstream in_;
+  std::uint64_t count_ = 0;
+  std::uint64_t read_ = 0;
+};
+
+/// Convenience: writes a whole vector as a trace file.
+void write_trace(const std::string& path, const std::vector<FlowRecord>& records);
+
+/// Convenience: reads a whole trace file into memory.
+[[nodiscard]] std::vector<FlowRecord> read_trace(const std::string& path);
+
+}  // namespace scd::traffic

@@ -1,0 +1,87 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::common {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args);
+  return v;
+}
+
+TEST(FlagParser, ParsesEqualsForm) {
+  FlagParser flags;
+  flags.add_flag("alpha", "a");
+  const auto argv = argv_of({"--alpha=0.25"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.get("alpha"), "0.25");
+  EXPECT_TRUE(flags.has("alpha"));
+  EXPECT_EQ(flags.get_double("alpha"), 0.25);
+}
+
+TEST(FlagParser, ParsesSpaceForm) {
+  FlagParser flags;
+  flags.add_flag("k", "buckets");
+  const auto argv = argv_of({"--k", "8192"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(flags.get_int("k"), 8192);
+}
+
+TEST(FlagParser, BareFlagIsBooleanTrue) {
+  FlagParser flags;
+  flags.add_flag("online", "mode");
+  flags.add_flag("k", "buckets");
+  const auto argv = argv_of({"--online", "--k=4"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flags.get_bool("online"));
+  EXPECT_EQ(flags.get_int("k"), 4);
+}
+
+TEST(FlagParser, DefaultsApplyWhenUnset) {
+  FlagParser flags;
+  flags.add_flag("interval", "seconds", "300");
+  const auto argv = argv_of({});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(flags.has("interval"));
+  EXPECT_EQ(flags.get_double("interval"), 300.0);
+}
+
+TEST(FlagParser, CollectsPositional) {
+  FlagParser flags;
+  flags.add_flag("x", "x");
+  const auto argv = argv_of({"input.scdt", "--x=1", "more"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "input.scdt");
+  EXPECT_EQ(flags.positional()[1], "more");
+}
+
+TEST(FlagParser, RejectsUnknownFlag) {
+  FlagParser flags;
+  const auto argv = argv_of({"--bogus=1"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(flags.error().find("bogus"), std::string::npos);
+}
+
+TEST(FlagParser, NumericParsingRejectsGarbage) {
+  FlagParser flags;
+  flags.add_flag("n", "count");
+  const auto argv = argv_of({"--n=12x"});
+  ASSERT_TRUE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_FALSE(flags.get_int("n").has_value());
+  EXPECT_FALSE(flags.get_double("n").has_value());
+}
+
+TEST(FlagParser, HelpListsFlags) {
+  FlagParser flags;
+  flags.add_flag("alpha", "smoothing", "0.5");
+  const std::string help = flags.help("prog [flags]");
+  EXPECT_NE(help.find("alpha"), std::string::npos);
+  EXPECT_NE(help.find("smoothing"), std::string::npos);
+  EXPECT_NE(help.find("0.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scd::common

@@ -1,0 +1,45 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::common {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kInfo); }
+};
+
+TEST_F(LoggingTest, LevelRoundTrips) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST_F(LoggingTest, StreamMacroEvaluatesLazily) {
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  const auto expensive = [&evaluations] {
+    ++evaluations;
+    return 42;
+  };
+  SCD_DEBUG() << expensive();  // below threshold: must not evaluate
+  EXPECT_EQ(evaluations, 0);
+  SCD_ERROR() << expensive();  // at threshold: evaluates once
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, LogLineDoesNotCrashOnEmptyAndLongMessages) {
+  log_line(LogLevel::kInfo, "");
+  log_line(LogLevel::kWarn, std::string(10000, 'x'));
+}
+
+TEST_F(LoggingTest, StreamComposesTypes) {
+  set_log_level(LogLevel::kDebug);
+  // Composition of common types must compile and not crash.
+  SCD_INFO() << "value=" << 3 << " pi=" << 3.14 << " flag=" << true;
+}
+
+}  // namespace
+}  // namespace scd::common

@@ -1,0 +1,144 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+
+namespace scd::common {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  Rng rng(1);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(-10, 10);
+    xs.push_back(x);
+    s.add(x);
+  }
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-9);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng(2);
+  RunningStats all, left, right;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.normal();
+    all.add(x);
+    (i < 200 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(EmpiricalCdf, AtBoundaries) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(cdf.at(0.5), 0.0);
+  EXPECT_EQ(cdf.at(1.0), 0.25);
+  EXPECT_EQ(cdf.at(2.5), 0.5);
+  EXPECT_EQ(cdf.at(4.0), 1.0);
+  EXPECT_EQ(cdf.at(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInterpolates) {
+  EmpiricalCdf cdf({0.0, 10.0});
+  EXPECT_NEAR(cdf.quantile(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(cdf.quantile(0.5), 5.0, 1e-12);
+  EXPECT_NEAR(cdf.quantile(1.0), 10.0, 1e-12);
+}
+
+TEST(EmpiricalCdf, QuantileSingleSample) {
+  EmpiricalCdf cdf({7.0});
+  EXPECT_EQ(cdf.quantile(0.0), 7.0);
+  EXPECT_EQ(cdf.quantile(1.0), 7.0);
+}
+
+TEST(EmpiricalCdf, AddThenQuery) {
+  EmpiricalCdf cdf;
+  for (int i = 10; i >= 1; --i) cdf.add(static_cast<double>(i));
+  EXPECT_EQ(cdf.size(), 10u);
+  EXPECT_NEAR(cdf.at(5.0), 0.5, 1e-12);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  Rng rng(3);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 1000; ++i) cdf.add(rng.normal());
+  const auto curve = cdf.curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_EQ(curve.back().second, 1.0);
+}
+
+TEST(EmpiricalCdf, CurveDegenerateInput) {
+  EmpiricalCdf cdf({2.0, 2.0, 2.0});
+  const auto curve = cdf.curve(10);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_EQ(curve[0].first, 2.0);
+  EXPECT_EQ(curve[0].second, 1.0);
+}
+
+TEST(QuantileFreeFunction, MedianOfOddCount) {
+  EXPECT_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(EmpiricalCdf, NormalQuantilesSane) {
+  Rng rng(4);
+  EmpiricalCdf cdf;
+  for (int i = 0; i < 100000; ++i) cdf.add(rng.normal());
+  EXPECT_NEAR(cdf.quantile(0.5), 0.0, 0.02);
+  EXPECT_NEAR(cdf.quantile(0.8413), 1.0, 0.03);  // +1 sigma
+  EXPECT_NEAR(cdf.quantile(0.1587), -1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace scd::common

@@ -1,0 +1,66 @@
+#include "common/strutil.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::common {
+namespace {
+
+TEST(StrFormat, BasicFormatting) {
+  EXPECT_EQ(str_format("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(str_format("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(str_format("empty"), "empty");
+}
+
+TEST(StrFormat, LongOutput) {
+  const std::string long_arg(5000, 'a');
+  const std::string out = str_format("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(HumanCount, ScalesSuffixes) {
+  EXPECT_EQ(human_count(12), "12.00");
+  EXPECT_EQ(human_count(1200), "1.20K");
+  EXPECT_EQ(human_count(3400000), "3.40M");
+  EXPECT_EQ(human_count(5.6e9), "5.60G");
+}
+
+TEST(Ipv4ToString, FormatsOctets) {
+  EXPECT_EQ(ipv4_to_string(0), "0.0.0.0");
+  EXPECT_EQ(ipv4_to_string(0xffffffff), "255.255.255.255");
+  EXPECT_EQ(ipv4_to_string(0x0a000001), "10.0.0.1");
+  EXPECT_EQ(ipv4_to_string(0xc0a80164), "192.168.1.100");
+}
+
+TEST(ParseIpv4, RoundTrips) {
+  for (std::uint32_t addr : {0u, 0xffffffffu, 0x0a000001u, 0xc0a80164u}) {
+    std::uint32_t parsed = 0;
+    ASSERT_TRUE(parse_ipv4(ipv4_to_string(addr), parsed));
+    EXPECT_EQ(parsed, addr);
+  }
+}
+
+TEST(ParseIpv4, RejectsMalformed) {
+  std::uint32_t out = 0;
+  EXPECT_FALSE(parse_ipv4("", out));
+  EXPECT_FALSE(parse_ipv4("1.2.3", out));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4.5", out));
+  EXPECT_FALSE(parse_ipv4("256.0.0.1", out));
+  EXPECT_FALSE(parse_ipv4("a.b.c.d", out));
+  EXPECT_FALSE(parse_ipv4("1.2.3.4x", out));
+}
+
+TEST(Split, BasicAndEdgeCases) {
+  EXPECT_EQ(split("a,b,c", ',').size(), 3u);
+  EXPECT_EQ(split("a,b,c", ',')[1], "b");
+  EXPECT_EQ(split("", ',').size(), 1u);
+  const auto trailing = split("a,", ',');
+  ASSERT_EQ(trailing.size(), 2u);
+  EXPECT_EQ(trailing[1], "");
+  const auto empties = split(",,", ',');
+  EXPECT_EQ(empties.size(), 3u);
+}
+
+}  // namespace
+}  // namespace scd::common

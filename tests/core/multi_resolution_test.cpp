@@ -1,0 +1,139 @@
+#include "core/multi_resolution.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace scd::core {
+namespace {
+
+PipelineConfig level_config(traffic::KeyKind kind) {
+  PipelineConfig config;
+  config.interval_s = 10.0;
+  config.h = 5;
+  config.k = 4096;
+  config.key_kind = kind;
+  config.model.kind = forecast::ModelKind::kEwma;
+  config.model.alpha = 0.5;
+  config.threshold = 0.2;
+  return config;
+}
+
+std::vector<PipelineConfig> three_levels() {
+  return {level_config(traffic::KeyKind::kDstIpPrefix16),
+          level_config(traffic::KeyKind::kDstIpPrefix24),
+          level_config(traffic::KeyKind::kDstIp)};
+}
+
+traffic::FlowRecord record(double t_s, std::uint32_t dst, std::uint64_t bytes) {
+  traffic::FlowRecord r;
+  r.timestamp_us = static_cast<std::uint64_t>(t_s * 1e6);
+  r.dst_ip = dst;
+  r.src_ip = 1;
+  r.bytes = bytes;
+  r.packets = 1;
+  return r;
+}
+
+TEST(KeyProjection, HierarchyPredicates) {
+  using traffic::KeyKind;
+  EXPECT_TRUE(traffic::aggregates(KeyKind::kDstIpPrefix16, KeyKind::kDstIp));
+  EXPECT_TRUE(
+      traffic::aggregates(KeyKind::kDstIpPrefix16, KeyKind::kDstIpPrefix24));
+  EXPECT_TRUE(traffic::aggregates(KeyKind::kDstIpPrefix24, KeyKind::kDstIp));
+  EXPECT_FALSE(traffic::aggregates(KeyKind::kDstIp, KeyKind::kDstIpPrefix16));
+  EXPECT_FALSE(traffic::aggregates(KeyKind::kSrcIp, KeyKind::kDstIp));
+  EXPECT_EQ(traffic::project_key(0x0a0b0c0d, KeyKind::kDstIpPrefix24),
+            0x0a0b0c00u);
+  EXPECT_EQ(traffic::project_key(0x0a0b0c0d, KeyKind::kDstIpPrefix16),
+            0x0a0b0000u);
+}
+
+TEST(MultiResolutionPipeline, RejectsBadLevelOrdering) {
+  EXPECT_THROW(MultiResolutionPipeline({level_config(traffic::KeyKind::kDstIp),
+                                        level_config(
+                                            traffic::KeyKind::kDstIpPrefix16)}),
+               std::invalid_argument);
+  EXPECT_THROW(MultiResolutionPipeline({level_config(traffic::KeyKind::kDstIp)}),
+               std::invalid_argument);
+  auto levels = three_levels();
+  levels[1].interval_s = 20.0;
+  EXPECT_THROW(MultiResolutionPipeline(std::move(levels)),
+               std::invalid_argument);
+}
+
+TEST(MultiResolutionPipeline, EveryLevelSeesEveryRecord) {
+  MultiResolutionPipeline pipeline(three_levels());
+  for (int t = 0; t < 5; ++t) {
+    for (std::uint32_t host = 0; host < 20; ++host) {
+      pipeline.add_record(record(t * 10.0 + 1.0, 0x0a000000 + host, 100));
+    }
+  }
+  pipeline.flush();
+  ASSERT_EQ(pipeline.num_levels(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(pipeline.level(i).stats().records, 100u) << i;
+  }
+}
+
+TEST(MultiResolutionPipeline, DrillDownFollowsTheHierarchy) {
+  MultiResolutionPipeline pipeline(three_levels());
+  scd::common::Rng rng(1);
+  // Steady background over two /16s, spike on one host in interval 6.
+  const std::uint32_t victim = 0x0a0b0c0d;
+  for (int t = 0; t < 10; ++t) {
+    for (std::uint32_t i = 0; i < 40; ++i) {
+      const std::uint32_t dst =
+          (i % 2 ? 0x0a0b0000 : 0x0acc0000) + (i << 8) + (i % 5);
+      pipeline.add_record(
+          record(t * 10.0 + 1.0, dst, 100 + rng.next_below(10)));
+    }
+    if (t == 6) pipeline.add_record(record(t * 10.0 + 2.0, victim, 50000));
+  }
+  pipeline.flush();
+
+  // Find the /16 alarm for the victim's prefix in interval 6.
+  const auto& coarse_report = pipeline.level(0).reports()[6];
+  const detect::Alarm* coarse_alarm = nullptr;
+  for (const auto& alarm : coarse_report.alarms) {
+    if (alarm.key == (victim & 0xffff0000u)) coarse_alarm = &alarm;
+  }
+  ASSERT_NE(coarse_alarm, nullptr);
+
+  const auto mid = pipeline.drill_down(0, *coarse_alarm);
+  ASSERT_FALSE(mid.empty());
+  EXPECT_EQ(mid[0].key, victim & 0xffffff00u);
+  const auto fine = pipeline.drill_down(1, mid[0]);
+  ASSERT_FALSE(fine.empty());
+  EXPECT_EQ(fine[0].key, victim);
+  // Finest level has nothing below it.
+  EXPECT_TRUE(pipeline.drill_down(2, fine[0]).empty());
+}
+
+TEST(MultiResolutionPipeline, DrillDownIgnoresForeignPrefixes) {
+  MultiResolutionPipeline pipeline(three_levels());
+  for (int t = 0; t < 6; ++t) {
+    pipeline.add_record(record(t * 10.0 + 1.0, 0x0a0b0c0d, 100));
+    if (t == 4) pipeline.add_record(record(t * 10.0 + 2.0, 0x14141414, 90000));
+  }
+  pipeline.flush();
+  // The spike alarm is under 20.20/16; drilling from the 10.11/16 prefix
+  // must return nothing.
+  detect::Alarm foreign;
+  foreign.interval = 4;
+  foreign.key = 0x0a0b0000;
+  EXPECT_TRUE(pipeline.drill_down(0, foreign).empty());
+}
+
+TEST(MultiResolutionPipeline, DrillDownOutOfRangeIntervalIsEmpty) {
+  MultiResolutionPipeline pipeline(three_levels());
+  pipeline.add_record(record(1.0, 0x0a0b0c0d, 100));
+  pipeline.flush();
+  detect::Alarm alarm;
+  alarm.interval = 99;
+  alarm.key = 0x0a0b0000;
+  EXPECT_TRUE(pipeline.drill_down(0, alarm).empty());
+}
+
+}  // namespace
+}  // namespace scd::core

@@ -1,0 +1,48 @@
+// Smoke test for the umbrella header: one translation unit including
+// core/scd.h must see the whole public surface.
+#include "core/scd.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaHeader, PublicSurfaceIsVisible) {
+  // One symbol per subsystem; compilation is the real assertion.
+  scd::core::PipelineConfig pipeline_config;
+  EXPECT_NO_THROW(pipeline_config.validate());
+
+  const auto family = scd::sketch::make_tabulation_family(1, 5);
+  scd::sketch::KarySketch sketch(family, 1024);
+  sketch.update(1, 2.0);
+  EXPECT_GT(sketch.sum(), 0.0);
+
+  scd::forecast::ModelConfig model;
+  EXPECT_TRUE(model.valid());
+
+  scd::detect::SpaceSaving hitters(8);
+  hitters.update(5, 1.0);
+  EXPECT_EQ(hitters.size(), 1u);
+
+  scd::common::FlagParser flags;
+  flags.add_flag("x", "test");
+
+  scd::traffic::FlowRecord record;
+  EXPECT_EQ(scd::traffic::extract_key(record, scd::traffic::KeyKind::kDstIp),
+            0u);
+
+  const auto kinds = scd::forecast::all_model_kinds();
+  EXPECT_EQ(kinds.size(), 6u);
+}
+
+TEST(UmbrellaHeader, EndToEndThroughUmbrellaOnly) {
+  scd::core::PipelineConfig config;
+  config.interval_s = 10.0;
+  config.k = 1024;
+  scd::core::ChangeDetectionPipeline pipeline(config);
+  pipeline.add(1, 100.0, 0.0);
+  pipeline.add(1, 100.0, 11.0);
+  pipeline.flush();
+  EXPECT_EQ(pipeline.reports().size(), 2u);
+}
+
+}  // namespace

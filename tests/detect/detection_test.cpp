@@ -1,0 +1,93 @@
+#include "detect/detection.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace scd::detect {
+namespace {
+
+std::vector<KeyError> sample_ranked() {
+  std::vector<KeyError> errors{
+      {1, 3.0}, {2, -10.0}, {3, 0.5}, {4, 7.0}, {5, -1.0}};
+  sort_by_abs_error(errors);
+  return errors;  // keys by |e| desc: 2(10), 4(7), 1(3), 5(1), 3(0.5)
+}
+
+TEST(SortByAbsError, OrdersByMagnitudeDescending) {
+  const auto ranked = sample_ranked();
+  EXPECT_EQ(ranked[0].key, 2u);
+  EXPECT_EQ(ranked[1].key, 4u);
+  EXPECT_EQ(ranked[2].key, 1u);
+  EXPECT_EQ(ranked[3].key, 5u);
+  EXPECT_EQ(ranked[4].key, 3u);
+}
+
+TEST(SortByAbsError, TieBrokenByKey) {
+  std::vector<KeyError> errors{{9, -2.0}, {3, 2.0}, {7, 2.0}};
+  sort_by_abs_error(errors);
+  EXPECT_EQ(errors[0].key, 3u);
+  EXPECT_EQ(errors[1].key, 7u);
+  EXPECT_EQ(errors[2].key, 9u);
+}
+
+TEST(RankByAbsError, EvaluatesCallableOverKeys) {
+  const std::vector<std::uint64_t> keys{10, 20, 30};
+  const auto ranked = rank_by_abs_error(
+      keys, [](std::uint64_t key) { return key == 20 ? -100.0 : 1.0; });
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].key, 20u);
+  EXPECT_EQ(ranked[0].error, -100.0);
+}
+
+TEST(TopN, TruncatesOrReturnsAll) {
+  const auto ranked = sample_ranked();
+  EXPECT_EQ(top_n(ranked, 2).size(), 2u);
+  EXPECT_EQ(top_n(ranked, 2)[1].key, 4u);
+  EXPECT_EQ(top_n(ranked, 100).size(), 5u);
+  EXPECT_EQ(top_n(ranked, 0).size(), 0u);
+}
+
+TEST(AboveThreshold, CutsAtFractionOfL2) {
+  const auto ranked = sample_ranked();
+  // L2 = sqrt(100+49+9+1+0.25) = sqrt(159.25) ~ 12.62.
+  const double l2 = 12.62;
+  const auto flagged = above_threshold(ranked, 0.5, l2);  // cut ~ 6.31
+  ASSERT_EQ(flagged.size(), 2u);
+  EXPECT_EQ(flagged[0].key, 2u);
+  EXPECT_EQ(flagged[1].key, 4u);
+}
+
+TEST(AboveThreshold, BoundaryIsInclusive) {
+  std::vector<KeyError> errors{{1, 5.0}, {2, 4.0}};
+  const auto flagged = above_threshold(errors, 0.5, 10.0);  // cut = 5.0
+  ASSERT_EQ(flagged.size(), 1u);
+  EXPECT_EQ(flagged[0].key, 1u);
+}
+
+TEST(AboveThreshold, ZeroFractionFlagsEverything) {
+  const auto ranked = sample_ranked();
+  EXPECT_EQ(above_threshold(ranked, 0.0, 100.0).size(), ranked.size());
+}
+
+TEST(AboveThreshold, HugeFractionFlagsNothing) {
+  const auto ranked = sample_ranked();
+  EXPECT_EQ(above_threshold(ranked, 10.0, 100.0).size(), 0u);
+}
+
+TEST(MakeAlarms, CopiesFieldsAndAnnotates) {
+  const auto ranked = sample_ranked();
+  const auto alarms = make_alarms(top_n(ranked, 2), 17, 6.5);
+  ASSERT_EQ(alarms.size(), 2u);
+  EXPECT_EQ(alarms[0].interval, 17u);
+  EXPECT_EQ(alarms[0].key, 2u);
+  EXPECT_EQ(alarms[0].error, -10.0);
+  EXPECT_EQ(alarms[0].threshold_abs, 6.5);
+}
+
+TEST(MakeAlarms, EmptyInputYieldsNoAlarms) {
+  EXPECT_TRUE(make_alarms({}, 0, 1.0).empty());
+}
+
+}  // namespace
+}  // namespace scd::detect

@@ -1,0 +1,111 @@
+#include "detect/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace scd::detect {
+namespace {
+
+TEST(SpaceSaving, ExactWhenUnderCapacity) {
+  SpaceSaving ss(10);
+  ss.update(1, 100.0);
+  ss.update(2, 50.0);
+  ss.update(1, 25.0);
+  const auto top = ss.top(10);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_DOUBLE_EQ(top[0].count, 125.0);
+  EXPECT_DOUBLE_EQ(top[0].error, 0.0);
+  EXPECT_EQ(top[1].key, 2u);
+  EXPECT_DOUBLE_EQ(ss.guaranteed(1), 125.0);
+  EXPECT_DOUBLE_EQ(ss.guaranteed(99), 0.0);
+}
+
+TEST(SpaceSaving, EvictsMinimumAndInheritsError) {
+  SpaceSaving ss(2);
+  ss.update(1, 10.0);
+  ss.update(2, 5.0);
+  ss.update(3, 1.0);  // evicts key 2 (count 5), inherits error 5
+  const auto top = ss.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[1].key, 3u);
+  EXPECT_DOUBLE_EQ(top[1].count, 6.0);
+  EXPECT_DOUBLE_EQ(top[1].error, 5.0);
+  EXPECT_DOUBLE_EQ(ss.guaranteed(3), 1.0);
+}
+
+TEST(SpaceSaving, CountIsUpperBoundAndGuaranteedIsLowerBound) {
+  scd::common::Rng rng(1);
+  scd::common::ZipfDistribution zipf(2000, 1.2);
+  SpaceSaving ss(64);
+  std::unordered_map<std::uint64_t, double> truth;
+  for (int i = 0; i < 50000; ++i) {
+    const auto key = static_cast<std::uint64_t>(zipf.sample(rng));
+    const double w = rng.uniform(1.0, 10.0);
+    ss.update(key, w);
+    truth[key] += w;
+  }
+  for (const auto& entry : ss.top(64)) {
+    const double actual = truth[entry.key];
+    EXPECT_GE(entry.count + 1e-9, actual) << entry.key;
+    EXPECT_LE(entry.count - entry.error, actual + 1e-9) << entry.key;
+  }
+}
+
+TEST(SpaceSaving, HeavyHittersAreAlwaysMonitored) {
+  // Every key with weight > total/capacity must be present (the classic
+  // Space-Saving guarantee).
+  scd::common::Rng rng(2);
+  scd::common::ZipfDistribution zipf(5000, 1.1);
+  SpaceSaving ss(128);
+  std::unordered_map<std::uint64_t, double> truth;
+  for (int i = 0; i < 80000; ++i) {
+    const auto key = static_cast<std::uint64_t>(zipf.sample(rng));
+    ss.update(key, 1.0);
+    truth[key] += 1.0;
+  }
+  const double bar = ss.total_weight() / static_cast<double>(ss.capacity());
+  for (const auto& [key, weight] : truth) {
+    if (weight > bar) {
+      EXPECT_GT(ss.guaranteed(key) + ss.total_weight() * 1e-12, 0.0)
+          << "heavy key " << key << " missing";
+    }
+  }
+}
+
+TEST(SpaceSaving, TopIsSortedDescending) {
+  scd::common::Rng rng(3);
+  SpaceSaving ss(32);
+  for (int i = 0; i < 5000; ++i) {
+    ss.update(rng.next_below(100), rng.uniform(0, 5));
+  }
+  const auto top = ss.top(32);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].count, top[i].count);
+  }
+}
+
+TEST(SpaceSaving, ClearResets) {
+  SpaceSaving ss(4);
+  ss.update(1, 5.0);
+  ss.clear();
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_EQ(ss.total_weight(), 0.0);
+  EXPECT_TRUE(ss.top(4).empty());
+}
+
+TEST(SpaceSaving, SizeNeverExceedsCapacity) {
+  scd::common::Rng rng(4);
+  SpaceSaving ss(16);
+  for (int i = 0; i < 10000; ++i) {
+    ss.update(rng.next_u64(), 1.0);
+    EXPECT_LE(ss.size(), 16u);
+  }
+}
+
+}  // namespace
+}  // namespace scd::detect

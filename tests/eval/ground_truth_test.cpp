@@ -1,0 +1,88 @@
+#include "eval/ground_truth.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::eval {
+namespace {
+
+traffic::SyntheticConfig labeled_config() {
+  traffic::SyntheticConfig config;
+  config.seed = 17;
+  config.duration_s = 1800.0;
+  config.base_rate = 40.0;
+  config.num_hosts = 500;
+  traffic::AnomalySpec dos;
+  dos.kind = traffic::AnomalyKind::kDosAttack;
+  dos.start_s = 900.0;
+  dos.duration_s = 180.0;
+  dos.magnitude = 200.0;
+  dos.target_rank = 60;
+  config.anomalies.push_back(dos);
+  traffic::AnomalySpec scan;  // not labelable: no single target key
+  scan.kind = traffic::AnomalyKind::kPortScan;
+  scan.start_s = 1200.0;
+  scan.duration_s = 120.0;
+  scan.magnitude = 50.0;
+  config.anomalies.push_back(scan);
+  return config;
+}
+
+core::PipelineConfig base_pipeline() {
+  core::PipelineConfig config;
+  config.interval_s = 60.0;
+  config.h = 5;
+  config.k = 8192;
+  config.model.kind = forecast::ModelKind::kEwma;
+  config.model.alpha = 0.6;
+  return config;
+}
+
+TEST(GroundTruth, LabelsOnlySingleTargetAnomalies) {
+  traffic::SyntheticTraceGenerator generator(labeled_config());
+  const auto labels = labeled_anomalies(generator);
+  ASSERT_EQ(labels.size(), 1u);  // port scan excluded
+  EXPECT_EQ(labels[0].target_key, generator.dst_ip_of_rank(60));
+  EXPECT_DOUBLE_EQ(labels[0].start_s, 900.0);
+  EXPECT_DOUBLE_EQ(labels[0].end_s, 1080.0);
+}
+
+TEST(GroundTruth, RocDetectsAtLowThresholdMissesAtAbsurdOne) {
+  traffic::SyntheticTraceGenerator generator(labeled_config());
+  const auto records = generator.generate();
+  const auto labels = labeled_anomalies(generator);
+  const auto curve = threshold_roc(records, labels, base_pipeline(),
+                                   {0.05, 5.0}, 300.0);
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(curve[0].threshold, 0.05);
+  EXPECT_DOUBLE_EQ(curve[0].detection_rate, 1.0);
+  // A threshold of 5x the L2 norm can never fire (|e| <= L2 by definition).
+  EXPECT_DOUBLE_EQ(curve[1].detection_rate, 0.0);
+  EXPECT_DOUBLE_EQ(curve[1].false_alarms_per_interval, 0.0);
+}
+
+TEST(GroundTruth, FalseAlarmsDecreaseWithThreshold) {
+  traffic::SyntheticTraceGenerator generator(labeled_config());
+  const auto records = generator.generate();
+  const auto labels = labeled_anomalies(generator);
+  const auto curve = threshold_roc(records, labels, base_pipeline(),
+                                   {0.01, 0.05, 0.2}, 300.0);
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_GE(curve[0].false_alarms_per_interval,
+            curve[1].false_alarms_per_interval);
+  EXPECT_GE(curve[1].false_alarms_per_interval,
+            curve[2].false_alarms_per_interval);
+}
+
+TEST(GroundTruth, EmptyLabelsGiveVacuousDetection) {
+  traffic::SyntheticConfig config = labeled_config();
+  config.anomalies.clear();
+  traffic::SyntheticTraceGenerator generator(config);
+  const auto records = generator.generate();
+  const auto curve =
+      threshold_roc(records, {}, base_pipeline(), {0.1}, 300.0);
+  ASSERT_EQ(curve.size(), 1u);
+  EXPECT_DOUBLE_EQ(curve[0].detection_rate, 1.0);
+}
+
+}  // namespace
+}  // namespace scd::eval

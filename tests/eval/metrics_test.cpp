@@ -1,0 +1,122 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "detect/detection.h"
+
+namespace scd::eval {
+namespace {
+
+using detect::KeyError;
+
+TEST(RelativeDifference, SignedPercentage) {
+  EXPECT_DOUBLE_EQ(relative_difference_pct(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(relative_difference_pct(95.0, 100.0), -5.0);
+  EXPECT_DOUBLE_EQ(relative_difference_pct(100.0, 100.0), 0.0);
+}
+
+TEST(RelativeDifference, ZeroBaselineHandled) {
+  EXPECT_DOUBLE_EQ(relative_difference_pct(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_difference_pct(5.0, 0.0), 100.0);
+}
+
+std::vector<KeyError> ranked(std::initializer_list<KeyError> list) {
+  std::vector<KeyError> v(list);
+  detect::sort_by_abs_error(v);
+  return v;
+}
+
+TEST(TopNSimilarity, IdenticalListsAreOne) {
+  const auto pf = ranked({{1, 10}, {2, 8}, {3, 6}, {4, 4}});
+  EXPECT_DOUBLE_EQ(topn_similarity(pf, pf, 4), 1.0);
+  EXPECT_DOUBLE_EQ(topn_similarity(pf, pf, 2), 1.0);
+}
+
+TEST(TopNSimilarity, DisjointListsAreZero) {
+  const auto pf = ranked({{1, 10}, {2, 8}});
+  const auto sk = ranked({{5, 10}, {6, 8}});
+  EXPECT_DOUBLE_EQ(topn_similarity(pf, sk, 2), 0.0);
+}
+
+TEST(TopNSimilarity, PartialOverlapCounted) {
+  const auto pf = ranked({{1, 10}, {2, 8}, {3, 6}, {4, 4}});
+  const auto sk = ranked({{1, 9}, {9, 8}, {3, 7}, {8, 1}});
+  EXPECT_DOUBLE_EQ(topn_similarity(pf, sk, 4), 0.5);  // keys 1 and 3
+}
+
+TEST(TopNSimilarity, OrderWithinTopNDoesNotMatter) {
+  const auto pf = ranked({{1, 10}, {2, 8}, {3, 6}});
+  const auto sk = ranked({{3, 100}, {2, 50}, {1, 20}});  // reversed ranks
+  EXPECT_DOUBLE_EQ(topn_similarity(pf, sk, 3), 1.0);
+}
+
+TEST(TopNSimilarity, XFactorWidensSketchList) {
+  // Per-flow top-2 = {1, 2}; sketch ranks 2 at position 4 (outside top-2 but
+  // inside top-2*2).
+  const auto pf = ranked({{1, 10}, {2, 9}, {3, 1}, {4, 0.5}});
+  const auto sk = ranked({{1, 10}, {5, 6}, {6, 5}, {2, 4}});
+  EXPECT_DOUBLE_EQ(topn_similarity(pf, sk, 2, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(topn_similarity(pf, sk, 2, 2.0), 1.0);
+}
+
+TEST(TopNSimilarity, NLargerThanListsUsesAvailable) {
+  const auto pf = ranked({{1, 10}, {2, 8}});
+  const auto sk = ranked({{1, 10}});
+  EXPECT_DOUBLE_EQ(topn_similarity(pf, sk, 100), 0.5);
+}
+
+TEST(TopNSimilarity, EmptyPerFlowListIsVacuouslyOne) {
+  const std::vector<KeyError> empty;
+  const auto sk = ranked({{1, 1}});
+  EXPECT_DOUBLE_EQ(topn_similarity(empty, sk, 10), 1.0);
+}
+
+TEST(ThresholdCounts, PerfectAgreement) {
+  const auto pf = ranked({{1, 10}, {2, 8}, {3, 0.1}});
+  const auto counts = threshold_counts(pf, 10.0, pf, 10.0, 0.5);
+  EXPECT_EQ(counts.perflow_alarms, 2u);
+  EXPECT_EQ(counts.sketch_alarms, 2u);
+  EXPECT_EQ(counts.common, 2u);
+  EXPECT_DOUBLE_EQ(counts.false_negative_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.false_positive_ratio(), 0.0);
+}
+
+TEST(ThresholdCounts, MissedFlowIsFalseNegative) {
+  const auto pf = ranked({{1, 10}, {2, 8}});
+  const auto sk = ranked({{1, 10}, {2, 2}});  // sketch underestimates key 2
+  const auto counts = threshold_counts(pf, 10.0, sk, 10.0, 0.5);
+  EXPECT_EQ(counts.perflow_alarms, 2u);
+  EXPECT_EQ(counts.sketch_alarms, 1u);
+  EXPECT_EQ(counts.common, 1u);
+  EXPECT_DOUBLE_EQ(counts.false_negative_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(counts.false_positive_ratio(), 0.0);
+}
+
+TEST(ThresholdCounts, SpuriousFlowIsFalsePositive) {
+  const auto pf = ranked({{1, 10}});
+  const auto sk = ranked({{1, 10}, {9, 7}});
+  const auto counts = threshold_counts(pf, 10.0, sk, 10.0, 0.5);
+  EXPECT_DOUBLE_EQ(counts.false_positive_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(counts.false_negative_ratio(), 0.0);
+}
+
+TEST(ThresholdCounts, DifferentL2NormsApplyPerSide) {
+  const auto pf = ranked({{1, 6.0}});
+  const auto sk = ranked({{1, 6.0}});
+  // Per-flow cut: 0.5*10=5 -> alarm. Sketch cut: 0.5*20=10 -> no alarm.
+  const auto counts = threshold_counts(pf, 10.0, sk, 20.0, 0.5);
+  EXPECT_EQ(counts.perflow_alarms, 1u);
+  EXPECT_EQ(counts.sketch_alarms, 0u);
+  EXPECT_DOUBLE_EQ(counts.false_negative_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(counts.false_positive_ratio(), 0.0);  // 0/0 convention
+}
+
+TEST(ThresholdCounts, EmptyBothSidesIsClean) {
+  const std::vector<KeyError> empty;
+  const auto counts = threshold_counts(empty, 1.0, empty, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(counts.false_negative_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(counts.false_positive_ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace scd::eval

@@ -1,0 +1,191 @@
+// Cross-validation of the per-flow truth path and the sketch path on a
+// controlled synthetic stream.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "eval/intervalized.h"
+#include "eval/metrics.h"
+#include "eval/sketch_path.h"
+#include "eval/truth.h"
+#include "traffic/synthetic.h"
+
+namespace scd::eval {
+namespace {
+
+std::vector<traffic::FlowRecord> small_trace() {
+  traffic::SyntheticConfig config;
+  config.seed = 3;
+  config.duration_s = 1200.0;  // 20 intervals at 60 s
+  config.base_rate = 40.0;
+  config.num_hosts = 300;
+  config.zipf_exponent = 1.0;
+  traffic::AnomalySpec dos;
+  dos.kind = traffic::AnomalyKind::kDosAttack;
+  dos.start_s = 700.0;
+  dos.duration_s = 120.0;
+  dos.magnitude = 150.0;
+  dos.target_rank = 40;
+  config.anomalies.push_back(dos);
+  return traffic::SyntheticTraceGenerator(config).generate();
+}
+
+forecast::ModelConfig ewma(double alpha = 0.5) {
+  forecast::ModelConfig c;
+  c.kind = forecast::ModelKind::kEwma;
+  c.alpha = alpha;
+  return c;
+}
+
+class PathsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new std::vector<traffic::FlowRecord>(small_trace());
+    stream_ = new IntervalizedStream(*trace_, 60.0, traffic::KeyKind::kDstIp,
+                                     traffic::UpdateKind::kBytes);
+  }
+  static void TearDownTestSuite() {
+    delete stream_;
+    delete trace_;
+    stream_ = nullptr;
+    trace_ = nullptr;
+  }
+  static std::vector<traffic::FlowRecord>* trace_;
+  static IntervalizedStream* stream_;
+};
+
+std::vector<traffic::FlowRecord>* PathsTest::trace_ = nullptr;
+IntervalizedStream* PathsTest::stream_ = nullptr;
+
+TEST_F(PathsTest, TruthWarmupFollowsModel) {
+  const auto truth = compute_perflow_truth(*stream_, ewma());
+  ASSERT_EQ(truth.intervals.size(), stream_->num_intervals());
+  EXPECT_FALSE(truth.intervals[0].ready);  // EWMA needs one observation
+  for (std::size_t t = 1; t < truth.intervals.size(); ++t) {
+    EXPECT_TRUE(truth.intervals[t].ready) << t;
+  }
+}
+
+TEST_F(PathsTest, TruthF2DominatesCandidateErrors) {
+  const auto truth = compute_perflow_truth(*stream_, ewma());
+  for (const auto& interval : truth.intervals) {
+    if (!interval.ready) continue;
+    double candidate_f2 = 0.0;
+    for (const auto& e : interval.ranked) candidate_f2 += e.error * e.error;
+    EXPECT_GE(interval.f2 + 1e-6, candidate_f2);
+  }
+}
+
+TEST_F(PathsTest, TruthRankedIsSortedDescending) {
+  const auto truth = compute_perflow_truth(*stream_, ewma());
+  for (const auto& interval : truth.intervals) {
+    for (std::size_t i = 1; i < interval.ranked.size(); ++i) {
+      EXPECT_GE(std::abs(interval.ranked[i - 1].error),
+                std::abs(interval.ranked[i].error));
+    }
+  }
+}
+
+TEST_F(PathsTest, CollectErrorsFalseSkipsRanking) {
+  const auto truth = compute_perflow_truth(*stream_, ewma(), false);
+  for (const auto& interval : truth.intervals) {
+    EXPECT_TRUE(interval.ranked.empty());
+  }
+  EXPECT_GT(truth.total_f2(2), 0.0);
+}
+
+TEST_F(PathsTest, SketchPathWithHugeKMatchesTruth) {
+  const auto truth = compute_perflow_truth(*stream_, ewma());
+  SketchPathOptions options;
+  options.h = 5;
+  options.k = 65536;  // far above distinct keys per interval
+  const auto sketch = compute_sketch_errors(*stream_, ewma(), options);
+  ASSERT_EQ(sketch.intervals.size(), truth.intervals.size());
+  for (std::size_t t = 2; t < truth.intervals.size(); ++t) {
+    ASSERT_EQ(sketch.intervals[t].ready, truth.intervals[t].ready);
+    if (!truth.intervals[t].ready) continue;
+    EXPECT_NEAR(sketch.intervals[t].est_f2, truth.intervals[t].f2,
+                0.05 * truth.intervals[t].f2 + 1.0)
+        << t;
+    const double similarity = topn_similarity(truth.intervals[t].ranked,
+                                              sketch.intervals[t].ranked, 50);
+    EXPECT_GT(similarity, 0.9) << t;
+  }
+}
+
+TEST_F(PathsTest, SmallKDegradesGracefully) {
+  SketchPathOptions big, small;
+  big.k = 32768;
+  small.k = 64;  // heavy collisions
+  const auto truth = compute_perflow_truth(*stream_, ewma());
+  const auto s_big = compute_sketch_errors(*stream_, ewma(), big);
+  const auto s_small = compute_sketch_errors(*stream_, ewma(), small);
+  double sim_big = 0.0, sim_small = 0.0;
+  int n = 0;
+  for (std::size_t t = 2; t < truth.intervals.size(); ++t) {
+    if (!truth.intervals[t].ready) continue;
+    sim_big += topn_similarity(truth.intervals[t].ranked,
+                               s_big.intervals[t].ranked, 20);
+    sim_small += topn_similarity(truth.intervals[t].ranked,
+                                 s_small.intervals[t].ranked, 20);
+    ++n;
+  }
+  EXPECT_GT(sim_big / n, sim_small / n);
+}
+
+TEST_F(PathsTest, TotalEnergyRespectsWarmup) {
+  const auto truth = compute_perflow_truth(*stream_, ewma());
+  EXPECT_GE(truth.total_f2(0), truth.total_f2(5));
+  EXPECT_DOUBLE_EQ(truth.total_energy(3), std::sqrt(truth.total_f2(3)));
+}
+
+TEST_F(PathsTest, SketchTotalEnergyTracksPerFlow) {
+  const auto truth = compute_perflow_truth(*stream_, ewma(), false);
+  SketchPathOptions options;
+  options.k = 8192;
+  options.h = 5;
+  options.collect_errors = false;
+  const auto sketch = compute_sketch_errors(*stream_, ewma(), options);
+  const double rel = relative_difference_pct(sketch.total_energy(2),
+                                             truth.total_energy(2));
+  EXPECT_LT(std::abs(rel), 5.0);  // paper Fig 3: insignificant at K=8192
+}
+
+TEST_F(PathsTest, SrcDstPairKeysUseWideFamilyEndToEnd) {
+  // 64-bit keys force the Carter-Wegman path through compute_sketch_errors;
+  // accuracy against per-flow truth must hold just as for 32-bit keys.
+  const IntervalizedStream stream(*trace_, 60.0, traffic::KeyKind::kSrcDstPair,
+                                  traffic::UpdateKind::kBytes);
+  const auto truth = compute_perflow_truth(stream, ewma());
+  SketchPathOptions options;
+  options.h = 5;
+  options.k = 65536;
+  const auto sketch = compute_sketch_errors(stream, ewma(), options);
+  double total_similarity = 0.0;
+  int n = 0;
+  for (std::size_t t = 2; t < stream.num_intervals(); ++t) {
+    if (!truth.intervals[t].ready) continue;
+    total_similarity += topn_similarity(truth.intervals[t].ranked,
+                                        sketch.intervals[t].ranked, 50);
+    ++n;
+  }
+  ASSERT_GT(n, 0);
+  EXPECT_GT(total_similarity / n, 0.85);
+}
+
+TEST_F(PathsTest, DosAnomalyIsTopRankedInBothPaths) {
+  // The injected DoS (intervals ~11-13) must dominate the error ranking.
+  const auto truth = compute_perflow_truth(*stream_, ewma());
+  SketchPathOptions options;
+  options.k = 32768;
+  const auto sketch = compute_sketch_errors(*stream_, ewma(), options);
+  const std::size_t t = 12;  // attack onset: 700 s / 60 s
+  ASSERT_TRUE(truth.intervals[t].ready);
+  ASSERT_FALSE(truth.intervals[t].ranked.empty());
+  ASSERT_FALSE(sketch.intervals[t].ranked.empty());
+  EXPECT_EQ(truth.intervals[t].ranked[0].key,
+            sketch.intervals[t].ranked[0].key);
+}
+
+}  // namespace
+}  // namespace scd::eval

@@ -1,0 +1,161 @@
+// The linearity theorems behind the paper, tested exactly:
+//
+// 1. A forecasting model applied to a DenseVector equals the same model
+//    applied per-component to scalars (per-flow analysis is well-defined).
+// 2. Sketching commutes with forecasting: running the model on observed
+//    sketches yields, register for register, the sketch of the per-flow
+//    error vector. This is §3.2's claim "all six models can be implemented
+//    on top of sketches", made machine-checkable.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/random.h"
+#include "forecast/model_factory.h"
+#include "forecast/runner.h"
+#include "perflow/dense_vector.h"
+#include "sketch/kary_sketch.h"
+
+namespace scd::forecast {
+namespace {
+
+using perflow::DenseVector;
+using sketch::KarySketch;
+
+std::vector<ModelConfig> representative_configs() {
+  std::vector<ModelConfig> configs;
+  ModelConfig c;
+  c.kind = ModelKind::kMovingAverage;
+  c.window = 3;
+  configs.push_back(c);
+  c.kind = ModelKind::kSShapedMA;
+  c.window = 5;
+  configs.push_back(c);
+  c.kind = ModelKind::kEwma;
+  c.alpha = 0.4;
+  configs.push_back(c);
+  c.kind = ModelKind::kHoltWinters;
+  c.alpha = 0.6;
+  c.beta = 0.3;
+  configs.push_back(c);
+  c.kind = ModelKind::kArima0;
+  c.arima = {.p = 2, .d = 0, .q = 1, .ar = {0.5, 0.2}, .ma = {0.3, 0.0}};
+  configs.push_back(c);
+  c.kind = ModelKind::kArima1;
+  c.arima = {.p = 1, .d = 1, .q = 1, .ar = {0.4, 0.0}, .ma = {0.2, 0.0}};
+  configs.push_back(c);
+  return configs;
+}
+
+class EquivalenceTest : public ::testing::TestWithParam<ModelConfig> {
+ protected:
+  static constexpr std::size_t kDim = 40;
+  static constexpr std::size_t kIntervals = 12;
+
+  /// Random per-interval observations over kDim keys.
+  std::vector<DenseVector> make_observations(std::uint64_t seed) {
+    scd::common::Rng rng(seed);
+    std::vector<DenseVector> obs;
+    for (std::size_t t = 0; t < kIntervals; ++t) {
+      DenseVector v(kDim);
+      for (std::size_t i = 0; i < kDim; ++i) v[i] = rng.uniform(0, 100);
+      obs.push_back(v);
+    }
+    return obs;
+  }
+};
+
+TEST_P(EquivalenceTest, DenseVectorEqualsPerComponentScalar) {
+  const ModelConfig config = GetParam();
+  const auto obs = make_observations(1);
+
+  ForecastRunner<DenseVector> dense_runner(config, DenseVector(kDim));
+  std::vector<std::unique_ptr<ForecastRunner<ScalarSignal>>> scalar_runners;
+  for (std::size_t i = 0; i < kDim; ++i) {
+    scalar_runners.push_back(std::make_unique<ForecastRunner<ScalarSignal>>(
+        config, ScalarSignal{}));
+  }
+
+  for (std::size_t t = 0; t < kIntervals; ++t) {
+    const auto dense_step = dense_runner.step(obs[t]);
+    for (std::size_t i = 0; i < kDim; ++i) {
+      const auto scalar_step = scalar_runners[i]->step(ScalarSignal(obs[t][i]));
+      ASSERT_EQ(dense_step.has_value(), scalar_step.has_value())
+          << config.to_string() << " t=" << t;
+      if (dense_step.has_value()) {
+        EXPECT_NEAR(dense_step->error[i], scalar_step->error.value(), 1e-9)
+            << config.to_string() << " t=" << t << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, SketchingCommutesWithForecasting) {
+  const ModelConfig config = GetParam();
+  const auto obs = make_observations(2);
+  const auto family = sketch::make_tabulation_family(77, 5);
+  const std::size_t k = 512;
+
+  ForecastRunner<DenseVector> dense_runner(config, DenseVector(kDim));
+  ForecastRunner<KarySketch> sketch_runner(config, KarySketch(family, k));
+
+  for (std::size_t t = 0; t < kIntervals; ++t) {
+    KarySketch observed(family, k);
+    for (std::size_t i = 0; i < kDim; ++i) {
+      observed.update(i, obs[t][i]);  // key = component index
+    }
+    const auto sketch_step = sketch_runner.step(observed);
+    const auto dense_step = dense_runner.step(obs[t]);
+    ASSERT_EQ(sketch_step.has_value(), dense_step.has_value());
+    if (!sketch_step.has_value()) continue;
+
+    // Sketch the exact per-flow error vector and compare registers.
+    KarySketch error_of_truth(family, k);
+    for (std::size_t i = 0; i < kDim; ++i) {
+      error_of_truth.update(i, dense_step->error[i]);
+    }
+    const auto got = sketch_step->error.registers();
+    const auto want = error_of_truth.registers();
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t idx = 0; idx < got.size(); ++idx) {
+      EXPECT_NEAR(got[idx], want[idx], 1e-6)
+          << config.to_string() << " t=" << t << " register=" << idx;
+    }
+  }
+}
+
+TEST_P(EquivalenceTest, SketchEstimatesTrackPerFlowErrorsWhenKIsLarge) {
+  const ModelConfig config = GetParam();
+  const auto obs = make_observations(3);
+  const auto family = sketch::make_tabulation_family(99, 5);
+  const std::size_t k = 8192;  // K >> kDim: collisions negligible
+
+  ForecastRunner<DenseVector> dense_runner(config, DenseVector(kDim));
+  ForecastRunner<KarySketch> sketch_runner(config, KarySketch(family, k));
+
+  for (std::size_t t = 0; t < kIntervals; ++t) {
+    KarySketch observed(family, k);
+    for (std::size_t i = 0; i < kDim; ++i) observed.update(i, obs[t][i]);
+    const auto sketch_step = sketch_runner.step(observed);
+    const auto dense_step = dense_runner.step(obs[t]);
+    if (!sketch_step.has_value()) continue;
+    const double l2 = std::sqrt(std::max(dense_step->error.f2(), 1e-12));
+    for (std::size_t i = 0; i < kDim; ++i) {
+      EXPECT_NEAR(sketch_step->error.estimate(i), dense_step->error[i],
+                  0.05 * l2 + 1e-6)
+          << config.to_string() << " t=" << t << " i=" << i;
+    }
+    EXPECT_NEAR(sketch_step->error.estimate_f2(), dense_step->error.f2(),
+                0.05 * dense_step->error.f2() + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, EquivalenceTest, ::testing::ValuesIn(representative_configs()),
+    [](const ::testing::TestParamInfo<ModelConfig>& param_info) {
+      return std::string(model_kind_name(param_info.param.kind));
+    });
+
+}  // namespace
+}  // namespace scd::forecast

@@ -1,0 +1,149 @@
+#include "forecast/model_config.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::forecast {
+namespace {
+
+TEST(ModelKind, NamesMatchPaper) {
+  EXPECT_STREQ(model_kind_name(ModelKind::kMovingAverage), "MA");
+  EXPECT_STREQ(model_kind_name(ModelKind::kSShapedMA), "SMA");
+  EXPECT_STREQ(model_kind_name(ModelKind::kEwma), "EWMA");
+  EXPECT_STREQ(model_kind_name(ModelKind::kHoltWinters), "NSHW");
+  EXPECT_STREQ(model_kind_name(ModelKind::kArima0), "ARIMA0");
+  EXPECT_STREQ(model_kind_name(ModelKind::kArima1), "ARIMA1");
+}
+
+TEST(ModelKind, AllKindsListsSix) {
+  const auto kinds = all_model_kinds();
+  EXPECT_EQ(kinds.size(), 6u);
+  EXPECT_EQ(kinds.front(), ModelKind::kMovingAverage);
+  EXPECT_EQ(kinds.back(), ModelKind::kArima1);
+}
+
+TEST(Stationarity, Ar1Triangle) {
+  ArimaCoeffs c;
+  c.p = 1;
+  c.q = 0;
+  c.ar = {0.9, 0.0};
+  EXPECT_TRUE(is_stationary(c));
+  c.ar = {-0.9, 0.0};
+  EXPECT_TRUE(is_stationary(c));
+  c.ar = {1.0, 0.0};
+  EXPECT_FALSE(is_stationary(c));
+  c.ar = {-1.2, 0.0};
+  EXPECT_FALSE(is_stationary(c));
+}
+
+TEST(Stationarity, Ar2Triangle) {
+  ArimaCoeffs c;
+  c.p = 2;
+  c.q = 0;
+  // Inside the triangle.
+  c.ar = {0.5, 0.3};
+  EXPECT_TRUE(is_stationary(c));
+  c.ar = {1.2, -0.4};
+  EXPECT_TRUE(is_stationary(c));
+  // Violations of each edge.
+  c.ar = {0.8, 0.3};  // ar1 + ar2 >= 1
+  EXPECT_FALSE(is_stationary(c));
+  c.ar = {-0.5, 0.6};  // ar2 - ar1 >= 1
+  EXPECT_FALSE(is_stationary(c));
+  c.ar = {0.0, -1.1};  // |ar2| >= 1
+  EXPECT_FALSE(is_stationary(c));
+}
+
+TEST(Invertibility, MirrorsStationarityTriangle) {
+  ArimaCoeffs c;
+  c.p = 0;
+  c.q = 2;
+  c.ma = {0.5, 0.3};
+  EXPECT_TRUE(is_invertible(c));
+  c.ma = {2.0, 0.0};
+  EXPECT_FALSE(is_invertible(c));
+  c.ma = {0.0, 1.1};
+  EXPECT_FALSE(is_invertible(c));
+}
+
+TEST(ModelConfig, WindowModelsRequirePositiveWindow) {
+  ModelConfig config;
+  config.kind = ModelKind::kMovingAverage;
+  config.window = 0;
+  EXPECT_FALSE(config.valid());
+  config.window = 1;
+  EXPECT_TRUE(config.valid());
+  config.kind = ModelKind::kSShapedMA;
+  config.window = 12;
+  EXPECT_TRUE(config.valid());
+}
+
+TEST(ModelConfig, EwmaAlphaRange) {
+  ModelConfig config;
+  config.kind = ModelKind::kEwma;
+  config.alpha = -0.1;
+  EXPECT_FALSE(config.valid());
+  config.alpha = 0.0;
+  EXPECT_TRUE(config.valid());
+  config.alpha = 1.0;
+  EXPECT_TRUE(config.valid());
+  config.alpha = 1.1;
+  EXPECT_FALSE(config.valid());
+}
+
+TEST(ModelConfig, HoltWintersNeedsBothParams) {
+  ModelConfig config;
+  config.kind = ModelKind::kHoltWinters;
+  config.alpha = 0.5;
+  config.beta = 1.5;
+  EXPECT_FALSE(config.valid());
+  config.beta = 0.5;
+  EXPECT_TRUE(config.valid());
+}
+
+TEST(ModelConfig, ArimaOrderMustMatchKind) {
+  ModelConfig config;
+  config.kind = ModelKind::kArima0;
+  config.arima.p = 1;
+  config.arima.d = 0;
+  config.arima.q = 0;
+  config.arima.ar = {0.5, 0.0};
+  EXPECT_TRUE(config.valid());
+  config.arima.d = 1;  // ARIMA0 must have d = 0
+  EXPECT_FALSE(config.valid());
+  config.kind = ModelKind::kArima1;
+  EXPECT_TRUE(config.valid());
+}
+
+TEST(ModelConfig, ArimaRejectsEmptyAndOversizedOrders) {
+  ModelConfig config;
+  config.kind = ModelKind::kArima0;
+  config.arima.p = 0;
+  config.arima.q = 0;
+  EXPECT_FALSE(config.valid());  // p + q >= 1
+  config.arima.p = 3;
+  config.arima.q = 0;
+  EXPECT_FALSE(config.valid());  // p <= 2
+}
+
+TEST(ModelConfig, ArimaValidityChecksCoefficients) {
+  ModelConfig config;
+  config.kind = ModelKind::kArima0;
+  config.arima.p = 2;
+  config.arima.q = 1;
+  config.arima.ar = {0.5, 0.2};
+  config.arima.ma = {0.3, 0.0};
+  EXPECT_TRUE(config.valid());
+  config.arima.ar = {1.5, 0.7};  // non-stationary
+  EXPECT_FALSE(config.valid());
+}
+
+TEST(ModelConfig, ToStringMentionsKindAndParams) {
+  ModelConfig config;
+  config.kind = ModelKind::kEwma;
+  config.alpha = 0.25;
+  EXPECT_NE(config.to_string().find("EWMA"), std::string::npos);
+  EXPECT_NE(config.to_string().find("0.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scd::forecast

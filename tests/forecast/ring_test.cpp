@@ -1,0 +1,67 @@
+#include "forecast/ring.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::forecast {
+namespace {
+
+TEST(HistoryRing, FillsUpToCapacity) {
+  HistoryRing<int> ring(3);
+  EXPECT_EQ(ring.size(), 0u);
+  EXPECT_FALSE(ring.full());
+  ring.push(1);
+  ring.push(2);
+  EXPECT_EQ(ring.size(), 2u);
+  ring.push(3);
+  EXPECT_TRUE(ring.full());
+  EXPECT_EQ(ring.capacity(), 3u);
+}
+
+TEST(HistoryRing, BackIndexesFromMostRecent) {
+  HistoryRing<int> ring(3);
+  ring.push(10);
+  ring.push(20);
+  ring.push(30);
+  EXPECT_EQ(ring.back(1), 30);
+  EXPECT_EQ(ring.back(2), 20);
+  EXPECT_EQ(ring.back(3), 10);
+}
+
+TEST(HistoryRing, EvictsOldestWhenFull) {
+  HistoryRing<int> ring(3);
+  for (int i = 1; i <= 10; ++i) ring.push(i);
+  EXPECT_EQ(ring.size(), 3u);
+  EXPECT_EQ(ring.back(1), 10);
+  EXPECT_EQ(ring.back(2), 9);
+  EXPECT_EQ(ring.back(3), 8);
+}
+
+TEST(HistoryRing, PartialFillIndexing) {
+  HistoryRing<int> ring(5);
+  ring.push(100);
+  EXPECT_EQ(ring.back(1), 100);
+  ring.push(200);
+  EXPECT_EQ(ring.back(1), 200);
+  EXPECT_EQ(ring.back(2), 100);
+}
+
+TEST(HistoryRing, CapacityOne) {
+  HistoryRing<int> ring(1);
+  ring.push(1);
+  ring.push(2);
+  ring.push(3);
+  EXPECT_EQ(ring.size(), 1u);
+  EXPECT_EQ(ring.back(1), 3);
+}
+
+TEST(HistoryRing, WorksWithNonTrivialTypes) {
+  HistoryRing<std::vector<double>> ring(2);
+  ring.push({1.0, 2.0});
+  ring.push({3.0});
+  ring.push({4.0, 5.0, 6.0});
+  EXPECT_EQ(ring.back(1).size(), 3u);
+  EXPECT_EQ(ring.back(2).size(), 1u);
+}
+
+}  // namespace
+}  // namespace scd::forecast

@@ -1,0 +1,71 @@
+#include "forecast/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "sketch/kary_sketch.h"
+
+namespace scd::forecast {
+namespace {
+
+ModelConfig ewma(double alpha = 0.5) {
+  ModelConfig c;
+  c.kind = ModelKind::kEwma;
+  c.alpha = alpha;
+  return c;
+}
+
+TEST(ForecastRunner, WarmupReturnsNullopt) {
+  ForecastRunner<ScalarSignal> runner(ewma(), ScalarSignal{});
+  EXPECT_FALSE(runner.step(ScalarSignal(10.0)).has_value());
+  EXPECT_TRUE(runner.step(ScalarSignal(20.0)).has_value());
+}
+
+TEST(ForecastRunner, ErrorPlusForecastEqualsObserved) {
+  // The defining identity S_o(t) = S_f(t) + S_e(t) (up to FP rounding of
+  // the subtraction/re-addition), every step.
+  ForecastRunner<ScalarSignal> runner(ewma(0.3), ScalarSignal{});
+  scd::common::Rng rng(1);
+  for (int t = 0; t < 50; ++t) {
+    const double observed = rng.uniform(0, 1000);
+    const auto step = runner.step(ScalarSignal(observed));
+    if (!step.has_value()) continue;
+    EXPECT_NEAR(step->forecast.value() + step->error.value(), observed,
+                1e-9 * observed);
+  }
+}
+
+TEST(ForecastRunner, SketchIdentityHoldsRegisterwise) {
+  const auto family = sketch::make_tabulation_family(3, 5);
+  const sketch::KarySketch prototype(family, 256);
+  ForecastRunner<sketch::KarySketch> runner(ewma(), prototype);
+  scd::common::Rng rng(2);
+  for (int t = 0; t < 10; ++t) {
+    sketch::KarySketch observed = prototype;
+    for (int i = 0; i < 50; ++i) {
+      observed.update(rng.next_below(1000), rng.uniform(0, 100));
+    }
+    const auto step = runner.step(observed);
+    if (!step.has_value()) continue;
+    for (std::size_t idx = 0; idx < observed.registers().size(); ++idx) {
+      EXPECT_NEAR(step->forecast.registers()[idx] + step->error.registers()[idx],
+                  observed.registers()[idx], 1e-9);
+    }
+  }
+}
+
+TEST(ForecastRunner, RejectsInvalidConfigAtConstruction) {
+  ModelConfig bad = ewma(2.0);
+  EXPECT_THROW(ForecastRunner<ScalarSignal>(bad, ScalarSignal{}),
+               std::invalid_argument);
+}
+
+TEST(ForecastRunner, ModelAccessorReflectsProgress) {
+  ForecastRunner<ScalarSignal> runner(ewma(), ScalarSignal{});
+  EXPECT_EQ(runner.model().observed_count(), 0u);
+  (void)runner.step(ScalarSignal(1.0));
+  EXPECT_EQ(runner.model().observed_count(), 1u);
+}
+
+}  // namespace
+}  // namespace scd::forecast

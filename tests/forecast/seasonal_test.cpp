@@ -1,0 +1,131 @@
+#include "forecast/seasonal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <optional>
+#include <vector>
+
+#include "forecast/model_factory.h"
+#include "forecast/smoothing.h"
+
+namespace scd::forecast {
+namespace {
+
+std::vector<std::optional<double>> drive(ForecastModel<ScalarSignal>& model,
+                                         const std::vector<double>& obs) {
+  std::vector<std::optional<double>> forecasts;
+  for (double o : obs) {
+    if (model.ready()) {
+      ScalarSignal f;
+      model.forecast_into(f);
+      forecasts.emplace_back(f.value());
+    } else {
+      forecasts.emplace_back(std::nullopt);
+    }
+    model.observe(ScalarSignal(o));
+  }
+  return forecasts;
+}
+
+TEST(SeasonalHoltWinters, NotReadyUntilOneFullPeriod) {
+  SeasonalHoltWintersModel<ScalarSignal> model(0.5, 0.5, 0.5, 4,
+                                               ScalarSignal{});
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_FALSE(model.ready());
+    model.observe(ScalarSignal(static_cast<double>(i)));
+  }
+  model.observe(ScalarSignal(3.0));
+  EXPECT_TRUE(model.ready());
+}
+
+TEST(SeasonalHoltWinters, PerfectlyPeriodicSeriesForecastExactly) {
+  // A pure period-4 pattern with no trend: after initialization the
+  // forecast must match the upcoming observation exactly.
+  const std::vector<double> pattern{10.0, 50.0, 30.0, 20.0};
+  std::vector<double> obs;
+  for (int rep = 0; rep < 5; ++rep) {
+    obs.insert(obs.end(), pattern.begin(), pattern.end());
+  }
+  SeasonalHoltWintersModel<ScalarSignal> model(0.3, 0.2, 0.4, 4,
+                                               ScalarSignal{});
+  const auto f = drive(model, obs);
+  for (std::size_t t = 4; t < obs.size(); ++t) {
+    ASSERT_TRUE(f[t].has_value()) << t;
+    EXPECT_NEAR(*f[t], obs[t], 1e-9) << t;
+  }
+}
+
+TEST(SeasonalHoltWinters, BeatsNonSeasonalOnCyclicTraffic) {
+  // Sinusoidal daily cycle: the seasonal model's residual energy must be
+  // well below non-seasonal Holt-Winters'.
+  std::vector<double> obs;
+  const std::size_t period = 12;
+  for (int t = 0; t < 96; ++t) {
+    obs.push_back(1000.0 +
+                  600.0 * std::sin(2.0 * std::numbers::pi * t / period));
+  }
+  SeasonalHoltWintersModel<ScalarSignal> seasonal(0.3, 0.1, 0.3, period,
+                                                  ScalarSignal{});
+  HoltWintersModel<ScalarSignal> plain(0.5, 0.3, ScalarSignal{});
+  double seasonal_energy = 0.0, plain_energy = 0.0;
+  const auto fs = drive(seasonal, obs);
+  const auto fp = drive(plain, obs);
+  for (std::size_t t = 2 * period; t < obs.size(); ++t) {
+    if (fs[t]) seasonal_energy += (obs[t] - *fs[t]) * (obs[t] - *fs[t]);
+    if (fp[t]) plain_energy += (obs[t] - *fp[t]) * (obs[t] - *fp[t]);
+  }
+  EXPECT_LT(seasonal_energy, 0.25 * plain_energy);
+}
+
+TEST(SeasonalHoltWinters, TrendPlusSeasonTracked) {
+  // Linear growth + period-3 season. gamma=0 keeps the initial seasonal
+  // profile; the model should track the compound series closely.
+  const std::vector<double> season{0.0, 30.0, -30.0};
+  std::vector<double> obs;
+  for (int t = 0; t < 30; ++t) {
+    obs.push_back(100.0 + 5.0 * t + season[t % 3]);
+  }
+  SeasonalHoltWintersModel<ScalarSignal> model(0.5, 0.5, 0.0, 3,
+                                               ScalarSignal{});
+  const auto f = drive(model, obs);
+  for (std::size_t t = 12; t < obs.size(); ++t) {
+    ASSERT_TRUE(f[t].has_value());
+    EXPECT_NEAR(*f[t], obs[t], 10.0) << t;
+  }
+}
+
+TEST(SeasonalHoltWinters, FactoryBuildsIt) {
+  ModelConfig config;
+  config.kind = ModelKind::kSeasonalHoltWinters;
+  config.alpha = 0.4;
+  config.beta = 0.2;
+  config.gamma = 0.3;
+  config.period = 6;
+  const auto model = make_model<ScalarSignal>(config, ScalarSignal{});
+  ASSERT_NE(model, nullptr);
+  EXPECT_FALSE(model->ready());
+  EXPECT_NE(config.to_string().find("SHW"), std::string::npos);
+}
+
+TEST(SeasonalHoltWinters, ConfigValidation) {
+  ModelConfig config;
+  config.kind = ModelKind::kSeasonalHoltWinters;
+  config.period = 1;  // too short
+  EXPECT_FALSE(config.valid());
+  config.period = 2;
+  EXPECT_TRUE(config.valid());
+  config.gamma = 1.5;
+  EXPECT_FALSE(config.valid());
+}
+
+TEST(SeasonalHoltWinters, PaperModelListUnchanged) {
+  // The extension must not leak into the paper's model sweep.
+  for (const auto kind : all_model_kinds()) {
+    EXPECT_NE(kind, ModelKind::kSeasonalHoltWinters);
+  }
+}
+
+}  // namespace
+}  // namespace scd::forecast

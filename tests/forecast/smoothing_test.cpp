@@ -1,0 +1,189 @@
+// Hand-computed validation of the §3.2.1 smoothing models on scalar signals.
+#include "forecast/smoothing.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "forecast/model_factory.h"
+
+namespace scd::forecast {
+namespace {
+
+/// Feeds observations; returns the forecast the model produced *for each
+/// observation* (nullopt while not ready).
+template <typename Model>
+std::vector<std::optional<double>> drive(Model& model,
+                                         const std::vector<double>& obs) {
+  std::vector<std::optional<double>> forecasts;
+  for (double o : obs) {
+    if (model.ready()) {
+      ScalarSignal f;
+      model.forecast_into(f);
+      forecasts.emplace_back(f.value());
+    } else {
+      forecasts.emplace_back(std::nullopt);
+    }
+    model.observe(ScalarSignal(o));
+  }
+  return forecasts;
+}
+
+TEST(MovingAverage, AveragesLastWObservations) {
+  MovingAverageModel<ScalarSignal> model(3, ScalarSignal{});
+  const auto f = drive(model, {3.0, 6.0, 9.0, 12.0, 15.0});
+  EXPECT_FALSE(f[0].has_value());
+  EXPECT_DOUBLE_EQ(*f[1], 3.0);              // truncated window: {3}
+  EXPECT_DOUBLE_EQ(*f[2], 4.5);              // {3, 6}
+  EXPECT_DOUBLE_EQ(*f[3], 6.0);              // {3, 6, 9}
+  EXPECT_DOUBLE_EQ(*f[4], 9.0);              // {6, 9, 12}
+}
+
+TEST(MovingAverage, WindowOneEqualsLastValue) {
+  MovingAverageModel<ScalarSignal> model(1, ScalarSignal{});
+  const auto f = drive(model, {5.0, 7.0, 2.0});
+  EXPECT_DOUBLE_EQ(*f[1], 5.0);
+  EXPECT_DOUBLE_EQ(*f[2], 7.0);
+}
+
+TEST(MovingAverage, ConstantSeriesForecastsConstant) {
+  MovingAverageModel<ScalarSignal> model(5, ScalarSignal{});
+  const auto f = drive(model, {4.0, 4.0, 4.0, 4.0, 4.0, 4.0});
+  for (std::size_t i = 1; i < f.size(); ++i) EXPECT_DOUBLE_EQ(*f[i], 4.0);
+}
+
+TEST(SShapedMA, WeightsFavorRecentHalf) {
+  // W = 4, m = ceil(4/2) = 2: weights (ago=1..4) = 1, 1, 2/3, 1/3.
+  SShapedMaModel<ScalarSignal> model(4, ScalarSignal{});
+  const auto f = drive(model, {1.0, 2.0, 3.0, 4.0, 0.0});
+  // After observing 1,2,3,4 (ago1=4, ago2=3, ago3=2, ago4=1):
+  // (1*4 + 1*3 + (2/3)*2 + (1/3)*1) / (1 + 1 + 2/3 + 1/3)
+  const double expected = (4.0 + 3.0 + 2.0 * 2.0 / 3.0 + 1.0 / 3.0) / 3.0;
+  EXPECT_NEAR(*f[4], expected, 1e-12);
+}
+
+TEST(SShapedMA, WindowOneDegeneratesToLastValue) {
+  SShapedMaModel<ScalarSignal> model(1, ScalarSignal{});
+  const auto f = drive(model, {5.0, 9.0});
+  EXPECT_DOUBLE_EQ(*f[1], 5.0);
+}
+
+TEST(SShapedMA, TruncatedWindowNormalizesWeights) {
+  SShapedMaModel<ScalarSignal> model(6, ScalarSignal{});
+  const auto f = drive(model, {10.0, 20.0});
+  EXPECT_DOUBLE_EQ(*f[1], 10.0);  // single sample: weight cancels
+}
+
+TEST(SShapedMA, MoreReactiveThanPlainMAOnRamp) {
+  MovingAverageModel<ScalarSignal> ma(6, ScalarSignal{});
+  SShapedMaModel<ScalarSignal> sma(6, ScalarSignal{});
+  const std::vector<double> ramp{1, 2, 3, 4, 5, 6, 7};
+  const auto fma = drive(ma, ramp);
+  const auto fsma = drive(sma, ramp);
+  // On an increasing series, recency-weighted SMA forecasts higher.
+  EXPECT_GT(*fsma[6], *fma[6]);
+}
+
+TEST(Ewma, MatchesRecurrence) {
+  const double alpha = 0.3;
+  EwmaModel<ScalarSignal> model(alpha, ScalarSignal{});
+  const std::vector<double> obs{10.0, 20.0, 5.0, 8.0};
+  const auto f = drive(model, obs);
+  EXPECT_FALSE(f[0].has_value());
+  EXPECT_DOUBLE_EQ(*f[1], 10.0);  // S_f(2) = S_o(1)
+  double expected = 10.0;
+  expected = alpha * 20.0 + (1 - alpha) * expected;
+  EXPECT_DOUBLE_EQ(*f[2], expected);
+  expected = alpha * 5.0 + (1 - alpha) * expected;
+  EXPECT_DOUBLE_EQ(*f[3], expected);
+}
+
+TEST(Ewma, AlphaOneTracksLastObservation) {
+  EwmaModel<ScalarSignal> model(1.0, ScalarSignal{});
+  const auto f = drive(model, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(*f[1], 1.0);
+  EXPECT_DOUBLE_EQ(*f[2], 2.0);
+}
+
+TEST(Ewma, AlphaZeroFreezesFirstValue) {
+  EwmaModel<ScalarSignal> model(0.0, ScalarSignal{});
+  const auto f = drive(model, {7.0, 100.0, -3.0});
+  EXPECT_DOUBLE_EQ(*f[1], 7.0);
+  EXPECT_DOUBLE_EQ(*f[2], 7.0);
+}
+
+TEST(HoltWinters, NotReadyUntilTwoObservations) {
+  HoltWintersModel<ScalarSignal> model(0.5, 0.5, ScalarSignal{});
+  EXPECT_FALSE(model.ready());
+  model.observe(ScalarSignal(1.0));
+  EXPECT_FALSE(model.ready());
+  model.observe(ScalarSignal(2.0));
+  EXPECT_TRUE(model.ready());
+}
+
+TEST(HoltWinters, FirstForecastFollowsPaperInit) {
+  // With S_s(2) = o1 and S_t(2) = o2 - o1, the §3.2.1 recurrences give
+  // S_f(3) = o2 + (o2 - o1) regardless of alpha/beta (derivation in
+  // smoothing.h comments).
+  for (double alpha : {0.2, 0.5, 0.9}) {
+    for (double beta : {0.1, 0.7}) {
+      HoltWintersModel<ScalarSignal> model(alpha, beta, ScalarSignal{});
+      model.observe(ScalarSignal(10.0));
+      model.observe(ScalarSignal(14.0));
+      ScalarSignal f;
+      model.forecast_into(f);
+      EXPECT_NEAR(f.value(), 14.0 + 4.0, 1e-12)
+          << "alpha=" << alpha << " beta=" << beta;
+    }
+  }
+}
+
+TEST(HoltWinters, TracksLinearTrendExactly) {
+  // A pure linear series is forecast perfectly by NSHW from t=3 onward.
+  HoltWintersModel<ScalarSignal> model(0.5, 0.5, ScalarSignal{});
+  const std::vector<double> obs{10, 13, 16, 19, 22, 25};
+  const auto f = drive(model, obs);
+  for (std::size_t t = 2; t < obs.size(); ++t) {
+    ASSERT_TRUE(f[t].has_value());
+    EXPECT_NEAR(*f[t], obs[t], 1e-9) << "t=" << t;
+  }
+}
+
+TEST(HoltWinters, BetaZeroFreezesInitialTrend) {
+  HoltWintersModel<ScalarSignal> model(1.0, 0.0, ScalarSignal{});
+  // alpha=1: smoothing = last obs; beta=0: trend stays o2 - o1 = 5.
+  const auto f = drive(model, {0.0, 5.0, 5.0, 5.0});
+  EXPECT_DOUBLE_EQ(*f[2], 10.0);  // 5 + 5
+  EXPECT_DOUBLE_EQ(*f[3], 10.0);  // still trending by +5
+}
+
+TEST(ModelFactory, BuildsEveryKind) {
+  const ScalarSignal prototype;
+  for (ModelKind kind : all_model_kinds()) {
+    ModelConfig config;
+    config.kind = kind;
+    config.window = 3;
+    config.alpha = 0.5;
+    config.beta = 0.5;
+    config.arima.p = 1;
+    config.arima.q = 1;
+    config.arima.d = kind == ModelKind::kArima1 ? 1 : 0;
+    config.arima.ar = {0.5, 0.0};
+    config.arima.ma = {0.2, 0.0};
+    const auto model = make_model<ScalarSignal>(config, prototype);
+    ASSERT_NE(model, nullptr) << model_kind_name(kind);
+    EXPECT_EQ(model->observed_count(), 0u);
+  }
+}
+
+TEST(ModelFactory, RejectsInvalidConfig) {
+  ModelConfig config;
+  config.kind = ModelKind::kEwma;
+  config.alpha = 2.0;
+  EXPECT_THROW(make_model<ScalarSignal>(config, ScalarSignal{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace scd::forecast

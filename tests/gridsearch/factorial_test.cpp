@@ -1,0 +1,105 @@
+#include "gridsearch/factorial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace scd::gridsearch {
+namespace {
+
+TEST(FullFactorial, SingleFactorMainEffect) {
+  const std::vector<Factor> factors{{"x", 0.0, 10.0}};
+  const auto result =
+      full_factorial(factors, [](const std::vector<double>& v) {
+        return 3.0 * v[0] + 7.0;
+      });
+  ASSERT_EQ(result.effects.size(), 2u);
+  EXPECT_DOUBLE_EQ(result.effect("mean").value, 3.0 * 5.0 + 7.0);
+  EXPECT_DOUBLE_EQ(result.effect("x").value, 30.0);  // f(high) - f(low)
+}
+
+TEST(FullFactorial, AdditiveResponseHasNoInteraction) {
+  const std::vector<Factor> factors{{"a", 0.0, 1.0}, {"b", 0.0, 1.0}};
+  const auto result =
+      full_factorial(factors, [](const std::vector<double>& v) {
+        return 2.0 * v[0] + 5.0 * v[1];
+      });
+  EXPECT_DOUBLE_EQ(result.effect("a").value, 2.0);
+  EXPECT_DOUBLE_EQ(result.effect("b").value, 5.0);
+  EXPECT_NEAR(result.effect("a*b").value, 0.0, 1e-12);
+  EXPECT_EQ(result.effect("a*b").order, 2);
+}
+
+TEST(FullFactorial, PureInteractionDetected) {
+  const std::vector<Factor> factors{{"a", -1.0, 1.0}, {"b", -1.0, 1.0}};
+  const auto result =
+      full_factorial(factors, [](const std::vector<double>& v) {
+        return v[0] * v[1];
+      });
+  EXPECT_NEAR(result.effect("a").value, 0.0, 1e-12);
+  EXPECT_NEAR(result.effect("b").value, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(result.effect("a*b").value, 2.0);
+}
+
+TEST(FullFactorial, ThreeFactorLabelsAndOrders) {
+  const std::vector<Factor> factors{
+      {"H", 1.0, 5.0}, {"K", 1024.0, 8192.0}, {"T", 60.0, 300.0}};
+  const auto result = full_factorial(
+      factors, [](const std::vector<double>& v) { return v[0] + v[1] + v[2]; });
+  ASSERT_EQ(result.effects.size(), 8u);
+  EXPECT_EQ(result.effect("H*K*T").order, 3);
+  EXPECT_EQ(result.effect("H*K").order, 2);
+  EXPECT_DOUBLE_EQ(result.effect("K").value, 8192.0 - 1024.0);
+  EXPECT_EQ(result.runs.size(), 8u);
+}
+
+TEST(FullFactorial, RankedSortsByMagnitude) {
+  const std::vector<Factor> factors{{"a", 0.0, 1.0}, {"b", 0.0, 1.0}};
+  const auto result =
+      full_factorial(factors, [](const std::vector<double>& v) {
+        return 1.0 * v[0] + 10.0 * v[1] + 3.0 * v[0] * v[1];
+      });
+  const auto ranked = result.ranked();
+  ASSERT_EQ(ranked.size(), 3u);
+  // b: avg(10, 13) = 11.5; a: avg(1, 4) = 2.5; a*b: (4 - 1)/2 = 1.5.
+  EXPECT_EQ(ranked[0].name, "b");
+  EXPECT_DOUBLE_EQ(ranked[0].value, 11.5);
+  EXPECT_EQ(ranked[1].name, "a");
+  EXPECT_DOUBLE_EQ(ranked[1].value, 2.5);
+  EXPECT_EQ(ranked[2].name, "a*b");
+  EXPECT_DOUBLE_EQ(ranked[2].value, 1.5);
+}
+
+TEST(FullFactorial, ResponseCalledExactlyOncePerRun) {
+  int calls = 0;
+  const std::vector<Factor> factors{{"a", 0, 1}, {"b", 0, 1}, {"c", 0, 1},
+                                    {"d", 0, 1}};
+  (void)full_factorial(factors, [&calls](const std::vector<double>&) {
+    ++calls;
+    return 0.0;
+  });
+  EXPECT_EQ(calls, 16);
+}
+
+TEST(FullFactorial, UnknownEffectThrows) {
+  const std::vector<Factor> factors{{"a", 0.0, 1.0}};
+  const auto result = full_factorial(
+      factors, [](const std::vector<double>& v) { return v[0]; });
+  EXPECT_THROW((void)result.effect("zzz"), std::out_of_range);
+}
+
+TEST(FullFactorial, RunsInStandardOrder) {
+  // run i uses factor j's high level iff bit j of i is set.
+  const std::vector<Factor> factors{{"a", 0.0, 1.0}, {"b", 0.0, 2.0}};
+  const auto result =
+      full_factorial(factors, [](const std::vector<double>& v) {
+        return v[0] + v[1];  // encodes the assignment uniquely
+      });
+  EXPECT_DOUBLE_EQ(result.runs[0], 0.0);  // (low, low)
+  EXPECT_DOUBLE_EQ(result.runs[1], 1.0);  // (high, low)
+  EXPECT_DOUBLE_EQ(result.runs[2], 2.0);  // (low, high)
+  EXPECT_DOUBLE_EQ(result.runs[3], 3.0);  // (high, high)
+}
+
+}  // namespace
+}  // namespace scd::gridsearch

@@ -1,0 +1,138 @@
+#include "gridsearch/grid_search.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "forecast/linear_space.h"
+#include "forecast/runner.h"
+
+namespace scd::gridsearch {
+namespace {
+
+using scd::forecast::ModelConfig;
+using scd::forecast::ModelKind;
+
+TEST(GridSearch, EwmaFindsQuadraticMinimum) {
+  // Objective with a known interior minimum at alpha = 0.37.
+  const auto objective = [](const ModelConfig& c) {
+    return (c.alpha - 0.37) * (c.alpha - 0.37);
+  };
+  const auto result = grid_search(ModelKind::kEwma, objective);
+  // Two passes with 10 divisions reach ~0.01 resolution around the optimum.
+  EXPECT_NEAR(result.best.alpha, 0.37, 0.02);
+  EXPECT_EQ(result.best.kind, ModelKind::kEwma);
+  EXPECT_GT(result.evaluations, 10u);
+}
+
+TEST(GridSearch, SecondPassRefinesBeyondFirstPassGrid) {
+  const auto objective = [](const ModelConfig& c) {
+    return std::abs(c.alpha - 0.4321);
+  };
+  GridSearchOptions one_pass;
+  one_pass.passes = 1;
+  const auto coarse = grid_search(ModelKind::kEwma, objective, one_pass);
+  const auto fine = grid_search(ModelKind::kEwma, objective);
+  EXPECT_LE(fine.best_objective, coarse.best_objective);
+  EXPECT_NEAR(fine.best.alpha, 0.4321, 0.02);
+}
+
+TEST(GridSearch, HoltWintersSearchesBothDimensions) {
+  const auto objective = [](const ModelConfig& c) {
+    return (c.alpha - 0.8) * (c.alpha - 0.8) + (c.beta - 0.2) * (c.beta - 0.2);
+  };
+  const auto result = grid_search(ModelKind::kHoltWinters, objective);
+  EXPECT_NEAR(result.best.alpha, 0.8, 0.03);
+  EXPECT_NEAR(result.best.beta, 0.2, 0.03);
+}
+
+TEST(GridSearch, WindowModelsSweepIntegers) {
+  const auto objective = [](const ModelConfig& c) {
+    return std::abs(static_cast<double>(c.window) - 7.0);
+  };
+  GridSearchOptions options;
+  options.max_window = 12;
+  for (ModelKind kind : {ModelKind::kMovingAverage, ModelKind::kSShapedMA}) {
+    const auto result = grid_search(kind, objective, options);
+    EXPECT_EQ(result.best.window, 7u);
+    EXPECT_EQ(result.evaluations, 12u);
+  }
+}
+
+TEST(GridSearch, WindowRespectsMaxWindow) {
+  const auto objective = [](const ModelConfig& c) {
+    return -static_cast<double>(c.window);  // bigger is better
+  };
+  GridSearchOptions options;
+  options.max_window = 5;
+  const auto result =
+      grid_search(ModelKind::kMovingAverage, objective, options);
+  EXPECT_EQ(result.best.window, 5u);
+}
+
+TEST(GridSearch, ArimaOnlyEvaluatesValidConfigs) {
+  std::size_t invalid_seen = 0;
+  const auto objective = [&invalid_seen](const ModelConfig& c) {
+    if (!c.valid()) ++invalid_seen;
+    return (c.arima.ar[0] - 0.5) * (c.arima.ar[0] - 0.5);
+  };
+  const auto result = grid_search(ModelKind::kArima0, objective);
+  EXPECT_EQ(invalid_seen, 0u);
+  EXPECT_TRUE(result.best.valid());
+  EXPECT_EQ(result.best.arima.d, 0);
+}
+
+TEST(GridSearch, Arima1ProducesD1Configs) {
+  const auto objective = [](const ModelConfig& c) {
+    return std::abs(c.arima.ar[0]) + std::abs(c.arima.ma[0]);
+  };
+  const auto result = grid_search(ModelKind::kArima1, objective);
+  EXPECT_EQ(result.best.arima.d, 1);
+  EXPECT_TRUE(result.best.valid());
+}
+
+TEST(GridSearch, ArimaRecoversAr1Coefficient) {
+  // Synthetic AR(1) scalar series with coefficient 0.7: the grid search,
+  // minimizing the true residual energy, should land near 0.7.
+  std::vector<double> series;
+  double z = 1.0;
+  std::uint64_t state = 5;  // deterministic pseudo-noise source
+  for (int t = 0; t < 300; ++t) {
+    const double noise =
+        (static_cast<double>(scd::common::splitmix64(state) >> 11) * 0x1.0p-53 -
+         0.5);
+    z = 0.7 * z + noise;
+    series.push_back(z);
+  }
+  const auto objective = [&series](const ModelConfig& c) {
+    forecast::ForecastRunner<forecast::ScalarSignal> runner(
+        c, forecast::ScalarSignal{});
+    double energy = 0.0;
+    for (double o : series) {
+      if (const auto step = runner.step(forecast::ScalarSignal(o))) {
+        energy += step->error.value() * step->error.value();
+      }
+    }
+    return energy;
+  };
+  const auto result = grid_search(ModelKind::kArima0, objective);
+  // The best model should explain the series far better than a naive one.
+  ModelConfig naive;
+  naive.kind = ModelKind::kArima0;
+  naive.arima = {.p = 1, .d = 0, .q = 0, .ar = {0.0, 0.0}, .ma = {0.0, 0.0}};
+  EXPECT_LT(result.best_objective, objective(naive));
+}
+
+TEST(GridSearch, DeterministicAcrossRuns) {
+  const auto objective = [](const ModelConfig& c) {
+    return std::abs(c.alpha - 0.123);
+  };
+  const auto r1 = grid_search(ModelKind::kEwma, objective);
+  const auto r2 = grid_search(ModelKind::kEwma, objective);
+  EXPECT_EQ(r1.best.alpha, r2.best.alpha);
+  EXPECT_EQ(r1.evaluations, r2.evaluations);
+}
+
+}  // namespace
+}  // namespace scd::gridsearch

@@ -1,0 +1,91 @@
+#include "hash/cw_hash.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "hash/mersenne61.h"
+
+namespace scd::hash {
+namespace {
+
+TEST(Mersenne61, Reduce61Correct) {
+  EXPECT_EQ(reduce61(0), 0u);
+  EXPECT_EQ(reduce61(kMersenne61), 0u);
+  EXPECT_EQ(reduce61(kMersenne61 - 1), kMersenne61 - 1);
+  EXPECT_EQ(reduce61(kMersenne61 + 5), 5u);
+  // Exhaustive-style check against __int128 modulo on assorted values.
+  for (std::uint64_t x : {1ULL, 0xffffffffffffffffULL, (1ULL << 62) + 17,
+                          (1ULL << 61) + (1ULL << 13), 0x123456789abcdefULL}) {
+    EXPECT_EQ(reduce61(x), x % kMersenne61) << x;
+  }
+}
+
+TEST(Mersenne61, AddModCorrect) {
+  const std::uint64_t a = kMersenne61 - 3;
+  EXPECT_EQ(add_mod61(a, 2), kMersenne61 - 1);
+  EXPECT_EQ(add_mod61(a, 3), 0u);
+  EXPECT_EQ(add_mod61(a, 7), 4u);
+}
+
+TEST(Mersenne61, MulModMatchesInt128) {
+  std::uint64_t state = 99;
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t a = scd::common::splitmix64(state) % kMersenne61;
+    const std::uint64_t b = scd::common::splitmix64(state) % kMersenne61;
+    const auto expected = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a) * b) % kMersenne61);
+    EXPECT_EQ(mul_mod61(a, b), expected);
+  }
+}
+
+TEST(CwHashFamily, DeterministicPerSeed) {
+  CwHashFamily a(42, 5), b(42, 5);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    for (std::size_t row = 0; row < 5; ++row) {
+      EXPECT_EQ(a.hash16(row, key), b.hash16(row, key));
+    }
+  }
+}
+
+TEST(CwHashFamily, DifferentSeedsDiffer) {
+  CwHashFamily a(1, 1), b(2, 1);
+  int equal = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    if (a.hash16(0, key) == b.hash16(0, key)) ++equal;
+  }
+  EXPECT_LT(equal, 10);  // ~1000/65536 expected
+}
+
+TEST(CwHashFamily, RowsAreIndependentFunctions) {
+  CwHashFamily f(7, 4);
+  int equal = 0;
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    if (f.hash16(0, key) == f.hash16(1, key)) ++equal;
+  }
+  EXPECT_LT(equal, 10);
+}
+
+TEST(CwHashFamily, Eval61WithinField) {
+  CwHashFamily f(11, 3);
+  for (std::uint64_t key = 0; key < 5000; key += 37) {
+    for (std::size_t row = 0; row < 3; ++row) {
+      EXPECT_LT(f.eval61(row, key), kMersenne61);
+    }
+  }
+}
+
+TEST(CwHashFamily, Handles64BitKeys) {
+  CwHashFamily f(13, 2);
+  // Full-width keys must hash without overflow and be deterministic.
+  const std::uint64_t huge = 0xfedcba9876543210ULL;
+  EXPECT_EQ(f.hash16(0, huge), f.hash16(0, huge));
+  EXPECT_EQ(f.eval61(1, huge), f.eval61(1, huge));
+}
+
+TEST(CwHashFamily, RowsAccessorMatchesConstruction) {
+  EXPECT_EQ(CwHashFamily(1, 1).rows(), 1u);
+  EXPECT_EQ(CwHashFamily(1, 25).rows(), 25u);
+}
+
+}  // namespace
+}  // namespace scd::hash

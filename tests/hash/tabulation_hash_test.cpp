@@ -1,0 +1,85 @@
+#include "hash/tabulation_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace scd::hash {
+namespace {
+
+TEST(TabulationHashFamily, DeterministicPerSeed) {
+  TabulationHashFamily a(42, 8), b(42, 8);
+  for (std::uint32_t key = 0; key < 200; ++key) {
+    for (std::size_t row = 0; row < 8; ++row) {
+      EXPECT_EQ(a.hash16(row, key), b.hash16(row, key));
+    }
+  }
+}
+
+TEST(TabulationHashFamily, DifferentSeedsDiffer) {
+  TabulationHashFamily a(1, 1), b(2, 1);
+  int equal = 0;
+  for (std::uint32_t key = 0; key < 1000; ++key) {
+    if (a.hash16(0, key) == b.hash16(0, key)) ++equal;
+  }
+  EXPECT_LT(equal, 10);
+}
+
+TEST(TabulationHashFamily, HashAllMatchesHash16) {
+  for (std::size_t rows : {1u, 3u, 4u, 5u, 8u, 9u, 25u}) {
+    TabulationHashFamily f(17, rows);
+    std::array<std::uint16_t, 32> out{};
+    for (std::uint32_t key = 0; key < 500; key += 13) {
+      f.hash_all(key, out.data());
+      for (std::size_t row = 0; row < rows; ++row) {
+        EXPECT_EQ(out[row], f.hash16(row, key))
+            << "rows=" << rows << " row=" << row << " key=" << key;
+      }
+    }
+  }
+}
+
+TEST(TabulationHashFamily, RowsAreIndependentFunctions) {
+  TabulationHashFamily f(23, 8);
+  // Rows within the same packed group (0-3) and across groups (0 vs 4).
+  for (const auto& [r1, r2] : {std::pair<std::size_t, std::size_t>{0, 1},
+                              {0, 3},
+                              {0, 4},
+                              {3, 7}}) {
+    int equal = 0;
+    for (std::uint32_t key = 0; key < 2000; ++key) {
+      if (f.hash16(r1, key) == f.hash16(r2, key)) ++equal;
+    }
+    EXPECT_LT(equal, 12) << r1 << " vs " << r2;
+  }
+}
+
+TEST(TabulationHashFamily, StructuredKeysStillSpread) {
+  // Sequential keys (worst case for weak hashing) should still cover most of
+  // a small bucket range nearly uniformly.
+  TabulationHashFamily f(31, 1);
+  std::array<int, 64> counts{};
+  const int n = 64000;
+  for (int key = 0; key < n; ++key) {
+    ++counts[f.hash16(0, static_cast<std::uint32_t>(key)) & 63];
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 700);   // expected 1000
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(TabulationHashFamily, HighAndLowHalvesBothMatter) {
+  TabulationHashFamily f(37, 1);
+  // Flipping either 16-bit character must change the hash (w.h.p.).
+  int low_same = 0, high_same = 0;
+  for (std::uint32_t key = 0; key < 1000; ++key) {
+    if (f.hash16(0, key) == f.hash16(0, key ^ 1u)) ++low_same;
+    if (f.hash16(0, key) == f.hash16(0, key ^ (1u << 20))) ++high_same;
+  }
+  EXPECT_LT(low_same, 10);
+  EXPECT_LT(high_same, 10);
+}
+
+}  // namespace
+}  // namespace scd::hash

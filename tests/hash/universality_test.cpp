@@ -1,0 +1,143 @@
+// Statistical universality checks applied uniformly to both hash families
+// via typed tests. These are the properties the k-ary sketch analysis
+// (Appendix A/B) actually relies on: near-uniform marginals and pairwise
+// collision probability ~ 1/K across independently seeded functions.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/random.h"
+#include "hash/cw_hash.h"
+#include "hash/hash_family.h"
+#include "hash/tabulation_hash.h"
+
+namespace scd::hash {
+namespace {
+
+template <typename Family>
+class UniversalityTest : public ::testing::Test {};
+
+using Families = ::testing::Types<CwHashFamily, TabulationHashFamily>;
+TYPED_TEST_SUITE(UniversalityTest, Families);
+
+TYPED_TEST(UniversalityTest, MarginalIsNearUniform) {
+  TypeParam f(4242, 1);
+  constexpr int kBuckets = 256;
+  std::array<int, kBuckets> counts{};
+  const int n = 256000;
+  std::uint64_t state = 7;
+  for (int i = 0; i < n; ++i) {
+    const auto key =
+        static_cast<std::uint32_t>(scd::common::splitmix64(state));
+    ++counts[f.hash16(0, key) % kBuckets];
+  }
+  // Chi-square with 255 dof: mean 255, stddev ~22.6; 400 is a ~6-sigma bound.
+  const double expected = static_cast<double>(n) / kBuckets;
+  double chi2 = 0.0;
+  for (int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 400.0);
+}
+
+TYPED_TEST(UniversalityTest, PairwiseCollisionRateMatchesK) {
+  // Pr[h(a) = h(b)] over random distinct pairs must be ~ 1/K (= 1/16 via
+  // masking). 4 families x 20000 pairs: expected 5000, stddev ~68; accept
+  // within ~6 sigma.
+  int collisions = 0;
+  std::uint64_t state = 11;
+  for (int seed = 1; seed <= 4; ++seed) {
+    TypeParam f(static_cast<std::uint64_t>(seed) * 2654435761ULL + 1, 1);
+    for (int i = 0; i < 20000; ++i) {
+      const auto a = static_cast<std::uint32_t>(scd::common::splitmix64(state));
+      auto b = static_cast<std::uint32_t>(scd::common::splitmix64(state));
+      if (b == a) ++b;
+      if ((f.hash16(0, a) & 15) == (f.hash16(0, b) & 15)) ++collisions;
+    }
+  }
+  EXPECT_GT(collisions, 5000 - 410);
+  EXPECT_LT(collisions, 5000 + 410);
+}
+
+TYPED_TEST(UniversalityTest, FourKeyJointCollisionsAreRare) {
+  // 4-universality is a statement over the RANDOM function: for four fixed
+  // distinct keys, the four hash values are jointly uniform, so
+  // Pr[all four equal mod 4] = (1/4)^3 = 1/64. (Within a single fixed CW
+  // polynomial, consecutive keys are algebraically coupled — the third
+  // finite difference of a cubic is constant — so the sampling must be over
+  // seeds, not over key tuples.) 3000 seeds -> expected ~47; accept [20, 85].
+  int all_equal = 0;
+  for (int seed = 1; seed <= 3000; ++seed) {
+    TypeParam f(static_cast<std::uint64_t>(seed) * 0x9e3779b9ULL + 3, 1);
+    const auto h0 = f.hash16(0, 111) & 3;
+    const auto h1 = f.hash16(0, 222) & 3;
+    const auto h2 = f.hash16(0, 333) & 3;
+    const auto h3 = f.hash16(0, 444) & 3;
+    if (h0 == h1 && h1 == h2 && h2 == h3) ++all_equal;
+  }
+  EXPECT_GE(all_equal, 20);
+  EXPECT_LE(all_equal, 85);
+}
+
+TYPED_TEST(UniversalityTest, BucketMaskingPreservesUniformity) {
+  TypeParam f(777, 1);
+  for (std::size_t k : {2u, 64u, 1024u}) {
+    ASSERT_TRUE(valid_bucket_count(k));
+    std::vector<int> counts(k, 0);
+    const int n = static_cast<int>(k) * 500;
+    std::uint64_t state = 13;
+    for (int i = 0; i < n; ++i) {
+      const auto key =
+          static_cast<std::uint32_t>(scd::common::splitmix64(state));
+      ++counts[f.hash16(0, key) & (k - 1)];
+    }
+    for (int c : counts) {
+      EXPECT_GT(c, 350) << "k=" << k;
+      EXPECT_LT(c, 680) << "k=" << k;
+    }
+  }
+}
+
+TYPED_TEST(UniversalityTest, AvalancheOnSingleBitFlips) {
+  // Flipping any single key bit should flip each output bit with probability
+  // ~1/2. We aggregate over key bits and samples and require the mean flip
+  // rate per output bit position to stay in [0.40, 0.60].
+  TypeParam f(1337, 1);
+  std::uint64_t state = 51;
+  constexpr int kSamples = 3000;
+  std::array<int, 16> flips{};
+  int trials = 0;
+  for (int s = 0; s < kSamples; ++s) {
+    const auto key =
+        static_cast<std::uint32_t>(scd::common::splitmix64(state));
+    const std::uint16_t base = f.hash16(0, key);
+    const unsigned bit = s % 32;
+    const std::uint16_t flipped = f.hash16(0, key ^ (1u << bit));
+    const std::uint16_t diff = base ^ flipped;
+    for (unsigned out = 0; out < 16; ++out) {
+      if ((diff >> out) & 1) ++flips[out];
+    }
+    ++trials;
+  }
+  for (unsigned out = 0; out < 16; ++out) {
+    const double rate = static_cast<double>(flips[out]) / trials;
+    EXPECT_GT(rate, 0.40) << "output bit " << out;
+    EXPECT_LT(rate, 0.60) << "output bit " << out;
+  }
+}
+
+TEST(ValidBucketCount, AcceptsPowersOfTwoUpTo64K) {
+  for (std::size_t k = 1; k <= (1u << 16); k <<= 1) {
+    EXPECT_TRUE(valid_bucket_count(k)) << k;
+  }
+  EXPECT_FALSE(valid_bucket_count(0));
+  EXPECT_FALSE(valid_bucket_count(3));
+  EXPECT_FALSE(valid_bucket_count(1000));
+  EXPECT_FALSE(valid_bucket_count(1u << 17));
+}
+
+}  // namespace
+}  // namespace scd::hash

@@ -1,0 +1,94 @@
+// Long-run soak: the pipeline's state is built from thousands of repeated
+// floating-point linear combinations (scale + add_scaled per interval).
+// Over a simulated week of intervals the registers must stay finite, the
+// detector must stay calibrated (a late spike is still caught), and memory
+// must stay constant — the operational properties a monitor that runs for
+// months depends on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "core/pipeline.h"
+
+namespace {
+
+using namespace scd;
+
+TEST(Soak, TenThousandIntervalsStayFiniteAndCalibrated) {
+  core::PipelineConfig config;
+  config.interval_s = 10.0;
+  config.h = 5;
+  config.k = 1024;
+  config.model.kind = forecast::ModelKind::kHoltWinters;  // trend feedback
+  config.model.alpha = 0.5;
+  config.model.beta = 0.5;
+  // With only 30 flows the error L2 is ~sqrt(30) noise sigmas, so a usable
+  // per-key cut needs a high T (0.8 * L2 ~ 4.4 sigma per key).
+  config.threshold = 0.8;
+  core::ChangeDetectionPipeline pipeline(config);
+
+  common::Rng rng(1);
+  constexpr std::size_t kIntervals = 10000;
+  for (std::size_t t = 0; t < kIntervals; ++t) {
+    const double start = static_cast<double>(t) * 10.0;
+    for (std::uint64_t key = 1; key <= 30; ++key) {
+      pipeline.add(key, 100.0 + rng.uniform(-10, 10), start + 1.0);
+    }
+    if (t == kIntervals - 2) pipeline.add(424242, 30000.0, start + 2.0);
+  }
+  pipeline.flush();
+
+  ASSERT_EQ(pipeline.reports().size(), kIntervals);
+  // Every report's statistics stay finite through ten thousand model steps.
+  std::size_t quiet_alarms = 0;
+  for (const auto& report : pipeline.reports()) {
+    ASSERT_TRUE(std::isfinite(report.estimated_error_f2)) << report.index;
+    ASSERT_TRUE(std::isfinite(report.alarm_threshold)) << report.index;
+    if (report.index != kIntervals - 2) quiet_alarms += report.alarms.size();
+  }
+  // The detector is still calibrated at the very end: the late spike fires...
+  const auto& spike_report = pipeline.reports()[kIntervals - 2];
+  ASSERT_FALSE(spike_report.alarms.empty());
+  EXPECT_EQ(spike_report.alarms[0].key, 424242u);
+  // ...and noise has not eroded the threshold into alarm spam (a ~4-sigma
+  // cut admits a small tail across 300K key-intervals).
+  EXPECT_LT(quiet_alarms, kIntervals / 20);
+  // Memory is the same sketch table it started with.
+  EXPECT_EQ(pipeline.stats().sketch_bytes,
+            config.h * config.k * sizeof(double));
+  EXPECT_EQ(pipeline.stats().intervals_closed, kIntervals);
+}
+
+TEST(Soak, ArimaWithErrorFeedbackStaysBounded) {
+  // ARIMA keeps a ring of error sketches — feedback that could amplify
+  // numeric noise if the coefficients were mishandled. Drive ARMA(2,2) for
+  // thousands of intervals and bound the forecast error energy.
+  core::PipelineConfig config;
+  config.interval_s = 10.0;
+  config.h = 5;
+  config.k = 512;
+  config.model.kind = forecast::ModelKind::kArima0;
+  config.model.arima = {
+      .p = 2, .d = 0, .q = 2, .ar = {0.6, 0.2}, .ma = {0.4, 0.2}};
+  config.threshold = 0.5;
+  core::ChangeDetectionPipeline pipeline(config);
+  common::Rng rng(2);
+  for (std::size_t t = 0; t < 5000; ++t) {
+    for (std::uint64_t key = 1; key <= 10; ++key) {
+      pipeline.add(key, 50.0 + rng.uniform(-5, 5),
+                   static_cast<double>(t) * 10.0 + 1.0);
+    }
+  }
+  pipeline.flush();
+  // Error energy must stay at noise scale (tens), not diverge: the series
+  // mean is absorbed slowly by the stationary ARMA, so allow its residual.
+  for (std::size_t t = 4000; t < 5000; ++t) {
+    const auto& report = pipeline.reports()[t];
+    ASSERT_TRUE(std::isfinite(report.estimated_error_f2));
+    EXPECT_LT(std::sqrt(std::max(report.estimated_error_f2, 0.0)), 500.0)
+        << t;
+  }
+}
+
+}  // namespace

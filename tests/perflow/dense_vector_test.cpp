@@ -1,0 +1,75 @@
+#include "perflow/dense_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::perflow {
+namespace {
+
+TEST(DenseVector, ConstructedZero) {
+  DenseVector v(5);
+  EXPECT_EQ(v.dimension(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(v[i], 0.0);
+  EXPECT_EQ(v.f2(), 0.0);
+}
+
+TEST(DenseVector, ElementAccessAndF2) {
+  DenseVector v(3);
+  v[0] = 3.0;
+  v[1] = -4.0;
+  EXPECT_DOUBLE_EQ(v.f2(), 25.0);
+}
+
+TEST(DenseVector, ScaleIsComponentwise) {
+  DenseVector v(2);
+  v[0] = 2.0;
+  v[1] = -6.0;
+  v.scale(0.5);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], -3.0);
+}
+
+TEST(DenseVector, AddScaled) {
+  DenseVector a(2), b(2);
+  a[0] = 1.0;
+  b[0] = 10.0;
+  b[1] = 4.0;
+  a.add_scaled(b, 0.25);
+  EXPECT_DOUBLE_EQ(a[0], 3.5);
+  EXPECT_DOUBLE_EQ(a[1], 1.0);
+}
+
+TEST(DenseVector, SetZeroClears) {
+  DenseVector v(4);
+  v[3] = 9.0;
+  v.set_zero();
+  EXPECT_EQ(v.f2(), 0.0);
+}
+
+TEST(DenseVector, LinearCombinationAssociativity) {
+  DenseVector a(3), b(3), c(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    a[i] = static_cast<double>(i + 1);
+    b[i] = static_cast<double>(2 * i);
+    c[i] = -1.0;
+  }
+  // (a + 2b) - c computed two ways.
+  DenseVector left = a;
+  left.add_scaled(b, 2.0);
+  left.add_scaled(c, -1.0);
+  DenseVector right = c;
+  right.scale(-1.0);
+  right.add_scaled(b, 2.0);
+  right.add_scaled(a, 1.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_DOUBLE_EQ(left[i], right[i]);
+}
+
+TEST(DenseVector, ValuesSpanReflectsContents) {
+  DenseVector v(2);
+  v[1] = 42.0;
+  const auto values = v.values();
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[1], 42.0);
+}
+
+}  // namespace
+}  // namespace scd::perflow

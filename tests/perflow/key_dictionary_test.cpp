@@ -1,0 +1,60 @@
+#include "perflow/key_dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace scd::perflow {
+namespace {
+
+TEST(KeyDictionary, InternAssignsSequentialIndices) {
+  KeyDictionary dict;
+  EXPECT_EQ(dict.intern(100), 0u);
+  EXPECT_EQ(dict.intern(200), 1u);
+  EXPECT_EQ(dict.intern(300), 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(KeyDictionary, InternIsIdempotent) {
+  KeyDictionary dict;
+  const auto idx = dict.intern(42);
+  EXPECT_EQ(dict.intern(42), idx);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(KeyDictionary, LookupFindsOnlyInterned) {
+  KeyDictionary dict;
+  dict.intern(7);
+  EXPECT_TRUE(dict.lookup(7).has_value());
+  EXPECT_EQ(*dict.lookup(7), 0u);
+  EXPECT_FALSE(dict.lookup(8).has_value());
+}
+
+TEST(KeyDictionary, KeyAtInvertsIntern) {
+  KeyDictionary dict;
+  for (std::uint64_t key = 1000; key < 1100; ++key) dict.intern(key);
+  for (std::size_t i = 0; i < dict.size(); ++i) {
+    EXPECT_EQ(*dict.lookup(dict.key_at(i)), i);
+  }
+}
+
+TEST(KeyDictionary, HandlesExtremeKeys) {
+  KeyDictionary dict;
+  dict.intern(0);
+  dict.intern(~0ULL);
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.key_at(1), ~0ULL);
+}
+
+TEST(KeyDictionary, KeysVectorPreservesOrder) {
+  KeyDictionary dict;
+  dict.reserve(3);
+  dict.intern(5);
+  dict.intern(3);
+  dict.intern(9);
+  ASSERT_EQ(dict.keys().size(), 3u);
+  EXPECT_EQ(dict.keys()[0], 5u);
+  EXPECT_EQ(dict.keys()[1], 3u);
+  EXPECT_EQ(dict.keys()[2], 9u);
+}
+
+}  // namespace
+}  // namespace scd::perflow

@@ -1,0 +1,137 @@
+#include "sketch/group_testing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "forecast/linear_space.h"
+#include "forecast/runner.h"
+
+namespace scd::sketch {
+namespace {
+
+GroupTestingSketch::FamilyPtr family_for(std::uint64_t seed, std::size_t rows) {
+  return std::make_shared<const hash::TabulationHashFamily>(seed, rows);
+}
+
+TEST(GroupTestingSketch, EstimateMatchesKaryBehaviour) {
+  GroupTestingSketch s(family_for(1, 5), 4096);
+  s.update(100, 500.0);
+  s.update(200, -120.0);
+  EXPECT_NEAR(s.estimate(100), 500.0, 5.0);
+  EXPECT_NEAR(s.estimate(200), -120.0, 5.0);
+  EXPECT_NEAR(s.estimate(300), 0.0, 5.0);
+  EXPECT_NEAR(s.estimate_f2(), 500.0 * 500.0 + 120.0 * 120.0, 5000.0);
+}
+
+TEST(GroupTestingSketch, RecoversSinglePlantedKey) {
+  GroupTestingSketch s(family_for(2, 5), 1024);
+  const std::uint32_t planted = 0xc0a80a01;  // 192.168.10.1
+  s.update(planted, 10000.0);
+  const auto recovered = s.recover(5000.0);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].key, planted);
+  EXPECT_NEAR(recovered[0].value, 10000.0, 100.0);
+}
+
+TEST(GroupTestingSketch, RecoversNegativeChanges) {
+  GroupTestingSketch s(family_for(3, 5), 1024);
+  const std::uint32_t planted = 12345678;
+  s.update(planted, -8000.0);  // a disappearance in an error sketch
+  const auto recovered = s.recover(4000.0);
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].key, planted);
+  EXPECT_LT(recovered[0].value, -7000.0);
+}
+
+TEST(GroupTestingSketch, RecoversMultipleHeavyKeysAmongNoise) {
+  GroupTestingSketch s(family_for(4, 5), 4096);
+  scd::common::Rng rng(1);
+  // Background: 3000 small signed updates.
+  for (int i = 0; i < 3000; ++i) {
+    s.update(static_cast<std::uint32_t>(rng.next_u64()), rng.uniform(-3, 3));
+  }
+  const std::vector<std::pair<std::uint32_t, double>> heavy{
+      {0x0a000001, 9000.0}, {0xac100005, -7000.0}, {0xc0000201, 5000.0}};
+  for (const auto& [key, value] : heavy) s.update(key, value);
+  const auto recovered = s.recover(2500.0);
+  ASSERT_GE(recovered.size(), 3u);
+  // The three planted keys must be the top three by |value|.
+  EXPECT_EQ(recovered[0].key, heavy[0].first);
+  EXPECT_EQ(recovered[1].key, heavy[1].first);
+  EXPECT_EQ(recovered[2].key, heavy[2].first);
+}
+
+TEST(GroupTestingSketch, NoFalseKeysOnQuietSketch) {
+  GroupTestingSketch s(family_for(5, 5), 1024);
+  scd::common::Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    s.update(static_cast<std::uint32_t>(rng.next_u64()), rng.uniform(-1, 1));
+  }
+  // Threshold far above the background level.
+  EXPECT_TRUE(s.recover(500.0).empty());
+}
+
+TEST(GroupTestingSketch, KeyBitsExtremesRoundTrip) {
+  for (const std::uint32_t key : {0u, 0xffffffffu, 0x80000001u, 0x55555555u}) {
+    GroupTestingSketch s(family_for(6, 5), 1024);
+    s.update(key, 1000.0);
+    const auto recovered = s.recover(500.0);
+    ASSERT_EQ(recovered.size(), 1u) << key;
+    EXPECT_EQ(recovered[0].key, key);
+  }
+}
+
+TEST(GroupTestingSketch, IsALinearSignal) {
+  static_assert(scd::forecast::LinearSignal<GroupTestingSketch>);
+  const auto family = family_for(7, 5);
+  GroupTestingSketch a(family, 512), b(family, 512);
+  a.update(42, 100.0);
+  b.update(42, 60.0);
+  b.update(43, 10.0);
+  a.add_scaled(b, -1.0);  // a - b
+  EXPECT_NEAR(a.estimate(42), 40.0, 2.0);
+  EXPECT_NEAR(a.estimate(43), -10.0, 2.0);
+  a.scale(2.0);
+  EXPECT_NEAR(a.estimate(42), 80.0, 4.0);
+  a.set_zero();
+  EXPECT_NEAR(a.estimate(42), 0.0, 1e-9);
+}
+
+TEST(GroupTestingSketch, ForecastErrorRecoveryEndToEnd) {
+  // The paper's §3.3 "no key stream" mode: run EWMA over group-testing
+  // sketches and recover the changed key straight from the error sketch.
+  const auto family = family_for(8, 5);
+  const GroupTestingSketch prototype(family, 2048);
+  scd::forecast::ModelConfig config;
+  config.kind = scd::forecast::ModelKind::kEwma;
+  config.alpha = 0.5;
+  scd::forecast::ForecastRunner<GroupTestingSketch> runner(config, prototype);
+  scd::common::Rng rng(3);
+  const std::uint32_t attacker_target = 0x0a0b0c0d;
+  for (int t = 0; t < 8; ++t) {
+    GroupTestingSketch observed = prototype;
+    for (std::uint32_t key = 1; key <= 500; ++key) {
+      observed.update(key, 100.0 + rng.uniform(-5, 5));
+    }
+    if (t == 6) observed.update(attacker_target, 50000.0);
+    const auto step = runner.step(observed);
+    if (t == 6) {
+      ASSERT_TRUE(step.has_value());
+      const double l2 = std::sqrt(std::max(step->error.estimate_f2(), 0.0));
+      const auto recovered = step->error.recover(0.5 * l2);
+      ASSERT_FALSE(recovered.empty());
+      EXPECT_EQ(recovered[0].key, attacker_target);
+      EXPECT_NEAR(recovered[0].value, 50000.0, 2500.0);
+    }
+  }
+}
+
+TEST(GroupTestingSketch, MemoryIs33xKarySketch) {
+  GroupTestingSketch s(family_for(9, 5), 1024);
+  EXPECT_EQ(s.table_bytes(), 5u * 1024u * 33u * sizeof(double));
+}
+
+}  // namespace
+}  // namespace scd::sketch

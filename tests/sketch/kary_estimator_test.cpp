@@ -1,0 +1,148 @@
+// Monte-Carlo validation of the Appendix A/B estimator guarantees:
+// per-row ESTIMATE is unbiased with Var <= F2/(K-1); ESTIMATEF2 is unbiased
+// with Var <= 2*F2^2/(K-1); the median over H rows makes large deviations
+// rare. Uses the CW family (cheap per-seed construction).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "sketch/kary_sketch.h"
+
+namespace scd::sketch {
+namespace {
+
+struct Stream {
+  std::vector<std::pair<std::uint64_t, double>> updates;
+  std::unordered_map<std::uint64_t, double> truth;
+  double f2 = 0.0;
+};
+
+Stream make_stream(std::size_t n_keys, std::uint64_t seed) {
+  Stream s;
+  scd::common::Rng rng(seed);
+  for (std::size_t i = 0; i < n_keys; ++i) {
+    const std::uint64_t key = 100 + i;
+    // Heavy-tailed values: a few large keys dominate F2, like traffic.
+    const double value = rng.pareto(1.0, 1.2) * (rng.bernoulli(0.5) ? 1 : -1);
+    s.updates.emplace_back(key, value);
+    s.truth[key] += value;
+  }
+  for (const auto& [k, v] : s.truth) s.f2 += v * v;
+  return s;
+}
+
+class EstimatorMonteCarlo : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kK = 256;
+  static constexpr int kSeeds = 400;
+
+  // Runs the stream through `kSeeds` independently seeded sketches and
+  // collects per-seed estimates for `target` plus F2 estimates.
+  void run(std::size_t h, std::uint64_t target,
+           scd::common::RunningStats& value_stats,
+           scd::common::RunningStats& f2_stats) {
+    for (int seed = 1; seed <= kSeeds; ++seed) {
+      const auto family = make_cw_family(static_cast<std::uint64_t>(seed), h);
+      KarySketch64 sketch(family, kK);
+      for (const auto& [k, v] : stream_.updates) sketch.update(k, v);
+      value_stats.add(sketch.estimate(target));
+      f2_stats.add(sketch.estimate_f2());
+    }
+  }
+
+  Stream stream_ = make_stream(3000, 42);
+};
+
+TEST_F(EstimatorMonteCarlo, SingleRowEstimateIsUnbiased) {
+  const std::uint64_t target = 100;  // known key
+  const double truth = stream_.truth.at(target);
+  scd::common::RunningStats values, f2s;
+  run(/*h=*/1, target, values, f2s);
+  // Theorem 1: E[v^h_a] = v_a. Standard error of the mean is
+  // sqrt(Var/kSeeds) <= sqrt(F2/(K-1)/400); accept 4 standard errors.
+  const double sem = std::sqrt(stream_.f2 / (kK - 1) / kSeeds);
+  EXPECT_NEAR(values.mean(), truth, 4.0 * sem);
+}
+
+TEST_F(EstimatorMonteCarlo, SingleRowVarianceWithinTheorem1Bound) {
+  const std::uint64_t target = 100;
+  scd::common::RunningStats values, f2s;
+  run(/*h=*/1, target, values, f2s);
+  // Var(v^h_a) <= F2/(K-1); allow 35% slack for sampling noise of the
+  // empirical variance itself.
+  EXPECT_LT(values.variance(), 1.35 * stream_.f2 / (kK - 1));
+}
+
+TEST_F(EstimatorMonteCarlo, SingleRowF2IsUnbiased) {
+  scd::common::RunningStats values, f2s;
+  run(/*h=*/1, 100, values, f2s);
+  // Theorem 4: E[F2^h] = F2, Var <= 2*F2^2/(K-1). SEM accordingly.
+  const double sem = std::sqrt(2.0 * stream_.f2 * stream_.f2 / (kK - 1) / kSeeds);
+  EXPECT_NEAR(f2s.mean(), stream_.f2, 4.0 * sem);
+  EXPECT_LT(f2s.variance(), 2.7 * stream_.f2 * stream_.f2 / (kK - 1));
+}
+
+TEST_F(EstimatorMonteCarlo, MedianOverRowsShrinksSpread) {
+  // The H-row median trades a little bias for a big reduction in the
+  // frequency of extreme estimates (Theorems 2/3): the absolute deviation
+  // spread at H=5 must be clearly smaller than at H=1.
+  const std::uint64_t target = 100;
+  const double truth = stream_.truth.at(target);
+  scd::common::RunningStats h1, h5, f2_unused1, f2_unused2;
+  run(/*h=*/1, target, h1, f2_unused1);
+  run(/*h=*/5, target, h5, f2_unused2);
+  auto spread = [truth](const scd::common::RunningStats& s) {
+    return std::max(std::abs(s.max() - truth), std::abs(s.min() - truth));
+  };
+  EXPECT_LT(spread(h5), spread(h1));
+}
+
+TEST_F(EstimatorMonteCarlo, MedianF2StaysNearTruth) {
+  scd::common::RunningStats values, f2s;
+  run(/*h=*/9, 100, values, f2s);
+  // With H=9 and K=256, every single estimate should land within ~50% of F2
+  // (Theorem 5 makes the failure probability tiny).
+  EXPECT_GT(f2s.min(), 0.5 * stream_.f2);
+  EXPECT_LT(f2s.max(), 1.5 * stream_.f2);
+}
+
+TEST_F(EstimatorMonteCarlo, AbsentKeyEstimatesNearZero) {
+  scd::common::RunningStats values, f2s;
+  run(/*h=*/5, /*target=*/999999, values, f2s);  // never updated
+  const double sigma = std::sqrt(stream_.f2 / (kK - 1));
+  EXPECT_NEAR(values.mean(), 0.0, sigma);
+  EXPECT_LT(std::abs(values.max()), 5.0 * sigma);
+}
+
+TEST(EstimatorTailBound, LargeKeysAreDetectedSmallKeysAreNot) {
+  // Theorem 2/3 paraphrased at working scale: with K=65536 and H=20,
+  // flagging keys with |estimate| >= sqrt(F2)/32 catches every key with
+  // |v_a| >= sqrt(F2)/16 and flags no key with |v_a| <= sqrt(F2)/64.
+  const std::size_t k = 65536;
+  const auto family = make_cw_family(7, 20);
+  KarySketch64 sketch(family, k);
+  scd::common::Rng rng(8);
+  double f2 = 0.0;
+  // Background: 20000 small keys.
+  for (std::uint64_t i = 0; i < 20000; ++i) {
+    const double v = rng.uniform(0.5, 1.5);
+    sketch.update(1000000 + i, v);
+    f2 += v * v;
+  }
+  // One hot key at ~ sqrt(F2)/10 of the final norm.
+  const double hot = std::sqrt(f2) / 9.0;
+  sketch.update(55, hot);
+  f2 += hot * hot;
+  const double norm = std::sqrt(f2);
+  EXPECT_GE(std::abs(sketch.estimate(55)), norm / 32.0);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_LT(std::abs(sketch.estimate(1000000 + i)), norm / 32.0);
+  }
+}
+
+}  // namespace
+}  // namespace scd::sketch

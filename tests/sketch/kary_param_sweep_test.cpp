@@ -1,0 +1,116 @@
+// Parameterized property sweep over the paper's (H, K) grid: for every
+// configuration, the k-ary estimator must respect the Appendix A error
+// bounds on a realistic heavy-tailed stream.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "common/random.h"
+#include "sketch/kary_sketch.h"
+
+namespace scd::sketch {
+namespace {
+
+struct SweepParam {
+  std::size_t h;
+  std::size_t k;
+};
+
+std::ostream& operator<<(std::ostream& os, const SweepParam& p) {
+  return os << "H" << p.h << "_K" << p.k;
+}
+
+class KarySweepTest : public ::testing::TestWithParam<SweepParam> {
+ protected:
+  static void SetUpTestSuite() {
+    truth_ = new std::unordered_map<std::uint64_t, double>();
+    updates_ = new std::vector<std::pair<std::uint64_t, double>>();
+    scd::common::Rng rng(4242);
+    scd::common::ZipfDistribution zipf(20000, 1.1);
+    for (int i = 0; i < 100000; ++i) {
+      const auto key = static_cast<std::uint64_t>(zipf.sample(rng));
+      const double v = rng.uniform(1.0, 100.0);
+      updates_->emplace_back(key, v);
+      (*truth_)[key] += v;
+    }
+    f2_ = 0.0;
+    for (const auto& [k, v] : *truth_) f2_ += v * v;
+  }
+  static void TearDownTestSuite() {
+    delete truth_;
+    delete updates_;
+    truth_ = nullptr;
+    updates_ = nullptr;
+  }
+
+  static std::unordered_map<std::uint64_t, double>* truth_;
+  static std::vector<std::pair<std::uint64_t, double>>* updates_;
+  static double f2_;
+};
+
+std::unordered_map<std::uint64_t, double>* KarySweepTest::truth_ = nullptr;
+std::vector<std::pair<std::uint64_t, double>>* KarySweepTest::updates_ = nullptr;
+double KarySweepTest::f2_ = 0.0;
+
+TEST_P(KarySweepTest, EstimatesWithinVarianceBand) {
+  const auto [h, k] = GetParam();
+  const auto family = make_tabulation_family(h * 1000003 + k, h);
+  KarySketch sketch(family, k);
+  for (const auto& [key, v] : *updates_) sketch.update(key, v);
+
+  // Per-row deviation sigma <= sqrt(F2/(K-1)); with the H-row median, a 6
+  // sigma deviation on a sampled key should essentially never occur, and the
+  // RMS deviation should be comfortably below 2 sigma.
+  const double sigma = std::sqrt(f2_ / static_cast<double>(k - 1));
+  double sq_dev = 0.0;
+  std::size_t n = 0;
+  std::size_t outliers = 0;
+  for (const auto& [key, v] : *truth_) {
+    if (++n > 2000) break;
+    const double dev = sketch.estimate(key) - v;
+    sq_dev += dev * dev;
+    if (std::abs(dev) > 6.0 * sigma) ++outliers;
+  }
+  EXPECT_LT(std::sqrt(sq_dev / static_cast<double>(n)), 2.0 * sigma);
+  EXPECT_LE(outliers, n / 200);  // <=0.5% beyond 6 sigma
+}
+
+TEST_P(KarySweepTest, F2EstimateWithinBand) {
+  const auto [h, k] = GetParam();
+  const auto family = make_tabulation_family(h * 7919 + k, h);
+  KarySketch sketch(family, k);
+  for (const auto& [key, v] : *updates_) sketch.update(key, v);
+  // Var(F2^h) <= 2 F2^2/(K-1) => relative sigma sqrt(2/(K-1)); allow 6x
+  // for a single median-of-rows draw.
+  const double rel_sigma = std::sqrt(2.0 / static_cast<double>(k - 1));
+  EXPECT_NEAR(sketch.estimate_f2(), f2_, 6.0 * rel_sigma * f2_)
+      << "H=" << h << " K=" << k;
+}
+
+TEST_P(KarySweepTest, SumIsExactRegardlessOfParams) {
+  const auto [h, k] = GetParam();
+  const auto family = make_tabulation_family(h * 31 + k, h);
+  KarySketch sketch(family, k);
+  double exact = 0.0;
+  for (const auto& [key, v] : *updates_) {
+    sketch.update(key, v);
+    exact += v;
+  }
+  EXPECT_NEAR(sketch.sum(), exact, 1e-6 * exact);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, KarySweepTest,
+    ::testing::Values(SweepParam{1, 1024}, SweepParam{1, 8192},
+                      SweepParam{5, 1024}, SweepParam{5, 8192},
+                      SweepParam{5, 32768}, SweepParam{5, 65536},
+                      SweepParam{9, 8192}, SweepParam{9, 32768},
+                      SweepParam{25, 8192}, SweepParam{25, 65536}),
+    [](const ::testing::TestParamInfo<SweepParam>& param_info) {
+      return "H" + std::to_string(param_info.param.h) + "_K" +
+             std::to_string(param_info.param.k);
+    });
+
+}  // namespace
+}  // namespace scd::sketch

@@ -1,0 +1,92 @@
+#include "sketch/median.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/random.h"
+
+namespace scd::sketch {
+namespace {
+
+double reference_median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  if (n == 0) return 0.0;
+  if (n % 2 == 1) return v[n / 2];
+  return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+TEST(Median, TrivialSizes) {
+  std::vector<double> one{3.0};
+  EXPECT_EQ(median_inplace(one), 3.0);
+  std::vector<double> two{1.0, 5.0};
+  EXPECT_EQ(median_inplace(two), 3.0);
+  std::vector<double> none;
+  EXPECT_EQ(median_inplace(none), 0.0);
+}
+
+// Parameterized differential sweep: every network size (and the fallback
+// sizes) against the sort-based reference, across many random inputs.
+class MedianSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MedianSweep, MatchesSortedReferenceOnRandomInput) {
+  const std::size_t n = GetParam();
+  scd::common::Rng rng(1000 + n);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.uniform(-1e6, 1e6);
+    const double expected = reference_median(v);
+    std::vector<double> buf = v;
+    EXPECT_DOUBLE_EQ(median_inplace(buf), expected) << "n=" << n;
+    std::vector<double> buf2 = v;
+    EXPECT_DOUBLE_EQ(median_nth_element(buf2), expected) << "n=" << n;
+  }
+}
+
+TEST_P(MedianSweep, MatchesReferenceOnDuplicateHeavyInput) {
+  const std::size_t n = GetParam();
+  scd::common::Rng rng(2000 + n);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<double> v(n);
+    for (double& x : v) x = static_cast<double>(rng.next_in(0, 3));
+    const double expected = reference_median(v);
+    std::vector<double> buf = v;
+    EXPECT_DOUBLE_EQ(median_inplace(buf), expected) << "n=" << n;
+  }
+}
+
+TEST_P(MedianSweep, SortedAndReversedInput) {
+  const std::size_t n = GetParam();
+  std::vector<double> asc(n);
+  for (std::size_t i = 0; i < n; ++i) asc[i] = static_cast<double>(i);
+  std::vector<double> desc(asc.rbegin(), asc.rend());
+  const double expected = reference_median(asc);
+  std::vector<double> b1 = asc, b2 = desc;
+  EXPECT_DOUBLE_EQ(median_inplace(b1), expected);
+  EXPECT_DOUBLE_EQ(median_inplace(b2), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, MedianSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 13,
+                                           15, 17, 21, 25, 31));
+
+TEST(Median, NetworksHandleNegativeValues) {
+  std::vector<double> v{-5.0, -1.0, -3.0, -2.0, -4.0};
+  EXPECT_EQ(median_inplace(v), -3.0);
+}
+
+TEST(Median, PaperSizesUseNetworks) {
+  // Sanity check on exactly the H values the paper selects (1, 5, 9, 25).
+  scd::common::Rng rng(3);
+  for (std::size_t n : {1u, 5u, 9u, 25u}) {
+    std::vector<double> v(n);
+    for (double& x : v) x = rng.normal();
+    std::vector<double> buf = v;
+    EXPECT_DOUBLE_EQ(median_inplace(buf), reference_median(v));
+  }
+}
+
+}  // namespace
+}  // namespace scd::sketch

@@ -1,0 +1,133 @@
+#include "sketch/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/random.h"
+
+namespace scd::sketch {
+namespace {
+
+KarySketch make_populated(std::uint64_t family_seed, std::size_t h,
+                          std::size_t k, std::uint64_t data_seed) {
+  const auto family = make_tabulation_family(family_seed, h);
+  KarySketch sketch(family, k);
+  scd::common::Rng rng(data_seed);
+  for (int i = 0; i < 500; ++i) {
+    sketch.update(rng.next_below(1u << 30), rng.uniform(-100, 1000));
+  }
+  return sketch;
+}
+
+TEST(SketchSerialize, RoundTripPreservesRegisters) {
+  const auto original = make_populated(7, 5, 1024, 1);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_sketch(buffer, original);
+  FamilyRegistry registry;
+  const KarySketch restored = read_sketch32(buffer, registry);
+  ASSERT_EQ(restored.depth(), original.depth());
+  ASSERT_EQ(restored.width(), original.width());
+  const auto a = original.registers();
+  const auto b = restored.registers();
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  EXPECT_DOUBLE_EQ(restored.sum(), original.sum());
+}
+
+TEST(SketchSerialize, RestoredSketchEstimatesIdentically) {
+  const auto original = make_populated(8, 5, 4096, 2);
+  FamilyRegistry registry;
+  const auto restored = sketch_from_bytes(sketch_to_bytes(original), registry);
+  for (std::uint64_t key = 0; key < 2000; key += 37) {
+    EXPECT_DOUBLE_EQ(restored.estimate(key), original.estimate(key));
+  }
+  EXPECT_DOUBLE_EQ(restored.estimate_f2(), original.estimate_f2());
+}
+
+TEST(SketchSerialize, RegistrySharesFamiliesAcrossSketches) {
+  const auto s1 = make_populated(9, 5, 512, 3);
+  const auto s2 = make_populated(9, 5, 512, 4);  // same family seed
+  FamilyRegistry registry;
+  const auto r1 = sketch_from_bytes(sketch_to_bytes(s1), registry);
+  const auto r2 = sketch_from_bytes(sketch_to_bytes(s2), registry);
+  EXPECT_TRUE(r1.compatible(r2));  // family identity restored via registry
+}
+
+TEST(SketchSerialize, CombineAfterDeserializationMatchesDirectCombine) {
+  // The distributed-collection property: combining deserialized sketches
+  // equals sketching the union stream.
+  const auto family = make_tabulation_family(10, 5);
+  KarySketch a(family, 1024), b(family, 1024), merged(family, 1024);
+  scd::common::Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const std::uint64_t key = rng.next_below(100000);
+    const double v = rng.uniform(0, 500);
+    (i % 2 ? a : b).update(key, v);
+    merged.update(key, v);
+  }
+  FamilyRegistry registry;
+  auto ra = sketch_from_bytes(sketch_to_bytes(a), registry);
+  const auto rb = sketch_from_bytes(sketch_to_bytes(b), registry);
+  ra.add_scaled(rb, 1.0);
+  for (std::size_t i = 0; i < merged.registers().size(); ++i) {
+    EXPECT_NEAR(ra.registers()[i], merged.registers()[i], 1e-9);
+  }
+}
+
+TEST(SketchSerialize, DifferentFamilySeedsAreIncompatible) {
+  const auto s1 = make_populated(11, 5, 512, 6);
+  const auto s2 = make_populated(12, 5, 512, 6);
+  FamilyRegistry registry;
+  const auto r1 = sketch_from_bytes(sketch_to_bytes(s1), registry);
+  const auto r2 = sketch_from_bytes(sketch_to_bytes(s2), registry);
+  EXPECT_FALSE(r1.compatible(r2));
+}
+
+TEST(SketchSerialize, TruncatedInputThrows) {
+  const auto original = make_populated(13, 3, 256, 7);
+  auto bytes = sketch_to_bytes(original);
+  bytes.resize(bytes.size() / 2);
+  FamilyRegistry registry;
+  EXPECT_THROW((void)sketch_from_bytes(bytes, registry), std::runtime_error);
+}
+
+TEST(SketchSerialize, BadMagicThrows) {
+  auto bytes = sketch_to_bytes(make_populated(14, 3, 256, 8));
+  bytes[0] ^= 0xff;
+  FamilyRegistry registry;
+  EXPECT_THROW((void)sketch_from_bytes(bytes, registry), std::runtime_error);
+}
+
+TEST(SketchSerialize, KindMismatchThrows) {
+  // A 64-bit CW sketch cannot be read as a 32-bit tabulation sketch.
+  const auto family = make_cw_family(15, 3);
+  KarySketch64 wide(family, 256);
+  wide.update(0xdeadbeefcafe1234ULL, 5.0);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_sketch(buffer, wide);
+  FamilyRegistry registry;
+  EXPECT_THROW((void)read_sketch32(buffer, registry), std::runtime_error);
+}
+
+TEST(SketchSerialize, Cw64RoundTrip) {
+  const auto family = make_cw_family(16, 5);
+  KarySketch64 wide(family, 512);
+  scd::common::Rng rng(9);
+  for (int i = 0; i < 200; ++i) wide.update(rng.next_u64(), rng.uniform(0, 10));
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_sketch(buffer, wide);
+  FamilyRegistry registry;
+  const auto restored = read_sketch64(buffer, registry);
+  for (std::size_t i = 0; i < wide.registers().size(); ++i) {
+    EXPECT_EQ(restored.registers()[i], wide.registers()[i]);
+  }
+}
+
+TEST(SketchSerialize, WireSizeIsHeaderPlusRegisters) {
+  const auto sketch = make_populated(17, 5, 1024, 10);
+  const auto bytes = sketch_to_bytes(sketch);
+  EXPECT_EQ(bytes.size(), 4u + 4u + 1u + 8u + 4u + 4u + 5u * 1024u * 8u);
+}
+
+}  // namespace
+}  // namespace scd::sketch

@@ -1,0 +1,85 @@
+#include "traffic/csv_import.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scd::traffic {
+namespace {
+
+TEST(CsvImport, ParsesWellFormedLine) {
+  FlowRecord r;
+  std::string error;
+  ASSERT_TRUE(parse_flow_csv_line(
+      "12.5,10.0.0.1,192.168.1.9,1234,80,6,3,4500", r, error))
+      << error;
+  EXPECT_EQ(r.timestamp_us, 12500000u);
+  EXPECT_EQ(r.src_ip, 0x0a000001u);
+  EXPECT_EQ(r.dst_ip, 0xc0a80109u);
+  EXPECT_EQ(r.src_port, 1234);
+  EXPECT_EQ(r.dst_port, 80);
+  EXPECT_EQ(r.protocol, 6);
+  EXPECT_EQ(r.packets, 3u);
+  EXPECT_EQ(r.bytes, 4500u);
+}
+
+TEST(CsvImport, ToleratesWhitespace) {
+  FlowRecord r;
+  std::string error;
+  EXPECT_TRUE(parse_flow_csv_line(
+      " 1.0 , 1.2.3.4 , 5.6.7.8 , 1 , 2 , 17 , 1 , 40 ", r, error))
+      << error;
+  EXPECT_EQ(r.protocol, 17);
+}
+
+TEST(CsvImport, RejectsBadFieldCount) {
+  FlowRecord r;
+  std::string error;
+  EXPECT_FALSE(parse_flow_csv_line("1.0,1.2.3.4,5.6.7.8,1,2,6,1", r, error));
+  EXPECT_NE(error.find("8 fields"), std::string::npos);
+}
+
+TEST(CsvImport, RejectsBadValues) {
+  FlowRecord r;
+  std::string error;
+  EXPECT_FALSE(parse_flow_csv_line("x,1.2.3.4,5.6.7.8,1,2,6,1,40", r, error));
+  EXPECT_FALSE(parse_flow_csv_line("1,999.2.3.4,5.6.7.8,1,2,6,1,40", r, error));
+  EXPECT_FALSE(parse_flow_csv_line("1,1.2.3.4,5.6.7.8,70000,2,6,1,40", r, error));
+  EXPECT_FALSE(parse_flow_csv_line("1,1.2.3.4,5.6.7.8,1,2,300,1,40", r, error));
+  EXPECT_FALSE(parse_flow_csv_line("1,1.2.3.4,5.6.7.8,1,2,6,0,40", r, error));
+  EXPECT_FALSE(parse_flow_csv_line("-1,1.2.3.4,5.6.7.8,1,2,6,1,40", r, error));
+}
+
+TEST(CsvImport, ReadsStreamWithHeaderAndComments) {
+  std::istringstream in(
+      "# exported by nfdump\n"
+      "time,src_ip,dst_ip,src_port,dst_port,protocol,packets,bytes\n"
+      "2.0,1.1.1.1,2.2.2.2,10,80,6,1,100\n"
+      "\n"
+      "1.0,3.3.3.3,4.4.4.4,11,443,6,2,200\n");
+  const auto records = read_flow_csv(in);
+  ASSERT_EQ(records.size(), 2u);
+  // Sorted by time even though input was out of order.
+  EXPECT_EQ(records[0].timestamp_us, 1000000u);
+  EXPECT_EQ(records[1].timestamp_us, 2000000u);
+}
+
+TEST(CsvImport, ThrowsOnMalformedDataRow) {
+  std::istringstream in(
+      "1.0,1.1.1.1,2.2.2.2,10,80,6,1,100\n"
+      "garbage line\n");
+  EXPECT_THROW((void)read_flow_csv(in), std::runtime_error);
+}
+
+TEST(CsvImport, MissingFileThrows) {
+  EXPECT_THROW((void)read_flow_csv_file("/no/such/file.csv"),
+               std::runtime_error);
+}
+
+TEST(CsvImport, EmptyStreamYieldsNothing) {
+  std::istringstream in("");
+  EXPECT_TRUE(read_flow_csv(in).empty());
+}
+
+}  // namespace
+}  // namespace scd::traffic

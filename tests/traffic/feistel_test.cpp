@@ -1,0 +1,51 @@
+#include "traffic/feistel.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace scd::traffic {
+namespace {
+
+TEST(Feistel32, IsDeterministic) {
+  EXPECT_EQ(feistel32(12345, 777), feistel32(12345, 777));
+}
+
+TEST(Feistel32, KeyChangesPermutation) {
+  int equal = 0;
+  for (std::uint32_t x = 0; x < 1000; ++x) {
+    if (feistel32(x, 1) == feistel32(x, 2)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Feistel32, InjectiveOnDenseRange) {
+  // A permutation has no collisions; check a dense rank range like the
+  // synthetic generator uses.
+  std::unordered_set<std::uint32_t> seen;
+  const std::uint64_t key = 0xabcdef;
+  for (std::uint32_t x = 0; x < 200000; ++x) {
+    EXPECT_TRUE(seen.insert(feistel32(x, key)).second) << x;
+  }
+}
+
+TEST(Feistel32, InjectiveOnScatteredInputs) {
+  std::unordered_set<std::uint32_t> seen;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    const auto x = static_cast<std::uint32_t>(i * 2654435761ULL);
+    EXPECT_TRUE(seen.insert(feistel32(x, 42)).second);
+  }
+}
+
+TEST(Feistel32, OutputLooksSpread) {
+  // Consecutive ranks must not map to clustered addresses: check that the
+  // high byte takes many values over a small rank range.
+  std::unordered_set<std::uint32_t> high_bytes;
+  for (std::uint32_t x = 0; x < 1000; ++x) {
+    high_bytes.insert(feistel32(x, 9) >> 24);
+  }
+  EXPECT_GT(high_bytes.size(), 200u);
+}
+
+}  // namespace
+}  // namespace scd::traffic

@@ -1,0 +1,136 @@
+#include "traffic/packetize.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "traffic/synthetic.h"
+
+namespace scd::traffic {
+namespace {
+
+FlowRecord flow(std::uint64_t t_us, std::uint32_t packets,
+                std::uint64_t bytes) {
+  FlowRecord r;
+  r.timestamp_us = t_us;
+  r.src_ip = 0x01020304;
+  r.dst_ip = 0x05060708;
+  r.src_port = 1111;
+  r.dst_port = 80;
+  r.protocol = 6;
+  r.packets = packets;
+  r.bytes = bytes;
+  return r;
+}
+
+TEST(Packetizer, PacketCountMatchesRecord) {
+  Packetizer packetizer;
+  const auto packets = packetizer.packetize(
+      std::vector<FlowRecord>{flow(0, 7, 7000)});
+  EXPECT_EQ(packets.size(), 7u);
+}
+
+TEST(Packetizer, BytesSumExactly) {
+  Packetizer packetizer;
+  for (std::uint64_t bytes : {40ull, 1500ull, 7777ull, 123456ull}) {
+    const auto packets = packetizer.packetize(
+        std::vector<FlowRecord>{flow(0, 5, bytes)});
+    std::uint64_t total = 0;
+    for (const auto& p : packets) total += p.bytes;
+    EXPECT_EQ(total, bytes) << bytes;
+  }
+}
+
+TEST(Packetizer, ZeroPacketsTreatedAsOne) {
+  Packetizer packetizer;
+  const auto packets = packetizer.packetize(
+      std::vector<FlowRecord>{flow(0, 0, 500)});
+  ASSERT_EQ(packets.size(), 1u);
+  EXPECT_EQ(packets[0].bytes, 500u);
+}
+
+TEST(Packetizer, HeaderFieldsCopied) {
+  Packetizer packetizer;
+  const auto packets = packetizer.packetize(
+      std::vector<FlowRecord>{flow(1000, 3, 3000)});
+  for (const auto& p : packets) {
+    EXPECT_EQ(p.src_ip, 0x01020304u);
+    EXPECT_EQ(p.dst_ip, 0x05060708u);
+    EXPECT_EQ(p.dst_port, 80);
+    EXPECT_EQ(p.protocol, 6);
+  }
+}
+
+TEST(Packetizer, TimestampsWithinSpreadWindow) {
+  PacketizerConfig config;
+  config.flow_spread_s = 1.5;
+  Packetizer packetizer(config);
+  const auto packets = packetizer.packetize(
+      std::vector<FlowRecord>{flow(1'000'000, 20, 20000)});
+  for (const auto& p : packets) {
+    EXPECT_GE(p.timestamp_us, 1'000'000u);
+    EXPECT_LE(p.timestamp_us, 1'000'000u + 1'500'000u);
+  }
+}
+
+TEST(Packetizer, OutputGloballySorted) {
+  Packetizer packetizer;
+  std::vector<FlowRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(flow(static_cast<std::uint64_t>(i) * 100'000, 4, 4000));
+  }
+  const auto packets = packetizer.packetize(records);
+  for (std::size_t i = 1; i < packets.size(); ++i) {
+    EXPECT_LE(packets[i - 1].timestamp_us, packets[i].timestamp_us);
+  }
+}
+
+TEST(Packetizer, DeterministicPerSeed) {
+  PacketizerConfig config;
+  config.seed = 9;
+  Packetizer p1(config), p2(config);
+  const std::vector<FlowRecord> records{flow(0, 10, 9999), flow(500, 3, 300)};
+  EXPECT_EQ(p1.packetize(records), p2.packetize(records));
+}
+
+TEST(Packetizer, SyntheticTraceExpansionConservesBytes) {
+  SyntheticConfig config;
+  config.seed = 5;
+  config.duration_s = 120.0;
+  config.base_rate = 30.0;
+  config.num_hosts = 200;
+  SyntheticTraceGenerator generator(config);
+  const auto records = generator.generate();
+  std::uint64_t flow_bytes = 0;
+  std::uint64_t flow_packets = 0;
+  for (const auto& r : records) {
+    flow_bytes += r.bytes;
+    flow_packets += std::max<std::uint32_t>(1, r.packets);
+  }
+  Packetizer packetizer;
+  const auto packets = packetizer.packetize(records);
+  EXPECT_EQ(packets.size(), flow_packets);
+  std::uint64_t packet_bytes = 0;
+  for (const auto& p : packets) packet_bytes += p.bytes;
+  EXPECT_EQ(packet_bytes, flow_bytes);
+}
+
+TEST(Packetizer, StreamingFormMatchesBatchPerRecord) {
+  PacketizerConfig config;
+  config.seed = 11;
+  Packetizer batch(config), streaming(config);
+  const FlowRecord r = flow(0, 6, 6000);
+  const auto expected = batch.packetize(std::vector<FlowRecord>{r});
+  std::vector<PacketRecord> got;
+  streaming.packetize_record(r, [&got](const PacketRecord& p) {
+    got.push_back(p);
+  });
+  std::sort(got.begin(), got.end(),
+            [](const PacketRecord& a, const PacketRecord& b) {
+              return a.timestamp_us < b.timestamp_us;
+            });
+  EXPECT_EQ(got, expected);
+}
+
+}  // namespace
+}  // namespace scd::traffic

@@ -1,0 +1,66 @@
+// Router-catalog invariants: the ten profiles must keep the size spread and
+// statistical properties the evaluation depends on (DESIGN.md maps them to
+// the paper's ten NetFlow files). Generates the three named profiles at
+// reduced duration to keep the test fast.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "eval/intervalized.h"
+#include "traffic/router_profiles.h"
+#include "traffic/synthetic.h"
+
+namespace scd::traffic {
+namespace {
+
+TEST(RouterProfiles, SizeClassesSpanAnOrderOfMagnitude) {
+  const auto& large = router_by_name("large").config;
+  const auto& small = router_by_name("small").config;
+  EXPECT_GE(large.base_rate / small.base_rate, 10.0);
+}
+
+TEST(RouterProfiles, SeedsAreDistinct) {
+  std::unordered_set<std::uint64_t> seeds;
+  for (const auto& profile : router_catalog()) {
+    EXPECT_TRUE(seeds.insert(profile.config.seed).second) << profile.name;
+  }
+}
+
+TEST(RouterProfiles, NamesAreDistinctAndWellFormed) {
+  std::unordered_set<std::string> names;
+  for (const auto& profile : router_catalog()) {
+    EXPECT_TRUE(names.insert(profile.name).second);
+    EXPECT_EQ(profile.name.size(), 3u);
+    EXPECT_EQ(profile.name[0], 'r');
+  }
+}
+
+TEST(RouterProfiles, GeneratedVolumeMatchesRateShortHorizon) {
+  for (const char* name : {"large", "medium", "small"}) {
+    auto config = router_by_name(name).config;
+    config.duration_s = 300.0;  // shortened for test speed
+    config.anomalies.clear();
+    SyntheticTraceGenerator generator(config);
+    const auto records = generator.generate();
+    const double expected = config.base_rate * config.duration_s;
+    EXPECT_GT(static_cast<double>(records.size()), 0.5 * expected) << name;
+    EXPECT_LT(static_cast<double>(records.size()), 1.6 * expected) << name;
+  }
+}
+
+TEST(RouterProfiles, DistinctKeysPerIntervalExceedSmallK) {
+  // The H/K sweeps only show collision effects when distinct keys per
+  // interval exceed the small K values (1024); verify on the medium router.
+  auto config = router_by_name("medium").config;
+  config.duration_s = 300.0;
+  config.anomalies.clear();
+  SyntheticTraceGenerator generator(config);
+  const auto records = generator.generate();
+  const eval::IntervalizedStream stream(records, 300.0, KeyKind::kDstIp,
+                                        UpdateKind::kBytes);
+  ASSERT_GE(stream.num_intervals(), 1u);
+  EXPECT_GT(stream.interval(0).size(), 1024u);
+}
+
+}  // namespace
+}  // namespace scd::traffic

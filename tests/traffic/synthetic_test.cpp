@@ -1,0 +1,256 @@
+#include "traffic/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "traffic/router_profiles.h"
+
+namespace scd::traffic {
+namespace {
+
+SyntheticConfig small_config() {
+  SyntheticConfig config;
+  config.seed = 7;
+  config.duration_s = 600.0;
+  config.base_rate = 50.0;
+  config.num_hosts = 500;
+  config.zipf_exponent = 1.1;
+  config.diurnal_amplitude = 0.2;
+  return config;
+}
+
+TEST(SyntheticTrace, IsDeterministic) {
+  SyntheticTraceGenerator g1(small_config()), g2(small_config());
+  EXPECT_EQ(g1.generate(), g2.generate());
+}
+
+TEST(SyntheticTrace, DifferentSeedsDiffer) {
+  auto config = small_config();
+  SyntheticTraceGenerator g1(config);
+  config.seed = 8;
+  SyntheticTraceGenerator g2(config);
+  EXPECT_NE(g1.generate(), g2.generate());
+}
+
+TEST(SyntheticTrace, RecordsAreTimeOrdered) {
+  SyntheticTraceGenerator g(small_config());
+  const auto records = g.generate();
+  ASSERT_FALSE(records.empty());
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].timestamp_us, records[i].timestamp_us);
+  }
+}
+
+TEST(SyntheticTrace, RecordCountMatchesRate) {
+  SyntheticTraceGenerator g(small_config());
+  const auto records = g.generate();
+  // 50 rec/s * 600 s = 30000 expected (+/- diurnal and Poisson noise).
+  EXPECT_GT(records.size(), 20000u);
+  EXPECT_LT(records.size(), 40000u);
+}
+
+TEST(SyntheticTrace, TimestampsWithinDuration) {
+  SyntheticTraceGenerator g(small_config());
+  for (const auto& r : g.generate()) {
+    EXPECT_LT(record_time_s(r), 601.0);
+  }
+}
+
+TEST(SyntheticTrace, PopularityIsHeavyTailed) {
+  SyntheticTraceGenerator g(small_config());
+  const auto records = g.generate();
+  std::unordered_map<std::uint32_t, std::size_t> counts;
+  for (const auto& r : records) ++counts[r.dst_ip];
+  // Rank-0 host must dominate: it should carry >3% of records while the
+  // population has 500 hosts (uniform share would be 0.2%).
+  const auto rank0 = g.dst_ip_of_rank(0);
+  EXPECT_GT(static_cast<double>(counts[rank0]) /
+                static_cast<double>(records.size()),
+            0.03);
+}
+
+TEST(SyntheticTrace, BytesArePositiveAndSkewed) {
+  SyntheticTraceGenerator g(small_config());
+  std::uint64_t max_bytes = 0;
+  std::uint64_t total = 0;
+  std::size_t n = 0;
+  for (const auto& r : g.generate()) {
+    EXPECT_GE(r.bytes, 40u);
+    EXPECT_GE(r.packets, 1u);
+    max_bytes = std::max(max_bytes, r.bytes);
+    total += r.bytes;
+    ++n;
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(n);
+  EXPECT_GT(static_cast<double>(max_bytes), 10.0 * mean);  // heavy tail
+}
+
+TEST(SyntheticTrace, DosAttackInflatesTargetDuringWindow) {
+  auto config = small_config();
+  AnomalySpec dos;
+  dos.kind = AnomalyKind::kDosAttack;
+  dos.start_s = 200.0;
+  dos.duration_s = 100.0;
+  dos.magnitude = 200.0;
+  dos.target_rank = 50;
+  config.anomalies.push_back(dos);
+  SyntheticTraceGenerator g(config);
+  const auto target_ip = g.dst_ip_of_rank(50);
+  std::size_t in_window = 0, outside = 0;
+  for (const auto& r : g.generate()) {
+    if (r.dst_ip != target_ip) continue;
+    const double t = record_time_s(r);
+    if (t >= 200.0 && t < 300.0) {
+      ++in_window;
+    } else {
+      ++outside;
+    }
+  }
+  // ~200 rec/s * 100 s of attack vs background trickle over 500 s.
+  EXPECT_GT(in_window, 15000u);
+  EXPECT_LT(outside, in_window / 10);
+}
+
+TEST(SyntheticTrace, FlashCrowdRampsUpAndDown) {
+  auto config = small_config();
+  AnomalySpec crowd;
+  crowd.kind = AnomalyKind::kFlashCrowd;
+  crowd.start_s = 100.0;
+  crowd.duration_s = 400.0;
+  crowd.magnitude = 300.0;
+  crowd.target_rank = 99;
+  config.anomalies.push_back(crowd);
+  SyntheticTraceGenerator g(config);
+  const auto target_ip = g.dst_ip_of_rank(99);
+  std::map<int, std::size_t> per_quarter;  // quarters of the window
+  for (const auto& r : g.generate()) {
+    if (r.dst_ip != target_ip) continue;
+    const double t = record_time_s(r);
+    if (t >= 100.0 && t < 500.0) {
+      ++per_quarter[static_cast<int>((t - 100.0) / 100.0)];
+    }
+  }
+  // Triangular envelope: middle quarters busiest.
+  EXPECT_GT(per_quarter[1], per_quarter[0]);
+  EXPECT_GT(per_quarter[2], per_quarter[3]);
+}
+
+TEST(SyntheticTrace, PortScanTouchesManyDestinations) {
+  auto config = small_config();
+  AnomalySpec scan;
+  scan.kind = AnomalyKind::kPortScan;
+  scan.start_s = 100.0;
+  scan.duration_s = 100.0;
+  scan.magnitude = 100.0;
+  config.anomalies.push_back(scan);
+  SyntheticTraceGenerator g(config);
+  std::unordered_map<std::uint32_t, std::size_t> dsts_before, dsts_during;
+  for (const auto& r : g.generate()) {
+    const double t = record_time_s(r);
+    if (t < 100.0) ++dsts_before[r.dst_ip];
+    if (t >= 100.0 && t < 200.0) ++dsts_during[r.dst_ip];
+  }
+  EXPECT_GT(dsts_during.size(), dsts_before.size() + 5000);
+}
+
+TEST(SyntheticTrace, OutageSuppressesTopDestinations) {
+  auto config = small_config();
+  AnomalySpec outage;
+  outage.kind = AnomalyKind::kOutage;
+  outage.start_s = 300.0;
+  outage.duration_s = 200.0;
+  outage.magnitude = 0.95;
+  outage.target_rank = 5;  // top-5 hosts dark
+  config.anomalies.push_back(outage);
+  SyntheticTraceGenerator g(config);
+  std::size_t top_before = 0, top_during = 0;
+  std::vector<std::uint32_t> top_ips;
+  for (std::size_t rank = 0; rank < 5; ++rank) {
+    top_ips.push_back(g.dst_ip_of_rank(rank));
+  }
+  for (const auto& r : g.generate()) {
+    if (std::find(top_ips.begin(), top_ips.end(), r.dst_ip) == top_ips.end()) {
+      continue;
+    }
+    const double t = record_time_s(r);
+    if (t < 300.0) ++top_before;
+    if (t >= 300.0 && t < 500.0) ++top_during;
+  }
+  // Before-window is 300 s, outage window is 200 s; with 95% suppression the
+  // during-window count must be far below the pro-rated baseline.
+  EXPECT_LT(static_cast<double>(top_during),
+            0.25 * static_cast<double>(top_before) * (200.0 / 300.0));
+}
+
+TEST(SyntheticTrace, SharedHostSpaceAlignsAddresses) {
+  auto c1 = small_config();
+  auto c2 = small_config();
+  c2.seed = 99;  // different traffic
+  c1.host_space_seed = 4242;
+  c2.host_space_seed = 4242;  // same address space
+  SyntheticTraceGenerator g1(c1), g2(c2);
+  for (std::size_t rank = 0; rank < 100; ++rank) {
+    EXPECT_EQ(g1.dst_ip_of_rank(rank), g2.dst_ip_of_rank(rank));
+  }
+  EXPECT_NE(g1.generate(), g2.generate());  // traffic still differs
+}
+
+TEST(SyntheticTrace, HostSpaceSeedZeroFallsBackToSeed) {
+  auto c1 = small_config();
+  auto c2 = small_config();
+  c2.seed = 99;
+  SyntheticTraceGenerator g1(c1), g2(c2);
+  EXPECT_NE(g1.dst_ip_of_rank(0), g2.dst_ip_of_rank(0));
+}
+
+TEST(TraceStats, SummarizesCorrectly) {
+  std::vector<FlowRecord> records(3);
+  records[0].timestamp_us = 0;
+  records[0].bytes = 100;
+  records[0].dst_ip = 1;
+  records[1].timestamp_us = 1000000;
+  records[1].bytes = 200;
+  records[1].dst_ip = 2;
+  records[2].timestamp_us = 2000000;
+  records[2].bytes = 300;
+  records[2].dst_ip = 1;
+  const auto stats = summarize_trace(records);
+  EXPECT_EQ(stats.records, 3u);
+  EXPECT_EQ(stats.total_bytes, 600u);
+  EXPECT_EQ(stats.distinct_dsts, 2u);
+  EXPECT_DOUBLE_EQ(stats.duration_s, 2.0);
+  EXPECT_FALSE(stats.to_string().empty());
+}
+
+TEST(RouterCatalog, HasTenProfilesLargestFirst) {
+  const auto& catalog = router_catalog();
+  ASSERT_EQ(catalog.size(), 10u);
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_GE(catalog[i - 1].config.base_rate, catalog[i].config.base_rate);
+  }
+}
+
+TEST(RouterCatalog, NamedLookupWorks) {
+  EXPECT_EQ(router_by_name("large").name, "r01");
+  EXPECT_EQ(router_by_name("medium").name, "r05");
+  EXPECT_EQ(router_by_name("small").name, "r10");
+  EXPECT_EQ(router_by_name("r03").name, "r03");
+  EXPECT_THROW((void)router_by_name("bogus"), std::out_of_range);
+}
+
+TEST(RouterCatalog, EveryProfileHasPostWarmupAnomalies) {
+  for (const auto& profile : router_catalog()) {
+    EXPECT_FALSE(profile.config.anomalies.empty()) << profile.name;
+    for (const auto& a : profile.config.anomalies) {
+      EXPECT_GE(a.start_s, 3600.0) << profile.name;  // after 1 h warm-up
+      EXPECT_LE(a.start_s + a.duration_s, profile.config.duration_s)
+          << profile.name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scd::traffic
