@@ -5,15 +5,21 @@
 //              [--period 24] [--window 5] [--h 5] [--k 32768]
 //              [--threshold 0.05] [--key dst|src|pair] [--update bytes|
 //              packets|records] [--online] [--sample 1.0] [--top 10]
+//              [--metrics prom|json]
 //
 // Reads a binary trace (see trace_inspect to create one), runs the
 // sketch-based change-detection pipeline, and prints one line per alarm.
+// With --metrics, the run's observability snapshot (Prometheus text or
+// JSON; see docs/OBSERVABILITY.md) plus a stage-budget table follow the
+// alarm listing.
 #include <cstdio>
 #include <string>
 
 #include "common/flags.h"
 #include "common/strutil.h"
 #include "core/pipeline.h"
+#include "eval/stage_budget.h"
+#include "obs/exposition.h"
 #include "traffic/csv_import.h"
 #include "traffic/trace_io.h"
 
@@ -86,6 +92,9 @@ int main(int argc, char** argv) {
   flags.add_flag("randomize-intervals", "randomize interval lengths (§6)", "");
   flags.add_flag("csv", "input is CSV (time,src,dst,sport,dport,proto,"
                  "packets,bytes) instead of .scdt", "");
+  flags.add_flag("metrics",
+                 "print observability snapshot after the run: prom or json",
+                 "");
 
   if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
     std::fprintf(stderr, "%s%s\n", flags.error().c_str(),
@@ -122,6 +131,13 @@ int main(int argc, char** argv) {
     config.update_kind = traffic::UpdateKind::kRecords;
   } else if (update != "bytes") {
     std::fprintf(stderr, "unknown --update: %s\n", update.c_str());
+    return 2;
+  }
+
+  const std::string metrics = flags.get("metrics");
+  if (!metrics.empty() && metrics != "prom" && metrics != "json") {
+    std::fprintf(stderr, "unknown --metrics format: %s (want prom or json)\n",
+                 metrics.c_str());
     return 2;
   }
 
@@ -178,6 +194,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(records),
                 pipeline.reports().size(),
                 pipeline.config().model.to_string().c_str());
+    if (!metrics.empty()) {
+      std::printf("\n%s",
+                  scd::eval::format_stage_budget(pipeline.stats()).c_str());
+      std::printf("\n%s",
+                  metrics == "json"
+                      ? obs::to_json(obs::MetricsRegistry::global()).c_str()
+                      : obs::to_prometheus(obs::MetricsRegistry::global())
+                            .c_str());
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -3,7 +3,10 @@
 //     set; changes in interval t are detected from keys arriving in t+1),
 //   * key sampling (only 30% of keys are checked),
 //   * periodic online re-fitting of the forecast model via grid search over
-//     the recent sketch history.
+//     the recent sketch history,
+//   * hourly JSON metrics snapshots from the observability layer
+//     (obs::PeriodicSnapshot driven by stream time, so replays are
+//     deterministic; a live deployment would drive it with wall time).
 //
 //   ./build/examples/online_monitor
 #include <algorithm>
@@ -12,6 +15,7 @@
 
 #include "common/strutil.h"
 #include "core/pipeline.h"
+#include "obs/exposition.h"
 #include "traffic/router_profiles.h"
 #include "traffic/synthetic.h"
 
@@ -37,8 +41,18 @@ int main() {
   config.refit_window = 12;
   config.max_alarms_per_interval = 3;
 
+  // Snapshot the process metrics every simulated hour; one JSON line each,
+  // ready for a log shipper.
+  obs::PeriodicSnapshot snapshots(
+      3600.0, obs::PeriodicSnapshot::Format::kJson,
+      [](const std::string& json) {
+        std::printf("METRICS %s\n", json.c_str());
+      });
+
   core::ChangeDetectionPipeline pipeline(config);
-  pipeline.set_report_callback([&pipeline](const core::IntervalReport& r) {
+  pipeline.set_report_callback([&pipeline, &snapshots](
+                                   const core::IntervalReport& r) {
+    snapshots.tick(r.end_s);
     if (!r.detection_ran) return;
     std::printf("[%5.0f s] keys_checked=%-6zu est|e|=%-10.3g alarms=%zu",
                 r.start_s, r.keys_checked,
@@ -60,6 +74,8 @@ int main() {
 
   std::printf("\nonline re-fit: EWMA alpha %.3f -> %.3f\n", alpha_before,
               alpha_after);
+  std::printf("metrics snapshots emitted: %zu (one per simulated hour)\n",
+              snapshots.snapshots_emitted());
   std::printf("note: next-interval replay trades one interval of latency for\n"
               "zero key storage; keys that never reappear are missed, which\n"
               "is acceptable for DoS-style targets (§3.3).\n");

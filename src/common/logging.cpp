@@ -1,14 +1,21 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <mutex>
+#include <thread>
+#include <utility>
 
 namespace scd::common {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;
+std::mutex g_mutex;  // serializes lines and guards the sink
+LogSink& sink_slot() {
+  static LogSink sink;  // null = stderr default
+  return sink;
+}
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -19,15 +26,47 @@ const char* level_name(LogLevel level) noexcept {
   }
   return "?";
 }
+
+std::chrono::steady_clock::time_point process_epoch() noexcept {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+/// Short stable id for the calling thread: the hash of std::thread::id
+/// folded to 16 bits — enough to tell interleaved threads apart in a log.
+std::uint16_t thread_tag() noexcept {
+  const std::size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return static_cast<std::uint16_t>(h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48));
+}
 }  // namespace
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 
 LogLevel log_level() noexcept { return g_level.load(); }
 
-void log_line(LogLevel level, const std::string& message) {
+void set_log_sink(LogSink sink) {
   const std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
+  sink_slot() = std::move(sink);
+}
+
+double log_monotonic_now() noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       process_epoch())
+      .count();
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  char prefix[64];
+  std::snprintf(prefix, sizeof(prefix), "[%9.3fs tid=%04x] [%s] ",
+                log_monotonic_now(), thread_tag(), level_name(level));
+  const std::string line = prefix + message;
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  if (sink_slot()) {
+    sink_slot()(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace scd::common

@@ -1,8 +1,16 @@
 // Minimal leveled logger for library diagnostics. Intentionally tiny:
 // experiments print their own structured output; this is for warnings and
 // progress notes only.
+//
+// Each emitted line carries a monotonic timestamp (seconds since the first
+// log call, steady clock) and the calling thread's id, e.g.
+//   [   12.042s tid=1f3a] [WARN] refit window shorter than season
+// The destination is pluggable via set_log_sink() so tests and the metrics
+// layer can capture output instead of scraping stderr; the default sink
+// writes to stderr.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -14,7 +22,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Writes one formatted line to stderr (thread-safe at the line level).
+/// Receives every emitted line: the level plus the fully formatted line
+/// (timestamp, thread id, level tag, message; no trailing newline).
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Replaces the sink. Passing a null function restores the stderr default.
+/// The sink is invoked under the logger's mutex, so it must not log.
+void set_log_sink(LogSink sink);
+
+/// Seconds elapsed on the steady clock since the logger was first touched
+/// (the timestamp base used in emitted lines).
+[[nodiscard]] double log_monotonic_now() noexcept;
+
+/// Formats and emits one line (thread-safe at the line level).
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -9,12 +9,16 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/logging.h"
 #include "common/random.h"
+#include "common/timer.h"
 #include "detect/detection.h"
 #include "forecast/runner.h"
 #include "gridsearch/grid_search.h"
 #include "hash/cw_hash.h"
 #include "hash/tabulation_hash.h"
+#include "obs/pipeline_metrics.h"
+#include "obs/scoped_timer.h"
 #include "sketch/kary_sketch.h"
 
 namespace scd::core {
@@ -56,6 +60,12 @@ void PipelineConfig::validate() const {
 
 namespace {
 
+// One in every 2^kUpdateSampleShift add() calls is stopwatch-timed into the
+// sketch_update stage histogram. Timing every record would cost two clock
+// reads (~40 ns) against a ~30 ns UPDATE; sampling amortizes that to well
+// under 1 ns per record while the histogram still converges quickly.
+constexpr std::uint64_t kUpdateSampleMask = 63;
+
 class EngineBase {
  public:
   virtual ~EngineBase() = default;
@@ -82,6 +92,16 @@ class Engine final : public EngineBase {
         interval_rng_(config.seed ^ 0x1234abcd5678ef90ULL),
         current_len_(config.interval_s) {
     if (config_.randomize_intervals) current_len_ = draw_interval_length();
+#if SCD_OBS_ENABLED
+    if (config_.metrics) obs_ = &obs::PipelineInstruments::global();
+#endif
+    // The single place sketch memory is accounted (the table never resizes).
+    stats_.sketch_bytes = observed_.table_bytes();
+#if SCD_OBS_ENABLED
+    if (obs_ != nullptr) {
+      obs_->sketch_bytes.set(static_cast<double>(stats_.sketch_bytes));
+    }
+#endif
     rebuild_runner();
   }
 
@@ -99,7 +119,25 @@ class Engine final : public EngineBase {
           "ChangeDetectionPipeline: update must be finite");
     }
     while (time_s >= current_start_ + current_len_) close_interval();
+    // The records counter is batched into close_interval(): one shared
+    // fetch_add per interval instead of one per record keeps this path free
+    // of cross-core traffic (a per-record inc alone costs ~5% throughput).
+#if SCD_OBS_ENABLED
+    if (obs_ != nullptr) {
+      if ((stats_.records & kUpdateSampleMask) == 0) {
+        obs::ScopedTimer timer(&obs_->stage_sketch_update,
+                               &stats_.update_seconds);
+        observed_.update(key, update);
+        ++stats_.update_samples;
+      } else {
+        observed_.update(key, update);
+      }
+    } else {
+      observed_.update(key, update);
+    }
+#else
     observed_.update(key, update);
+#endif
     ++records_in_interval_;
     ++stats_.records;
     if (config_.key_sample_rate >= 1.0 ||
@@ -124,9 +162,7 @@ class Engine final : public EngineBase {
   }
 
   [[nodiscard]] PipelineStats stats() const noexcept override {
-    PipelineStats s = stats_;
-    s.sketch_bytes = observed_.table_bytes();
-    return s;
+    return stats_;  // sketch_bytes is fixed at construction
   }
 
  private:
@@ -149,6 +185,7 @@ class Engine final : public EngineBase {
   }
 
   void close_interval() {
+    const common::Stopwatch close_watch;
     IntervalReport report;
     report.index = interval_index_;
     report.start_s = current_start_;
@@ -166,7 +203,21 @@ class Engine final : public EngineBase {
       if (history_.size() > config_.refit_window) history_.pop_front();
     }
 
+#if SCD_OBS_ENABLED
+    if (obs_ != nullptr) {
+      obs_->records.inc(records_in_interval_);  // batched from add()
+      obs_->replay_buffer_keys.set(static_cast<double>(keys_.size()));
+    }
+    std::optional<typename forecast::ForecastRunner<Sketch>::Step> step;
+    {
+      obs::ScopedTimer timer(obs_ != nullptr ? &obs_->stage_forecast : nullptr,
+                             &report.timings.forecast_s);
+      step = runner_->step(observed_);
+    }
+    stats_.forecast_seconds += report.timings.forecast_s;
+#else
     const auto step = runner_->step(observed_);
+#endif
 
     if (config_.replay == KeyReplayMode::kNextInterval) {
       // This interval's keys detect the *previous* interval's changes.
@@ -175,20 +226,25 @@ class Engine final : public EngineBase {
       }
       if (step.has_value()) {
         Pending p{std::move(step->error), 0.0, std::move(report)};
-        p.est_f2 = p.error.estimate_f2();
+        p.est_f2 = timed_estimate_f2(p.error, p.report.timings);
         p.report.detection_ran = true;
+        p.report.timings.close_s = close_watch.seconds();
+        mark_detection_ran();
         pending_.emplace(std::move(p));
       } else {
+        report.timings.close_s = close_watch.seconds();
         emit_(std::move(report));
       }
     } else {
       if (step.has_value()) {
         report.detection_ran = true;
-        const double est_f2 = step->error.estimate_f2();
+        mark_detection_ran();
+        const double est_f2 = timed_estimate_f2(step->error, report.timings);
         fill_detection(step->error, est_f2,
                        std::vector<std::uint64_t>(keys_.begin(), keys_.end()),
                        report);
       }
+      report.timings.close_s = close_watch.seconds();
       emit_(std::move(report));
     }
 
@@ -200,7 +256,43 @@ class Engine final : public EngineBase {
     if (config_.randomize_intervals) current_len_ = draw_interval_length();
     ++interval_index_;
 
+    const double close_s = close_watch.seconds();
+    stats_.close_seconds += close_s;
+#if SCD_OBS_ENABLED
+    if (obs_ != nullptr) {
+      obs_->intervals_closed.inc();
+      obs_->stage_interval_close.observe(close_s);
+    }
+#endif
+
     maybe_refit();
+  }
+
+  void mark_detection_ran() noexcept {
+#if SCD_OBS_ENABLED
+    if (obs_ != nullptr) obs_->detections.inc();
+#endif
+  }
+
+  /// ESTIMATEF2(S_e) under the estimate_f2 stage timer; the timing lands in
+  /// the report that will eventually carry this detection.
+  [[nodiscard]] double timed_estimate_f2(const Sketch& error,
+                                         StageTimings& timings) {
+#if SCD_OBS_ENABLED
+    double elapsed = 0.0;
+    double est_f2 = 0.0;
+    {
+      obs::ScopedTimer timer(
+          obs_ != nullptr ? &obs_->stage_estimate_f2 : nullptr, &elapsed);
+      est_f2 = error.estimate_f2();
+    }
+    timings.estimate_f2_s += elapsed;
+    stats_.estimate_f2_seconds += elapsed;
+    return est_f2;
+#else
+    (void)timings;
+    return error.estimate_f2();
+#endif
   }
 
   void emit_pending(const std::vector<std::uint64_t>& keys) {
@@ -215,6 +307,7 @@ class Engine final : public EngineBase {
                       IntervalReport& report) {
     report.keys_checked = keys.size();
     report.estimated_error_f2 = est_f2;
+    stats_.keys_replayed += keys.size();
     // Threshold anchor: this interval's F2, or the smoothed history (which
     // a large in-progress change cannot inflate).
     double anchor_f2 = std::max(est_f2, 0.0);
@@ -228,7 +321,19 @@ class Engine final : public EngineBase {
     }
     const double l2 = std::sqrt(anchor_f2);
     report.alarm_threshold = config_.threshold * l2;
+#if SCD_OBS_ENABLED
+    if (obs_ != nullptr) {
+      obs_->keys_replayed.inc(keys.size());
+      obs_->last_error_l2.set(std::sqrt(std::max(est_f2, 0.0)));
+      obs_->last_alarm_threshold.set(report.alarm_threshold);
+    }
+#endif
     if (l2 <= 0.0) return;  // degenerate error signal: nothing to flag
+#if SCD_OBS_ENABLED
+    obs::ScopedTimer replay_timer(
+        obs_ != nullptr ? &obs_->stage_key_replay : nullptr,
+        &report.timings.key_replay_s);
+#endif
     auto ranked = detect::rank_by_abs_error(
         keys, [&error](std::uint64_t key) { return error.estimate(key); });
     auto flagged =
@@ -246,6 +351,11 @@ class Engine final : public EngineBase {
         streaks.emplace(e.key, streak);
         if (streak >= config_.min_consecutive) persistent.push_back(e);
       }
+      const std::size_t suppressed = flagged.size() - persistent.size();
+      stats_.hysteresis_suppressed += suppressed;
+#if SCD_OBS_ENABLED
+      if (obs_ != nullptr) obs_->hysteresis_suppressed.inc(suppressed);
+#endif
       alarm_streaks_ = std::move(streaks);  // keys not flagged reset to 0
       flagged = persistent;
     }
@@ -255,12 +365,27 @@ class Engine final : public EngineBase {
     report.alarms = detect::make_alarms(capped, report.index,
                                         report.alarm_threshold);
     stats_.alarms += report.alarms.size();
+#if SCD_OBS_ENABLED
+    replay_timer.stop();
+    stats_.key_replay_seconds += report.timings.key_replay_s;
+    if (obs_ != nullptr) {
+      (config_.criterion == DetectionCriterion::kTopN ? obs_->alarms_topn
+                                                      : obs_->alarms_threshold)
+          .inc(report.alarms.size());
+    }
+#endif
   }
 
   void maybe_refit() {
     if (config_.refit_every == 0 || interval_index_ == 0) return;
     if (interval_index_ % config_.refit_every != 0) return;
     if (history_.size() < 4) return;  // not enough signal to fit
+#if SCD_OBS_ENABLED
+    obs::ScopedTimer refit_timer(
+        obs_ != nullptr ? &obs_->stage_refit : nullptr,
+        &stats_.refit_seconds);
+    if (obs_ != nullptr) obs_->refits.inc();
+#endif
     const Sketch prototype(family_, config_.k);
     const gridsearch::Objective objective =
         [this, &prototype](const forecast::ModelConfig& candidate) {
@@ -304,6 +429,9 @@ class Engine final : public EngineBase {
   std::optional<Pending> pending_;
   std::deque<Sketch> history_;
   PipelineStats stats_;
+  /// Shared process-wide instruments; null when config.metrics is false or
+  /// the library was built with SCD_OBS_ENABLED=0.
+  obs::PipelineInstruments* obs_ = nullptr;
 };
 
 }  // namespace
@@ -350,7 +478,20 @@ void ChangeDetectionPipeline::add(std::uint64_t key, double update,
   impl_->engine_->add(key, update, time_s);
 }
 
-void ChangeDetectionPipeline::flush() { impl_->engine_->flush(); }
+void ChangeDetectionPipeline::flush() {
+  impl_->engine_->flush();
+  // Every closed interval must have produced exactly one report, whether it
+  // was emitted immediately (kCurrentInterval), deferred one interval
+  // (kNextInterval), or flushed with an empty key set. Replay modes added
+  // later must preserve this.
+  const std::size_t closed = impl_->engine_->stats().intervals_closed;
+  if (closed != impl_->reports_.size()) {
+    SCD_ERROR() << "pipeline invariant violated after flush: "
+                << closed << " intervals closed but "
+                << impl_->reports_.size() << " reports emitted";
+    assert(closed == impl_->reports_.size());
+  }
+}
 
 const std::vector<IntervalReport>& ChangeDetectionPipeline::reports()
     const noexcept {

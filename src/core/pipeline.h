@@ -81,9 +81,27 @@ struct PipelineConfig {
   std::size_t min_consecutive = 1;
   std::size_t refit_every = 0;           // 0 = no online re-fitting
   std::size_t refit_window = 24;         // history intervals for re-fitting
+  /// Feed the process-wide observability instruments (src/obs): per-stage
+  /// latency histograms, counters, and gauges. The per-record cost is one
+  /// sampled (1/64) stopwatch read — counters are batched and flushed to
+  /// the shared registry at interval close, so the registry's records
+  /// counter advances at interval granularity. Set to false for
+  /// micro-benchmarks that must not touch shared state.
+  bool metrics = true;
 
   /// Throws std::invalid_argument when out of range (bad K, sample rate...).
   void validate() const;
+};
+
+/// Wall-clock breakdown of one interval close, in seconds. forecast_s,
+/// estimate_f2_s and key_replay_s are sub-spans of close_s; in kNextInterval
+/// replay mode the detection spans are measured when the deferred detection
+/// actually runs (one interval later).
+struct StageTimings {
+  double close_s = 0.0;        // whole close_interval (excl. deferred parts)
+  double forecast_s = 0.0;     // forecasting-module step (S_f, S_e)
+  double estimate_f2_s = 0.0;  // ESTIMATEF2(S_e) + threshold computation
+  double key_replay_s = 0.0;   // per-key ESTIMATE + ranking + hysteresis
 };
 
 /// Lifetime counters for capacity planning and monitoring.
@@ -93,6 +111,19 @@ struct PipelineStats {
   std::size_t alarms = 0;
   std::size_t refits = 0;           // online re-fits performed
   std::size_t sketch_bytes = 0;     // register memory of one sketch (H*K*8)
+  std::uint64_t keys_replayed = 0;  // candidate keys run through ESTIMATE
+  std::uint64_t hysteresis_suppressed = 0;  // withheld by min_consecutive
+
+  // Cumulative stage budget (seconds). update_seconds covers only the
+  // sampled (1 in 64) add() calls that were timed; scale by
+  // records / update_samples for a whole-stream estimate.
+  double update_seconds = 0.0;
+  std::uint64_t update_samples = 0;
+  double close_seconds = 0.0;
+  double forecast_seconds = 0.0;
+  double estimate_f2_seconds = 0.0;
+  double key_replay_seconds = 0.0;
+  double refit_seconds = 0.0;
 };
 
 /// Everything the pipeline learned about one closed interval.
@@ -107,6 +138,7 @@ struct IntervalReport {
   double estimated_error_f2 = 0.0;  // ESTIMATEF2(S_e(t))
   double alarm_threshold = 0.0;     // T_A
   std::vector<detect::Alarm> alarms;  // sorted by |error| descending
+  StageTimings timings;             // where this interval's time went
 };
 
 class ChangeDetectionPipeline {

@@ -1,0 +1,20 @@
+// Stage-budget table: renders the timing breakdown carried by
+// PipelineStats as a human-readable report, so benches and CLIs can show
+// where an experiment's wall-clock went (sketch update vs forecast vs
+// ESTIMATEF2 vs key replay vs re-fit) without touching the obs registry.
+#pragma once
+
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace scd::eval {
+
+/// One row per stage: total seconds, per-interval (or per-record) unit
+/// cost, and share of the accounted time. The sketch-update row is
+/// extrapolated from the 1/64-sampled measurements (and flagged as such).
+/// Returns a note instead of a table when the pipeline ran with metrics
+/// disabled (all timing fields zero).
+[[nodiscard]] std::string format_stage_budget(const core::PipelineStats& stats);
+
+}  // namespace scd::eval

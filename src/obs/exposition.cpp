@@ -1,0 +1,196 @@
+#include "obs/exposition.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+namespace scd::obs {
+
+namespace {
+
+const char* type_name(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+/// Shortest round-trippable rendering; Prometheus wants plain decimals and
+/// "+Inf" for the overflow bound.
+std::string render_double(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[64];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) return shorter;
+  }
+  return buf;
+}
+
+/// {a="x",b="y"} with an optional extra pair appended (histogram le).
+std::string render_labels(const Labels& labels, const char* extra_key = nullptr,
+                          const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key == nullptr) return {};
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += key + "=\"" + escape(value) + "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out.push_back(',');
+    out += std::string(extra_key) + "=\"" + extra_value + "\"";
+  }
+  out.push_back('}');
+  return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  for (const FamilyView& family : registry.families()) {
+    out << "# HELP " << family.name << ' ' << escape(family.help) << '\n';
+    out << "# TYPE " << family.name << ' ' << type_name(family.type) << '\n';
+    for (const MetricInstance& instance : family.instances) {
+      switch (family.type) {
+        case MetricType::kCounter:
+          out << family.name << render_labels(instance.labels) << ' '
+              << instance.counter->value() << '\n';
+          break;
+        case MetricType::kGauge:
+          out << family.name << render_labels(instance.labels) << ' '
+              << render_double(instance.gauge->value()) << '\n';
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *instance.histogram;
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+            cumulative += h.bucket_count(i);
+            out << family.name << "_bucket"
+                << render_labels(instance.labels, "le",
+                                 render_double(h.bounds()[i]))
+                << ' ' << cumulative << '\n';
+          }
+          cumulative += h.bucket_count(h.bounds().size());
+          out << family.name << "_bucket"
+              << render_labels(instance.labels, "le", "+Inf") << ' '
+              << cumulative << '\n';
+          out << family.name << "_sum" << render_labels(instance.labels) << ' '
+              << render_double(h.sum()) << '\n';
+          out << family.name << "_count" << render_labels(instance.labels)
+              << ' ' << h.count() << '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out.str();
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  std::ostringstream out;
+  out << "{\"families\":[";
+  bool first_family = true;
+  for (const FamilyView& family : registry.families()) {
+    if (!first_family) out << ',';
+    first_family = false;
+    out << "{\"name\":\"" << escape(family.name) << "\",\"type\":\""
+        << type_name(family.type) << "\",\"help\":\"" << escape(family.help)
+        << "\",\"metrics\":[";
+    bool first_instance = true;
+    for (const MetricInstance& instance : family.instances) {
+      if (!first_instance) out << ',';
+      first_instance = false;
+      out << "{\"labels\":{";
+      bool first_label = true;
+      for (const auto& [key, value] : instance.labels) {
+        if (!first_label) out << ',';
+        first_label = false;
+        out << '"' << escape(key) << "\":\"" << escape(value) << '"';
+      }
+      out << '}';
+      switch (family.type) {
+        case MetricType::kCounter:
+          out << ",\"value\":" << instance.counter->value();
+          break;
+        case MetricType::kGauge:
+          out << ",\"value\":" << render_double(instance.gauge->value());
+          break;
+        case MetricType::kHistogram: {
+          const Histogram& h = *instance.histogram;
+          out << ",\"count\":" << h.count()
+              << ",\"sum\":" << render_double(h.sum()) << ",\"p50\":"
+              << render_double(h.quantile(0.50)) << ",\"p95\":"
+              << render_double(h.quantile(0.95)) << ",\"p99\":"
+              << render_double(h.quantile(0.99)) << ",\"buckets\":[";
+          for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
+            if (i > 0) out << ',';
+            out << "{\"le\":"
+                << (i < h.bounds().size()
+                        ? render_double(h.bounds()[i])
+                        : std::string("\"+Inf\""))
+                << ",\"n\":" << h.bucket_count(i) << '}';
+          }
+          out << ']';
+          break;
+        }
+      }
+      out << '}';
+    }
+    out << "]}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+PeriodicSnapshot::PeriodicSnapshot(double every_s, Format format,
+                                   std::function<void(const std::string&)> emit,
+                                   const MetricsRegistry& registry)
+    : every_s_(every_s), format_(format), emit_(std::move(emit)),
+      registry_(registry) {}
+
+bool PeriodicSnapshot::tick(double now_s) {
+  if (!armed_) {
+    armed_ = true;
+    next_due_s_ = now_s + every_s_;
+    return false;
+  }
+  if (now_s < next_due_s_) return false;
+  // Skip forward past any missed deadlines (idle stream gaps) rather than
+  // emitting a burst of stale snapshots.
+  while (next_due_s_ <= now_s) next_due_s_ += every_s_;
+  if (emit_) {
+    emit_(format_ == Format::kPrometheus ? to_prometheus(registry_)
+                                         : to_json(registry_));
+  }
+  ++emitted_;
+  return true;
+}
+
+}  // namespace scd::obs

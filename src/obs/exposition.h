@@ -1,0 +1,55 @@
+// Machine-readable exposition of a MetricsRegistry.
+//
+//   to_prometheus() — Prometheus text exposition format 0.0.4: one
+//     HELP/TYPE block per family, counters suffixed _total by convention of
+//     the caller's metric names, histograms expanded into cumulative
+//     _bucket{le=...}, _sum, and _count series.
+//   to_json()       — one JSON object per family with per-instance values
+//     (histograms include bucket bounds/counts and p50/p95/p99 estimates),
+//     for log shippers and the tests.
+//
+// Both functions take a live registry; values are read atomically per field
+// (standard monitoring semantics: the snapshot is not cross-metric atomic).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace scd::obs {
+
+[[nodiscard]] std::string to_prometheus(const MetricsRegistry& registry);
+[[nodiscard]] std::string to_json(const MetricsRegistry& registry);
+
+/// Periodic snapshot hook for long-running processes: call tick(now) from
+/// any convenient cadence point (per record, per interval report); every
+/// `every_s` seconds of the supplied clock it renders the registry and
+/// invokes the emit callback. The clock is caller-defined — stream time for
+/// deterministic replays, wall time for live feeds.
+class PeriodicSnapshot {
+ public:
+  enum class Format { kPrometheus, kJson };
+
+  PeriodicSnapshot(double every_s, Format format,
+                   std::function<void(const std::string&)> emit,
+                   const MetricsRegistry& registry = MetricsRegistry::global());
+
+  /// Emits at most one snapshot per call; returns true when one was emitted.
+  bool tick(double now_s);
+
+  [[nodiscard]] std::size_t snapshots_emitted() const noexcept {
+    return emitted_;
+  }
+
+ private:
+  double every_s_;
+  Format format_;
+  std::function<void(const std::string&)> emit_;
+  const MetricsRegistry& registry_;
+  bool armed_ = false;
+  double next_due_s_ = 0.0;
+  std::size_t emitted_ = 0;
+};
+
+}  // namespace scd::obs

@@ -1,0 +1,209 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace scd::obs {
+
+namespace {
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) return false;
+  for (const char c : name) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "Histogram: bucket bounds must be strictly increasing");
+    }
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+std::vector<double> Histogram::default_latency_buckets() {
+  return {1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5,
+          1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+          1e-1, 2.5e-1, 5e-1, 1.0,  2.5,    5.0,  10.0};
+}
+
+double Histogram::quantile(double q) const noexcept {
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    const auto in_bucket = static_cast<double>(bucket_count(i));
+    if (cumulative + in_bucket >= target && in_bucket > 0.0) {
+      if (i == bounds_.size()) {
+        // Overflow bucket: no finite upper bound to interpolate toward.
+        return bounds_.empty() ? 0.0 : bounds_.back();
+      }
+      const double hi = bounds_[i];
+      const double lo = i == 0 ? std::min(0.0, hi) : bounds_[i - 1];
+      const double fraction = (target - cumulative) / in_bucket;
+      return lo + (hi - lo) * fraction;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
+struct MetricsRegistry::Family {
+  std::string name;
+  std::string help;
+  MetricType type;
+  std::vector<double> bounds;  // histogram families only
+  struct Instance {
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  std::vector<std::unique_ptr<Instance>> instances;
+
+  Instance* find(const Labels& labels) {
+    for (const auto& instance : instances) {
+      if (instance->labels == labels) return instance.get();
+    }
+    return nullptr;
+  }
+};
+
+// Defined here, where Family is complete, so the unique_ptr members can be
+// destroyed by callers that only see the forward declaration.
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+MetricsRegistry::Family& MetricsRegistry::find_or_create(
+    const std::string& name, const std::string& help, MetricType type) {
+  if (!valid_metric_name(name)) {
+    throw std::invalid_argument("MetricsRegistry: invalid metric name: " +
+                                name);
+  }
+  for (const auto& family : families_) {
+    if (family->name == name) {
+      if (family->type != type) {
+        throw std::invalid_argument(
+            "MetricsRegistry: metric already registered with another type: " +
+            name);
+      }
+      return *family;
+    }
+  }
+  auto family = std::make_unique<Family>();
+  family->name = name;
+  family->help = help;
+  family->type = type;
+  families_.push_back(std::move(family));
+  return *families_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help, Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = find_or_create(name, help, MetricType::kCounter);
+  labels = sorted(std::move(labels));
+  if (Family::Instance* existing = family.find(labels)) {
+    return *existing->counter;
+  }
+  auto instance = std::make_unique<Family::Instance>();
+  instance->labels = std::move(labels);
+  instance->counter.reset(new Counter());
+  family.instances.push_back(std::move(instance));
+  return *family.instances.back()->counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = find_or_create(name, help, MetricType::kGauge);
+  labels = sorted(std::move(labels));
+  if (Family::Instance* existing = family.find(labels)) {
+    return *existing->gauge;
+  }
+  auto instance = std::make_unique<Family::Instance>();
+  instance->labels = std::move(labels);
+  instance->gauge.reset(new Gauge());
+  family.instances.push_back(std::move(instance));
+  return *family.instances.back()->gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      std::vector<double> bounds,
+                                      Labels labels) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Family& family = find_or_create(name, help, MetricType::kHistogram);
+  if (family.instances.empty()) {
+    family.bounds = bounds;
+  } else if (family.bounds != bounds) {
+    throw std::invalid_argument(
+        "MetricsRegistry: histogram family bounds mismatch: " + name);
+  }
+  labels = sorted(std::move(labels));
+  if (Family::Instance* existing = family.find(labels)) {
+    return *existing->histogram;
+  }
+  auto instance = std::make_unique<Family::Instance>();
+  instance->labels = std::move(labels);
+  instance->histogram.reset(new Histogram(std::move(bounds)));
+  family.instances.push_back(std::move(instance));
+  return *family.instances.back()->histogram;
+}
+
+std::vector<FamilyView> MetricsRegistry::families() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FamilyView> views;
+  views.reserve(families_.size());
+  for (const auto& family : families_) {
+    FamilyView view;
+    view.name = family->name;
+    view.help = family->help;
+    view.type = family->type;
+    for (const auto& instance : family->instances) {
+      MetricInstance mi;
+      mi.labels = instance->labels;
+      mi.counter = instance->counter.get();
+      mi.gauge = instance->gauge.get();
+      mi.histogram = instance->histogram.get();
+      view.instances.push_back(std::move(mi));
+    }
+    views.push_back(std::move(view));
+  }
+  std::sort(views.begin(), views.end(),
+            [](const FamilyView& a, const FamilyView& b) {
+              return a.name < b.name;
+            });
+  return views;
+}
+
+std::size_t MetricsRegistry::family_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return families_.size();
+}
+
+}  // namespace scd::obs

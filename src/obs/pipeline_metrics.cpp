@@ -1,0 +1,60 @@
+#include "obs/pipeline_metrics.h"
+
+namespace scd::obs {
+
+namespace {
+
+Histogram& stage_histogram(MetricsRegistry& registry, const char* stage) {
+  return registry.histogram(
+      "scd_pipeline_stage_seconds",
+      "Latency of one pipeline stage execution, in seconds (see "
+      "docs/OBSERVABILITY.md for the stage-to-paper mapping)",
+      Histogram::default_latency_buckets(), {{"stage", stage}});
+}
+
+}  // namespace
+
+PipelineInstruments PipelineInstruments::create(MetricsRegistry& registry) {
+  return PipelineInstruments{
+      registry.counter("scd_pipeline_records_total",
+                       "Flow records fed into add_record/add"),
+      registry.counter("scd_pipeline_intervals_closed_total",
+                       "Detection intervals closed"),
+      registry.counter("scd_pipeline_detections_total",
+                       "Intervals where change detection ran (post warm-up)"),
+      registry.counter("scd_pipeline_alarms_total",
+                       "Alarms raised, by detection criterion",
+                       {{"criterion", "threshold"}}),
+      registry.counter("scd_pipeline_alarms_total",
+                       "Alarms raised, by detection criterion",
+                       {{"criterion", "topn"}}),
+      registry.counter("scd_pipeline_keys_replayed_total",
+                       "Candidate keys replayed through ESTIMATE"),
+      registry.counter(
+          "scd_pipeline_hysteresis_suppressed_total",
+          "Above-threshold keys withheld by min_consecutive hysteresis"),
+      registry.counter("scd_pipeline_refits_total",
+                       "Online grid-search model re-fits performed"),
+      registry.gauge("scd_pipeline_replay_buffer_keys",
+                     "Sampled key-set size at the last interval close"),
+      registry.gauge("scd_pipeline_sketch_bytes",
+                     "Register memory of the observed sketch (H*K*8)"),
+      registry.gauge("scd_pipeline_last_alarm_threshold",
+                     "Absolute alarm threshold T_A of the latest detection"),
+      registry.gauge("scd_pipeline_last_error_l2",
+                     "Estimated L2 norm of the latest error sketch"),
+      stage_histogram(registry, "sketch_update"),
+      stage_histogram(registry, "interval_close"),
+      stage_histogram(registry, "forecast"),
+      stage_histogram(registry, "estimate_f2"),
+      stage_histogram(registry, "key_replay"),
+      stage_histogram(registry, "refit"),
+  };
+}
+
+PipelineInstruments& PipelineInstruments::global() {
+  static PipelineInstruments instruments = create(MetricsRegistry::global());
+  return instruments;
+}
+
+}  // namespace scd::obs

@@ -1,0 +1,41 @@
+// RAII stage timer: measures a scope with common::Stopwatch and feeds the
+// elapsed seconds into a latency histogram (and, optionally, a plain double
+// accumulator for per-pipeline stats) on destruction.
+#pragma once
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace scd::obs {
+
+class ScopedTimer {
+ public:
+  /// Either sink may be null; a fully-null timer is a cheap no-op shell.
+  explicit ScopedTimer(Histogram* histogram,
+                       double* accumulator = nullptr) noexcept
+      : histogram_(histogram), accumulator_(accumulator) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { stop(); }
+
+  /// Ends the measurement early and reports the elapsed seconds. Subsequent
+  /// calls (including the destructor's) are no-ops.
+  double stop() noexcept {
+    if (stopped_) return elapsed_;
+    stopped_ = true;
+    elapsed_ = stopwatch_.seconds();
+    if (histogram_ != nullptr) histogram_->observe(elapsed_);
+    if (accumulator_ != nullptr) *accumulator_ += elapsed_;
+    return elapsed_;
+  }
+
+ private:
+  Histogram* histogram_;
+  double* accumulator_;
+  common::Stopwatch stopwatch_;
+  bool stopped_ = false;
+  double elapsed_ = 0.0;
+};
+
+}  // namespace scd::obs

@@ -2,12 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
 namespace scd::common {
 namespace {
 
 class LoggingTest : public ::testing::Test {
  protected:
-  void TearDown() override { set_log_level(LogLevel::kInfo); }
+  void TearDown() override {
+    set_log_level(LogLevel::kInfo);
+    set_log_sink(nullptr);
+  }
 };
 
 TEST_F(LoggingTest, LevelRoundTrips) {
@@ -39,6 +46,58 @@ TEST_F(LoggingTest, StreamComposesTypes) {
   set_log_level(LogLevel::kDebug);
   // Composition of common types must compile and not crash.
   SCD_INFO() << "value=" << 3 << " pi=" << 3.14 << " flag=" << true;
+}
+
+TEST_F(LoggingTest, SinkCapturesFormattedLines) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  set_log_sink([&captured](LogLevel level, const std::string& line) {
+    captured.emplace_back(level, line);
+  });
+  SCD_WARN() << "hello sink";
+  ASSERT_EQ(captured.size(), 1u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarn);
+  EXPECT_NE(captured[0].second.find("[WARN] hello sink"), std::string::npos);
+  // Restoring the default must stop capture.
+  set_log_sink(nullptr);
+  SCD_WARN() << "to stderr";
+  EXPECT_EQ(captured.size(), 1u);
+}
+
+TEST_F(LoggingTest, LinesCarryMonotonicTimestampAndThreadId) {
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  const double before = log_monotonic_now();
+  SCD_INFO() << "first";
+  SCD_INFO() << "second";
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    ASSERT_EQ(line.front(), '[') << line;
+    EXPECT_NE(line.find("s tid="), std::string::npos) << line;
+  }
+  // The printed timestamp is seconds-since-first-use and nondecreasing.
+  const auto stamp_of = [](const std::string& line) {
+    return std::stod(line.substr(1));
+  };
+  EXPECT_GE(stamp_of(lines[0]), before - 1e-3);
+  EXPECT_GE(stamp_of(lines[1]), stamp_of(lines[0]) - 1e-9);
+}
+
+TEST_F(LoggingTest, DifferentThreadsGetDistinctTags) {
+  std::vector<std::string> lines;
+  set_log_sink([&lines](LogLevel, const std::string& line) {
+    lines.push_back(line);  // sink runs under the logger mutex: safe
+  });
+  SCD_INFO() << "main thread";
+  std::thread worker([] { SCD_INFO() << "worker thread"; });
+  worker.join();
+  ASSERT_EQ(lines.size(), 2u);
+  const auto tag_of = [](const std::string& line) {
+    const std::size_t pos = line.find("tid=");
+    return line.substr(pos + 4, 4);
+  };
+  EXPECT_NE(tag_of(lines[0]), tag_of(lines[1]));
 }
 
 }  // namespace

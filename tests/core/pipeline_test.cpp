@@ -487,6 +487,87 @@ TEST(Pipeline, SmoothedBaselineComposesWithRandomizedIntervals) {
   EXPECT_GE(pipeline.reports().size(), 5u);  // runs without issue
 }
 
+TEST(Pipeline, ReportsCarryStageTimings) {
+  ChangeDetectionPipeline pipeline(base_config());
+  feed_stream(pipeline, 6);
+  for (const auto& report : pipeline.reports()) {
+    EXPECT_GT(report.timings.close_s, 0.0) << report.index;
+    EXPECT_GE(report.timings.forecast_s, 0.0);
+    EXPECT_LE(report.timings.forecast_s, report.timings.close_s);
+    if (report.detection_ran) {
+      EXPECT_GT(report.timings.estimate_f2_s, 0.0) << report.index;
+      EXPECT_GT(report.timings.key_replay_s, 0.0) << report.index;
+    } else {
+      EXPECT_EQ(report.timings.key_replay_s, 0.0) << report.index;
+    }
+  }
+}
+
+TEST(Pipeline, StatsCarryStageBudget) {
+  ChangeDetectionPipeline pipeline(base_config());
+  feed_stream(pipeline, 6);
+  const auto stats = pipeline.stats();
+  EXPECT_GT(stats.close_seconds, 0.0);
+  EXPECT_GT(stats.forecast_seconds, 0.0);
+  EXPECT_GT(stats.estimate_f2_seconds, 0.0);
+  EXPECT_GT(stats.key_replay_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(stats.refit_seconds, 0.0);  // no re-fitting configured
+  // One add() in 64 is stopwatch-timed; 301 records => at least 4 samples.
+  EXPECT_GE(stats.update_samples, 4u);
+  EXPECT_LE(stats.update_samples, stats.records);
+  EXPECT_GT(stats.update_seconds, 0.0);
+  // Detection ran on every post-warm-up interval over 50 keys each.
+  EXPECT_EQ(stats.keys_replayed, 5u * 50u);
+}
+
+TEST(Pipeline, MetricsDisabledSkipsTimingButKeepsCounters) {
+  auto config = base_config();
+  config.metrics = false;
+  ChangeDetectionPipeline pipeline(config);
+  feed_stream(pipeline, 4);
+  const auto stats = pipeline.stats();
+  EXPECT_EQ(stats.records, 4u * 50u);
+  EXPECT_EQ(stats.intervals_closed, 4u);
+  EXPECT_EQ(stats.update_samples, 0u);  // sampling is metrics-gated
+  EXPECT_DOUBLE_EQ(stats.update_seconds, 0.0);
+  EXPECT_GT(stats.close_seconds, 0.0);  // per-pipeline budget always on
+}
+
+TEST(Pipeline, StatsCountHysteresisSuppressions) {
+  auto config = base_config();
+  config.min_consecutive = 2;
+  ChangeDetectionPipeline pipeline(config);
+  // One-shot spike: flagged once, then suppressed by hysteresis.
+  feed_stream(pipeline, 10, 999, 5000.0, 6, 6);
+  EXPECT_GE(pipeline.stats().hysteresis_suppressed, 1u);
+}
+
+TEST(Pipeline, IntervalsClosedMatchesReportsAfterFlush) {
+  // The flush() invariant: one report per closed interval, in both replay
+  // modes and with a trailing double flush.
+  for (const KeyReplayMode mode :
+       {KeyReplayMode::kCurrentInterval, KeyReplayMode::kNextInterval}) {
+    auto config = base_config();
+    config.replay = mode;
+    ChangeDetectionPipeline pipeline(config);
+    feed_stream(pipeline, 7);
+    EXPECT_EQ(pipeline.stats().intervals_closed, pipeline.reports().size());
+    pipeline.flush();
+    EXPECT_EQ(pipeline.stats().intervals_closed, pipeline.reports().size());
+  }
+}
+
+TEST(Pipeline, RefitTimeIsAccounted) {
+  auto config = base_config();
+  config.refit_every = 4;
+  config.refit_window = 8;
+  ChangeDetectionPipeline pipeline(config);
+  feed_stream(pipeline, 10);
+  const auto stats = pipeline.stats();
+  ASSERT_GE(stats.refits, 1u);
+  EXPECT_GT(stats.refit_seconds, 0.0);
+}
+
 TEST(Pipeline, MoveSemantics) {
   ChangeDetectionPipeline a(base_config());
   a.add(1, 1.0, 0.0);

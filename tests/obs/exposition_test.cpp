@@ -1,0 +1,144 @@
+#include "obs/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace scd::obs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+TEST(Prometheus, CounterAndGaugeRendering) {
+  MetricsRegistry registry;
+  registry.counter("requests_total", "Requests seen").inc(3);
+  registry.gauge("temperature", "Degrees").set(21.5);
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("# HELP requests_total Requests seen\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("\nrequests_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE temperature gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("\ntemperature 21.5\n"), std::string::npos);
+}
+
+TEST(Prometheus, LabelsAreRenderedSortedAndEscaped) {
+  MetricsRegistry registry;
+  registry
+      .counter("x_total", "help",
+               {{"zeta", "z"}, {"alpha", "va\"l\\ue"}})
+      .inc();
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("x_total{alpha=\"va\\\"l\\\\ue\",zeta=\"z\"} 1"),
+            std::string::npos);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeAndEndWithInf) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat_seconds", "help", {0.1, 0.5});
+  h.observe(0.05);
+  h.observe(0.05);
+  h.observe(0.3);
+  h.observe(9.0);
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.1\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"0.5\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_bucket{le=\"+Inf\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 4"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_sum 9.4"), std::string::npos);
+}
+
+TEST(Prometheus, EveryNonCommentLineHasNameAndValue) {
+  MetricsRegistry registry;
+  registry.counter("a_total", "help").inc();
+  registry.gauge("b", "help").set(1.0);
+  registry.histogram("c", "help", {1.0}).observe(0.5);
+  for (const std::string& line : lines_of(to_prometheus(registry))) {
+    if (line.empty() || line.rfind("# ", 0) == 0) continue;
+    // "name[{labels}] value" — exactly one space separating the two.
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_GT(space, 0u) << line;
+    EXPECT_LT(space + 1, line.size()) << line;
+  }
+}
+
+TEST(Json, SnapshotContainsFamiliesValuesAndQuantiles) {
+  MetricsRegistry registry;
+  registry.counter("hits_total", "Hits").inc(7);
+  Histogram& h = registry.histogram("lat", "Latency", {1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.observe(0.5);
+  const std::string json = to_json(registry);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"name\":\"hits_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"value\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+  EXPECT_NE(json.find("\"le\":\"+Inf\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity check).
+  int depth = 0;
+  bool in_string = false;
+  char prev = '\0';
+  for (const char c : json) {
+    if (c == '"' && prev != '\\') in_string = !in_string;
+    if (!in_string) {
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') --depth;
+    }
+    EXPECT_GE(depth, 0);
+    prev = c;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(PeriodicSnapshotTest, EmitsOnCadenceAndSkipsGaps) {
+  MetricsRegistry registry;
+  registry.counter("c_total", "help").inc();
+  std::vector<std::string> emitted;
+  PeriodicSnapshot snapshots(
+      10.0, PeriodicSnapshot::Format::kJson,
+      [&emitted](const std::string& s) { emitted.push_back(s); }, registry);
+  EXPECT_FALSE(snapshots.tick(0.0));   // arms the schedule
+  EXPECT_FALSE(snapshots.tick(5.0));
+  EXPECT_TRUE(snapshots.tick(10.0));   // due
+  EXPECT_FALSE(snapshots.tick(12.0));
+  // A long idle gap emits once, not once per missed deadline.
+  EXPECT_TRUE(snapshots.tick(95.0));
+  EXPECT_FALSE(snapshots.tick(96.0));
+  EXPECT_EQ(snapshots.snapshots_emitted(), 2u);
+  ASSERT_EQ(emitted.size(), 2u);
+  EXPECT_NE(emitted[0].find("c_total"), std::string::npos);
+}
+
+TEST(PeriodicSnapshotTest, PrometheusFormatSelectable) {
+  MetricsRegistry registry;
+  registry.gauge("g", "help").set(1.0);
+  std::string last;
+  PeriodicSnapshot snapshots(1.0, PeriodicSnapshot::Format::kPrometheus,
+                             [&last](const std::string& s) { last = s; },
+                             registry);
+  (void)snapshots.tick(0.0);
+  ASSERT_TRUE(snapshots.tick(2.0));
+  EXPECT_NE(last.find("# TYPE g gauge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace scd::obs
