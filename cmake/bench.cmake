@@ -8,8 +8,8 @@ add_library(scd_bench_support STATIC
 )
 target_include_directories(scd_bench_support PUBLIC ${CMAKE_SOURCE_DIR}/bench)
 target_link_libraries(scd_bench_support PUBLIC
-  scd_core scd_eval scd_gridsearch scd_detect scd_perflow scd_forecast
-  scd_sketch scd_hash scd_traffic scd_common)
+  scd_ingest scd_core scd_eval scd_gridsearch scd_detect scd_perflow
+  scd_forecast scd_sketch scd_hash scd_traffic scd_common)
 
 function(scd_add_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
@@ -50,6 +50,7 @@ scd_add_bench(bench_ext_packet_stream)
 scd_add_bench(bench_ext_roc)
 scd_add_bench(bench_ext_scan_detection)
 scd_add_bench(bench_obs_overhead)
+scd_add_bench(bench_parallel_ingest)
 
 # The compiled-out overhead baseline: rebuild the core pipeline translation
 # units with SCD_OBS_ENABLED=0 so instrumentation vanishes from the binary,

@@ -70,6 +70,7 @@ class EngineBase {
  public:
   virtual ~EngineBase() = default;
   virtual void add(std::uint64_t key, double update, double time_s) = 0;
+  virtual void ingest_interval(IntervalBatch&& batch) = 0;
   virtual void flush() = 0;
   [[nodiscard]] virtual const forecast::ModelConfig& active_model()
       const noexcept = 0;
@@ -106,19 +107,30 @@ class Engine final : public EngineBase {
   }
 
   void add(std::uint64_t key, double update, double time_s) override {
-    if (!started_) {
-      started_ = true;
-      current_start_ = time_s;
-    }
-    if (time_s < current_start_) {
-      throw std::invalid_argument(
-          "ChangeDetectionPipeline: records must be time-ordered");
-    }
     if (!std::isfinite(update)) {
       throw std::invalid_argument(
           "ChangeDetectionPipeline: update must be finite");
     }
+    if (!started_) {
+      started_ = true;
+      current_start_ = time_s;
+      last_time_ = time_s;
+    }
+    if (time_s < last_time_) {
+      // Late record. Keep the feed alive: count it and bin it into the open
+      // interval (clamped to the interval's start when it predates even
+      // that) — the documented "nondecreasing order" contract is enforced by
+      // correction, not by aborting the stream or silently mis-binning.
+      ++stats_.out_of_order_records;
+#if SCD_OBS_ENABLED
+      if (obs_ != nullptr) obs_->out_of_order.inc();
+#endif
+      if (time_s < current_start_) time_s = current_start_;
+    } else {
+      last_time_ = time_s;
+    }
     while (time_s >= current_start_ + current_len_) close_interval();
+    interval_open_ = true;
     // The records counter is batched into close_interval(): one shared
     // fetch_add per interval instead of one per record keeps this path free
     // of cross-core traffic (a per-record inc alone costs ~5% throughput).
@@ -146,9 +158,40 @@ class Engine final : public EngineBase {
     }
   }
 
+  void ingest_interval(IntervalBatch&& batch) override {
+    if (batch.registers.size() != observed_.registers().size()) {
+      throw std::invalid_argument(
+          "ChangeDetectionPipeline::ingest_interval: register table size "
+          "does not match the configured h*k");
+    }
+    if (!(batch.len_s > 0.0)) {
+      throw std::invalid_argument(
+          "ChangeDetectionPipeline::ingest_interval: len_s must be > 0");
+    }
+    if (interval_open_) {
+      throw std::invalid_argument(
+          "ChangeDetectionPipeline::ingest_interval: an interval opened by "
+          "add() is still in progress");
+    }
+    if (started_ && batch.start_s < current_start_) {
+      throw std::invalid_argument(
+          "ChangeDetectionPipeline::ingest_interval: batches must be "
+          "time-ordered");
+    }
+    started_ = true;
+    current_start_ = batch.start_s;
+    current_len_ = batch.len_s;
+    last_time_ = std::max(last_time_, batch.start_s + batch.len_s);
+    observed_.load_registers(batch.registers);
+    keys_.insert(batch.keys.begin(), batch.keys.end());
+    records_in_interval_ = batch.records;
+    stats_.records += batch.records;
+    close_interval();
+  }
+
   void flush() override {
     if (!started_) return;
-    close_interval();
+    if (interval_open_) close_interval();
     if (pending_.has_value()) {
       // kNextInterval: the last error sketch never sees future keys; emit an
       // empty-detection report so the interval is still accounted for.
@@ -251,6 +294,7 @@ class Engine final : public EngineBase {
     observed_.set_zero();
     keys_.clear();
     records_in_interval_ = 0;
+    interval_open_ = false;
     ++stats_.intervals_closed;
     current_start_ += current_len_;
     if (config_.randomize_intervals) current_len_ = draw_interval_length();
@@ -419,7 +463,12 @@ class Engine final : public EngineBase {
   common::Rng interval_rng_;
   double current_len_;
   bool started_ = false;
+  /// True between a record landing (add) and the interval's close; flush
+  /// closes only open intervals so ingest_interval (which closes eagerly)
+  /// does not leave a phantom empty interval behind.
+  bool interval_open_ = false;
   double current_start_ = 0.0;
+  double last_time_ = 0.0;  // high-water mark for out-of-order detection
   std::size_t interval_index_ = 0;
   std::uint64_t records_in_interval_ = 0;
   std::unordered_set<std::uint64_t> keys_;
@@ -476,6 +525,10 @@ void ChangeDetectionPipeline::add_record(const traffic::FlowRecord& record) {
 void ChangeDetectionPipeline::add(std::uint64_t key, double update,
                                   double time_s) {
   impl_->engine_->add(key, update, time_s);
+}
+
+void ChangeDetectionPipeline::ingest_interval(IntervalBatch&& batch) {
+  impl_->engine_->ingest_interval(std::move(batch));
 }
 
 void ChangeDetectionPipeline::flush() {

@@ -113,6 +113,11 @@ struct PipelineStats {
   std::size_t sketch_bytes = 0;     // register memory of one sketch (H*K*8)
   std::uint64_t keys_replayed = 0;  // candidate keys run through ESTIMATE
   std::uint64_t hysteresis_suppressed = 0;  // withheld by min_consecutive
+  /// Records whose timestamp regressed below the stream's high-water mark.
+  /// Such records are clamped into the open interval (never mis-binned into
+  /// a past one) and counted here rather than rejected — one late NetFlow
+  /// export must not abort a live feed.
+  std::uint64_t out_of_order_records = 0;
 
   // Cumulative stage budget (seconds). update_seconds covers only the
   // sampled (1 in 64) add() calls that were timed; scale by
@@ -124,6 +129,19 @@ struct PipelineStats {
   double estimate_f2_seconds = 0.0;
   double key_replay_seconds = 0.0;
   double refit_seconds = 0.0;
+};
+
+/// One pre-aggregated interval produced by an external ingestion front-end
+/// (src/ingest): the COMBINE-merged register table of the observed sketch,
+/// the distinct keys seen, and the record count. The registers must come
+/// from sketches built with the pipeline's (seed, h, k) — the same hash
+/// family parameters — or every downstream ESTIMATE is garbage.
+struct IntervalBatch {
+  double start_s = 0.0;
+  double len_s = 0.0;
+  std::uint64_t records = 0;
+  std::vector<double> registers;    // row-major h x k
+  std::vector<std::uint64_t> keys;  // distinct keys (shard-concatenated)
 };
 
 /// Everything the pipeline learned about one closed interval.
@@ -148,13 +166,26 @@ class ChangeDetectionPipeline {
   ChangeDetectionPipeline(ChangeDetectionPipeline&&) noexcept;
   ChangeDetectionPipeline& operator=(ChangeDetectionPipeline&&) noexcept;
 
-  /// Feeds one flow record (key/update extracted per config). Records must
-  /// arrive in nondecreasing time order.
+  /// Feeds one flow record (key/update extracted per config). Records should
+  /// arrive in nondecreasing time order; a record whose timestamp regresses
+  /// is clamped to the open interval's start and counted in
+  /// PipelineStats::out_of_order_records instead of being rejected or
+  /// silently mis-binned.
   void add_record(const traffic::FlowRecord& record);
 
   /// Feeds one raw (key, update) item at an absolute time — the Turnstile
-  /// interface for non-NetFlow sources.
+  /// interface for non-NetFlow sources. Same time-order contract as
+  /// add_record.
   void add(std::uint64_t key, double update, double time_s);
+
+  /// Feeds one pre-aggregated interval (a sharded front-end's COMBINE merge,
+  /// see src/ingest) and closes it immediately: the forecast/detect stages
+  /// run exactly as if the batch's records had been add()ed one by one.
+  /// Throws std::invalid_argument when the register table does not match the
+  /// configured h*k, when len_s is not positive, when batches regress in
+  /// time, or when an interval opened by add() is still in progress —
+  /// mixing the two feeds within one interval is not supported.
+  void ingest_interval(IntervalBatch&& batch);
 
   /// Closes the interval in progress (and, in kNextInterval mode, emits the
   /// final pending detection). Call once at end of stream.

@@ -13,6 +13,8 @@
 #include "common/strutil.h"
 #include "core/multi_resolution.h"
 #include "core/pipeline.h"
+#include "core/sketch_binding.h"
+#include "ingest/parallel_pipeline.h"
 #include "detect/detection.h"
 #include "detect/space_saving.h"
 #include "eval/intervalized.h"

@@ -19,6 +19,10 @@ namespace scd::hash {
 
 class CwHashFamily {
  public:
+  /// Polynomial evaluation over GF(2^61 - 1) accepts the full 64-bit key
+  /// space (keys >= p are reduced first).
+  static constexpr unsigned kKeyBits = 64;
+
   /// Creates `rows` independent degree-3 polynomial hash functions, with all
   /// coefficients derived deterministically from `seed`.
   CwHashFamily(std::uint64_t seed, std::size_t rows);

@@ -26,6 +26,11 @@ namespace scd::hash {
 
 class TabulationHashFamily {
  public:
+  /// Keys wider than 32 bits are outside this family's domain (the split
+  /// into two 16-bit characters covers 32 bits); callers must use
+  /// CwHashFamily for 64-bit key kinds.
+  static constexpr unsigned kKeyBits = 32;
+
   /// Creates `rows` independent hash functions over 32-bit keys, with table
   /// contents derived deterministically from `seed`.
   TabulationHashFamily(std::uint64_t seed, std::size_t rows);

@@ -1,0 +1,108 @@
+// Bounded blocking FIFO queue — the record channel of the sharded
+// ingestion front-end (docs/PARALLEL_INGEST.md).
+//
+// Design choices:
+//   * Backpressure, not drop: push() blocks while the queue is full. A
+//     dropped record would silently bias every sketch register and thus
+//     every ESTIMATE downstream; slowing the producer is always safer.
+//   * Mutex + two condition variables rather than a lock-free ring: items
+//     are whole record chunks (hundreds of records each), so the lock is
+//     taken once per chunk, never per record — the lock cost is amortized
+//     to well under a nanosecond per record, and the blocking semantics
+//     TSan-verify trivially.
+//   * close() wakes every waiter: producers fail fast, consumers drain the
+//     remaining items and then observe end-of-stream (nullopt).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace scd::ingest {
+
+/// Multi-producer / multi-consumer safe; the front-end uses it as MPSC
+/// (the pipeline's caller thread produces, one shard worker consumes).
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is space (backpressure). Returns false — and
+  /// discards the item — iff the queue was closed.
+  bool push(T item) {
+    {
+      std::unique_lock lock(mutex_);
+      not_full_.wait(lock,
+                     [&] { return items_.size() < capacity_ || closed_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking variant: returns false when full or closed. Callers that
+  /// fall back to push() after a failed try_push() get a backpressure count
+  /// for free.
+  bool try_push(T& item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained
+  /// (then nullopt — end of stream).
+  std::optional<T> pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock lock(mutex_);
+      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// Irreversible: pending pushes fail, consumers drain then see nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace scd::ingest

@@ -1,0 +1,30 @@
+#include "ingest/ingest_metrics.h"
+
+#include <string>
+
+namespace scd::ingest {
+
+IngestInstruments IngestInstruments::create(obs::MetricsRegistry& registry,
+                                            std::size_t workers) {
+  IngestInstruments out{
+      registry.gauge("scd_ingest_queue_records",
+                     "Records currently buffered in shard queues (all shards)"),
+      registry.counter("scd_ingest_backpressure_total",
+                       "Chunk submissions that blocked on a full shard queue"),
+      registry.histogram("scd_ingest_merge_seconds",
+                         "Latency of one interval-close barrier: drain, "
+                         "COMBINE-merge of shard sketches, key concatenation",
+                         obs::Histogram::default_latency_buckets()),
+      {}};
+  out.shard_apply_seconds.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    out.shard_apply_seconds.push_back(&registry.histogram(
+        "scd_ingest_shard_apply_seconds",
+        "Latency of one record chunk applied to a shard's private sketch",
+        obs::Histogram::default_latency_buckets(),
+        {{"shard", std::to_string(i)}}));
+  }
+  return out;
+}
+
+}  // namespace scd::ingest

@@ -1,0 +1,33 @@
+// Instruments for the sharded ingestion front-end (src/ingest).
+//
+// Same model as obs/pipeline_metrics.h: registered once per construction
+// against a registry (the process-global one by default), held by stable
+// reference afterwards so the worker hot paths never lock or allocate.
+// Families:
+//   scd_ingest_queue_records          gauge      records queued across shards
+//   scd_ingest_backpressure_total     counter    pushes that had to block
+//   scd_ingest_merge_seconds          histogram  COMBINE barrier-merge latency
+//   scd_ingest_shard_apply_seconds    histogram  one chunk applied, {shard=i}
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace scd::ingest {
+
+struct IngestInstruments {
+  obs::Gauge& queue_records;
+  obs::Counter& backpressure_waits;
+  obs::Histogram& merge_seconds;
+  /// One histogram per shard worker, labelled {shard="0".."W-1"}.
+  std::vector<obs::Histogram*> shard_apply_seconds;
+
+  /// Registers (or finds) the bundle for a front-end with `workers` shards.
+  /// Identical (name, labels) identities across pipelines share instances.
+  [[nodiscard]] static IngestInstruments create(obs::MetricsRegistry& registry,
+                                                std::size_t workers);
+};
+
+}  // namespace scd::ingest

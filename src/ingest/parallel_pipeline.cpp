@@ -1,0 +1,203 @@
+#include "ingest/parallel_pipeline.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "common/random.h"
+#include "hash/cw_hash.h"
+#include "hash/tabulation_hash.h"
+#include "ingest/ingest_metrics.h"
+#include "ingest/shard_set.h"
+#include "obs/metrics.h"
+#include "traffic/key_extract.h"
+
+namespace scd::ingest {
+
+void ParallelConfig::validate(const core::PipelineConfig& pipeline) const {
+  if (workers < 1 || workers > 256) {
+    throw std::invalid_argument("ParallelConfig: workers must be in [1, 256]");
+  }
+  if (batch_size < 1) {
+    throw std::invalid_argument("ParallelConfig: batch_size must be >= 1");
+  }
+  if (queue_capacity < batch_size) {
+    throw std::invalid_argument(
+        "ParallelConfig: queue_capacity must hold at least one batch");
+  }
+  if (pipeline.randomize_intervals) {
+    throw std::invalid_argument(
+        "ParallelConfig: randomize_intervals is incompatible with sharded "
+        "ingestion (interval lengths are drawn inside the serial engine)");
+  }
+  if (pipeline.key_sample_rate < 1.0) {
+    throw std::invalid_argument(
+        "ParallelConfig: key_sample_rate < 1 would make shard key buffers "
+        "depend on record arrival order; sample keys in the caller instead");
+  }
+}
+
+class ParallelPipeline::Impl {
+ public:
+  Impl(core::PipelineConfig config, ParallelConfig parallel)
+      : config_(std::move(config)),
+        parallel_(parallel),
+        serial_(config_) {  // validates config_ and owns forecast/detect
+    parallel_.validate(config_);
+#if SCD_OBS_ENABLED
+    if (config_.metrics) {
+      instruments_ = std::make_unique<IngestInstruments>(IngestInstruments::
+          create(obs::MetricsRegistry::global(), parallel_.workers));
+    }
+#endif
+    const std::size_t queue_chunks = std::max<std::size_t>(
+        1, parallel_.queue_capacity / parallel_.batch_size);
+    if (traffic::key_fits_32bit(config_.key_kind)) {
+      shards_ = std::make_unique<ShardSet<hash::TabulationHashFamily>>(
+          config_.seed, config_.h, config_.k, parallel_.workers, queue_chunks,
+          instruments_.get());
+    } else {
+      shards_ = std::make_unique<ShardSet<hash::CwHashFamily>>(
+          config_.seed, config_.h, config_.k, parallel_.workers, queue_chunks,
+          instruments_.get());
+    }
+    pending_.resize(parallel_.workers);
+    for (Chunk& chunk : pending_) chunk.reserve(parallel_.batch_size);
+  }
+
+  ~Impl() { shards_->stop(); }
+
+  void add(std::uint64_t key, double update, double time_s) {
+    if (!std::isfinite(update)) {
+      throw std::invalid_argument(
+          "ParallelPipeline: update must be finite");
+    }
+    if (!started_) {
+      started_ = true;
+      current_start_ = time_s;
+      last_time_ = time_s;
+    }
+    if (time_s < last_time_) {
+      // Same contract as the serial engine: count and clamp into the open
+      // interval rather than rejecting or mis-binning.
+      ++stats_.out_of_order_records;
+      if (time_s < current_start_) time_s = current_start_;
+    } else {
+      last_time_ = time_s;
+    }
+    while (time_s >= current_start_ + config_.interval_s) close_interval();
+    Chunk& chunk = pending_[shard_of(key)];
+    chunk.push_back({key, update});
+    if (chunk.size() >= parallel_.batch_size) {
+      flush_chunk(shard_of(key));
+    }
+    ++stats_.records;
+  }
+
+  void flush() {
+    if (!started_) return;
+    close_interval();
+    serial_.flush();
+  }
+
+  [[nodiscard]] core::PipelineStats stats() const noexcept {
+    core::PipelineStats s = serial_.stats();
+    s.out_of_order_records += stats_.out_of_order_records;
+    return s;
+  }
+
+  [[nodiscard]] ParallelStats parallel_stats() const noexcept {
+    ParallelStats s = stats_;
+    s.backpressure_waits = shards_->backpressure_waits();
+    return s;
+  }
+
+  core::PipelineConfig config_;
+  ParallelConfig parallel_;
+  core::ChangeDetectionPipeline serial_;
+  std::unique_ptr<IngestInstruments> instruments_;
+  std::unique_ptr<ShardSetBase> shards_;
+
+ private:
+  [[nodiscard]] std::size_t shard_of(std::uint64_t key) const noexcept {
+    // Fixed key->shard routing: deterministic shard contents regardless of
+    // thread scheduling, and disjoint per-shard key buffers.
+    return static_cast<std::size_t>(common::mix64(key) % parallel_.workers);
+  }
+
+  void flush_chunk(std::size_t shard) {
+    if (pending_[shard].empty()) return;
+    shards_->submit(shard, std::move(pending_[shard]));
+    pending_[shard] = Chunk{};
+    pending_[shard].reserve(parallel_.batch_size);
+  }
+
+  void close_interval() {
+    for (std::size_t i = 0; i < pending_.size(); ++i) flush_chunk(i);
+    core::IntervalBatch batch = shards_->barrier_merge();
+    batch.start_s = current_start_;
+    batch.len_s = config_.interval_s;
+    ++stats_.barriers;
+    serial_.ingest_interval(std::move(batch));
+    current_start_ += config_.interval_s;
+  }
+
+  std::vector<Chunk> pending_;  // per-shard producer-side batches
+  bool started_ = false;
+  double current_start_ = 0.0;
+  double last_time_ = 0.0;
+  ParallelStats stats_;
+};
+
+ParallelPipeline::ParallelPipeline(core::PipelineConfig config,
+                                   ParallelConfig parallel)
+    : impl_(std::make_unique<Impl>(std::move(config), parallel)) {}
+
+ParallelPipeline::~ParallelPipeline() = default;
+ParallelPipeline::ParallelPipeline(ParallelPipeline&&) noexcept = default;
+ParallelPipeline& ParallelPipeline::operator=(ParallelPipeline&&) noexcept =
+    default;
+
+void ParallelPipeline::add(std::uint64_t key, double update, double time_s) {
+  impl_->add(key, update, time_s);
+}
+
+void ParallelPipeline::add_record(const traffic::FlowRecord& record) {
+  add(traffic::extract_key(record, impl_->config_.key_kind),
+      traffic::extract_update(record, impl_->config_.update_kind),
+      traffic::record_time_s(record));
+}
+
+void ParallelPipeline::flush() { impl_->flush(); }
+
+const std::vector<core::IntervalReport>& ParallelPipeline::reports()
+    const noexcept {
+  return impl_->serial_.reports();
+}
+
+void ParallelPipeline::set_report_callback(
+    std::function<void(const core::IntervalReport&)> callback) {
+  impl_->serial_.set_report_callback(std::move(callback));
+}
+
+core::PipelineStats ParallelPipeline::stats() const noexcept {
+  return impl_->stats();
+}
+
+ParallelStats ParallelPipeline::parallel_stats() const noexcept {
+  return impl_->parallel_stats();
+}
+
+const core::PipelineConfig& ParallelPipeline::config() const noexcept {
+  return impl_->config_;
+}
+
+const ParallelConfig& ParallelPipeline::parallel_config() const noexcept {
+  return impl_->parallel_;
+}
+
+const forecast::ModelConfig& ParallelPipeline::active_model() const noexcept {
+  return impl_->serial_.active_model();
+}
+
+}  // namespace scd::ingest

@@ -1,0 +1,93 @@
+// ParallelPipeline — sharded multi-threaded ingestion in front of the
+// unchanged forecast/detect stages (docs/PARALLEL_INGEST.md).
+//
+// The paper's COMBINE operation (§3.1) makes the observed sketch S_o(t)
+// shardable: W workers update private sketches drawn from one shared hash
+// family, and at each interval boundary a deterministic barrier merges them
+// with an exact linear combination. The serial ChangeDetectionPipeline then
+// consumes the merged interval via ingest_interval(), so forecasting,
+// thresholding, key replay, hysteresis and online re-fitting all run
+// unmodified — the parallel front-end only parallelizes UPDATE, the per-
+// record hot path that dominates at line rate.
+//
+// Determinism: records are routed to shards by key, each shard queue is
+// FIFO with a single producer, and the merge folds shards in index order.
+// On the same input the alarm set (interval, key) equals the serial
+// pipeline's; register values agree up to floating-point addition order
+// within each register (bit-exact when updates are integer-valued).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "traffic/flow_record.h"
+
+namespace scd::ingest {
+
+struct ParallelConfig {
+  /// Shard workers. One queue, one private sketch and one key buffer each.
+  /// More workers than physical cores just adds merge and memory cost.
+  std::size_t workers = 4;
+  /// Per-shard queue capacity in RECORDS. Full queue = producer blocks
+  /// (backpressure, never drop).
+  std::size_t queue_capacity = 1 << 16;
+  /// Records per producer-side chunk. The queue lock is taken once per
+  /// chunk, so the per-record overhead is ~lock_cost / batch_size.
+  std::size_t batch_size = 512;
+
+  /// Throws std::invalid_argument when out of range or when the pipeline
+  /// config is incompatible with deterministic parallel ingestion
+  /// (randomize_intervals, key_sample_rate < 1).
+  void validate(const core::PipelineConfig& pipeline) const;
+};
+
+/// Front-end counters, complementing the core PipelineStats.
+struct ParallelStats {
+  std::uint64_t records = 0;             // records accepted by add()
+  std::uint64_t out_of_order_records = 0;
+  std::uint64_t backpressure_waits = 0;  // chunk pushes that blocked
+  std::size_t barriers = 0;              // interval-close merges
+};
+
+class ParallelPipeline {
+ public:
+  /// Spawns the worker threads immediately. The single-threaded
+  /// ChangeDetectionPipeline remains the default everywhere; this wrapper is
+  /// opt-in for multi-core ingestion.
+  ParallelPipeline(core::PipelineConfig config, ParallelConfig parallel);
+  ~ParallelPipeline();
+  ParallelPipeline(ParallelPipeline&&) noexcept;
+  ParallelPipeline& operator=(ParallelPipeline&&) noexcept;
+
+  /// Same contract as ChangeDetectionPipeline::add — including the
+  /// out-of-order clamp — but the sketch UPDATE happens on a shard worker.
+  void add(std::uint64_t key, double update, double time_s);
+  void add_record(const traffic::FlowRecord& record);
+
+  /// Closes the interval in progress (final barrier + merge) and flushes
+  /// the serial stages. Call once at end of stream.
+  void flush();
+
+  [[nodiscard]] const std::vector<core::IntervalReport>& reports()
+      const noexcept;
+  void set_report_callback(
+      std::function<void(const core::IntervalReport&)> callback);
+
+  /// Core counters (records, alarms, ...) with out_of_order_records folded
+  /// in from the front-end.
+  [[nodiscard]] core::PipelineStats stats() const noexcept;
+  [[nodiscard]] ParallelStats parallel_stats() const noexcept;
+
+  [[nodiscard]] const core::PipelineConfig& config() const noexcept;
+  [[nodiscard]] const ParallelConfig& parallel_config() const noexcept;
+  [[nodiscard]] const forecast::ModelConfig& active_model() const noexcept;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace scd::ingest

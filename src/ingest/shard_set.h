@@ -1,0 +1,214 @@
+// Shard workers for parallel ingestion (docs/PARALLEL_INGEST.md).
+//
+// W workers each own a private k-ary sketch drawn from ONE shared hash
+// family — the precondition for COMBINE (§3.1): linear combination is only
+// meaningful between sketches with identical hash functions. Records are
+// routed to a fixed shard by key, so
+//   * each shard's registers accumulate a deterministic subsequence of the
+//     stream (single producer per queue, FIFO), and
+//   * the per-shard distinct-key buffers are disjoint — concatenating them
+//     at the barrier reproduces the serial pipeline's key set exactly.
+//
+// The interval-close barrier is deterministic: the producer pushes one
+// barrier token per queue after all of the interval's records; each worker,
+// on seeing the token, hands off its sketch and key buffer and starts the
+// next interval with fresh ones; the coordinator COMBINE-merges the W
+// handoffs in shard order. Sketch linearity makes the merge exact — the
+// merged table equals the serial pipeline's table up to floating-point
+// addition order within each register.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/pipeline.h"
+#include "ingest/bounded_queue.h"
+#include "ingest/ingest_metrics.h"
+#include "sketch/kary_sketch.h"
+
+namespace scd::ingest {
+
+struct Record {
+  std::uint64_t key = 0;
+  double update = 0.0;
+};
+
+/// Producer-side batch: the queue is locked once per chunk, not per record.
+using Chunk = std::vector<Record>;
+
+struct ShardMessage {
+  Chunk records;
+  bool barrier = false;
+};
+
+/// Type-erased interface so ParallelPipeline can hold either family's shard
+/// set behind one pointer (mirroring the core pipeline's engine dispatch).
+class ShardSetBase {
+ public:
+  virtual ~ShardSetBase() = default;
+  /// Enqueues a chunk for `shard` (blocking when the queue is full).
+  virtual void submit(std::size_t shard, Chunk&& chunk) = 0;
+  /// Closes the interval in progress: barrier, COMBINE-merge, key concat.
+  /// All of the interval's chunks must have been submitted first.
+  [[nodiscard]] virtual core::IntervalBatch barrier_merge() = 0;
+  /// Closes all queues and joins the workers. Idempotent.
+  virtual void stop() = 0;
+  [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
+  [[nodiscard]] virtual std::uint64_t backpressure_waits() const noexcept = 0;
+};
+
+template <typename Family>
+class ShardSet final : public ShardSetBase {
+ public:
+  using Sketch = sketch::BasicKarySketch<Family>;
+
+  /// `queue_chunks` is the per-shard queue capacity in chunks; `instruments`
+  /// may be null (metrics disabled).
+  ShardSet(std::uint64_t seed, std::size_t h, std::size_t k,
+           std::size_t worker_count, std::size_t queue_chunks,
+           IngestInstruments* instruments)
+      : family_(std::make_shared<const Family>(seed, h)),
+        k_(k),
+        instruments_(instruments) {
+    shards_.reserve(worker_count);
+    for (std::size_t i = 0; i < worker_count; ++i) {
+      shards_.push_back(std::make_unique<Shard>(queue_chunks));
+    }
+    for (std::size_t i = 0; i < worker_count; ++i) {
+      shards_[i]->thread = std::thread([this, i] { run_worker(i); });
+    }
+  }
+
+  ~ShardSet() override { stop(); }
+
+  void submit(std::size_t shard, Chunk&& chunk) override {
+    BoundedQueue<ShardMessage>& queue = shards_[shard]->queue;
+    const auto n = static_cast<double>(chunk.size());
+    ShardMessage msg{std::move(chunk), false};
+    if (instruments_ != nullptr) instruments_->queue_records.add(n);
+    if (!queue.try_push(msg)) {
+      ++backpressure_waits_;
+      if (instruments_ != nullptr) instruments_->backpressure_waits.inc();
+      if (!queue.push(std::move(msg))) {
+        // Closed mid-shutdown; the records are dropped with the stream.
+        if (instruments_ != nullptr) instruments_->queue_records.add(-n);
+      }
+    }
+  }
+
+  core::IntervalBatch barrier_merge() override {
+    for (auto& shard : shards_) {
+      shard->queue.push(ShardMessage{{}, true});
+    }
+    std::unique_lock lock(barrier_mutex_);
+    barrier_cv_.wait(lock, [&] { return arrived_ == shards_.size(); });
+    arrived_ = 0;
+
+    const common::Stopwatch merge_watch;
+    // COMBINE(1, S_0, ..., 1, S_{W-1}) in shard order — fixed order keeps
+    // the merged registers bit-identical run to run.
+    std::vector<const Sketch*> parts;
+    parts.reserve(shards_.size());
+    for (auto& shard : shards_) parts.push_back(&*shard->handoff_sketch);
+    const std::vector<double> coeffs(shards_.size(), 1.0);
+    const Sketch merged = Sketch::combine(coeffs, parts);
+
+    core::IntervalBatch batch;
+    batch.registers.assign(merged.registers().begin(),
+                           merged.registers().end());
+    for (auto& shard : shards_) {
+      batch.records += shard->handoff_records;
+      batch.keys.insert(batch.keys.end(), shard->handoff_keys.begin(),
+                        shard->handoff_keys.end());
+      shard->handoff_sketch.reset();
+      shard->handoff_keys.clear();
+    }
+    if (instruments_ != nullptr) {
+      instruments_->merge_seconds.observe(merge_watch.seconds());
+    }
+    return batch;
+  }
+
+  void stop() override {
+    for (auto& shard : shards_) shard->queue.close();
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+  }
+
+  [[nodiscard]] std::size_t workers() const noexcept override {
+    return shards_.size();
+  }
+  [[nodiscard]] std::uint64_t backpressure_waits() const noexcept override {
+    return backpressure_waits_;
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t queue_chunks) : queue(queue_chunks) {}
+    BoundedQueue<ShardMessage> queue;
+    // Handoff slot, written by the worker and read by the coordinator under
+    // barrier_mutex_ only.
+    std::optional<Sketch> handoff_sketch;
+    std::vector<std::uint64_t> handoff_keys;
+    std::uint64_t handoff_records = 0;
+    std::thread thread;
+  };
+
+  void run_worker(std::size_t index) {
+    Shard& shard = *shards_[index];
+    // Worker-local interval state; only the barrier handoff is shared.
+    Sketch sketch(family_, k_);
+    std::unordered_set<std::uint64_t> keys;
+    std::uint64_t records = 0;
+    obs::Histogram* apply_hist =
+        instruments_ != nullptr ? instruments_->shard_apply_seconds[index]
+                                : nullptr;
+    while (auto msg = shard.queue.pop()) {
+      if (msg->barrier) {
+        {
+          std::lock_guard lock(barrier_mutex_);
+          shard.handoff_sketch.emplace(std::move(sketch));
+          shard.handoff_keys.assign(keys.begin(), keys.end());
+          shard.handoff_records = records;
+          ++arrived_;
+        }
+        barrier_cv_.notify_all();
+        sketch = Sketch(family_, k_);
+        keys.clear();
+        records = 0;
+        continue;
+      }
+      const common::Stopwatch apply_watch;
+      for (const Record& r : msg->records) {
+        sketch.update(r.key, r.update);
+        keys.insert(r.key);
+      }
+      records += msg->records.size();
+      if (apply_hist != nullptr) {
+        apply_hist->observe(apply_watch.seconds());
+        instruments_->queue_records.add(
+            -static_cast<double>(msg->records.size()));
+      }
+    }
+  }
+
+  std::shared_ptr<const Family> family_;
+  std::size_t k_;
+  IngestInstruments* instruments_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::mutex barrier_mutex_;
+  std::condition_variable barrier_cv_;
+  std::size_t arrived_ = 0;
+  std::uint64_t backpressure_waits_ = 0;  // producer-thread only
+};
+
+}  // namespace scd::ingest

@@ -35,6 +35,9 @@ PipelineInstruments PipelineInstruments::create(MetricsRegistry& registry) {
           "Above-threshold keys withheld by min_consecutive hysteresis"),
       registry.counter("scd_pipeline_refits_total",
                        "Online grid-search model re-fits performed"),
+      registry.counter("scd_pipeline_out_of_order_total",
+                       "Records whose timestamp regressed below the stream "
+                       "high-water mark (clamped into the open interval)"),
       registry.gauge("scd_pipeline_replay_buffer_keys",
                      "Sampled key-set size at the last interval close"),
       registry.gauge("scd_pipeline_sketch_bytes",

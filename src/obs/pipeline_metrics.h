@@ -29,6 +29,7 @@ struct PipelineInstruments {
   Counter& keys_replayed;          // scd_pipeline_keys_replayed_total
   Counter& hysteresis_suppressed;  // flagged but below min_consecutive
   Counter& refits;                 // scd_pipeline_refits_total
+  Counter& out_of_order;           // scd_pipeline_out_of_order_total
 
   Gauge& replay_buffer_keys;       // sampled key-set occupancy at close
   Gauge& sketch_bytes;             // register memory of the observed sketch

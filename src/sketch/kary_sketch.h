@@ -16,6 +16,18 @@
 // COMBINEd — linear combination is only meaningful between sketches drawn
 // with identical hash functions, and sharing also keeps the tabulation
 // tables' memory cost amortized across the whole forecasting pipeline.
+//
+// Key-domain constraint: a family declares the key width it hashes faithfully
+// (Family::kKeyBits). TabulationHashFamily covers 32-bit keys only; feeding it
+// a wider key would silently truncate and collide two distinct keys. Use
+// KarySketch64 (Carter-Wegman) for 64-bit key kinds — the pipeline's
+// key_fits_32bit dispatch and core/sketch_binding.h's compile-time mapping
+// both enforce this binding; debug builds additionally assert it per call.
+//
+// Structural misuse (mismatched register spans in load_registers, combining
+// sketches of different family or width) throws std::invalid_argument in all
+// build types — these paths are cold, and an unchecked mismatch is an
+// out-of-bounds write in release builds.
 #pragma once
 
 #include <array>
@@ -24,6 +36,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "hash/cw_hash.h"
@@ -40,20 +53,34 @@ class BasicKarySketch {
  public:
   using FamilyPtr = std::shared_ptr<const Family>;
 
+  /// Widest key (in bits) the hash family evaluates without truncation.
+  static constexpr unsigned kKeyBits = Family::kKeyBits;
+
   /// K must be a power of two in [2, 2^16]; the family supplies H = rows().
+  /// Throws std::invalid_argument on a null family or out-of-range shape.
   BasicKarySketch(FamilyPtr family, std::size_t k)
-      : family_(std::move(family)), k_(k), table_(family_->rows() * k, 0.0) {
-    assert(family_ != nullptr);
-    assert(hash::valid_bucket_count(k_) && k_ >= 2);
-    assert(family_->rows() >= 1 && family_->rows() <= kMaxRows);
+      : family_(std::move(family)), k_(k) {
+    if (family_ == nullptr) {
+      throw std::invalid_argument("BasicKarySketch: null hash family");
+    }
+    if (!hash::valid_bucket_count(k_) || k_ < 2) {
+      throw std::invalid_argument(
+          "BasicKarySketch: k must be a power of two in [2, 65536]");
+    }
+    if (family_->rows() < 1 || family_->rows() > kMaxRows) {
+      throw std::invalid_argument("BasicKarySketch: rows must be in [1, 32]");
+    }
+    table_.assign(family_->rows() * k_, 0.0);
   }
 
   [[nodiscard]] std::size_t depth() const noexcept { return family_->rows(); }
   [[nodiscard]] std::size_t width() const noexcept { return k_; }
   [[nodiscard]] const FamilyPtr& family() const noexcept { return family_; }
 
-  /// UPDATE — adds u to the key's register in every row.
+  /// UPDATE — adds u to the key's register in every row. `key` must fit the
+  /// family's key domain (kKeyBits); checked in debug builds.
   void update(std::uint64_t key, double u) noexcept {
+    assert_key_in_domain(key);
     const std::size_t h = depth();
     const std::uint64_t mask = k_ - 1;
     if constexpr (requires(const Family f, std::uint32_t k32, std::uint16_t* o) {
@@ -84,8 +111,10 @@ class BasicKarySketch {
     return cached_sum_;
   }
 
-  /// ESTIMATE — reconstructs v_a from the sketch.
+  /// ESTIMATE — reconstructs v_a from the sketch. Same key-domain
+  /// constraint as update().
   [[nodiscard]] double estimate(std::uint64_t key) const noexcept {
+    assert_key_in_domain(key);
     const std::size_t h = depth();
     const std::uint64_t mask = k_ - 1;
     const double per_bucket = sum() / static_cast<double>(k_);
@@ -146,9 +175,15 @@ class BasicKarySketch {
     cached_sum_ *= c;
   }
 
-  /// *this += c * other. Requires identical family and width.
-  void add_scaled(const BasicKarySketch& other, double c) noexcept {
-    assert(compatible(other));
+  /// *this += c * other. Throws std::invalid_argument unless the two
+  /// sketches share the same family and width — combining incompatible
+  /// sketches is meaningless and, unchecked, an out-of-bounds read/write.
+  void add_scaled(const BasicKarySketch& other, double c) {
+    if (!compatible(other)) {
+      throw std::invalid_argument(
+          "BasicKarySketch::add_scaled: incompatible sketches (family or "
+          "width mismatch)");
+    }
     for (std::size_t idx = 0; idx < table_.size(); ++idx) {
       table_[idx] += c * other.table_[idx];
     }
@@ -160,10 +195,16 @@ class BasicKarySketch {
   }
 
   /// COMBINE(c_1, S_1, ..., c_l, S_l) as a free-standing construction.
+  /// Throws std::invalid_argument when empty, when coeffs and sketches
+  /// differ in length, or when any sketch is incompatible with the first.
   [[nodiscard]] static BasicKarySketch combine(
       std::span<const double> coeffs,
       std::span<const BasicKarySketch* const> sketches) {
-    assert(!sketches.empty() && coeffs.size() == sketches.size());
+    if (sketches.empty() || coeffs.size() != sketches.size()) {
+      throw std::invalid_argument(
+          "BasicKarySketch::combine: need one coefficient per sketch and at "
+          "least one sketch");
+    }
     BasicKarySketch out(sketches.front()->family_, sketches.front()->k_);
     for (std::size_t l = 0; l < sketches.size(); ++l) {
       out.add_scaled(*sketches[l], coeffs[l]);
@@ -171,10 +212,16 @@ class BasicKarySketch {
     return out;
   }
 
-  /// Replaces the register table wholesale (deserialization). The data must
-  /// have been produced by a sketch with the same family and width.
-  void load_registers(std::span<const double> values) noexcept {
-    assert(values.size() == table_.size());
+  /// Replaces the register table wholesale (deserialization, shard merge).
+  /// The data must have been produced by a sketch with the same family and
+  /// width; throws std::invalid_argument on a wrong-sized span (unchecked,
+  /// that is a heap overflow in release builds).
+  void load_registers(std::span<const double> values) {
+    if (values.size() != table_.size()) {
+      throw std::invalid_argument(
+          "BasicKarySketch::load_registers: span size does not match the "
+          "register table");
+    }
     std::copy(values.begin(), values.end(), table_.begin());
     sum_valid_ = false;
   }
@@ -194,6 +241,18 @@ class BasicKarySketch {
   }
 
  private:
+  /// Debug-mode guard for the key-domain constraint: the tabulation fast
+  /// path truncates keys to 32 bits, so a 64-bit key kind bound to
+  /// KarySketch (rather than KarySketch64) would collide distinct keys
+  /// silently. Release builds rely on the compile-time binding in
+  /// core/sketch_binding.h and the pipeline's key_fits_32bit dispatch.
+  static void assert_key_in_domain([[maybe_unused]] std::uint64_t key) noexcept {
+    if constexpr (kKeyBits < 64) {
+      assert((key >> kKeyBits) == 0 &&
+             "key exceeds the hash family's domain; use KarySketch64");
+    }
+  }
+
   FamilyPtr family_;
   std::size_t k_;
   std::vector<double> table_;  // row-major H x K

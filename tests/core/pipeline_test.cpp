@@ -4,8 +4,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/random.h"
+#include "sketch/kary_sketch.h"
 
 namespace scd::core {
 namespace {
@@ -159,10 +161,119 @@ TEST(Pipeline, EmptyGapIntervalsAreReported) {
   EXPECT_EQ(pipeline.reports()[2].records, 0u);
 }
 
-TEST(Pipeline, RejectsTimeTravel) {
+TEST(Pipeline, OutOfOrderRecordsAreClampedAndCounted) {
+  // A regressing timestamp must not abort a live feed (one late NetFlow
+  // export would kill the stream) nor mis-bin into a past interval: the
+  // record is clamped into the open interval and counted.
   ChangeDetectionPipeline pipeline(base_config());
   pipeline.add(1, 1.0, 100.0);
-  EXPECT_THROW(pipeline.add(1, 1.0, 50.0), std::invalid_argument);
+  EXPECT_NO_THROW(pipeline.add(2, 1.0, 50.0));  // predates the interval start
+  EXPECT_NO_THROW(pipeline.add(3, 1.0, 102.0));
+  EXPECT_NO_THROW(pipeline.add(4, 1.0, 101.0));  // within the open interval
+  pipeline.flush();
+  EXPECT_EQ(pipeline.stats().out_of_order_records, 2u);
+  ASSERT_EQ(pipeline.reports().size(), 1u);  // nothing opened a past interval
+  EXPECT_EQ(pipeline.reports()[0].records, 4u);
+  EXPECT_DOUBLE_EQ(pipeline.reports()[0].start_s, 100.0);
+}
+
+TEST(Pipeline, OutOfOrderClampUsesHighWaterMarkNotIntervalStart) {
+  // The high-water mark spans interval closes: after time 25 advances the
+  // stream into interval [20, 30), a record at time 12 is late even though
+  // a fresh interval just opened.
+  ChangeDetectionPipeline pipeline(base_config());
+  pipeline.add(1, 1.0, 5.0);
+  pipeline.add(1, 1.0, 25.0);
+  pipeline.add(1, 1.0, 12.0);  // late: clamped into [20, 30), not [10, 20)
+  pipeline.flush();
+  EXPECT_EQ(pipeline.stats().out_of_order_records, 1u);
+  ASSERT_EQ(pipeline.reports().size(), 3u);
+  EXPECT_EQ(pipeline.reports()[2].records, 2u);
+}
+
+TEST(Pipeline, IngestIntervalMatchesAddPath) {
+  // Feeding pre-aggregated intervals (registers + keys + count) must drive
+  // the forecast/detect stages exactly as the record-by-record path: hash
+  // families are deterministic in (seed, h), so an external sketch built
+  // with the pipeline's parameters is register-compatible.
+  const auto config = base_config();
+  ChangeDetectionPipeline by_records(config);
+  ChangeDetectionPipeline by_batches(config);
+  const auto family = sketch::make_tabulation_family(config.seed, config.h);
+  for (std::size_t t = 0; t < 8; ++t) {
+    const double start = static_cast<double>(t) * config.interval_s;
+    sketch::KarySketch external(family, config.k);
+    IntervalBatch batch;
+    for (std::uint64_t key = 1; key <= 50; ++key) {
+      const double value =
+          100.0 + static_cast<double>(common::mix64(key * 100 + t) % 11);
+      by_records.add(key, value, start + 1.0);
+      external.update(key, value);
+      batch.keys.push_back(key);
+      ++batch.records;
+    }
+    if (t == 5) {
+      by_records.add(999, 5000.0, start + 2.0);
+      external.update(999, 5000.0);
+      batch.keys.push_back(999);
+      ++batch.records;
+    }
+    batch.start_s = start;
+    batch.len_s = config.interval_s;
+    batch.registers.assign(external.registers().begin(),
+                           external.registers().end());
+    by_batches.ingest_interval(std::move(batch));
+  }
+  by_records.flush();
+  by_batches.flush();
+  ASSERT_EQ(by_batches.reports().size(), by_records.reports().size());
+  for (std::size_t i = 0; i < by_records.reports().size(); ++i) {
+    const auto& r = by_records.reports()[i];
+    const auto& b = by_batches.reports()[i];
+    EXPECT_EQ(b.records, r.records) << i;
+    EXPECT_EQ(b.keys_checked, r.keys_checked) << i;
+    EXPECT_DOUBLE_EQ(b.estimated_error_f2, r.estimated_error_f2) << i;
+    ASSERT_EQ(b.alarms.size(), r.alarms.size()) << i;
+    for (std::size_t a = 0; a < r.alarms.size(); ++a) {
+      EXPECT_EQ(b.alarms[a].key, r.alarms[a].key);
+      EXPECT_DOUBLE_EQ(b.alarms[a].error, r.alarms[a].error);
+    }
+  }
+  EXPECT_EQ(by_batches.stats().records, by_records.stats().records);
+}
+
+TEST(Pipeline, IngestIntervalValidatesItsBatch) {
+  const auto config = base_config();
+  ChangeDetectionPipeline pipeline(config);
+  const auto valid = [&config] {
+    IntervalBatch batch;
+    batch.start_s = 0.0;
+    batch.len_s = config.interval_s;
+    batch.registers.assign(config.h * config.k, 0.0);
+    return batch;
+  };
+
+  IntervalBatch wrong_size = valid();
+  wrong_size.registers.resize(config.h * config.k - 1);
+  EXPECT_THROW(pipeline.ingest_interval(std::move(wrong_size)),
+               std::invalid_argument);
+
+  IntervalBatch bad_len = valid();
+  bad_len.len_s = 0.0;
+  EXPECT_THROW(pipeline.ingest_interval(std::move(bad_len)),
+               std::invalid_argument);
+
+  EXPECT_NO_THROW(pipeline.ingest_interval(valid()));
+  IntervalBatch regressed = valid();
+  regressed.start_s = -20.0;  // before the interval just ingested
+  EXPECT_THROW(pipeline.ingest_interval(std::move(regressed)),
+               std::invalid_argument);
+
+  // Mixing feeds inside one interval is not supported: an interval opened by
+  // add() must be closed before a batch can be ingested.
+  ChangeDetectionPipeline mixed(config);
+  mixed.add(1, 1.0, 0.0);
+  EXPECT_THROW(mixed.ingest_interval(valid()), std::invalid_argument);
 }
 
 TEST(Pipeline, CallbackSeesEveryReport) {
@@ -247,12 +358,14 @@ TEST(Pipeline, OnlineRefitUpdatesModelParameters) {
   EXPECT_NE(pipeline.active_model().alpha, 0.05);
 }
 
-TEST(Pipeline, FlushIsIdempotentEnough) {
+TEST(Pipeline, FlushIsIdempotent) {
+  // A second flush must be a no-op: the first one already closed the open
+  // interval, and no record has opened a new one since.
   ChangeDetectionPipeline pipeline(base_config());
   feed_stream(pipeline, 3);  // feed_stream already flushes
   const std::size_t n = pipeline.reports().size();
   pipeline.flush();
-  EXPECT_EQ(pipeline.reports().size(), n + 1);  // one trailing empty interval
+  EXPECT_EQ(pipeline.reports().size(), n);
 }
 
 TEST(Pipeline, RandomizedIntervalsVaryLengths) {

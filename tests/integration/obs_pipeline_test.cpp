@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "ingest/parallel_pipeline.h"
 #include "obs/exposition.h"
 #include "obs/metrics.h"
 
@@ -110,12 +111,13 @@ TEST(ObsPipelineIntegration, ExpositionRoundTripsThroughAShortRun) {
   config.threshold = 0.2;
   config.min_consecutive = 1;
   core::ChangeDetectionPipeline pipeline(config);
-  const std::uint64_t kRecords = 6 * 40;
+  const std::uint64_t kRecords = 6 * 40 + 1;
   for (std::size_t t = 0; t < 6; ++t) {
     for (std::uint64_t key = 1; key <= 40; ++key) {
       pipeline.add(key, 100.0, static_cast<double>(t) * 10.0 + 1.0);
     }
   }
+  pipeline.add(41, 100.0, 3.0);  // late record: clamped, counted
   pipeline.flush();
 
   const std::string text = obs::to_prometheus(obs::MetricsRegistry::global());
@@ -132,6 +134,7 @@ TEST(ObsPipelineIntegration, ExpositionRoundTripsThroughAShortRun) {
       {"scd_pipeline_keys_replayed_total", "counter"},
       {"scd_pipeline_hysteresis_suppressed_total", "counter"},
       {"scd_pipeline_refits_total", "counter"},
+      {"scd_pipeline_out_of_order_total", "counter"},
       {"scd_pipeline_replay_buffer_keys", "gauge"},
       {"scd_pipeline_sketch_bytes", "gauge"},
       {"scd_pipeline_last_alarm_threshold", "gauge"},
@@ -152,11 +155,13 @@ TEST(ObsPipelineIntegration, ExpositionRoundTripsThroughAShortRun) {
   EXPECT_GE(delta("scd_pipeline_intervals_closed_total"), 6u);
   EXPECT_GE(delta("scd_pipeline_detections_total"), 5u);  // 6 minus warm-up
   EXPECT_GE(delta("scd_pipeline_keys_replayed_total"), 5u * 40u);
+  EXPECT_GE(delta("scd_pipeline_out_of_order_total"), 1u);
 
   // The per-pipeline stats agree with what the run fed.
   const auto stats = pipeline.stats();
   EXPECT_EQ(stats.records, kRecords);
-  EXPECT_EQ(stats.keys_replayed, 5u * 40u);  // detection ran post warm-up
+  EXPECT_EQ(stats.out_of_order_records, 1u);
+  EXPECT_EQ(stats.keys_replayed, 5u * 40u + 1u);  // post warm-up + late key
   EXPECT_EQ(stats.sketch_bytes, config.h * config.k * sizeof(double));
 
   // Histogram series are internally consistent per stage: cumulative
@@ -221,6 +226,52 @@ TEST(ObsPipelineIntegration, MetricsDisabledPipelineLeavesRegistryUntouched) {
   // Per-pipeline lifetime stats still work without the global registry.
   EXPECT_EQ(pipeline.stats().records, 100u);
   EXPECT_EQ(pipeline.stats().intervals_closed, 1u);
+}
+
+TEST(ObsPipelineIntegration, ParallelIngestSurfacesItsOwnFamilies) {
+  core::PipelineConfig config;
+  config.interval_s = 10.0;
+  config.h = 3;
+  config.k = 1024;
+  ingest::ParallelConfig parallel;
+  parallel.workers = 2;
+  parallel.batch_size = 8;
+  ingest::ParallelPipeline pipeline(config, parallel);
+  for (std::size_t t = 0; t < 4; ++t) {
+    for (std::uint64_t key = 1; key <= 40; ++key) {
+      pipeline.add(key, 100.0, static_cast<double>(t) * 10.0 + 1.0);
+    }
+  }
+  pipeline.flush();
+
+  const auto parsed =
+      parse_prometheus(obs::to_prometheus(obs::MetricsRegistry::global()));
+  EXPECT_TRUE(parsed.errors.empty());
+  const std::map<std::string, std::string> expected_types = {
+      {"scd_ingest_queue_records", "gauge"},
+      {"scd_ingest_backpressure_total", "counter"},
+      {"scd_ingest_merge_seconds", "histogram"},
+      {"scd_ingest_shard_apply_seconds", "histogram"},
+  };
+  for (const auto& [name, type] : expected_types) {
+    ASSERT_EQ(parsed.family_type.count(name), 1u) << name;
+    EXPECT_EQ(parsed.family_type.at(name), type) << name;
+  }
+  // One apply histogram per shard, and every applied chunk was drained from
+  // the queue gauge (it must read 0 after flush).
+  for (const char* shard : {"0", "1"}) {
+    const std::string series = std::string(
+        "scd_ingest_shard_apply_seconds_count{shard=\"") + shard + "\"}";
+    ASSERT_EQ(parsed.samples.count(series), 1u) << series;
+    EXPECT_GT(std::stoull(parsed.samples.at(series)), 0u) << series;
+  }
+  const auto queue = parsed.samples.find("scd_ingest_queue_records");
+  ASSERT_NE(queue, parsed.samples.end());
+  EXPECT_DOUBLE_EQ(std::stod(queue->second), 0.0);
+  // A barrier merge ran once per interval close.
+  const auto merges = parsed.samples.find("scd_ingest_merge_seconds_count");
+  ASSERT_NE(merges, parsed.samples.end());
+  EXPECT_GE(std::stoull(merges->second), 4u);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
@@ -169,6 +170,108 @@ TEST(KarySketch, CwFamilyVariantHandles64BitKeys) {
   s.update(wide_key, 123.0);
   EXPECT_NEAR(s.estimate(wide_key), 123.0, 2.0);
   EXPECT_NEAR(s.estimate(wide_key + 1), 0.0, 2.0);
+}
+
+TEST(KarySketch, ConstructorValidatesShape) {
+  const auto family = make_tabulation_family(20, 5);
+  EXPECT_THROW(KarySketch(nullptr, 256), std::invalid_argument);
+  EXPECT_THROW(KarySketch(family, 1000), std::invalid_argument);  // not pow2
+  EXPECT_THROW(KarySketch(family, 1), std::invalid_argument);     // k < 2
+  EXPECT_NO_THROW(KarySketch(family, 2));
+}
+
+TEST(KarySketch, LoadRegistersRejectsWrongSizeInAllBuildTypes) {
+  // Misuse must throw, not assert: with NDEBUG (the default RelWithDebInfo
+  // build) an unchecked wrong-sized span is a heap overflow.
+  const auto family = make_tabulation_family(21, 5);
+  KarySketch s(family, 256);
+  const std::vector<double> too_small(5 * 256 - 1, 0.0);
+  const std::vector<double> too_big(5 * 256 + 1, 0.0);
+  EXPECT_THROW(s.load_registers(too_small), std::invalid_argument);
+  EXPECT_THROW(s.load_registers(too_big), std::invalid_argument);
+  const std::vector<double> right(5 * 256, 1.5);
+  EXPECT_NO_THROW(s.load_registers(right));
+  EXPECT_DOUBLE_EQ(s.sum(), 256.0 * 1.5);  // cache invalidated by the load
+}
+
+TEST(KarySketch, AddScaledRejectsIncompatibleSketches) {
+  const auto f1 = make_tabulation_family(22, 5);
+  const auto f2 = make_tabulation_family(22, 5);  // same seed, distinct object
+  KarySketch a(f1, 256), other_family(f2, 256), other_width(f1, 512);
+  EXPECT_THROW(a.add_scaled(other_family, 1.0), std::invalid_argument);
+  EXPECT_THROW(a.add_scaled(other_width, 1.0), std::invalid_argument);
+}
+
+TEST(KarySketch, CombineRejectsMismatchedArguments) {
+  const auto f1 = make_tabulation_family(23, 5);
+  const auto f2 = make_tabulation_family(23, 5);
+  KarySketch a(f1, 256), b(f1, 256), alien(f2, 256);
+  const std::vector<const KarySketch*> parts{&a, &b};
+  const std::vector<double> short_coeffs{1.0};
+  EXPECT_THROW(KarySketch::combine(short_coeffs, parts),
+               std::invalid_argument);
+  EXPECT_THROW(
+      KarySketch::combine(std::vector<double>{}, std::span<const KarySketch* const>{}),
+      std::invalid_argument);
+  const std::vector<const KarySketch*> mixed{&a, &alien};
+  const std::vector<double> coeffs{1.0, 1.0};
+  EXPECT_THROW(KarySketch::combine(coeffs, mixed), std::invalid_argument);
+}
+
+TEST(KarySketch, KeyDomainIsACompileTimeProperty) {
+  // The tabulation fast path truncates keys to 32 bits; the family advertises
+  // that so bindings can be checked at compile time (core/sketch_binding.h).
+  static_assert(KarySketch::kKeyBits == 32);
+  static_assert(KarySketch64::kKeyBits == 64);
+}
+
+TEST(KarySketch, ShardedCombineEqualsSerialStream) {
+  // The parallel-ingestion invariant (src/ingest): partitioning a stream by
+  // key across W shard sketches and COMBINE-merging with unit coefficients
+  // reproduces the serial sketch. With integer-valued updates the registers
+  // must match bit for bit — each register's multiset of addends is
+  // identical, and integer sums are exact in double.
+  for (const std::size_t shards : {2u, 4u, 8u}) {
+    const auto family = make_tabulation_family(24, 5);
+    KarySketch serial(family, 1024);
+    std::vector<KarySketch> shard_sketches;
+    for (std::size_t w = 0; w < shards; ++w) {
+      shard_sketches.emplace_back(family, 1024);
+    }
+    scd::common::Rng rng(static_cast<std::uint64_t>(100 + shards));
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t key = rng.next_below(1u << 24);
+      const auto value = static_cast<double>(rng.next_in(-50, 50));
+      serial.update(key, value);
+      shard_sketches[scd::common::mix64(key) % shards].update(key, value);
+    }
+    std::vector<const KarySketch*> parts;
+    for (const KarySketch& s : shard_sketches) parts.push_back(&s);
+    const std::vector<double> coeffs(shards, 1.0);
+    const KarySketch merged = KarySketch::combine(coeffs, parts);
+    ASSERT_EQ(merged.registers().size(), serial.registers().size());
+    for (std::size_t r = 0; r < serial.registers().size(); ++r) {
+      ASSERT_DOUBLE_EQ(merged.registers()[r], serial.registers()[r])
+          << "shards=" << shards << " register=" << r;
+    }
+    EXPECT_DOUBLE_EQ(merged.estimate_f2(), serial.estimate_f2());
+  }
+}
+
+TEST(KarySketch, EvenRowCountsEstimateThroughMedianAverage) {
+  // H in {2, 4, 6} exercises the even-size median paths (average of the two
+  // central per-row estimates): estimates stay near exact on sparse input.
+  for (const std::size_t h : {2u, 4u, 6u}) {
+    const auto family = make_tabulation_family(25 + h, h);
+    KarySketch s(family, 4096);
+    s.update(11, 500.0);
+    s.update(22, -125.0);
+    EXPECT_NEAR(s.estimate(11), 500.0, 5.0) << "h=" << h;
+    EXPECT_NEAR(s.estimate(22), -125.0, 5.0) << "h=" << h;
+    EXPECT_NEAR(s.estimate_f2(), 500.0 * 500.0 + 125.0 * 125.0,
+                0.05 * (500.0 * 500.0 + 125.0 * 125.0))
+        << "h=" << h;
+  }
 }
 
 TEST(KarySketch, TableBytesReflectsDimensions) {

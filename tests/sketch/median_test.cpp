@@ -77,6 +77,36 @@ TEST(Median, NetworksHandleNegativeValues) {
   EXPECT_EQ(median_inplace(v), -3.0);
 }
 
+TEST(Median, EvenSizesAverageTheCentralPair) {
+  // Even n (possible when a sketch is configured with even H) must return
+  // the mean of the two central order statistics on both the network/fallback
+  // dispatch and the explicit nth_element path.
+  std::vector<double> two{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(median_inplace(two), 15.0);
+  std::vector<double> four{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median_inplace(four), 2.5);
+  std::vector<double> four_nth{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median_nth_element(four_nth), 2.5);
+  std::vector<double> six{6.0, 1.0, 5.0, 2.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(median_inplace(six), 3.5);
+  std::vector<double> six_nth{6.0, 1.0, 5.0, 2.0, 4.0, 3.0};
+  EXPECT_DOUBLE_EQ(median_nth_element(six_nth), 3.5);
+}
+
+TEST(Median, NthElementPathAgreesWithNetworksOnEverySize) {
+  // Differential check across 1..32 with duplicates mixed in — covers the
+  // even sizes the parameterized sweep samples plus every odd network size.
+  scd::common::Rng rng(7);
+  for (std::size_t n = 1; n <= 32; ++n) {
+    for (int trial = 0; trial < 100; ++trial) {
+      std::vector<double> v(n);
+      for (double& x : v) x = static_cast<double>(rng.next_in(-8, 8));
+      std::vector<double> a = v, b = v;
+      EXPECT_DOUBLE_EQ(median_inplace(a), median_nth_element(b)) << "n=" << n;
+    }
+  }
+}
+
 TEST(Median, PaperSizesUseNetworks) {
   // Sanity check on exactly the H values the paper selects (1, 5, 9, 25).
   scd::common::Rng rng(3);
