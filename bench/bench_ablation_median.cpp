@@ -27,8 +27,9 @@ void BM_MedianNetwork(benchmark::State& state) {
   std::vector<double> buf(n);
   std::size_t i = 0;
   for (auto _ : state) {
-    const std::size_t offset = (i++ % 4096) * n;
-    std::copy(values.begin() + offset, values.begin() + offset + n,
+    const auto offset = static_cast<std::ptrdiff_t>((i++ % 4096) * n);
+    const auto count = static_cast<std::ptrdiff_t>(n);
+    std::copy(values.begin() + offset, values.begin() + offset + count,
               buf.begin());
     benchmark::DoNotOptimize(sketch::median_inplace(buf));
   }
@@ -41,8 +42,9 @@ void BM_MedianNthElement(benchmark::State& state) {
   std::vector<double> buf(n);
   std::size_t i = 0;
   for (auto _ : state) {
-    const std::size_t offset = (i++ % 4096) * n;
-    std::copy(values.begin() + offset, values.begin() + offset + n,
+    const auto offset = static_cast<std::ptrdiff_t>((i++ % 4096) * n);
+    const auto count = static_cast<std::ptrdiff_t>(n);
+    std::copy(values.begin() + offset, values.begin() + offset + count,
               buf.begin());
     benchmark::DoNotOptimize(sketch::median_nth_element(buf));
   }

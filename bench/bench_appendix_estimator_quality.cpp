@@ -35,7 +35,7 @@ int main() {
   constexpr std::size_t kK = 1024;
   constexpr int kTrials = 600;
   common::RunningStats est_h1, f2_h1, est_h9, f2_h9;
-  for (int seed = 1; seed <= kTrials; ++seed) {
+  for (std::uint64_t seed = 1; seed <= kTrials; ++seed) {
     const auto f1 = sketch::make_cw_family(seed, 1);
     sketch::KarySketch64 s1(f1, kK);
     const auto f9 = sketch::make_cw_family(seed ^ 0xabcdef, 9);

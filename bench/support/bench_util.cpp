@@ -203,8 +203,12 @@ std::vector<forecast::ModelConfig> random_model_configs(
         c.arima.p = p;
         c.arima.q = q;
         c.arima.d = kind == ModelKind::kArima1 ? 1 : 0;
-        for (int j = 0; j < p; ++j) c.arima.ar[j] = rng.uniform(-2.0, 2.0);
-        for (int i = 0; i < q; ++i) c.arima.ma[i] = rng.uniform(-2.0, 2.0);
+        for (std::size_t j = 0; j < static_cast<std::size_t>(p); ++j) {
+          c.arima.ar[j] = rng.uniform(-2.0, 2.0);
+        }
+        for (std::size_t i = 0; i < static_cast<std::size_t>(q); ++i) {
+          c.arima.ma[i] = rng.uniform(-2.0, 2.0);
+        }
         break;
       }
       case ModelKind::kSeasonalHoltWinters:

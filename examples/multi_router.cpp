@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/strutil.h"
+#include "core/sketch_binding.h"
 #include "detect/detection.h"
 #include "eval/intervalized.h"
 #include "forecast/runner.h"
@@ -48,6 +49,11 @@ traffic::SyntheticConfig router_config(std::uint64_t seed) {
   config.anomalies.push_back(dos);
   return config;
 }
+
+// Exporters key on destination IP; the 32-bit tabulation sketch covers that
+// key domain (a 64-bit key kind here would silently truncate).
+static_assert(core::kSketchCoversKeyKind<sketch::KarySketch,
+                                         traffic::KeyKind::kDstIp>);
 
 /// One router's exporter: observed sketch per interval, serialized.
 std::vector<std::vector<std::uint8_t>> export_sketches(

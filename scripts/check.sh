@@ -1,0 +1,108 @@
+#!/usr/bin/env bash
+# Repo-wide static-analysis gate.
+#
+# Runs, in order:
+#   1. clang-format --dry-run over tracked C++ sources   (skipped if absent)
+#   2. scripts/scd_lint.py project-invariant linter      (always)
+#   3. -Werror build via the `ci` preset                 (always)
+#   4. clang-tidy build via the `tidy` preset            (skipped if absent)
+#
+# Steps whose tool is missing are reported as SKIP and do not fail the gate;
+# everything that can run must pass. Exit 0 iff no runnable step failed.
+#
+# Usage: scripts/check.sh [--no-build] [--no-tidy]
+#   --no-build  skip the -Werror compile (for quick pre-commit lint runs)
+#   --no-tidy   skip clang-tidy even when installed
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+RUN_BUILD=1
+RUN_TIDY=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-build) RUN_BUILD=0 ;;
+    --no-tidy) RUN_TIDY=0 ;;
+    *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
+  esac
+done
+
+FAILED=0
+step() { printf '\n== %s ==\n' "$1"; }
+pass() { printf -- '-- PASS: %s\n' "$1"; }
+fail() { printf -- '-- FAIL: %s\n' "$1"; FAILED=1; }
+skip() { printf -- '-- SKIP: %s (%s)\n' "$1" "$2"; }
+
+# 1. Formatting ---------------------------------------------------------------
+step "clang-format"
+if command -v clang-format >/dev/null 2>&1; then
+  mapfile -t cxx_files < <(git ls-files '*.cpp' '*.h')
+  if clang-format --dry-run --Werror "${cxx_files[@]}"; then
+    pass "clang-format (${#cxx_files[@]} files)"
+  else
+    fail "clang-format"
+  fi
+else
+  skip "clang-format" "not installed on this host"
+fi
+
+# 2. Project linter -----------------------------------------------------------
+step "scd_lint"
+if python3 scripts/scd_lint.py; then
+  pass "scd_lint"
+else
+  fail "scd_lint"
+fi
+
+# 3. -Werror build ------------------------------------------------------------
+step "-Werror build (ci preset)"
+if [ "$RUN_BUILD" -eq 1 ]; then
+  if command -v ninja >/dev/null 2>&1; then
+    if cmake --preset ci >build-ci-configure.log 2>&1 &&
+       cmake --build --preset ci -j "$(nproc)" >build-ci-build.log 2>&1; then
+      pass "-Werror build"
+      rm -f build-ci-configure.log build-ci-build.log
+    else
+      fail "-Werror build (see build-ci-configure.log / build-ci-build.log)"
+      tail -n 40 build-ci-build.log 2>/dev/null || tail -n 40 build-ci-configure.log
+    fi
+  else
+    # Fall back to the default generator so hosts without ninja still gate.
+    if cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo -DSCD_WERROR=ON \
+         >build-ci-configure.log 2>&1 &&
+       cmake --build build-ci -j "$(nproc)" >build-ci-build.log 2>&1; then
+      pass "-Werror build (makefiles fallback)"
+      rm -f build-ci-configure.log build-ci-build.log
+    else
+      fail "-Werror build (see build-ci-configure.log / build-ci-build.log)"
+      tail -n 40 build-ci-build.log 2>/dev/null || tail -n 40 build-ci-configure.log
+    fi
+  fi
+else
+  skip "-Werror build" "--no-build"
+fi
+
+# 4. clang-tidy ---------------------------------------------------------------
+step "clang-tidy (tidy preset)"
+if [ "$RUN_TIDY" -eq 0 ]; then
+  skip "clang-tidy" "--no-tidy"
+elif command -v clang-tidy >/dev/null 2>&1 && command -v clang++ >/dev/null 2>&1; then
+  if cmake --preset tidy >build-tidy-configure.log 2>&1 &&
+     cmake --build --preset tidy -j "$(nproc)" >build-tidy-build.log 2>&1; then
+    pass "clang-tidy"
+    rm -f build-tidy-configure.log build-tidy-build.log
+  else
+    fail "clang-tidy (see build-tidy-configure.log / build-tidy-build.log)"
+    tail -n 40 build-tidy-build.log 2>/dev/null || tail -n 40 build-tidy-configure.log
+  fi
+else
+  skip "clang-tidy" "clang-tidy/clang++ not installed on this host"
+fi
+
+printf '\n'
+if [ "$FAILED" -ne 0 ]; then
+  echo "check.sh: FAILED"
+  exit 1
+fi
+echo "check.sh: OK"

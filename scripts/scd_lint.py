@@ -1,0 +1,398 @@
+#!/usr/bin/env python3
+"""scd_lint — project-invariant linter for the sketch-change-detection repo.
+
+Enforces invariants that clang-tidy cannot express because they are about
+THIS codebase's contracts, not C++ in general:
+
+  throw-not-assert   Public mutating sketch APIs that validate structure
+                     (combine/add_scaled/load_registers and the sketch
+                     constructors) must throw std::invalid_argument, never
+                     rely on assert() alone — an unchecked mismatch is an
+                     out-of-bounds access in release builds.
+
+  kkeybits-binding   A file that hand-picks a sketch type while working with
+                     traffic KeyKinds must bind the choice through
+                     core/sketch_binding.h (SketchForKeyKind or a
+                     kSketchCoversKeyKind static_assert) so 64-bit key kinds
+                     can never silently truncate through a 32-bit family.
+
+  metric-docs        Every `scd_*` metric name registered in src/ must be
+                     documented in docs/OBSERVABILITY.md, and every
+                     documented name must still exist in code.
+
+  include-hygiene    src/ files that use a core project type must include
+                     its canonical header directly instead of relying on a
+                     transitive include.
+
+Waivers: append `// scd-lint: allow(<rule>)` to the offending line (or the
+line directly above it); `// scd-lint: allow-file(<rule>)` within the first
+30 lines of a file waives the rule for the whole file.
+
+Exit status: 0 when clean, 1 when violations were found, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --------------------------------------------------------------------------
+# Rule configuration
+# --------------------------------------------------------------------------
+
+# (relative file, method signature prefix) pairs whose bodies must validate
+# with `throw`. The signature prefix is matched at the start of a trimmed
+# line (possibly after decorators like [[nodiscard]] static).
+THROW_CHECKED_METHODS = {
+    "src/sketch/kary_sketch.h": [
+        "BasicKarySketch(FamilyPtr",
+        "void add_scaled(",
+        "static BasicKarySketch combine(",
+        "void load_registers(",
+    ],
+    "src/sketch/count_sketch.h": [
+        "BasicCountSketch(FamilyPtr",
+        "BasicCountMinSketch(FamilyPtr",
+    ],
+}
+
+# A "hand-picked sketch" is a direct declaration/construction of a concrete
+# sketch alias rather than the SketchForKeyKind mapping.
+SKETCH_HAND_PICK = re.compile(
+    r"\b(?:sketch::)?(?:KarySketch64|KarySketch)\s+\w+\s*[({]"
+)
+KEYKIND_USE = re.compile(r"\bKeyKind::")
+BINDING_EVIDENCE = re.compile(
+    r"core/sketch_binding\.h|SketchForKeyKind|kSketchCoversKeyKind"
+)
+
+METRIC_LITERAL = re.compile(r'"(scd_[a-z0-9_]+)"')
+METRIC_DOC_ROW = re.compile(r"^\|\s*`(scd_[a-z0-9_]+)`")
+METRIC_DOC_PATH = "docs/OBSERVABILITY.md"
+
+# Canonical headers for core project types: using the type in src/ requires
+# including its header directly (the type's own header is exempt).
+INCLUDE_CANON = [
+    (re.compile(r"\bBasicKarySketch\b|\bKarySketch64\b|\bKarySketch\b"),
+     "sketch/kary_sketch.h"),
+    (re.compile(r"\bBasicCount(?:Min)?Sketch\b|\bCount(?:Min)?Sketch\b"),
+     "sketch/count_sketch.h"),
+    (re.compile(r"\bMetricsRegistry\b"), "obs/metrics.h"),
+    (re.compile(r"\bBoundedQueue\b"), "ingest/bounded_queue.h"),
+    (re.compile(r"\bShardSet(?:Base)?\b"), "ingest/shard_set.h"),
+    (re.compile(r"\bKeyKind\b"), "traffic/key_extract.h"),
+    (re.compile(r"\bFlowRecord\b"), "traffic/flow_record.h"),
+    (re.compile(r"\bTabulationHashFamily\b"), "hash/tabulation_hash.h"),
+    (re.compile(r"\bCwHashFamily\b"), "hash/cw_hash.h"),
+    (re.compile(r"\bFamilyRegistry\b|\bSerializeError\b"),
+     "sketch/serialize.h"),
+    (re.compile(r"\bChangeDetectionPipeline\b|\bIntervalBatch\b"),
+     "core/pipeline.h"),
+]
+
+ALL_RULES = ("throw-not-assert", "kkeybits-binding", "metric-docs",
+             "include-hygiene")
+
+WAIVER = re.compile(r"//\s*scd-lint:\s*allow\(([a-z-]+)\)")
+FILE_WAIVER = re.compile(r"//\s*scd-lint:\s*allow-file\(([a-z-]+)\)")
+
+
+class Violation:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string literals, preserving line structure so
+    line numbers computed on the result match the original file."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def waived(lines: list[str], lineno: int, rule: str) -> bool:
+    """True when the 1-based line, or the line above it, carries a waiver."""
+    for idx in (lineno - 1, lineno - 2):
+        if 0 <= idx < len(lines) and any(
+                m.group(1) == rule for m in WAIVER.finditer(lines[idx])):
+            return True
+    return False
+
+
+def file_waived(lines: list[str], rule: str) -> bool:
+    head = lines[:30]
+    return any(m.group(1) == rule
+               for line in head for m in FILE_WAIVER.finditer(line))
+
+
+# --------------------------------------------------------------------------
+# throw-not-assert
+# --------------------------------------------------------------------------
+
+def extract_body(text: str, sig_offset: int) -> str | None:
+    """Returns the brace-enclosed body following a signature starting at
+    sig_offset (which must point at or before the parameter list's opening
+    paren): the body is the first `{` at paren depth 0."""
+    depth_paren = 0
+    i = sig_offset
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "(":
+            depth_paren += 1
+        elif c == ")":
+            depth_paren -= 1
+        elif c == "{" and depth_paren == 0:
+            start = i
+            depth = 0
+            while i < n:
+                if text[i] == "{":
+                    depth += 1
+                elif text[i] == "}":
+                    depth -= 1
+                    if depth == 0:
+                        return text[start:i + 1]
+                i += 1
+            return None
+        elif c == ";" and depth_paren == 0:
+            return None  # declaration only
+        i += 1
+    return None
+
+
+def check_throw_not_assert(root: Path) -> list[Violation]:
+    violations = []
+    for rel, methods in THROW_CHECKED_METHODS.items():
+        path = root / rel
+        if not path.is_file():
+            continue
+        raw = path.read_text()
+        lines = raw.splitlines()
+        text = strip_comments_and_strings(raw)
+        if file_waived(lines, "throw-not-assert"):
+            continue
+        for sig in methods:
+            offset = text.find(sig)
+            if offset == -1:
+                violations.append(Violation(
+                    rel, 1, "throw-not-assert",
+                    f"expected public API '{sig}...' not found "
+                    "(update THROW_CHECKED_METHODS if it was renamed)"))
+                continue
+            lineno = line_of(text, offset)
+            if waived(lines, lineno, "throw-not-assert"):
+                continue
+            body = extract_body(text, offset)
+            if body is None:
+                continue  # declaration without body (e.g. forward decl)
+            has_throw = re.search(r"\bthrow\b", body) is not None
+            has_assert = re.search(r"\bassert\s*\(", body) is not None
+            if not has_throw:
+                what = ("validates with assert() only"
+                        if has_assert else "performs no validation")
+                violations.append(Violation(
+                    rel, lineno, "throw-not-assert",
+                    f"'{sig}...' {what}; structural misuse must throw "
+                    "std::invalid_argument in all build types"))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# kkeybits-binding
+# --------------------------------------------------------------------------
+
+def check_kkeybits_binding(root: Path, files: list[Path]) -> list[Violation]:
+    violations = []
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        if rel == "src/core/sketch_binding.h":
+            continue
+        raw = path.read_text()
+        lines = raw.splitlines()
+        if file_waived(lines, "kkeybits-binding"):
+            continue
+        text = strip_comments_and_strings(raw)
+        if not KEYKIND_USE.search(text):
+            continue
+        match = SKETCH_HAND_PICK.search(text)
+        if match is None:
+            continue
+        # Binding evidence must appear in the raw file (the include line).
+        if BINDING_EVIDENCE.search(raw):
+            continue
+        lineno = line_of(text, match.start())
+        if waived(lines, lineno, "kkeybits-binding"):
+            continue
+        violations.append(Violation(
+            rel, lineno, "kkeybits-binding",
+            "hand-picks a sketch type while using KeyKind; bind the choice "
+            "through core/sketch_binding.h (SketchForKeyKind or a "
+            "kSketchCoversKeyKind static_assert)"))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# metric-docs
+# --------------------------------------------------------------------------
+
+def check_metric_docs(root: Path, src_files: list[Path]) -> list[Violation]:
+    violations = []
+    registered: dict[str, tuple[str, int]] = {}
+    for path in src_files:
+        rel = path.relative_to(root).as_posix()
+        raw = path.read_text()
+        lines = raw.splitlines()
+        for m in METRIC_LITERAL.finditer(raw):
+            lineno = line_of(raw, m.start())
+            if waived(lines, lineno, "metric-docs"):
+                continue
+            registered.setdefault(m.group(1), (rel, lineno))
+
+    doc_path = root / METRIC_DOC_PATH
+    documented: dict[str, int] = {}
+    if doc_path.is_file():
+        for idx, line in enumerate(doc_path.read_text().splitlines(), 1):
+            m = METRIC_DOC_ROW.match(line.strip())
+            if m:
+                documented.setdefault(m.group(1), idx)
+    elif registered:
+        violations.append(Violation(
+            METRIC_DOC_PATH, 1, "metric-docs",
+            "metrics are registered in code but the doc file is missing"))
+        return violations
+
+    for name, (rel, lineno) in sorted(registered.items()):
+        if name not in documented:
+            violations.append(Violation(
+                rel, lineno, "metric-docs",
+                f"metric '{name}' is registered here but not documented in "
+                f"{METRIC_DOC_PATH}"))
+    for name, lineno in sorted(documented.items()):
+        if name not in registered:
+            violations.append(Violation(
+                METRIC_DOC_PATH, lineno, "metric-docs",
+                f"metric '{name}' is documented but no longer registered "
+                "anywhere under src/"))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# include-hygiene
+# --------------------------------------------------------------------------
+
+INCLUDE_LINE = re.compile(r'^\s*#\s*include\s*"([^"]+)"', re.MULTILINE)
+
+
+def check_include_hygiene(root: Path, src_files: list[Path]) -> list[Violation]:
+    violations = []
+    for path in src_files:
+        rel = path.relative_to(root).as_posix()
+        raw = path.read_text()
+        lines = raw.splitlines()
+        if file_waived(lines, "include-hygiene"):
+            continue
+        text = strip_comments_and_strings(raw)
+        includes = set(INCLUDE_LINE.findall(raw))
+        for pattern, header in INCLUDE_CANON:
+            if rel == f"src/{header}":
+                continue
+            match = pattern.search(text)
+            if match is None or header in includes:
+                continue
+            lineno = line_of(text, match.start())
+            if waived(lines, lineno, "include-hygiene"):
+                continue
+            violations.append(Violation(
+                rel, lineno, "include-hygiene",
+                f"uses '{match.group(0)}' without including \"{header}\" "
+                "directly (transitive-include reliance)"))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def collect(root: Path, subdirs: list[str]) -> list[Path]:
+    files = []
+    for sub in subdirs:
+        base = root / sub
+        if base.is_dir():
+            files.extend(p for p in sorted(base.rglob("*"))
+                         if p.suffix in (".h", ".cpp") and p.is_file())
+    return files
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path, default=Path(__file__).parent.parent,
+                        help="repository root to lint (default: repo root)")
+    parser.add_argument("--rules", action="store_true",
+                        help="list rule ids and exit")
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        for rule in ALL_RULES:
+            print(rule)
+        return 0
+
+    root = args.root.resolve()
+    if not root.is_dir():
+        print(f"scd_lint: no such directory: {root}", file=sys.stderr)
+        return 2
+
+    src_files = collect(root, ["src"])
+    binding_files = src_files + collect(root, ["examples", "bench"])
+
+    violations: list[Violation] = []
+    violations += check_throw_not_assert(root)
+    violations += check_kkeybits_binding(root, binding_files)
+    violations += check_metric_docs(root, src_files)
+    violations += check_include_hygiene(root, src_files)
+
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"scd_lint: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

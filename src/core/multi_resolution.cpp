@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "core/pipeline.h"
+#include "traffic/flow_record.h"
+#include "traffic/key_extract.h"
+
 namespace scd::core {
 
 MultiResolutionPipeline::MultiResolutionPipeline(

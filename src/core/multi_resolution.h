@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "traffic/flow_record.h"
+#include "traffic/key_extract.h"
 
 namespace scd::core {
 

@@ -20,6 +20,7 @@
 #include "obs/pipeline_metrics.h"
 #include "obs/scoped_timer.h"
 #include "sketch/kary_sketch.h"
+#include "traffic/flow_record.h"
 
 namespace scd::core {
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/pipeline.h"
+#include "traffic/flow_record.h"
+
 namespace scd::eval {
 
 std::vector<LabeledAnomaly> labeled_anomalies(

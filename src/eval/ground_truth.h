@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "traffic/flow_record.h"
 #include "traffic/synthetic.h"
 
 namespace scd::eval {

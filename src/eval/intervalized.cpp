@@ -4,6 +4,9 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "traffic/flow_record.h"
+#include "traffic/key_extract.h"
+
 namespace scd::eval {
 
 IntervalizedStream::IntervalizedStream(

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "common/logging.h"
+#include "traffic/flow_record.h"
 #include "traffic/synthetic.h"
 #include "traffic/trace_io.h"
 

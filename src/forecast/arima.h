@@ -87,13 +87,13 @@ class ArimaModel final : public ForecastModel<V> {
     for (int j = 1; j <= coeffs_.p; ++j) {
       const auto ago = static_cast<std::size_t>(j);
       if (ago <= z_history_.size()) {
-        out.add_scaled(z_history_.back(ago), coeffs_.ar[j - 1]);
+        out.add_scaled(z_history_.back(ago), coeffs_.ar[ago - 1]);
       }
     }
     for (int i = 1; i <= coeffs_.q; ++i) {
       const auto ago = static_cast<std::size_t>(i);
       if (ago <= e_history_.size()) {
-        out.add_scaled(e_history_.back(ago), coeffs_.ma[i - 1]);
+        out.add_scaled(e_history_.back(ago), coeffs_.ma[ago - 1]);
       }
     }
   }

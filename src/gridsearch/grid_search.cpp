@@ -159,8 +159,10 @@ GridSearchResult search_arima_model(ModelKind kind, const Objective& objective,
       config.arima.p = p;
       config.arima.d = d;
       config.arima.q = q;
-      for (int j = 0; j < p; ++j) config.arima.ar[j] = point[j];
-      for (int i = 0; i < q; ++i) config.arima.ma[i] = point[p + i];
+      const auto pu = static_cast<std::size_t>(p);
+      const auto qu = static_cast<std::size_t>(q);
+      for (std::size_t j = 0; j < pu; ++j) config.arima.ar[j] = point[j];
+      for (std::size_t i = 0; i < qu; ++i) config.arima.ma[i] = point[pu + i];
       return config.valid();
     };
     std::vector<double> best_point;

@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "obs/metrics.h"
+
 namespace scd::ingest {
 
 IngestInstruments IngestInstruments::create(obs::MetricsRegistry& registry,

@@ -5,11 +5,13 @@
 #include <utility>
 
 #include "common/random.h"
+#include "core/pipeline.h"
 #include "hash/cw_hash.h"
 #include "hash/tabulation_hash.h"
 #include "ingest/ingest_metrics.h"
 #include "ingest/shard_set.h"
 #include "obs/metrics.h"
+#include "traffic/flow_record.h"
 #include "traffic/key_extract.h"
 
 namespace scd::ingest {

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace scd::obs {
 
 namespace {

@@ -1,5 +1,7 @@
 #include "obs/pipeline_metrics.h"
 
+#include "obs/metrics.h"
+
 namespace scd::obs {
 
 namespace {

@@ -14,6 +14,7 @@
 #include <limits>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "hash/hash_family.h"
@@ -31,15 +32,27 @@ class BasicCountSketch {
  public:
   using FamilyPtr = std::shared_ptr<const Family>;
 
-  /// The family must have 2 * depth rows.
+  /// The family must have 2 * depth rows. Throws std::invalid_argument on a
+  /// null family, insufficient family rows, or invalid dimensions — these are
+  /// structural misuses that would index out of bounds in release builds.
   BasicCountSketch(FamilyPtr family, std::size_t depth, std::size_t k)
-      : family_(std::move(family)),
-        depth_(depth),
-        k_(k),
-        table_(depth * k, 0.0) {
-    assert(family_ != nullptr && family_->rows() >= 2 * depth_);
-    assert(hash::valid_bucket_count(k_) && k_ >= 2);
-    assert(depth_ >= 1 && depth_ <= kMaxRows);
+      : family_(std::move(family)), depth_(depth), k_(k) {
+    if (family_ == nullptr) {
+      throw std::invalid_argument("BasicCountSketch: null hash family");
+    }
+    if (family_->rows() < 2 * depth_) {
+      throw std::invalid_argument(
+          "BasicCountSketch: family must have 2*depth rows "
+          "(bucket rows + sign rows)");
+    }
+    if (!hash::valid_bucket_count(k_) || k_ < 2) {
+      throw std::invalid_argument(
+          "BasicCountSketch: k must be a power of two >= 2");
+    }
+    if (depth_ < 1 || depth_ > kMaxRows) {
+      throw std::invalid_argument("BasicCountSketch: depth out of range");
+    }
+    table_.assign(depth_ * k_, 0.0);
   }
 
   void update(std::uint64_t key, double u) noexcept {
@@ -95,10 +108,19 @@ class BasicCountMinSketch {
  public:
   using FamilyPtr = std::shared_ptr<const Family>;
 
+  /// Throws std::invalid_argument on a null family or invalid width. The
+  /// table is sized after validation: the old member-initializer form
+  /// dereferenced the family before the null check.
   BasicCountMinSketch(FamilyPtr family, std::size_t k)
-      : family_(std::move(family)), k_(k), table_(family_->rows() * k, 0.0) {
-    assert(family_ != nullptr);
-    assert(hash::valid_bucket_count(k_) && k_ >= 2);
+      : family_(std::move(family)), k_(k) {
+    if (family_ == nullptr) {
+      throw std::invalid_argument("BasicCountMinSketch: null hash family");
+    }
+    if (!hash::valid_bucket_count(k_) || k_ < 2) {
+      throw std::invalid_argument(
+          "BasicCountMinSketch: k must be a power of two >= 2");
+    }
+    table_.assign(family_->rows() * k_, 0.0);
   }
 
   /// u must be >= 0; Count-Min's guarantee does not survive deletions in the

@@ -1,8 +1,13 @@
 #include "sketch/serialize.h"
 
+#include <cmath>
 #include <cstring>
 #include <sstream>
 #include <stdexcept>
+
+#include "hash/cw_hash.h"
+#include "hash/tabulation_hash.h"
+#include "sketch/kary_sketch.h"
 
 namespace scd::sketch {
 
@@ -22,7 +27,7 @@ T get(std::istream& in) {
   for (std::size_t i = 0; i < sizeof(T); ++i) {
     const int byte = in.get();
     if (byte == std::char_traits<char>::eof()) {
-      throw std::runtime_error("sketch deserialization: truncated input");
+      throw SerializeError(SerializeErrorKind::kTruncated, "truncated input");
     }
     value = static_cast<T>(value |
                            (static_cast<T>(static_cast<unsigned char>(byte))
@@ -53,7 +58,9 @@ void write_impl(std::ostream& out, const Sketch& sketch, FamilyKind kind) {
   put(out, static_cast<std::uint32_t>(sketch.depth()));
   put(out, static_cast<std::uint32_t>(sketch.width()));
   for (const double v : sketch.registers()) put_double(out, v);
-  if (!out) throw std::runtime_error("sketch serialization: write failed");
+  if (!out) {
+    throw SerializeError(SerializeErrorKind::kWriteFailed, "write failed");
+  }
 }
 
 struct Header {
@@ -65,19 +72,28 @@ struct Header {
 
 Header read_header(std::istream& in) {
   if (get<std::uint32_t>(in) != kSketchMagic) {
-    throw std::runtime_error("sketch deserialization: bad magic");
+    throw SerializeError(SerializeErrorKind::kBadMagic, "bad magic");
   }
   if (get<std::uint32_t>(in) != kSketchVersion) {
-    throw std::runtime_error("sketch deserialization: unsupported version");
+    throw SerializeError(SerializeErrorKind::kBadVersion,
+                         "unsupported version");
   }
   Header h{};
-  h.kind = static_cast<FamilyKind>(get<std::uint8_t>(in));
+  // Validate the raw byte before casting into the enum: a cast to FamilyKind
+  // from an out-of-range value is unspecified for comparison purposes.
+  const auto kind_byte = get<std::uint8_t>(in);
+  if (kind_byte > static_cast<std::uint8_t>(FamilyKind::kCarterWegman)) {
+    throw SerializeError(SerializeErrorKind::kBadFamilyKind,
+                         "unknown family kind");
+  }
+  h.kind = static_cast<FamilyKind>(kind_byte);
   h.seed = get<std::uint64_t>(in);
   h.rows = get<std::uint32_t>(in);
   h.k = get<std::uint32_t>(in);
   if (!hash::valid_bucket_count(h.k) || h.k < 2 || h.rows < 1 ||
       h.rows > kMaxRows) {
-    throw std::runtime_error("sketch deserialization: invalid dimensions");
+    throw SerializeError(SerializeErrorKind::kBadDimensions,
+                         "invalid dimensions");
   }
   return h;
 }
@@ -87,7 +103,15 @@ Sketch read_body(std::istream& in, const Header& header,
                  typename Sketch::FamilyPtr family) {
   Sketch sketch(std::move(family), header.k);
   std::vector<double> registers(header.rows * header.k);
-  for (double& v : registers) v = get_double(in);
+  for (double& v : registers) {
+    v = get_double(in);
+    if (!std::isfinite(v)) {
+      // A register can never legitimately be NaN/Inf: UPDATE adds finite
+      // deltas. Reject rather than let the poison spread through COMBINE.
+      throw SerializeError(SerializeErrorKind::kCorruptRegisters,
+                           "non-finite register value");
+    }
+  }
   sketch.load_registers(registers);
   return sketch;
 }
@@ -123,8 +147,8 @@ void write_sketch(std::ostream& out, const KarySketch64& sketch) {
 KarySketch read_sketch32(std::istream& in, FamilyRegistry& registry) {
   const Header header = read_header(in);
   if (header.kind != FamilyKind::kTabulation) {
-    throw std::runtime_error(
-        "sketch deserialization: expected tabulation family");
+    throw SerializeError(SerializeErrorKind::kFamilyMismatch,
+                         "expected tabulation family");
   }
   return read_body<KarySketch>(in, header,
                                registry.tabulation(header.seed, header.rows));
@@ -133,8 +157,8 @@ KarySketch read_sketch32(std::istream& in, FamilyRegistry& registry) {
 KarySketch64 read_sketch64(std::istream& in, FamilyRegistry& registry) {
   const Header header = read_header(in);
   if (header.kind != FamilyKind::kCarterWegman) {
-    throw std::runtime_error(
-        "sketch deserialization: expected Carter-Wegman family");
+    throw SerializeError(SerializeErrorKind::kFamilyMismatch,
+                         "expected Carter-Wegman family");
   }
   return read_body<KarySketch64>(
       in, header, registry.carter_wegman(header.seed, header.rows));
@@ -151,7 +175,12 @@ KarySketch sketch_from_bytes(const std::vector<std::uint8_t>& bytes,
                              FamilyRegistry& registry) {
   std::istringstream in(std::string(bytes.begin(), bytes.end()),
                         std::ios::binary);
-  return read_sketch32(in, registry);
+  KarySketch sketch = read_sketch32(in, registry);
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw SerializeError(SerializeErrorKind::kTrailingBytes,
+                         "trailing bytes after sketch payload");
+  }
+  return sketch;
 }
 
 }  // namespace scd::sketch

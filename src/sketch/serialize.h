@@ -17,6 +17,7 @@
 #include <istream>
 #include <map>
 #include <ostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,35 @@ inline constexpr std::uint32_t kSketchVersion = 1;
 enum class FamilyKind : std::uint8_t {
   kTabulation = 0,
   kCarterWegman = 1,
+};
+
+/// Why a dump was rejected. Sketch dumps cross the network from untrusted
+/// exporters, so every reject path is typed: collectors can distinguish a
+/// short read (retry) from a corrupt or hostile packet (drop and count).
+enum class SerializeErrorKind {
+  kTruncated,         ///< input ended inside the header or register payload
+  kBadMagic,          ///< leading bytes are not "SCDK"
+  kBadVersion,        ///< unknown format version
+  kBadFamilyKind,     ///< family-kind byte is not a known FamilyKind
+  kBadDimensions,     ///< rows/k outside the valid sketch envelope
+  kCorruptRegisters,  ///< register payload decodes to non-finite values
+  kFamilyMismatch,    ///< dump's family kind does not match the reader used
+  kTrailingBytes,     ///< byte-buffer parse left unconsumed bytes
+  kWriteFailed,       ///< output stream failed mid-write
+};
+
+/// Thrown by every (de)serialization failure path. Derives from
+/// std::runtime_error so legacy catch sites keep working; new code should
+/// switch on kind().
+class SerializeError : public std::runtime_error {
+ public:
+  SerializeError(SerializeErrorKind kind, const std::string& message)
+      : std::runtime_error("sketch serialization: " + message), kind_(kind) {}
+
+  [[nodiscard]] SerializeErrorKind kind() const noexcept { return kind_; }
+
+ private:
+  SerializeErrorKind kind_;
 };
 
 /// Shares hash families across deserialized sketches so that sketches
@@ -48,18 +78,21 @@ class FamilyRegistry {
   std::map<std::pair<std::uint64_t, std::size_t>, KarySketch64::FamilyPtr> cw_;
 };
 
-/// Writes a sketch. Throws std::runtime_error on stream failure.
+/// Writes a sketch. Throws SerializeError(kWriteFailed) on stream failure.
 void write_sketch(std::ostream& out, const KarySketch& sketch);
 void write_sketch(std::ostream& out, const KarySketch64& sketch);
 
-/// Reads a sketch previously written with write_sketch. Throws
-/// std::runtime_error on malformed input or a family-kind mismatch.
+/// Reads a sketch previously written with write_sketch. Throws a
+/// SerializeError on malformed input or a family-kind mismatch. Trailing
+/// stream data is allowed: exporters concatenate sketches into one stream.
 [[nodiscard]] KarySketch read_sketch32(std::istream& in,
                                        FamilyRegistry& registry);
 [[nodiscard]] KarySketch64 read_sketch64(std::istream& in,
                                          FamilyRegistry& registry);
 
 /// Convenience: (de)serialize via a byte buffer (the "export packet").
+/// Unlike the stream readers, sketch_from_bytes rejects trailing bytes —
+/// a packet is exactly one sketch.
 [[nodiscard]] std::vector<std::uint8_t> sketch_to_bytes(const KarySketch& s);
 [[nodiscard]] KarySketch sketch_from_bytes(
     const std::vector<std::uint8_t>& bytes, FamilyRegistry& registry);

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "common/strutil.h"
+#include "traffic/flow_record.h"
 
 namespace scd::traffic {
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "traffic/flow_record.h"
+
 namespace scd::traffic {
 
 Packetizer::Packetizer(PacketizerConfig config)

@@ -8,6 +8,7 @@
 
 #include "common/strutil.h"
 #include "traffic/feistel.h"
+#include "traffic/flow_record.h"
 
 namespace scd::traffic {
 

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "traffic/flow_record.h"
+
 namespace scd::traffic {
 
 namespace {

@@ -85,7 +85,7 @@ TEST(SeasonalHoltWinters, TrendPlusSeasonTracked) {
   const std::vector<double> season{0.0, 30.0, -30.0};
   std::vector<double> obs;
   for (int t = 0; t < 30; ++t) {
-    obs.push_back(100.0 + 5.0 * t + season[t % 3]);
+    obs.push_back(100.0 + 5.0 * t + season[static_cast<std::size_t>(t) % 3]);
   }
   SeasonalHoltWintersModel<ScalarSignal> model(0.5, 0.5, 0.0, 3,
                                                ScalarSignal{});

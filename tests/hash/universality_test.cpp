@@ -50,7 +50,8 @@ TYPED_TEST(UniversalityTest, PairwiseCollisionRateMatchesK) {
   int collisions = 0;
   std::uint64_t state = 11;
   for (int seed = 1; seed <= 4; ++seed) {
-    TypeParam f(static_cast<std::uint64_t>(seed) * 2654435761ULL + 1, 1);
+    TypeParam f(static_cast<std::uint64_t>(seed) * std::uint64_t{2654435761} + 1,
+                1);
     for (int i = 0; i < 20000; ++i) {
       const auto a = static_cast<std::uint32_t>(scd::common::splitmix64(state));
       auto b = static_cast<std::uint32_t>(scd::common::splitmix64(state));
@@ -71,7 +72,8 @@ TYPED_TEST(UniversalityTest, FourKeyJointCollisionsAreRare) {
   // seeds, not over key tuples.) 3000 seeds -> expected ~47; accept [20, 85].
   int all_equal = 0;
   for (int seed = 1; seed <= 3000; ++seed) {
-    TypeParam f(static_cast<std::uint64_t>(seed) * 0x9e3779b9ULL + 3, 1);
+    TypeParam f(static_cast<std::uint64_t>(seed) * std::uint64_t{0x9e3779b9} + 3,
+                1);
     const auto h0 = f.hash16(0, 111) & 3;
     const auto h1 = f.hash16(0, 222) & 3;
     const auto h2 = f.hash16(0, 333) & 3;
@@ -114,7 +116,7 @@ TYPED_TEST(UniversalityTest, AvalancheOnSingleBitFlips) {
     const auto key =
         static_cast<std::uint32_t>(scd::common::splitmix64(state));
     const std::uint16_t base = f.hash16(0, key);
-    const unsigned bit = s % 32;
+    const unsigned bit = static_cast<unsigned>(s) % 32u;
     const std::uint16_t flipped = f.hash16(0, key ^ (1u << bit));
     const std::uint16_t diff = base ^ flipped;
     for (unsigned out = 0; out < 16; ++out) {

@@ -96,7 +96,8 @@ TEST(BoundedQueue, MultiProducerStressDeliversEveryItemOnce) {
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&q, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        ASSERT_TRUE(q.push(static_cast<std::uint64_t>(p) * kPerProducer + i));
+        ASSERT_TRUE(q.push(static_cast<std::uint64_t>(p) * kPerProducer +
+                           static_cast<std::uint64_t>(i)));
       }
     });
   }

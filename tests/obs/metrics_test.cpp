@@ -197,14 +197,14 @@ TEST(Concurrency, RegistrationRacesResolveToOneInstance) {
   constexpr int kThreads = 8;
   std::vector<Counter*> seen(kThreads, nullptr);
   std::vector<std::thread> threads;
-  for (int t = 0; t < kThreads; ++t) {
+  for (std::size_t t = 0; t < kThreads; ++t) {
     threads.emplace_back([&registry, &seen, t] {
       seen[t] = &registry.counter("raced_total", "help");
       seen[t]->inc();
     });
   }
   for (auto& thread : threads) thread.join();
-  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
+  for (std::size_t t = 1; t < kThreads; ++t) EXPECT_EQ(seen[t], seen[0]);
   EXPECT_EQ(seen[0]->value(), static_cast<std::uint64_t>(kThreads));
 }
 

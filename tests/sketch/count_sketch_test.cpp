@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <stdexcept>
 
 #include "common/random.h"
 #include "hash/tabulation_hash.h"
@@ -83,6 +84,22 @@ TEST(CountMinSketch, ExactForIsolatedKey) {
   CountMinSketch s(family_for(7, 5), 1024);
   for (int i = 0; i < 7; ++i) s.update(99, 2.0);
   EXPECT_DOUBLE_EQ(s.estimate(99), 14.0);
+}
+
+TEST(CountSketch, InvalidConstructionThrows) {
+  const auto family = family_for(9, 10);  // 10 rows -> depth <= 5
+  EXPECT_THROW(CountSketch(nullptr, 5, 1024), std::invalid_argument);
+  EXPECT_THROW(CountSketch(family, 6, 1024), std::invalid_argument);  // rows
+  EXPECT_THROW(CountSketch(family, 5, 1000), std::invalid_argument);  // !pow2
+  EXPECT_THROW(CountSketch(family, 5, 1), std::invalid_argument);     // k < 2
+  EXPECT_THROW(CountSketch(family, 0, 1024), std::invalid_argument);  // depth
+}
+
+TEST(CountMinSketch, InvalidConstructionThrows) {
+  const auto family = family_for(10, 5);
+  EXPECT_THROW(CountMinSketch(nullptr, 1024), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(family, 1000), std::invalid_argument);  // !pow2
+  EXPECT_THROW(CountMinSketch(family, 1), std::invalid_argument);     // k < 2
 }
 
 TEST(SketchComparison, KaryBeatsCountMinOnTurnstileStreams) {

@@ -108,8 +108,13 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepParam{9, 8192}, SweepParam{9, 32768},
                       SweepParam{25, 8192}, SweepParam{25, 65536}),
     [](const ::testing::TestParamInfo<SweepParam>& param_info) {
-      return "H" + std::to_string(param_info.param.h) + "_K" +
-             std::to_string(param_info.param.k);
+      // Built by appends rather than chained operator+ to sidestep a GCC 12
+      // -Wrestrict false positive (PR105329) under -Werror.
+      std::string name = "H";
+      name += std::to_string(param_info.param.h);
+      name += "_K";
+      name += std::to_string(param_info.param.k);
+      return name;
     });
 
 }  // namespace

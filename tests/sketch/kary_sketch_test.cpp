@@ -84,7 +84,7 @@ TEST(KarySketch, EstimateF2MatchesExactOnSparseInput) {
   KarySketch s(family, 8192);
   double exact_f2 = 0.0;
   scd::common::Rng rng(3);
-  for (int i = 0; i < 50; ++i) {
+  for (std::uint64_t i = 0; i < 50; ++i) {
     const double v = rng.uniform(-100, 100);
     s.update(1000 + i, v);
     exact_f2 += v * v;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstddef>
 #include <sstream>
+#include <vector>
 
 #include "common/random.h"
 
@@ -91,11 +94,127 @@ TEST(SketchSerialize, TruncatedInputThrows) {
   EXPECT_THROW((void)sketch_from_bytes(bytes, registry), std::runtime_error);
 }
 
+TEST(SketchSerialize, TruncationAtEveryHeaderOffsetIsTyped) {
+  // Cutting the packet anywhere inside the 25-byte header (or at the start
+  // of the payload) must surface as kTruncated — never as a misparse.
+  const auto bytes = sketch_to_bytes(make_populated(13, 3, 256, 7));
+  constexpr std::size_t kHeaderBytes = 4 + 4 + 1 + 8 + 4 + 4;
+  for (std::size_t len = 0; len <= kHeaderBytes; ++len) {
+    FamilyRegistry registry;
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.begin() +
+                                            static_cast<std::ptrdiff_t>(len));
+    try {
+      (void)sketch_from_bytes(cut, registry);
+      FAIL() << "truncation at byte " << len << " parsed";
+    } catch (const SerializeError& e) {
+      EXPECT_EQ(e.kind(), SerializeErrorKind::kTruncated) << "byte " << len;
+    }
+  }
+}
+
+TEST(SketchSerialize, TruncationInsidePayloadIsTyped) {
+  const auto bytes = sketch_to_bytes(make_populated(13, 3, 256, 7));
+  // Sample cuts through the register payload, including the very last byte.
+  for (const std::size_t drop : {std::size_t{1}, std::size_t{7},
+                                 std::size_t{64}, bytes.size() / 3}) {
+    FamilyRegistry registry;
+    const std::vector<std::uint8_t> cut(bytes.begin(),
+                                        bytes.end() -
+                                            static_cast<std::ptrdiff_t>(drop));
+    try {
+      (void)sketch_from_bytes(cut, registry);
+      FAIL() << "payload truncated by " << drop << " bytes parsed";
+    } catch (const SerializeError& e) {
+      EXPECT_EQ(e.kind(), SerializeErrorKind::kTruncated) << "drop " << drop;
+    }
+  }
+}
+
 TEST(SketchSerialize, BadMagicThrows) {
   auto bytes = sketch_to_bytes(make_populated(14, 3, 256, 8));
   bytes[0] ^= 0xff;
   FamilyRegistry registry;
-  EXPECT_THROW((void)sketch_from_bytes(bytes, registry), std::runtime_error);
+  try {
+    (void)sketch_from_bytes(bytes, registry);
+    FAIL() << "bad magic parsed";
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.kind(), SerializeErrorKind::kBadMagic);
+  }
+}
+
+TEST(SketchSerialize, UnknownFamilyKindByteIsTyped) {
+  auto bytes = sketch_to_bytes(make_populated(14, 3, 256, 8));
+  bytes[8] = 0x7f;  // family-kind byte: not a FamilyKind enumerator
+  FamilyRegistry registry;
+  try {
+    (void)sketch_from_bytes(bytes, registry);
+    FAIL() << "unknown family kind parsed";
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.kind(), SerializeErrorKind::kBadFamilyKind);
+  }
+}
+
+TEST(SketchSerialize, OversizedDimensionsAreTyped) {
+  auto bytes = sketch_to_bytes(make_populated(14, 3, 256, 8));
+  bytes[17] = 0xff;  // rows (u32 at offset 17): 255 > kMaxRows
+  FamilyRegistry registry;
+  try {
+    (void)sketch_from_bytes(bytes, registry);
+    FAIL() << "oversized rows parsed";
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.kind(), SerializeErrorKind::kBadDimensions);
+  }
+}
+
+TEST(SketchSerialize, TrailingBytesAreTyped) {
+  auto bytes = sketch_to_bytes(make_populated(14, 3, 256, 8));
+  bytes.push_back(0x00);
+  FamilyRegistry registry;
+  try {
+    (void)sketch_from_bytes(bytes, registry);
+    FAIL() << "trailing byte accepted";
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.kind(), SerializeErrorKind::kTrailingBytes);
+  }
+}
+
+TEST(SketchSerialize, NonFiniteRegisterIsTyped) {
+  auto bytes = sketch_to_bytes(make_populated(14, 3, 256, 8));
+  constexpr std::size_t kHeaderBytes = 25;
+  // Overwrite the first register with +Inf (little-endian IEEE-754).
+  const std::array<std::uint8_t, 8> inf = {0, 0, 0, 0, 0, 0, 0xf0, 0x7f};
+  std::copy(inf.begin(), inf.end(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes));
+  FamilyRegistry registry;
+  try {
+    (void)sketch_from_bytes(bytes, registry);
+    FAIL() << "non-finite register accepted";
+  } catch (const SerializeError& e) {
+    EXPECT_EQ(e.kind(), SerializeErrorKind::kCorruptRegisters);
+  }
+}
+
+TEST(SketchSerialize, BitFlippedDumpsNeverMisbehave) {
+  // Fuzz-ish regression: flip every bit of a small dump one at a time. The
+  // parse must either throw a typed SerializeError or produce a sketch with
+  // a valid shape — no crash, no UB, no out-of-range dimensions.
+  const auto bytes = sketch_to_bytes(make_populated(15, 3, 64, 9));
+  for (std::size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (unsigned bit = 0; bit < 8; ++bit) {
+      auto flipped = bytes;
+      flipped[byte] = static_cast<std::uint8_t>(flipped[byte] ^ (1u << bit));
+      FamilyRegistry registry;
+      try {
+        const KarySketch parsed = sketch_from_bytes(flipped, registry);
+        EXPECT_GE(parsed.depth(), 1u);
+        EXPECT_LE(parsed.depth(), kMaxRows);
+        EXPECT_TRUE(hash::valid_bucket_count(parsed.width()));
+      } catch (const SerializeError&) {
+        // Typed rejection is the expected outcome for most flips.
+      }
+    }
+  }
 }
 
 TEST(SketchSerialize, KindMismatchThrows) {

@@ -1,0 +1,19 @@
+// Fixture: would trip include-hygiene and kkeybits-binding, but every
+// finding carries a waiver — the tree must lint clean.
+// scd-lint: allow-file(kkeybits-binding)
+#include "traffic/key_extract.h"
+
+namespace scd {
+
+int route(traffic::KeyKind kind) {
+  sketch::KarySketch chosen(nullptr, 5, 64);  // scd-lint: allow(include-hygiene)
+  (void)chosen;
+  return kind == traffic::KeyKind::kDstIp ? 1 : 0;
+}
+
+// scd-lint: allow(include-hygiene)
+unsigned long weigh(const traffic::FlowRecord& record) {
+  return record.bytes;
+}
+
+}  // namespace scd

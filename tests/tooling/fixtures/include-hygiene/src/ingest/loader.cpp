@@ -1,0 +1,11 @@
+// Fixture: uses FlowRecord through a transitive include only — the seeded
+// violation.
+#include "ingest/loader.h"
+
+namespace scd::ingest {
+
+unsigned long total_bytes(const traffic::FlowRecord& record) {
+  return record.bytes;
+}
+
+}  // namespace scd::ingest

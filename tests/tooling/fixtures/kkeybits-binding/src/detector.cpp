@@ -1,0 +1,18 @@
+// Fixture: hand-picks KarySketch while routing on KeyKind, without binding
+// the choice through the key-domain traits header — the seeded violation.
+// Direct includes are present so include-hygiene stays quiet.
+#include "sketch/kary_sketch.h"
+#include "traffic/key_extract.h"
+
+namespace scd {
+
+int detect(traffic::KeyKind kind) {
+  if (kind == traffic::KeyKind::kDstIp) {
+    sketch::KarySketch observed(nullptr, 5, 1024);
+    (void)observed;
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace scd

@@ -1,0 +1,11 @@
+// Fixture companion: the code registers one metric; the doc table lists a
+// second, stale one — that doc row is the seeded violation.
+namespace scd::obs {
+
+void register_widget_metrics(int& registry) {
+  (void)registry;
+  const char* name = "scd_widget_frobnications_total";
+  (void)name;
+}
+
+}  // namespace scd::obs

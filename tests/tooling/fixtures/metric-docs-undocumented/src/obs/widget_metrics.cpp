@@ -1,0 +1,11 @@
+// Fixture: registers a metric that docs/OBSERVABILITY.md does not list —
+// the seeded violation.
+namespace scd::obs {
+
+void register_widget_metrics(int& registry) {
+  (void)registry;
+  const char* name = "scd_widget_frobnications_total";
+  (void)name;
+}
+
+}  // namespace scd::obs

@@ -1,0 +1,36 @@
+// Fixture: add_scaled validates with assert() only — the seeded violation.
+// The other checked APIs throw, so exactly one finding is expected.
+#pragma once
+
+#include <cassert>
+#include <stdexcept>
+
+namespace scd::sketch {
+
+class BasicKarySketch {
+ public:
+  using FamilyPtr = void*;
+
+  BasicKarySketch(FamilyPtr family, int k) {
+    if (family == nullptr) throw std::invalid_argument("null family");
+    if (k <= 0) throw std::invalid_argument("bad k");
+  }
+
+  void add_scaled(const BasicKarySketch& other, double weight) {
+    assert(&other != this && "self-add");
+    (void)other;
+    (void)weight;
+  }
+
+  static BasicKarySketch combine(const BasicKarySketch& a,
+                                 const BasicKarySketch& b) {
+    if (&a == &b) throw std::invalid_argument("duplicate operand");
+    return a;
+  }
+
+  void load_registers(int rows) {
+    if (rows <= 0) throw std::invalid_argument("bad rows");
+  }
+};
+
+}  // namespace scd::sketch

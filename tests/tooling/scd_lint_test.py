@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Fixture tests for scripts/scd_lint.py.
+
+Each fixture under tests/tooling/fixtures/ is a miniature repo root with one
+seeded violation (or, for `clean`, waived would-be violations). The tests
+assert that each rule fires exactly on its seed — right rule, right file,
+right count — and nowhere else, then that the real repository lints clean.
+
+Run directly or via ctest (registered as tooling.scd_lint).
+"""
+
+import io
+import contextlib
+import sys
+import unittest
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+sys.path.insert(0, str(REPO_ROOT / "scripts"))
+import scd_lint  # noqa: E402
+
+
+def run_lint(root: Path):
+    """Runs the linter against `root`, returning (exit_code, output_lines)."""
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf), contextlib.redirect_stderr(buf):
+        code = scd_lint.main(["--root", str(root)])
+    lines = [l for l in buf.getvalue().splitlines() if l.strip()]
+    return code, lines
+
+
+class FixtureTest(unittest.TestCase):
+    def assert_single_violation(self, fixture: str, rule: str, path: str):
+        code, lines = run_lint(FIXTURES / fixture)
+        self.assertEqual(code, 1, f"{fixture}: expected exit 1, got {code}: {lines}")
+        findings = [l for l in lines if not l.startswith("scd_lint:")]
+        self.assertEqual(
+            len(findings), 1,
+            f"{fixture}: expected exactly one finding, got: {findings}")
+        self.assertIn(f"[{rule}]", findings[0])
+        self.assertTrue(
+            findings[0].startswith(f"{path}:"),
+            f"{fixture}: finding anchored to wrong file: {findings[0]}")
+
+    def test_throw_not_assert_fires_on_assert_only_api(self):
+        self.assert_single_violation(
+            "throw-not-assert", "throw-not-assert", "src/sketch/kary_sketch.h")
+
+    def test_kkeybits_binding_fires_on_unbound_hand_pick(self):
+        self.assert_single_violation(
+            "kkeybits-binding", "kkeybits-binding", "src/detector.cpp")
+
+    def test_metric_docs_fires_on_undocumented_metric(self):
+        self.assert_single_violation(
+            "metric-docs-undocumented", "metric-docs",
+            "src/obs/widget_metrics.cpp")
+
+    def test_metric_docs_fires_on_stale_doc_row(self):
+        self.assert_single_violation(
+            "metric-docs-stale", "metric-docs", "docs/OBSERVABILITY.md")
+
+    def test_include_hygiene_fires_on_transitive_include(self):
+        self.assert_single_violation(
+            "include-hygiene", "include-hygiene", "src/ingest/loader.cpp")
+
+    def test_waivers_silence_every_rule(self):
+        code, lines = run_lint(FIXTURES / "clean")
+        self.assertEqual(code, 0, f"clean fixture not clean: {lines}")
+        self.assertEqual(lines, [])
+
+    def test_rules_listing_matches_contract(self):
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            code = scd_lint.main(["--rules"])
+        self.assertEqual(code, 0)
+        self.assertEqual(
+            buf.getvalue().split(),
+            ["throw-not-assert", "kkeybits-binding", "metric-docs",
+             "include-hygiene"])
+
+    def test_missing_root_is_a_usage_error(self):
+        code, _ = run_lint(REPO_ROOT / "tests" / "tooling" / "no-such-dir")
+        self.assertEqual(code, 2)
+
+    def test_real_repository_lints_clean(self):
+        code, lines = run_lint(REPO_ROOT)
+        self.assertEqual(code, 0, f"repository has lint debt: {lines}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
