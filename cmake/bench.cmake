@@ -19,6 +19,7 @@ function(scd_add_bench name)
 endfunction()
 
 scd_add_bench(bench_table1_opcost)
+scd_add_bench(bench_kernel_throughput)
 scd_add_bench(bench_fig01_relative_difference_cdf)
 scd_add_bench(bench_fig02_vary_h)
 scd_add_bench(bench_fig03_vary_k)

@@ -24,6 +24,13 @@ THIS codebase's contracts, not C++ in general:
                      its canonical header directly instead of relying on a
                      transitive include.
 
+  simd-isolation     Only src/simd itself may include the per-ISA kernel
+                     headers (simd/kernels_scalar.h, simd/kernels_avx2.h).
+                     Everyone else goes through the dispatching
+                     simd/kernels.h, so ISA selection stays a single
+                     process-wide decision and no caller can bypass the
+                     cpuid / SCD_SIMD gate.
+
 Waivers: append `// scd-lint: allow(<rule>)` to the offending line (or the
 line directly above it); `// scd-lint: allow-file(<rule>)` within the first
 30 lines of a file waives the rule for the whole file.
@@ -90,10 +97,17 @@ INCLUDE_CANON = [
      "sketch/serialize.h"),
     (re.compile(r"\bChangeDetectionPipeline\b|\bIntervalBatch\b"),
      "core/pipeline.h"),
+    (re.compile(r"\bsimd::(?:scale|axpy|dot|sum_squares|hsum|active_isa|"
+                r"isa_name|cpu_supports_avx2|IsaLevel)\b"),
+     "simd/kernels.h"),
 ]
 
 ALL_RULES = ("throw-not-assert", "kkeybits-binding", "metric-docs",
-             "include-hygiene")
+             "include-hygiene", "simd-isolation")
+
+# The only simd header non-simd code may include; everything else under
+# simd/ is an implementation detail of the dispatch.
+SIMD_CANONICAL_HEADER = "simd/kernels.h"
 
 WAIVER = re.compile(r"//\s*scd-lint:\s*allow\(([a-z-]+)\)")
 FILE_WAIVER = re.compile(r"//\s*scd-lint:\s*allow-file\(([a-z-]+)\)")
@@ -346,6 +360,35 @@ def check_include_hygiene(root: Path, src_files: list[Path]) -> list[Violation]:
 
 
 # --------------------------------------------------------------------------
+# simd-isolation
+# --------------------------------------------------------------------------
+
+def check_simd_isolation(root: Path, files: list[Path]) -> list[Violation]:
+    violations = []
+    for path in files:
+        rel = path.relative_to(root).as_posix()
+        if rel.startswith("src/simd/"):
+            continue  # the kernel layer wires its own backends together
+        raw = path.read_text()
+        lines = raw.splitlines()
+        if file_waived(lines, "simd-isolation"):
+            continue
+        for m in INCLUDE_LINE.finditer(raw):
+            header = m.group(1)
+            if not header.startswith("simd/") or header == SIMD_CANONICAL_HEADER:
+                continue
+            lineno = line_of(raw, m.start())
+            if waived(lines, lineno, "simd-isolation"):
+                continue
+            violations.append(Violation(
+                rel, lineno, "simd-isolation",
+                f"includes per-ISA kernel header \"{header}\"; callers must "
+                f"go through \"{SIMD_CANONICAL_HEADER}\" so the runtime "
+                "dispatch (cpuid + SCD_SIMD) stays authoritative"))
+    return violations
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -385,6 +428,7 @@ def main(argv: list[str]) -> int:
     violations += check_kkeybits_binding(root, binding_files)
     violations += check_metric_docs(root, src_files)
     violations += check_include_hygiene(root, src_files)
+    violations += check_simd_isolation(root, binding_files)
 
     for v in violations:
         print(v)

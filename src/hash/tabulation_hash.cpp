@@ -5,17 +5,22 @@
 namespace scd::hash {
 
 TabulationHashFamily::TabulationHashFamily(std::uint64_t seed, std::size_t rows)
-    : rows_(rows), seed_(seed) {
-  const std::size_t groups = (rows + 3) / 4;
-  tables_.resize(groups);
+    : groups_((rows + 3) / 4), rows_(rows), seed_(seed) {
+  t0_.resize((std::size_t{1} << 16) * groups_);
+  t1_.resize((std::size_t{1} << 16) * groups_);
+  t2_.resize(((std::size_t{1} << 17) - 1) * groups_);
+  // The splitmix64 draw order (per group: all of t0, then t1, then t2) is a
+  // compatibility contract: it must not change with the storage layout, so
+  // every hash value for a given (seed, rows) stays bit-identical across
+  // versions. Only the write positions are strided for group interleaving.
   std::uint64_t state = seed ^ 0x9ae16a3b2f90404fULL;
-  for (Tables& t : tables_) {
-    t.t0.resize(1u << 16);
-    t.t1.resize(1u << 16);
-    t.t2.resize((1u << 17) - 1);
-    for (auto& e : t.t0) e = scd::common::splitmix64(state);
-    for (auto& e : t.t1) e = scd::common::splitmix64(state);
-    for (auto& e : t.t2) e = scd::common::splitmix64(state);
+  for (std::size_t g = 0; g < groups_; ++g) {
+    for (std::size_t x = 0; x < (std::size_t{1} << 16); ++x)
+      t0_[x * groups_ + g] = scd::common::splitmix64(state);
+    for (std::size_t x = 0; x < (std::size_t{1} << 16); ++x)
+      t1_[x * groups_ + g] = scd::common::splitmix64(state);
+    for (std::size_t x = 0; x < (std::size_t{1} << 17) - 1; ++x)
+      t2_[x * groups_ + g] = scd::common::splitmix64(state);
   }
 }
 

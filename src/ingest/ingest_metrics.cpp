@@ -17,6 +17,13 @@ IngestInstruments IngestInstruments::create(obs::MetricsRegistry& registry,
                          "Latency of one interval-close barrier: drain, "
                          "COMBINE-merge of shard sketches, key concatenation",
                          obs::Histogram::default_latency_buckets()),
+      registry.histogram(
+          "scd_ingest_batch_size",
+          "Records per chunk applied through the batched sketch UPDATE path",
+          {1.0, 4.0, 16.0, 64.0, 256.0, 1024.0, 4096.0, 16384.0, 65536.0}),
+      registry.counter(
+          "scd_ingest_batch_records_total",
+          "Records applied via BasicKarySketch::update_batch on shard workers"),
       {}};
   out.shard_apply_seconds.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {

@@ -8,6 +8,8 @@
 //   scd_ingest_backpressure_total     counter    pushes that had to block
 //   scd_ingest_merge_seconds          histogram  COMBINE barrier-merge latency
 //   scd_ingest_shard_apply_seconds    histogram  one chunk applied, {shard=i}
+//   scd_ingest_batch_size             histogram  records per batched UPDATE
+//   scd_ingest_batch_records_total    counter    records through update_batch
 #pragma once
 
 #include <cstddef>
@@ -21,6 +23,11 @@ struct IngestInstruments {
   obs::Gauge& queue_records;
   obs::Counter& backpressure_waits;
   obs::Histogram& merge_seconds;
+  /// Chunk sizes flowing through the batched-UPDATE path, in records —
+  /// how much hash batching and per-row sweeping each chunk amortizes over.
+  obs::Histogram& batch_size;
+  /// Total records applied via BasicKarySketch::update_batch.
+  obs::Counter& batch_records;
   /// One histogram per shard worker, labelled {shard="0".."W-1"}.
   std::vector<obs::Histogram*> shard_apply_seconds;
 

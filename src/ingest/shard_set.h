@@ -36,10 +36,9 @@
 
 namespace scd::ingest {
 
-struct Record {
-  std::uint64_t key = 0;
-  double update = 0.0;
-};
+/// One (key, update) stream item. Alias of the sketch layer's batch-record
+/// type so a dequeued chunk feeds BasicKarySketch::update_batch directly.
+using Record = sketch::Record;
 
 /// Producer-side batch: the queue is locked once per chunk, not per record.
 using Chunk = std::vector<Record>;
@@ -188,13 +187,16 @@ class ShardSet final : public ShardSetBase {
         continue;
       }
       const common::Stopwatch apply_watch;
-      for (const Record& r : msg->records) {
-        sketch.update(r.key, r.update);
-        keys.insert(r.key);
-      }
+      // Batched UPDATE (docs/PERFORMANCE.md): hash-batch + per-row sweep,
+      // bit-identical to per-record update() on this shard's subsequence.
+      sketch.update_batch(msg->records);
+      for (const Record& r : msg->records) keys.insert(r.key);
       records += msg->records.size();
       if (apply_hist != nullptr) {
         apply_hist->observe(apply_watch.seconds());
+        instruments_->batch_size.observe(
+            static_cast<double>(msg->records.size()));
+        instruments_->batch_records.inc(msg->records.size());
         instruments_->queue_records.add(
             -static_cast<double>(msg->records.size()));
       }

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "forecast/linear_space.h"
+#include "simd/kernels.h"
 
 namespace scd::perflow {
 
@@ -26,14 +27,12 @@ class DenseVector {
   }
 
   void scale(double c) noexcept {
-    for (double& v : values_) v *= c;
+    simd::scale(values_.data(), values_.size(), c);
   }
 
   void add_scaled(const DenseVector& other, double c) noexcept {
     assert(values_.size() == other.values_.size());
-    for (std::size_t i = 0; i < values_.size(); ++i) {
-      values_[i] += c * other.values_[i];
-    }
+    simd::axpy(values_.data(), other.values_.data(), values_.size(), c);
   }
 
   [[nodiscard]] double& operator[](std::size_t i) noexcept { return values_[i]; }
@@ -46,9 +45,7 @@ class DenseVector {
 
   /// Exact second moment F2 = sum_i v_i^2.
   [[nodiscard]] double f2() const noexcept {
-    double s = 0.0;
-    for (double v : values_) s += v * v;
-    return s;
+    return simd::sum_squares(values_.data(), values_.size());
   }
 
  private:

@@ -1,0 +1,98 @@
+// Kernel dispatch: resolve scalar-vs-AVX2 exactly once per process.
+//
+// The chosen table is a function-local static, so the cpuid probe and the
+// SCD_SIMD environment lookup happen on the first kernel call (thread-safe
+// under the C++11 static-init guarantee) and every later call is one indirect
+// jump through a resolved pointer — no per-call branching on ISA.
+#include "simd/kernels.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/kernels_avx2.h"
+#include "simd/kernels_scalar.h"
+
+namespace scd::simd {
+
+namespace {
+
+struct KernelTable {
+  IsaLevel isa;
+  void (*scale)(double*, std::size_t, double) noexcept;
+  void (*axpy)(double*, const double*, std::size_t, double) noexcept;
+  double (*dot)(const double*, const double*, std::size_t) noexcept;
+  double (*sum_squares)(const double*, std::size_t) noexcept;
+  double (*hsum)(const double*, std::size_t) noexcept;
+};
+
+constexpr KernelTable kScalarTable{IsaLevel::kScalar, scalar::scale,
+                                   scalar::axpy,      scalar::dot,
+                                   scalar::sum_squares, scalar::hsum};
+
+constexpr KernelTable kAvx2Table{IsaLevel::kAvx2, avx2::scale,
+                                 avx2::axpy,      avx2::dot,
+                                 avx2::sum_squares, avx2::hsum};
+
+KernelTable select_table() noexcept {
+  const char* env = std::getenv("SCD_SIMD");
+  if (env != nullptr) {
+    if (std::strcmp(env, "scalar") == 0) return kScalarTable;
+    if (std::strcmp(env, "avx2") == 0) {
+      if (avx2::supported()) return kAvx2Table;
+      std::fputs(
+          "scd: SCD_SIMD=avx2 requested but the CPU lacks AVX2+FMA; "
+          "falling back to scalar kernels\n",
+          stderr);
+      return kScalarTable;
+    }
+    std::fprintf(stderr,
+                 "scd: unknown SCD_SIMD value '%s' (expected 'scalar' or "
+                 "'avx2'); using auto-detection\n",
+                 env);
+  }
+  return avx2::supported() ? kAvx2Table : kScalarTable;
+}
+
+const KernelTable& table() noexcept {
+  static const KernelTable t = select_table();
+  return t;
+}
+
+}  // namespace
+
+IsaLevel active_isa() noexcept { return table().isa; }
+
+const char* isa_name(IsaLevel level) noexcept {
+  switch (level) {
+    case IsaLevel::kAvx2:
+      return "avx2";
+    case IsaLevel::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+bool cpu_supports_avx2() noexcept { return avx2::supported(); }
+
+void scale(double* x, std::size_t n, double c) noexcept {
+  table().scale(x, n, c);
+}
+
+void axpy(double* y, const double* x, std::size_t n, double c) noexcept {
+  table().axpy(y, x, n, c);
+}
+
+double dot(const double* x, const double* y, std::size_t n) noexcept {
+  return table().dot(x, y, n);
+}
+
+double sum_squares(const double* x, std::size_t n) noexcept {
+  return table().sum_squares(x, n);
+}
+
+double hsum(const double* x, std::size_t n) noexcept {
+  return table().hsum(x, n);
+}
+
+}  // namespace scd::simd

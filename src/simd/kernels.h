@@ -1,0 +1,64 @@
+// Runtime-dispatched dense-vector kernels for the sketch hot paths.
+//
+// Every per-interval operation on a k-ary sketch is a linear sweep over the
+// H x K register table: COMBINE / add_scaled is AXPY, EWMA rollover is a
+// scale, ESTIMATEF2 is a per-row sum of squares, and sum(S) is a horizontal
+// sum of row 0. This header is the ONLY entry point the rest of the tree may
+// use (enforced by the scd_lint `simd-isolation` rule): it exposes the four
+// kernels behind function pointers that are resolved exactly once, before
+// main() touches them, to either the AVX2+FMA implementation
+// (kernels_avx2.cpp) or the portable scalar reference (kernels_scalar.h).
+//
+// Dispatch policy (decided once, process-wide):
+//   * SCD_SIMD=scalar forces the scalar reference — the knob the equivalence
+//     tests and CI use to exercise both implementations on one host;
+//   * SCD_SIMD=avx2 forces AVX2 and aborts if the CPU lacks it (test knob);
+//   * otherwise AVX2 is used iff the CPU supports it.
+//
+// Numerical contract:
+//   * scale and axpy are element-wise and bit-exact across implementations:
+//     every element is a separately rounded multiply then add, never an FMA.
+//     The simd library is built with -ffp-contract=off so the compiler
+//     cannot fuse either path (kernels_test.cpp verifies bit-equality);
+//   * dot, sum_squares and hsum reassociate the reduction across vector
+//     lanes, so implementations agree only to ULP-level tolerance. Callers
+//     needing run-to-run determinism must pin the dispatch via SCD_SIMD.
+#pragma once
+
+#include <cstddef>
+
+namespace scd::simd {
+
+enum class IsaLevel {
+  kScalar,
+  kAvx2,
+};
+
+/// The implementation selected for this process (resolved on first call,
+/// constant afterwards).
+[[nodiscard]] IsaLevel active_isa() noexcept;
+
+/// Human-readable name for logs and bench output ("scalar", "avx2").
+[[nodiscard]] const char* isa_name(IsaLevel level) noexcept;
+
+/// True when the CPU can execute the AVX2+FMA kernels (independent of what
+/// the dispatch selected).
+[[nodiscard]] bool cpu_supports_avx2() noexcept;
+
+/// x[i] *= c.
+void scale(double* x, std::size_t n, double c) noexcept;
+
+/// y[i] += c * x[i] (AXPY). x and y must not partially overlap.
+void axpy(double* y, const double* x, std::size_t n, double c) noexcept;
+
+/// sum_i x[i] * y[i].
+[[nodiscard]] double dot(const double* x, const double* y,
+                         std::size_t n) noexcept;
+
+/// sum_i x[i]^2 — the ESTIMATEF2 per-row reduction.
+[[nodiscard]] double sum_squares(const double* x, std::size_t n) noexcept;
+
+/// sum_i x[i] — the sum(S) reduction.
+[[nodiscard]] double hsum(const double* x, std::size_t n) noexcept;
+
+}  // namespace scd::simd

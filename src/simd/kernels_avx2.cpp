@@ -1,0 +1,195 @@
+// AVX2+FMA kernels. Built into every binary via per-function
+// target("avx2,fma") attributes; only executed after a cpuid check
+// (supported(), consulted once by the dispatcher in kernels.cpp).
+//
+// Numerical notes:
+//   * scale and axpy are element-wise: lane i computes exactly what the
+//     scalar reference computes for element i — a separately rounded
+//     multiply then add, never an FMA. The scalar reference cannot contract
+//     (base x86-64 has no FMA instruction), so the vector path must not
+//     either; this TU is built with -ffp-contract=off (see CMakeLists.txt)
+//     to stop GCC fusing the mul+add intrinsic pairs and the tail loops
+//     inside these target("avx2,fma") functions. Results are bit-identical
+//     across dispatch modes.
+//   * The reductions (dot, sum_squares, hsum) keep 4 independent vector
+//     accumulators (16 doubles in flight) to break the add latency chain;
+//     this reassociates the sum, so they match the scalar reference only to
+//     ULP-level tolerance (see tests/simd/kernels_test.cpp).
+#include "simd/kernels_avx2.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#define SCD_AVX2_TARGET __attribute__((target("avx2,fma")))
+
+namespace scd::simd::avx2 {
+
+bool supported() noexcept {
+  return __builtin_cpu_supports("avx2") != 0 &&
+         __builtin_cpu_supports("fma") != 0;
+}
+
+namespace {
+
+/// Horizontal sum of one 4-lane register: (v0+v2) + (v1+v3) — a fixed
+/// tree order, part of the reduction contract the tests pin down.
+SCD_AVX2_TARGET inline double reduce_lanes(__m256d v) noexcept {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  const __m128d hi = _mm256_extractf128_pd(v, 1);
+  const __m128d pair = _mm_add_pd(lo, hi);
+  const __m128d swapped = _mm_unpackhi_pd(pair, pair);
+  return _mm_cvtsd_f64(_mm_add_sd(pair, swapped));
+}
+
+}  // namespace
+
+SCD_AVX2_TARGET void scale(double* x, std::size_t n, double c) noexcept {
+  const __m256d vc = _mm256_set1_pd(c);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), vc));
+    _mm256_storeu_pd(x + i + 4, _mm256_mul_pd(_mm256_loadu_pd(x + i + 4), vc));
+    _mm256_storeu_pd(x + i + 8, _mm256_mul_pd(_mm256_loadu_pd(x + i + 8), vc));
+    _mm256_storeu_pd(x + i + 12,
+                     _mm256_mul_pd(_mm256_loadu_pd(x + i + 12), vc));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(_mm256_loadu_pd(x + i), vc));
+  }
+  for (; i < n; ++i) x[i] *= c;
+}
+
+SCD_AVX2_TARGET void axpy(double* y, const double* x, std::size_t n,
+                          double c) noexcept {
+  const __m256d vc = _mm256_set1_pd(c);
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(vc, _mm256_loadu_pd(x + i))));
+    _mm256_storeu_pd(
+        y + i + 4, _mm256_add_pd(_mm256_loadu_pd(y + i + 4),
+                                 _mm256_mul_pd(vc, _mm256_loadu_pd(x + i + 4))));
+    _mm256_storeu_pd(
+        y + i + 8, _mm256_add_pd(_mm256_loadu_pd(y + i + 8),
+                                 _mm256_mul_pd(vc, _mm256_loadu_pd(x + i + 8))));
+    _mm256_storeu_pd(
+        y + i + 12,
+        _mm256_add_pd(_mm256_loadu_pd(y + i + 12),
+                      _mm256_mul_pd(vc, _mm256_loadu_pd(x + i + 12))));
+  }
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(vc, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += c * x[i];
+}
+
+SCD_AVX2_TARGET double dot(const double* x, const double* y,
+                           std::size_t n) noexcept {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                           acc0);
+    acc1 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4),
+                           _mm256_loadu_pd(y + i + 4), acc1);
+    acc2 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 8),
+                           _mm256_loadu_pd(y + i + 8), acc2);
+    acc3 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 12),
+                           _mm256_loadu_pd(y + i + 12), acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i),
+                           acc0);
+  }
+  __m256d acc = _mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                              _mm256_add_pd(acc2, acc3));
+  double total = reduce_lanes(acc);
+  for (; i < n; ++i) total += x[i] * y[i];
+  return total;
+}
+
+SCD_AVX2_TARGET double sum_squares(const double* x, std::size_t n) noexcept {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256d v0 = _mm256_loadu_pd(x + i);
+    const __m256d v1 = _mm256_loadu_pd(x + i + 4);
+    const __m256d v2 = _mm256_loadu_pd(x + i + 8);
+    const __m256d v3 = _mm256_loadu_pd(x + i + 12);
+    acc0 = _mm256_fmadd_pd(v0, v0, acc0);
+    acc1 = _mm256_fmadd_pd(v1, v1, acc1);
+    acc2 = _mm256_fmadd_pd(v2, v2, acc2);
+    acc3 = _mm256_fmadd_pd(v3, v3, acc3);
+  }
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_loadu_pd(x + i);
+    acc0 = _mm256_fmadd_pd(v, v, acc0);
+  }
+  __m256d acc = _mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                              _mm256_add_pd(acc2, acc3));
+  double total = reduce_lanes(acc);
+  for (; i < n; ++i) total += x[i] * x[i];
+  return total;
+}
+
+SCD_AVX2_TARGET double hsum(const double* x, std::size_t n) noexcept {
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  __m256d acc2 = _mm256_setzero_pd();
+  __m256d acc3 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(x + i));
+    acc1 = _mm256_add_pd(acc1, _mm256_loadu_pd(x + i + 4));
+    acc2 = _mm256_add_pd(acc2, _mm256_loadu_pd(x + i + 8));
+    acc3 = _mm256_add_pd(acc3, _mm256_loadu_pd(x + i + 12));
+  }
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_add_pd(acc0, _mm256_loadu_pd(x + i));
+  }
+  __m256d acc = _mm256_add_pd(_mm256_add_pd(acc0, acc1),
+                              _mm256_add_pd(acc2, acc3));
+  double total = reduce_lanes(acc);
+  for (; i < n; ++i) total += x[i];
+  return total;
+}
+
+}  // namespace scd::simd::avx2
+
+#else  // non-x86: the AVX2 backend is never selectable.
+
+#include "simd/kernels_scalar.h"
+
+namespace scd::simd::avx2 {
+
+bool supported() noexcept { return false; }
+
+void scale(double* x, std::size_t n, double c) noexcept {
+  scalar::scale(x, n, c);
+}
+void axpy(double* y, const double* x, std::size_t n, double c) noexcept {
+  scalar::axpy(y, x, n, c);
+}
+double dot(const double* x, const double* y, std::size_t n) noexcept {
+  return scalar::dot(x, y, n);
+}
+double sum_squares(const double* x, std::size_t n) noexcept {
+  return scalar::sum_squares(x, n);
+}
+double hsum(const double* x, std::size_t n) noexcept {
+  return scalar::hsum(x, n);
+}
+
+}  // namespace scd::simd::avx2
+
+#endif

@@ -1,0 +1,44 @@
+// Portable scalar reference kernels — the ground truth the equivalence
+// tests compare every other implementation against, and the dispatch target
+// on hosts (or under SCD_SIMD=scalar) where AVX2 is unavailable.
+//
+// Do not include this header outside src/simd and the test tree: callers go
+// through simd/kernels.h (scd_lint `simd-isolation`). The loops are written
+// one-element-at-a-time on purpose — sequential order IS the reference
+// semantics the reductions are specified against.
+#pragma once
+
+#include <cstddef>
+
+namespace scd::simd::scalar {
+
+inline void scale(double* x, std::size_t n, double c) noexcept {
+  for (std::size_t i = 0; i < n; ++i) x[i] *= c;
+}
+
+inline void axpy(double* y, const double* x, std::size_t n,
+                 double c) noexcept {
+  for (std::size_t i = 0; i < n; ++i) y[i] += c * x[i];
+}
+
+[[nodiscard]] inline double dot(const double* x, const double* y,
+                                std::size_t n) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * y[i];
+  return acc;
+}
+
+[[nodiscard]] inline double sum_squares(const double* x,
+                                        std::size_t n) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i] * x[i];
+  return acc;
+}
+
+[[nodiscard]] inline double hsum(const double* x, std::size_t n) noexcept {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += x[i];
+  return acc;
+}
+
+}  // namespace scd::simd::scalar

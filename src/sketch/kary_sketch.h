@@ -30,7 +30,9 @@
 // out-of-bounds write in release builds.
 #pragma once
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <cstdint>
@@ -43,10 +45,19 @@
 #include "hash/hash_family.h"
 #include "hash/tabulation_hash.h"
 #include "sketch/median.h"
+#include "simd/kernels.h"
 
 namespace scd::sketch {
 
 inline constexpr std::size_t kMaxRows = 32;  // paper uses H <= 25
+
+/// One (key, update) stream item — the unit of batched UPDATE. Shared with
+/// the ingest front-end (ingest::Record is an alias) so shard workers can
+/// hand whole dequeued chunks to update_batch without copying.
+struct Record {
+  std::uint64_t key = 0;
+  double update = 0.0;
+};
 
 template <hash::HashFamily16 Family>
 class BasicKarySketch {
@@ -73,9 +84,55 @@ class BasicKarySketch {
     table_.assign(family_->rows() * k_, 0.0);
   }
 
+  // The sum cache is atomic (see sum()), which deletes the implicit
+  // copy/move members; these restore them. The table/family copies are
+  // plain; only the cache fields need explicit atomic loads. Copying
+  // concurrently with reads is safe; copying concurrently with mutation is
+  // a race on table_ itself and was never supported.
+  BasicKarySketch(const BasicKarySketch& other)
+      : family_(other.family_), k_(other.k_), table_(other.table_) {
+    copy_sum_cache(other);
+  }
+  BasicKarySketch& operator=(const BasicKarySketch& other) {
+    if (this != &other) {
+      family_ = other.family_;
+      k_ = other.k_;
+      table_ = other.table_;
+      copy_sum_cache(other);
+    }
+    return *this;
+  }
+  BasicKarySketch(BasicKarySketch&& other) noexcept
+      : family_(std::move(other.family_)),
+        k_(other.k_),
+        table_(std::move(other.table_)) {
+    copy_sum_cache(other);
+  }
+  BasicKarySketch& operator=(BasicKarySketch&& other) noexcept {
+    if (this != &other) {
+      family_ = std::move(other.family_);
+      k_ = other.k_;
+      table_ = std::move(other.table_);
+      copy_sum_cache(other);
+    }
+    return *this;
+  }
+  ~BasicKarySketch() = default;
+
   [[nodiscard]] std::size_t depth() const noexcept { return family_->rows(); }
   [[nodiscard]] std::size_t width() const noexcept { return k_; }
   [[nodiscard]] const FamilyPtr& family() const noexcept { return family_; }
+
+  /// Records hashed (and applied) per block inside update_batch. The block
+  /// must comfortably exceed the cache lines in one row (K/8: 512 lines at
+  /// K=4096) — each row sweep pulls the row into L1 once, so the larger the
+  /// block, the more scattered adds amortize that fill; at 4096 records the
+  /// sweep revisits each line ~8x at K=4096. The per-block hash scratch
+  /// (kUpdateBlock x ceil(H/4) packed u64) lives in thread-local storage.
+  static constexpr std::size_t kUpdateBlock = 4096;
+  /// How many records ahead of the applying index the target register is
+  /// software-prefetched within a row sweep.
+  static constexpr std::size_t kPrefetchLead = 16;
 
   /// UPDATE — adds u to the key's register in every row. `key` must fit the
   /// family's key domain (kKeyBits); checked in debug builds.
@@ -95,20 +152,135 @@ class BasicKarySketch {
         table_[i * k_ + (family_->hash16(i, key) & mask)] += u;
       }
     }
-    sum_valid_ = false;
+    sum_valid_.store(false, std::memory_order_relaxed);
+  }
+
+  /// Batched UPDATE: applies every record of the chunk, bit-identically to
+  /// calling update() record by record (each register receives its updates
+  /// in record order). Processes kUpdateBlock records at a time in two
+  /// passes — hash-batch all keys of the block first (one packed tabulation
+  /// lookup per 4 rows per key), then sweep the table one ROW at a time
+  /// applying the block's scattered adds with a short software prefetch
+  /// lead. The row sweep is the point: the per-record path touches H rows
+  /// spread over the whole H x K x 8 B table per record, while the sweep
+  /// concentrates kUpdateBlock scattered adds on one row, filling each of
+  /// the row's K/8 cache lines into L1 once per ~(kUpdateBlock * 8 / K)
+  /// adds. Grows a thread-local hash scratch on first use (an allocation
+  /// failure there terminates, as this path is noexcept).
+  void update_batch(std::span<const Record> records) noexcept {
+    const std::size_t h = depth();
+    const std::uint64_t mask = k_ - 1;
+    // Software-prefetch the sweep's target registers only when the row is
+    // bigger than the block covers: then nearly every add lands on a cold
+    // line and the lookahead hides the fetch. For smaller K each line is
+    // revisited ~(kUpdateBlock * 8 / K) times per block and the redundant
+    // prefetches measurably slow the sweep (bench_kernel_throughput).
+    const bool prefetch_rows = k_ >= 8 * kUpdateBlock;
+    const Family& family = *family_;
+    for (std::size_t base = 0; base < records.size(); base += kUpdateBlock) {
+      const std::size_t n = std::min(kUpdateBlock, records.size() - base);
+      const Record* block = records.data() + base;
+      if constexpr (requires(const Family f, std::uint32_t k32) {
+                      { f.hash_group(std::size_t{0}, k32) };
+                    }) {
+        // Tabulation fast path: per key, one packed 64-bit lookup per group
+        // of 4 rows, stored group-major as-is; the row sweep shifts its own
+        // 16-bit lane out. Thread-local so the worst-case scratch
+        // (kUpdateBlock x 8 groups x 8 B) never touches the worker stacks.
+        const std::size_t groups = (h + 3) / 4;
+        thread_local std::vector<std::uint64_t> gv_storage;
+        if (gv_storage.size() < groups * kUpdateBlock) {
+          gv_storage.resize(groups * kUpdateBlock);
+        }
+        std::uint64_t* const gv = gv_storage.data();
+        for (std::size_t j = 0; j < n; ++j) {
+          assert_key_in_domain(block[j].key);
+          // Hash-table lookups are the batched path's dominant cost (the
+          // character tables are MBs, far beyond L1); prefetching a fixed
+          // lead of keys ahead keeps several misses in flight.
+          if constexpr (requires(const Family f, std::uint32_t k32) {
+                          f.prefetch(k32);
+                        }) {
+            if (j + kPrefetchLead < n) {
+              family.prefetch(
+                  static_cast<std::uint32_t>(block[j + kPrefetchLead].key));
+            }
+          }
+          const auto key32 = static_cast<std::uint32_t>(block[j].key);
+          for (std::size_t g = 0; g < groups; ++g) {
+            gv[g * kUpdateBlock + j] = family.hash_group(g, key32);
+          }
+        }
+        for (std::size_t i = 0; i < h; ++i) {
+          double* const row = &table_[i * k_];
+          const std::uint64_t* const rg = &gv[(i / 4) * kUpdateBlock];
+          const unsigned shift = static_cast<unsigned>((i % 4) * 16);
+          if (prefetch_rows) {
+            for (std::size_t j = 0; j < n; ++j) {
+              if (j + kPrefetchLead < n) {
+                __builtin_prefetch(
+                    &row[(rg[j + kPrefetchLead] >> shift) & mask], 1);
+              }
+              row[(rg[j] >> shift) & mask] += block[j].update;
+            }
+          } else {
+            for (std::size_t j = 0; j < n; ++j) {
+              row[(rg[j] >> shift) & mask] += block[j].update;
+            }
+          }
+        }
+      } else {
+        thread_local std::vector<std::uint16_t> hv_storage;
+        if (hv_storage.size() < h * kUpdateBlock) {
+          hv_storage.resize(h * kUpdateBlock);
+        }
+        std::uint16_t* const hv = hv_storage.data();
+        for (std::size_t j = 0; j < n; ++j) assert_key_in_domain(block[j].key);
+        for (std::size_t i = 0; i < h; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            hv[i * kUpdateBlock + j] = family.hash16(i, block[j].key);
+          }
+        }
+        for (std::size_t i = 0; i < h; ++i) {
+          double* const row = &table_[i * k_];
+          const std::uint16_t* const rhv = &hv[i * kUpdateBlock];
+          if (prefetch_rows) {
+            for (std::size_t j = 0; j < n; ++j) {
+              if (j + kPrefetchLead < n) {
+                __builtin_prefetch(&row[rhv[j + kPrefetchLead] & mask], 1);
+              }
+              row[rhv[j] & mask] += block[j].update;
+            }
+          } else {
+            for (std::size_t j = 0; j < n; ++j) {
+              row[rhv[j] & mask] += block[j].update;
+            }
+          }
+        }
+      }
+    }
+    if (!records.empty()) {
+      sum_valid_.store(false, std::memory_order_relaxed);
+    }
   }
 
   /// Total update mass sum(S) = sum_j T[0][j]; identical across rows for any
   /// sketch built by UPDATE/COMBINE. Cached until the next mutation. The
   /// cache mirrors the paper's "compute sum once before ESTIMATE calls".
+  ///
+  /// Thread safety: concurrent sum()/estimate() calls on a frozen sketch
+  /// (e.g. parallel ESTIMATE over a forecast-error sketch) are safe — the
+  /// lazy cache is double-checked through atomics, and racing fills compute
+  /// the same value from the same frozen table. Mutation concurrent with
+  /// any read remains a race on the table itself, as before.
   [[nodiscard]] double sum() const noexcept {
-    if (!sum_valid_) {
-      double s = 0.0;
-      for (std::size_t j = 0; j < k_; ++j) s += table_[j];
-      cached_sum_ = s;
-      sum_valid_ = true;
+    if (!sum_valid_.load(std::memory_order_acquire)) {
+      const double s = simd::hsum(table_.data(), k_);
+      cached_sum_.store(s, std::memory_order_relaxed);
+      sum_valid_.store(true, std::memory_order_release);
+      return s;
     }
-    return cached_sum_;
+    return cached_sum_.load(std::memory_order_relaxed);
   }
 
   /// ESTIMATE — reconstructs v_a from the sketch. Same key-domain
@@ -145,9 +317,7 @@ class BasicKarySketch {
     const double s = sum();
     std::array<double, kMaxRows> est;
     for (std::size_t i = 0; i < h; ++i) {
-      double sq = 0.0;
-      const double* row = &table_[i * k_];
-      for (std::size_t j = 0; j < k_; ++j) sq += row[j] * row[j];
+      const double sq = simd::sum_squares(&table_[i * k_], k_);
       est[i] = (kd * sq - s * s) / (kd - 1.0);
     }
     return median_inplace(std::span<double>(est.data(), h));
@@ -166,13 +336,14 @@ class BasicKarySketch {
 
   void set_zero() noexcept {
     std::fill(table_.begin(), table_.end(), 0.0);
-    cached_sum_ = 0.0;
-    sum_valid_ = true;
+    cached_sum_.store(0.0, std::memory_order_relaxed);
+    sum_valid_.store(true, std::memory_order_release);
   }
 
   void scale(double c) noexcept {
-    for (double& v : table_) v *= c;
-    cached_sum_ *= c;
+    simd::scale(table_.data(), table_.size(), c);
+    cached_sum_.store(cached_sum_.load(std::memory_order_relaxed) * c,
+                      std::memory_order_relaxed);
   }
 
   /// *this += c * other. Throws std::invalid_argument unless the two
@@ -184,10 +355,8 @@ class BasicKarySketch {
           "BasicKarySketch::add_scaled: incompatible sketches (family or "
           "width mismatch)");
     }
-    for (std::size_t idx = 0; idx < table_.size(); ++idx) {
-      table_[idx] += c * other.table_[idx];
-    }
-    sum_valid_ = false;
+    simd::axpy(table_.data(), other.table_.data(), table_.size(), c);
+    sum_valid_.store(false, std::memory_order_relaxed);
   }
 
   [[nodiscard]] bool compatible(const BasicKarySketch& other) const noexcept {
@@ -223,7 +392,7 @@ class BasicKarySketch {
           "register table");
     }
     std::copy(values.begin(), values.end(), table_.begin());
-    sum_valid_ = false;
+    sum_valid_.store(false, std::memory_order_relaxed);
   }
 
   /// Raw register access for tests and serialization.
@@ -253,11 +422,24 @@ class BasicKarySketch {
     }
   }
 
+  /// Transfers the source's sum cache, tolerating a concurrent reader
+  /// filling the source cache mid-copy: read the valid flag first (acquire
+  /// pairs with the release store in sum()), and only trust cached_sum_
+  /// when the flag was already set.
+  void copy_sum_cache(const BasicKarySketch& other) noexcept {
+    const bool valid = other.sum_valid_.load(std::memory_order_acquire);
+    cached_sum_.store(
+        valid ? other.cached_sum_.load(std::memory_order_relaxed) : 0.0,
+        std::memory_order_relaxed);
+    sum_valid_.store(valid, std::memory_order_relaxed);
+  }
+
   FamilyPtr family_;
   std::size_t k_;
   std::vector<double> table_;  // row-major H x K
-  mutable double cached_sum_ = 0.0;
-  mutable bool sum_valid_ = true;
+  // Lazy sum cache, shared by concurrent const readers (see sum()).
+  mutable std::atomic<double> cached_sum_{0.0};
+  mutable std::atomic<bool> sum_valid_{true};
 };
 
 /// Default k-ary sketch: tabulation hashing, 32-bit keys (the paper's

@@ -1,0 +1,193 @@
+// Scalar-vs-SIMD equivalence property tests for the kernel layer.
+//
+// Every kernel is compared against the scalar reference loop over
+// randomized sizes (including empty, sub-vector-width, and remainder-tail
+// shapes):
+//   * scale and axpy are element-wise → results must be BIT-EXACT between
+//     implementations (the AVX2 lane computes exactly the scalar
+//     expression for its element, FMA included);
+//   * dot / sum_squares / hsum reassociate the reduction across lanes →
+//     results must agree within a tolerance scaled to the condition of the
+//     sum (ULP-level per accumulated term).
+//
+// ctest runs this binary twice: once with ambient dispatch (AVX2 where the
+// CPU has it) and once re-registered with SCD_SIMD=scalar
+// (simd.kernels_scalar_dispatch), so both dispatch decisions are exercised
+// on one host. The AVX2 backend is additionally tested directly (bypassing
+// dispatch) whenever the CPU supports it, so coverage does not depend on
+// which table the environment selected.
+#include "simd/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "simd/kernels_avx2.h"
+#include "simd/kernels_scalar.h"
+
+namespace scd::simd {
+namespace {
+
+// Shapes chosen to hit: empty, scalar tail only, exactly one vector, the
+// 16-wide unrolled body, unroll+vector+tail remainders, and the real table
+// sizes (H*K for K=4096 and a full row at K=65536).
+const std::vector<std::size_t> kSizes = {0,  1,  2,   3,    4,    5,    7,
+                                         8,  15, 16,  17,   31,   32,   33,
+                                         63, 100, 255, 4096, 20480, 65536};
+
+std::vector<double> random_values(common::Rng& rng, std::size_t n) {
+  std::vector<double> out(n);
+  for (double& v : out) v = rng.uniform(-1e3, 1e3);
+  return out;
+}
+
+/// Tolerance for a reassociated sum: proportional to the magnitude
+/// accumulated, with generous slack (64 ULP-equivalents per term bound).
+double reduction_tolerance(double magnitude) {
+  return 64.0 * std::numeric_limits<double>::epsilon() * (magnitude + 1.0);
+}
+
+struct Backend {
+  const char* name;
+  void (*scale)(double*, std::size_t, double) noexcept;
+  void (*axpy)(double*, const double*, std::size_t, double) noexcept;
+  double (*dot)(const double*, const double*, std::size_t) noexcept;
+  double (*sum_squares)(const double*, std::size_t) noexcept;
+  double (*hsum)(const double*, std::size_t) noexcept;
+};
+
+/// The implementations under test, always judged against simd::scalar.
+/// The dispatched entry points are included so the env-forced ctest rerun
+/// also validates the dispatch wiring itself.
+std::vector<Backend> backends_under_test() {
+  std::vector<Backend> out;
+  out.push_back(Backend{"dispatch", &simd::scale, &simd::axpy, &simd::dot,
+                        &simd::sum_squares, &simd::hsum});
+  if (avx2::supported()) {
+    out.push_back(Backend{"avx2", &avx2::scale, &avx2::axpy, &avx2::dot,
+                          &avx2::sum_squares, &avx2::hsum});
+  }
+  return out;
+}
+
+TEST(KernelDispatch, HonorsScdSimdEnvironment) {
+  const char* env = std::getenv("SCD_SIMD");
+  if (env != nullptr && std::string_view(env) == "scalar") {
+    EXPECT_EQ(active_isa(), IsaLevel::kScalar);
+  } else if (env == nullptr) {
+    // Auto-detection: AVX2 iff the CPU has it.
+    EXPECT_EQ(active_isa(),
+              cpu_supports_avx2() ? IsaLevel::kAvx2 : IsaLevel::kScalar);
+  }
+  EXPECT_STREQ(isa_name(active_isa()),
+               active_isa() == IsaLevel::kAvx2 ? "avx2" : "scalar");
+}
+
+TEST(KernelEquivalence, ScaleIsBitExact) {
+  common::Rng rng(11);
+  for (const Backend& backend : backends_under_test()) {
+    for (std::size_t n : kSizes) {
+      const std::vector<double> base = random_values(rng, n);
+      const double c = rng.uniform(-3.0, 3.0);
+      std::vector<double> expect = base;
+      scalar::scale(expect.data(), n, c);
+      std::vector<double> got = base;
+      backend.scale(got.data(), n, c);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(expect[i], got[i])
+            << backend.name << " scale n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, AxpyIsBitExact) {
+  common::Rng rng(12);
+  for (const Backend& backend : backends_under_test()) {
+    for (std::size_t n : kSizes) {
+      const std::vector<double> x = random_values(rng, n);
+      const std::vector<double> y = random_values(rng, n);
+      const double c = rng.uniform(-3.0, 3.0);
+      std::vector<double> expect = y;
+      scalar::axpy(expect.data(), x.data(), n, c);
+      std::vector<double> got = y;
+      backend.axpy(got.data(), x.data(), n, c);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(expect[i], got[i])
+            << backend.name << " axpy n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KernelEquivalence, DotWithinReductionTolerance) {
+  common::Rng rng(13);
+  for (const Backend& backend : backends_under_test()) {
+    for (std::size_t n : kSizes) {
+      const std::vector<double> x = random_values(rng, n);
+      const std::vector<double> y = random_values(rng, n);
+      const double expect = scalar::dot(x.data(), y.data(), n);
+      const double got = backend.dot(x.data(), y.data(), n);
+      double magnitude = 0.0;
+      for (std::size_t i = 0; i < n; ++i) magnitude += std::abs(x[i] * y[i]);
+      ASSERT_NEAR(expect, got, reduction_tolerance(magnitude))
+          << backend.name << " dot n=" << n;
+    }
+  }
+}
+
+TEST(KernelEquivalence, SumSquaresWithinReductionTolerance) {
+  common::Rng rng(14);
+  for (const Backend& backend : backends_under_test()) {
+    for (std::size_t n : kSizes) {
+      const std::vector<double> x = random_values(rng, n);
+      const double expect = scalar::sum_squares(x.data(), n);
+      const double got = backend.sum_squares(x.data(), n);
+      ASSERT_NEAR(expect, got, reduction_tolerance(expect))
+          << backend.name << " sum_squares n=" << n;
+    }
+  }
+}
+
+TEST(KernelEquivalence, HsumWithinReductionTolerance) {
+  common::Rng rng(15);
+  for (const Backend& backend : backends_under_test()) {
+    for (std::size_t n : kSizes) {
+      const std::vector<double> x = random_values(rng, n);
+      const double expect = scalar::hsum(x.data(), n);
+      const double got = backend.hsum(x.data(), n);
+      double magnitude = 0.0;
+      for (double v : x) magnitude += std::abs(v);
+      ASSERT_NEAR(expect, got, reduction_tolerance(magnitude))
+          << backend.name << " hsum n=" << n;
+    }
+  }
+}
+
+TEST(KernelEquivalence, ReductionsAreExactOnIntegerValues) {
+  // Integer-valued registers (packet/byte counts with c = 1) stay exact
+  // under any summation order while the total fits a double exactly — the
+  // property the parallel-vs-serial alarm equivalence relies on.
+  common::Rng rng(16);
+  for (const Backend& backend : backends_under_test()) {
+    for (std::size_t n : {31UL, 4096UL, 20480UL}) {
+      std::vector<double> x(n);
+      for (double& v : x) {
+        v = static_cast<double>(rng.next_in(-1000, 1000));
+      }
+      ASSERT_EQ(scalar::hsum(x.data(), n), backend.hsum(x.data(), n))
+          << backend.name << " n=" << n;
+      ASSERT_EQ(scalar::sum_squares(x.data(), n),
+                backend.sum_squares(x.data(), n))
+          << backend.name << " n=" << n;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace scd::simd

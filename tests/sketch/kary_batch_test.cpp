@@ -1,0 +1,128 @@
+// update_batch must be BIT-IDENTICAL to per-record update(): the batched
+// path reorders work across rows (hash-batch, then one row sweep at a time)
+// but applies each register's updates in record order, so every register
+// sees the same sequence of floating-point additions as the scalar path.
+// Property-tested over randomized H/K/batch shapes for both hash families
+// (tabulation fast path and the generic hash16 fallback), batches spanning
+// multiple internal blocks, and duplicate keys within one block.
+#include "sketch/kary_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/random.h"
+
+namespace scd::sketch {
+namespace {
+
+template <typename Sketch, typename FamilyPtr>
+void expect_batch_matches_serial(const FamilyPtr& family, std::size_t k,
+                                 std::span<const Record> records,
+                                 const char* what) {
+  Sketch serial(family, k);
+  for (const Record& r : records) serial.update(r.key, r.update);
+  Sketch batched(family, k);
+  batched.update_batch(records);
+  const auto lhs = serial.registers();
+  const auto rhs = batched.registers();
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    ASSERT_EQ(lhs[i], rhs[i]) << what << ": register " << i << " diverged";
+  }
+  EXPECT_EQ(serial.sum(), batched.sum()) << what;
+}
+
+std::vector<Record> random_records(common::Rng& rng, std::size_t n,
+                                   std::uint64_t key_space, bool integer) {
+  std::vector<Record> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = integer ? static_cast<double>(rng.next_in(1, 1500))
+                             : rng.uniform(-100.0, 100.0);
+    out.push_back(Record{rng.next_below(key_space), u});
+  }
+  return out;
+}
+
+TEST(KaryBatchUpdate, MatchesSerialOverRandomShapes) {
+  common::Rng rng(71);
+  // H x K x batch-size sweep, crossing the internal kUpdateBlock boundary
+  // (4096) and the 4-row tabulation group boundary.
+  for (const std::size_t h : {1UL, 3UL, 4UL, 5UL, 8UL, 9UL}) {
+    for (const std::size_t k : {2UL, 64UL, 4096UL}) {
+      for (const std::size_t n : {0UL, 1UL, 17UL, 300UL, 4096UL, 5000UL}) {
+        const auto family =
+            make_tabulation_family(1000 + h * 10 + k, h);
+        const auto records = random_records(rng, n, 1ULL << 32, false);
+        expect_batch_matches_serial<KarySketch>(
+            family, k, records,
+            ("tabulation h=" + std::to_string(h) + " k=" + std::to_string(k) +
+             " n=" + std::to_string(n))
+                .c_str());
+      }
+    }
+  }
+}
+
+TEST(KaryBatchUpdate, MatchesSerialForCwFamily64BitKeys) {
+  common::Rng rng(72);
+  for (const std::size_t h : {1UL, 5UL, 6UL}) {
+    const auto family = make_cw_family(900 + h, h);
+    const auto records = random_records(rng, 700, ~0ULL, false);
+    expect_batch_matches_serial<KarySketch64>(
+        family, 1024, records, ("cw h=" + std::to_string(h)).c_str());
+  }
+}
+
+TEST(KaryBatchUpdate, DuplicateKeysAccumulateInRecordOrder) {
+  // Repeated keys in one block stress the same-register ordering contract;
+  // non-commutative magnitudes (alternating large/small) would expose any
+  // reordering as a bit difference.
+  const auto family = make_tabulation_family(7, 5);
+  std::vector<Record> records;
+  for (std::size_t i = 0; i < 600; ++i) {
+    records.push_back(Record{i % 7, (i % 2 == 0) ? 1e16 : 1.0});
+  }
+  expect_batch_matches_serial<KarySketch>(family, 256,
+                                          std::span<const Record>(records),
+                                          "duplicate keys");
+}
+
+TEST(KaryBatchUpdate, IntegerUpdatesStayExact) {
+  // The parallel-vs-serial alarm equivalence relies on integer updates
+  // surviving any shard/batch decomposition bit-exactly.
+  common::Rng rng(73);
+  const auto family = make_tabulation_family(8, 5);
+  const auto records = random_records(rng, 5000, 1ULL << 20, true);
+  expect_batch_matches_serial<KarySketch>(
+      family, 4096, std::span<const Record>(records), "integer updates");
+}
+
+TEST(KaryBatchUpdate, EmptyBatchKeepsSumCacheIntact) {
+  const auto family = make_tabulation_family(9, 5);
+  KarySketch s(family, 64);
+  s.update(1, 2.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 2.0);
+  s.update_batch({});
+  EXPECT_DOUBLE_EQ(s.sum(), 2.0);
+}
+
+TEST(KaryBatchUpdate, EstimatesAgreeAfterBatch) {
+  common::Rng rng(74);
+  const auto family = make_tabulation_family(10, 5);
+  const auto records = random_records(rng, 2048, 1ULL << 16, false);
+  KarySketch serial(family, 512);
+  for (const Record& r : records) serial.update(r.key, r.update);
+  KarySketch batched(family, 512);
+  batched.update_batch(records);
+  for (std::uint64_t key = 0; key < 100; ++key) {
+    EXPECT_EQ(serial.estimate(key), batched.estimate(key));
+  }
+  EXPECT_EQ(serial.estimate_f2(), batched.estimate_f2());
+}
+
+}  // namespace
+}  // namespace scd::sketch

@@ -1,0 +1,107 @@
+// Concurrency contract of the lazy sum cache: concurrent const reads
+// (sum / estimate / estimate_f2) on a frozen sketch are data-race-free.
+// This is exactly the parallel-ESTIMATE pattern — many reader threads
+// interrogating one forecast-error sketch after interval close. Before the
+// cache became an atomic double-checked fill, two concurrent sum() calls
+// raced on the mutable cached_sum_/sum_valid_ pair inside a const method;
+// this suite runs under the tsan preset (ctest label "concurrency") to keep
+// that regression caught.
+#include "sketch/kary_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+
+namespace scd::sketch {
+namespace {
+
+KarySketch populated_sketch(std::uint64_t seed, std::size_t h, std::size_t k,
+                            std::size_t records) {
+  const auto family = make_tabulation_family(seed, h);
+  KarySketch s(family, k);
+  common::Rng rng(seed);
+  for (std::size_t i = 0; i < records; ++i) {
+    s.update(rng.next_below(1u << 20),
+             static_cast<double>(rng.next_in(1, 1500)));
+  }
+  return s;
+}
+
+TEST(KarySumConcurrency, ConcurrentLazySumFillsAreRaceFree) {
+  // The sketch arrives with an INVALID cache (update() was the last
+  // mutation), so every reader thread races to fill it. All must observe
+  // the same value.
+  const KarySketch sketch = populated_sketch(21, 5, 4096, 20000);
+  const double expected = [&] {
+    double s = 0.0;
+    for (double v : sketch.row(0)) s += v;
+    return s;
+  }();
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 50;
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int r = 0; r < kRounds; ++r) {
+        if (sketch.sum() != expected) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(KarySumConcurrency, ParallelEstimateOverFrozenErrorSketch) {
+  // End-to-end reader pattern: estimate() (which consults sum()) and
+  // estimate_f2() from many threads at once, interleaved with copies —
+  // the copy constructor also reads the cache fields concurrently.
+  const KarySketch sketch = populated_sketch(22, 5, 1024, 8000);
+
+  constexpr int kThreads = 6;
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  // One thread warms nothing — all start with the cache cold.
+  std::vector<double> per_thread_f2(kThreads, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      common::Rng rng(static_cast<std::uint64_t>(100 + t));
+      double acc = 0.0;
+      for (int i = 0; i < 200; ++i) {
+        acc += sketch.estimate(rng.next_below(1u << 20));
+        const KarySketch copy = sketch;  // concurrent cache-field read
+        if (copy.sum() != sketch.sum()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      per_thread_f2[static_cast<std::size_t>(t)] = sketch.estimate_f2();
+      (void)acc;
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread_f2[static_cast<std::size_t>(t)], per_thread_f2[0]);
+  }
+}
+
+}  // namespace
+}  // namespace scd::sketch

@@ -1,0 +1,12 @@
+// Fixture seed: reaches a per-ISA kernel backend directly instead of going
+// through the dispatching simd/kernels.h — the simd-isolation rule must
+// fire on the include line below.
+#include "simd/kernels_avx2.h"
+
+namespace fixture {
+
+double f2_of(const double* values, unsigned long n) {
+  return scd::simd::avx2::sum_squares(values, n);
+}
+
+}  // namespace fixture

@@ -65,6 +65,10 @@ class FixtureTest(unittest.TestCase):
         self.assert_single_violation(
             "include-hygiene", "include-hygiene", "src/ingest/loader.cpp")
 
+    def test_simd_isolation_fires_on_per_isa_include(self):
+        self.assert_single_violation(
+            "simd-isolation", "simd-isolation", "src/ingest/fast_path.cpp")
+
     def test_waivers_silence_every_rule(self):
         code, lines = run_lint(FIXTURES / "clean")
         self.assertEqual(code, 0, f"clean fixture not clean: {lines}")
@@ -78,7 +82,7 @@ class FixtureTest(unittest.TestCase):
         self.assertEqual(
             buf.getvalue().split(),
             ["throw-not-assert", "kkeybits-binding", "metric-docs",
-             "include-hygiene"])
+             "include-hygiene", "simd-isolation"])
 
     def test_missing_root_is_a_usage_error(self):
         code, _ = run_lint(REPO_ROOT / "tests" / "tooling" / "no-such-dir")
