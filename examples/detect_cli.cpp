@@ -5,16 +5,22 @@
 //              [--period 24] [--window 5] [--h 5] [--k 32768]
 //              [--threshold 0.05] [--key dst|src|pair] [--update bytes|
 //              packets|records] [--online] [--sample 1.0] [--top 10]
-//              [--metrics prom|json]
+//              [--metrics prom|json] [--checkpoint-dir DIR]
+//              [--checkpoint-every N] [--restore]
 //
 // Reads a binary trace (see trace_inspect to create one), runs the
 // sketch-based change-detection pipeline, and prints one line per alarm.
 // With --metrics, the run's observability snapshot (Prometheus text or
 // JSON; see docs/OBSERVABILITY.md) plus a stage-budget table follow the
-// alarm listing.
+// alarm listing. With --checkpoint-dir, the pipeline snapshots its state
+// every N interval closes (docs/CHECKPOINT.md); --restore resumes from the
+// newest valid checkpoint, skipping trace records the snapshot already
+// consumed so the remaining output matches an uninterrupted run.
 #include <cstdio>
+#include <optional>
 #include <string>
 
+#include "checkpoint/checkpoint.h"
 #include "common/flags.h"
 #include "common/strutil.h"
 #include "core/pipeline.h"
@@ -95,6 +101,13 @@ int main(int argc, char** argv) {
   flags.add_flag("metrics",
                  "print observability snapshot after the run: prom or json",
                  "");
+  flags.add_flag("checkpoint-dir",
+                 "directory for atomic state snapshots (docs/CHECKPOINT.md)",
+                 "");
+  flags.add_flag("checkpoint-every", "snapshot every N interval closes", "1");
+  flags.add_flag("restore",
+                 "resume from the newest valid checkpoint in "
+                 "--checkpoint-dir before reading the trace", "");
 
   if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
     std::fprintf(stderr, "%s%s\n", flags.error().c_str(),
@@ -147,9 +160,47 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string checkpoint_dir = flags.get("checkpoint-dir");
+  if (flags.get_bool("restore") && checkpoint_dir.empty()) {
+    std::fprintf(stderr, "--restore requires --checkpoint-dir\n");
+    return 2;
+  }
+
   try {
     config.validate();
     core::ChangeDetectionPipeline pipeline(config);
+
+    // Restore must precede set_report_callback: recover() replaces the
+    // pipeline wholesale, which would drop callbacks installed earlier.
+    double resume_before_s = 0.0;
+    if (flags.get_bool("restore")) {
+      const checkpoint::RecoverResult recovered =
+          checkpoint::recover(checkpoint_dir, pipeline);
+      if (recovered.restored) {
+        resume_before_s = pipeline.position().next_interval_start_s;
+        std::fprintf(stderr,
+                     "restored %s (interval %llu, %zu corrupt skipped); "
+                     "resuming at t >= %.0f s\n",
+                     recovered.path.string().c_str(),
+                     static_cast<unsigned long long>(recovered.interval_index),
+                     recovered.skipped, resume_before_s);
+      } else {
+        std::fprintf(stderr,
+                     "no valid checkpoint in %s; starting from scratch\n",
+                     checkpoint_dir.c_str());
+      }
+    }
+
+    std::optional<checkpoint::CheckpointWriter> writer;
+    if (!checkpoint_dir.empty()) {
+      checkpoint::CheckpointWriterOptions options;
+      options.directory = checkpoint_dir;
+      options.every = static_cast<std::size_t>(
+          flags.get_int("checkpoint-every").value_or(1));
+      writer.emplace(options, config);
+      writer->attach(pipeline);
+    }
+
     pipeline.set_report_callback([&config](const core::IntervalReport& r) {
       if (!r.detection_ran || r.alarms.empty()) return;
       std::printf("[%8.0f s] %zu alarm(s), threshold=%.4g\n", r.start_s,
@@ -174,20 +225,31 @@ int main(int argc, char** argv) {
       }
     });
 
+    // After a restore, records before the snapshot's interval boundary were
+    // already consumed by the checkpointed run — skip them.
     std::uint64_t records = 0;
+    std::uint64_t skipped = 0;
+    const auto feed = [&](const traffic::FlowRecord& record) {
+      if (traffic::record_time_s(record) < resume_before_s) {
+        ++skipped;
+        return;
+      }
+      pipeline.add_record(record);
+      ++records;
+    };
     if (flags.get_bool("csv")) {
       for (const auto& record :
            traffic::read_flow_csv_file(flags.positional()[0])) {
-        pipeline.add_record(record);
-        ++records;
+        feed(record);
       }
     } else {
       traffic::TraceReader reader(flags.positional()[0]);
       traffic::FlowRecord record;
-      while (reader.next(record)) {
-        pipeline.add_record(record);
-        ++records;
-      }
+      while (reader.next(record)) feed(record);
+    }
+    if (skipped > 0) {
+      std::fprintf(stderr, "skipped %llu already-checkpointed record(s)\n",
+                   static_cast<unsigned long long>(skipped));
     }
     pipeline.flush();
     std::printf("\nprocessed %llu records in %zu intervals with %s\n",

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Render a markdown delta table between two bench_kernel_throughput JSONs.
+
+Usage:
+    perf_delta.py BASELINE.json CURRENT.json
+
+Prints a GitHub-flavoured markdown table comparing the current run against
+the committed baseline (BENCH_THROUGHPUT.json). Meant for CI's
+$GITHUB_STEP_SUMMARY; numbers from shared runners are noisy, so the output
+is informational and the script always exits 0 — it never gates a build.
+Missing files or rows degrade to a note instead of an error.
+"""
+from __future__ import annotations
+
+import json
+import sys
+
+
+def load(path: str) -> dict | None:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"> perf delta unavailable: cannot read `{path}`: {exc}")
+        return None
+
+
+def fmt_delta(base: float, cur: float) -> str:
+    if base <= 0:
+        return "n/a"
+    pct = 100.0 * (cur - base) / base
+    return f"{pct:+.1f}%"
+
+
+def kernel_rows(base: dict, cur: dict) -> list[str]:
+    baseline = {
+        (r["kernel"], r["backend"], r["n"]): r["gb_per_s"]
+        for r in base.get("kernels_gb_per_s", [])
+    }
+    rows = []
+    for r in cur.get("kernels_gb_per_s", []):
+        key = (r["kernel"], r["backend"], r["n"])
+        b = baseline.get(key)
+        if b is None:
+            continue
+        rows.append(
+            f"| {r['kernel']} | {r['backend']} | {r['n']} "
+            f"| {b:.2f} | {r['gb_per_s']:.2f} "
+            f"| {fmt_delta(b, r['gb_per_s'])} |"
+        )
+    return rows
+
+
+def scalar_rows(base: dict, cur: dict) -> list[str]:
+    metrics = [
+        ("update", "per_record_mups", "UPDATE (Mupd/s)"),
+        ("update", "batched_mups", "batched UPDATE (Mupd/s)"),
+        ("end_to_end", "m_records_per_s", "end-to-end (Mrec/s)"),
+    ]
+    rows = []
+    for section, field, label in metrics:
+        b = base.get(section, {}).get(field)
+        c = cur.get(section, {}).get(field)
+        if b is None or c is None:
+            continue
+        rows.append(
+            f"| {label} | — | — | {b:.3f} | {c:.3f} | {fmt_delta(b, c)} |"
+        )
+    return rows
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 3:
+        print("usage: perf_delta.py BASELINE.json CURRENT.json")
+        return 0
+    base = load(argv[1])
+    cur = load(argv[2])
+    if base is None or cur is None:
+        return 0
+
+    print("### Throughput vs committed baseline")
+    print()
+    base_quick = base.get("host", {}).get("quick", False)
+    cur_quick = cur.get("host", {}).get("quick", False)
+    if cur_quick and not base_quick:
+        print(
+            "> Current run is quick mode on shared CI hardware; the "
+            "baseline is a full run (docs/PERFORMANCE.md). Deltas are "
+            "informational only."
+        )
+        print()
+    print("| benchmark | backend | n | baseline | current | delta |")
+    print("|---|---|---|---|---|---|")
+    rows = kernel_rows(base, cur) + scalar_rows(base, cur)
+    for row in rows:
+        print(row)
+    if not rows:
+        print("| _no comparable rows_ | | | | | |")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

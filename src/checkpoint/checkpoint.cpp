@@ -1,0 +1,579 @@
+#include "checkpoint/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <system_error>
+#include <utility>
+
+#include "checkpoint/checkpoint_metrics.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/pipeline.h"
+#include "ingest/parallel_pipeline.h"
+#include "obs/metrics.h"
+#include "sketch/serialize.h"
+
+namespace scd::checkpoint {
+
+const char* checkpoint_error_kind_name(CheckpointErrorKind kind) noexcept {
+  switch (kind) {
+    case CheckpointErrorKind::kWriteFailed:
+      return "write-failed";
+    case CheckpointErrorKind::kTruncated:
+      return "truncated";
+    case CheckpointErrorKind::kBadMagic:
+      return "bad-magic";
+    case CheckpointErrorKind::kBadVersion:
+      return "bad-version";
+    case CheckpointErrorKind::kBadCrc:
+      return "bad-crc";
+    case CheckpointErrorKind::kConfigMismatch:
+      return "config-mismatch";
+    case CheckpointErrorKind::kBadPayload:
+      return "bad-payload";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Maps each checkpoint failure onto the closest base SerializeErrorKind so
+/// legacy catch sites switching on kind() stay meaningful.
+[[nodiscard]] sketch::SerializeErrorKind base_kind(
+    CheckpointErrorKind kind) noexcept {
+  switch (kind) {
+    case CheckpointErrorKind::kWriteFailed:
+      return sketch::SerializeErrorKind::kWriteFailed;
+    case CheckpointErrorKind::kTruncated:
+      return sketch::SerializeErrorKind::kTruncated;
+    case CheckpointErrorKind::kBadMagic:
+      return sketch::SerializeErrorKind::kBadMagic;
+    case CheckpointErrorKind::kBadVersion:
+      return sketch::SerializeErrorKind::kBadVersion;
+    case CheckpointErrorKind::kBadCrc:
+      return sketch::SerializeErrorKind::kCorruptRegisters;
+    case CheckpointErrorKind::kConfigMismatch:
+      return sketch::SerializeErrorKind::kFamilyMismatch;
+    case CheckpointErrorKind::kBadPayload:
+      return sketch::SerializeErrorKind::kCorruptRegisters;
+  }
+  return sketch::SerializeErrorKind::kCorruptRegisters;
+}
+
+}  // namespace
+
+CheckpointError::CheckpointError(CheckpointErrorKind kind,
+                                 const std::string& message)
+    : sketch::SerializeError(
+          base_kind(kind), std::string("checkpoint [") +
+                               checkpoint_error_kind_name(kind) + "] " +
+                               message),
+      kind_(kind) {}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Config fingerprint
+
+class Fnv1a64 {
+ public:
+  void u64(std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (8 * i)) & 0xffu;
+      hash_ *= 0x100000001b3ULL;
+    }
+  }
+  void f64(double v) noexcept { u64(std::bit_cast<std::uint64_t>(v)); }
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+
+ private:
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
+};
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const core::PipelineConfig& config) noexcept {
+  Fnv1a64 fp;
+  fp.f64(config.interval_s);
+  fp.u64(config.h);
+  fp.u64(config.k);
+  fp.u64(config.seed);
+  fp.u64(static_cast<std::uint64_t>(config.key_kind));
+  fp.u64(static_cast<std::uint64_t>(config.update_kind));
+  fp.u64(static_cast<std::uint64_t>(config.model.kind));
+  fp.u64(config.model.window);
+  fp.f64(config.model.alpha);
+  fp.f64(config.model.beta);
+  fp.f64(config.model.gamma);
+  fp.u64(config.model.period);
+  fp.u64(static_cast<std::uint64_t>(config.model.arima.p));
+  fp.u64(static_cast<std::uint64_t>(config.model.arima.d));
+  fp.u64(static_cast<std::uint64_t>(config.model.arima.q));
+  for (const double c : config.model.arima.ar) fp.f64(c);
+  for (const double c : config.model.arima.ma) fp.f64(c);
+  fp.f64(config.threshold);
+  fp.u64(static_cast<std::uint64_t>(config.criterion));
+  fp.u64(static_cast<std::uint64_t>(config.baseline));
+  fp.f64(config.baseline_alpha);
+  fp.u64(static_cast<std::uint64_t>(config.replay));
+  fp.f64(config.key_sample_rate);
+  fp.u64(config.randomize_intervals ? 1 : 0);
+  fp.u64(config.max_alarms_per_interval);
+  fp.u64(config.min_consecutive);
+  fp.u64(config.refit_every);
+  fp.u64(config.refit_window);
+  // config.metrics deliberately excluded: observability never alters state.
+  return fp.value();
+}
+
+// ---------------------------------------------------------------------------
+// Real file ops
+
+namespace {
+
+class PosixFileOps final : public FileOps {
+ public:
+  void write_file_durable(const std::filesystem::path& path,
+                          const std::vector<std::uint8_t>& data) override {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
+                            "open " + path.string() + ": " +
+                                std::strerror(errno));
+    }
+    std::size_t written = 0;
+    while (written < data.size()) {
+      const ::ssize_t n =
+          ::write(fd, data.data() + written, data.size() - written);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const std::string detail = std::strerror(errno);
+        ::close(fd);
+        throw CheckpointError(CheckpointErrorKind::kWriteFailed,
+                              "write " + path.string() + ": " + detail);
+      }
+      written += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      const std::string detail = std::strerror(errno);
+      ::close(fd);
+      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
+                            "fsync " + path.string() + ": " + detail);
+    }
+    if (::close(fd) != 0) {
+      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
+                            "close " + path.string() + ": " +
+                                std::strerror(errno));
+    }
+  }
+
+  void rename_durable(const std::filesystem::path& from,
+                      const std::filesystem::path& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
+                            "rename " + from.string() + " -> " + to.string() +
+                                ": " + std::strerror(errno));
+    }
+    // fsync the containing directory so the rename itself is durable.
+    const std::filesystem::path dir = to.parent_path();
+    const int fd =
+        ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) {
+      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
+                            "open dir " + dir.string() + ": " +
+                                std::strerror(errno));
+    }
+    if (::fsync(fd) != 0) {
+      const std::string detail = std::strerror(errno);
+      ::close(fd);
+      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
+                            "fsync dir " + dir.string() + ": " + detail);
+    }
+    ::close(fd);
+  }
+
+  void remove_file(const std::filesystem::path& path) noexcept override {
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Frame encode/parse
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+[[nodiscard]] std::uint32_t get_u32(const std::uint8_t* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+[[nodiscard]] std::uint64_t get_u64(const std::uint8_t* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  }
+  return v;
+}
+
+struct ParsedCheckpoint {
+  PayloadKind kind = PayloadKind::kSerial;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t interval_index = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+[[nodiscard]] std::vector<std::uint8_t> frame_checkpoint(
+    PayloadKind kind, std::uint64_t fingerprint, std::uint64_t interval_index,
+    const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kCheckpointHeaderBytes + payload.size());
+  put_u32(out, kCheckpointMagic);
+  put_u32(out, kCheckpointVersion);
+  put_u32(out, static_cast<std::uint32_t>(kind));
+  put_u32(out, 0);  // reserved
+  put_u64(out, fingerprint);
+  put_u64(out, interval_index);
+  put_u64(out, payload.size());
+  put_u32(out, common::crc32(payload.data(), payload.size()));
+  put_u32(out, common::crc32(out.data(), out.size()));  // header CRC
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+[[nodiscard]] ParsedCheckpoint parse_checkpoint(
+    const std::vector<std::uint8_t>& bytes) {
+  if (bytes.size() < kCheckpointHeaderBytes) {
+    throw CheckpointError(CheckpointErrorKind::kTruncated,
+                          "file ends inside the " +
+                              std::to_string(kCheckpointHeaderBytes) +
+                              "-byte header (" + std::to_string(bytes.size()) +
+                              " bytes)");
+  }
+  const std::uint8_t* p = bytes.data();
+  if (get_u32(p) != kCheckpointMagic) {
+    throw CheckpointError(CheckpointErrorKind::kBadMagic,
+                          "leading bytes are not \"SCDP\"");
+  }
+  const std::uint32_t header_crc = get_u32(p + 44);
+  if (common::crc32(p, 44) != header_crc) {
+    throw CheckpointError(CheckpointErrorKind::kBadCrc,
+                          "header CRC32 mismatch");
+  }
+  const std::uint32_t version = get_u32(p + 4);
+  if (version != kCheckpointVersion) {
+    throw CheckpointError(CheckpointErrorKind::kBadVersion,
+                          "version " + std::to_string(version) +
+                              " is not the supported version " +
+                              std::to_string(kCheckpointVersion));
+  }
+  const std::uint32_t kind = get_u32(p + 8);
+  if (kind != static_cast<std::uint32_t>(PayloadKind::kSerial) &&
+      kind != static_cast<std::uint32_t>(PayloadKind::kParallel)) {
+    throw CheckpointError(CheckpointErrorKind::kBadPayload,
+                          "unknown payload kind " + std::to_string(kind));
+  }
+  ParsedCheckpoint parsed;
+  parsed.kind = static_cast<PayloadKind>(kind);
+  parsed.fingerprint = get_u64(p + 16);
+  parsed.interval_index = get_u64(p + 24);
+  const std::uint64_t payload_len = get_u64(p + 32);
+  const std::uint64_t body = bytes.size() - kCheckpointHeaderBytes;
+  if (body < payload_len) {
+    throw CheckpointError(CheckpointErrorKind::kTruncated,
+                          "payload holds " + std::to_string(body) + " of " +
+                              std::to_string(payload_len) + " bytes");
+  }
+  if (body > payload_len) {
+    throw CheckpointError(CheckpointErrorKind::kBadPayload,
+                          std::to_string(body - payload_len) +
+                              " trailing bytes after the payload");
+  }
+  const std::uint32_t payload_crc = get_u32(p + 40);
+  if (common::crc32(p + kCheckpointHeaderBytes,
+                    static_cast<std::size_t>(payload_len)) != payload_crc) {
+    throw CheckpointError(CheckpointErrorKind::kBadCrc,
+                          "payload CRC32 mismatch");
+  }
+  parsed.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(
+                                            kCheckpointHeaderBytes),
+                        bytes.end());
+  return parsed;
+}
+
+[[nodiscard]] std::vector<std::uint8_t> read_file(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw CheckpointError(CheckpointErrorKind::kTruncated,
+                          "cannot open " + path.string());
+  }
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+constexpr const char* kCheckpointPrefix = "ckpt-";
+constexpr const char* kCheckpointSuffix = ".scdc";
+constexpr const char* kTempSuffix = ".tmp";
+
+}  // namespace
+
+FileOps& real_file_ops() noexcept {
+  static PosixFileOps ops;
+  return ops;
+}
+
+std::string checkpoint_filename(std::uint64_t interval_index) {
+  std::string digits = std::to_string(interval_index);
+  digits.insert(0, 20 - std::min<std::size_t>(20, digits.size()), '0');
+  return kCheckpointPrefix + digits + kCheckpointSuffix;
+}
+
+std::vector<std::filesystem::path> list_checkpoints(
+    const std::filesystem::path& directory) {
+  std::vector<std::filesystem::path> out;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(directory, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with(kCheckpointPrefix) &&
+        name.ends_with(kCheckpointSuffix)) {
+      out.push_back(entry.path());
+    }
+  }
+  // Zero-padded decimal index: lexicographic filename order IS interval
+  // order. Newest first.
+  std::sort(out.begin(), out.end(),
+            [](const std::filesystem::path& a, const std::filesystem::path& b) {
+              return a.filename().string() > b.filename().string();
+            });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// CheckpointWriter
+
+CheckpointWriter::CheckpointWriter(CheckpointWriterOptions options,
+                                   const core::PipelineConfig& config)
+    : options_(std::move(options)),
+      fingerprint_(config_fingerprint(config)),
+      ops_(options_.file_ops != nullptr ? options_.file_ops
+                                        : &real_file_ops()) {
+  if (options_.every < 1 || options_.keep < 1) {
+    throw std::invalid_argument(
+        "CheckpointWriter: every and keep must be >= 1");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(options_.directory, ec);
+  if (ec) {
+    throw CheckpointError(CheckpointErrorKind::kWriteFailed,
+                          "create directory " + options_.directory.string() +
+                              ": " + ec.message());
+  }
+}
+
+bool CheckpointWriter::due(std::size_t intervals_closed) const noexcept {
+  return intervals_closed > 0 && intervals_closed % options_.every == 0;
+}
+
+std::filesystem::path CheckpointWriter::write(
+    PayloadKind kind, std::uint64_t interval_index,
+    const std::vector<std::uint8_t>& state) {
+  const common::Stopwatch watch;
+#if SCD_OBS_ENABLED
+  CheckpointInstruments* obs =
+      options_.metrics ? &CheckpointInstruments::global() : nullptr;
+#endif
+  const std::filesystem::path final_path =
+      options_.directory / checkpoint_filename(interval_index);
+  const std::filesystem::path temp_path =
+      final_path.string() + kTempSuffix;
+  const std::vector<std::uint8_t> framed =
+      frame_checkpoint(kind, fingerprint_, interval_index, state);
+  try {
+    ops_->write_file_durable(temp_path, framed);
+    ops_->rename_durable(temp_path, final_path);
+  } catch (...) {
+    // Leave no temp file behind; the previous checkpoints are untouched.
+    ops_->remove_file(temp_path);
+#if SCD_OBS_ENABLED
+    if (obs != nullptr) obs->write_failures.inc();
+#endif
+    throw;
+  }
+  prune();
+#if SCD_OBS_ENABLED
+  if (obs != nullptr) {
+    obs->snapshots.inc();
+    obs->snapshot_bytes.inc(framed.size());
+    obs->last_snapshot_bytes.set(static_cast<double>(framed.size()));
+    obs->snapshot_seconds.observe(watch.seconds());
+  }
+#endif
+  return final_path;
+}
+
+void CheckpointWriter::attach(core::ChangeDetectionPipeline& pipeline) {
+  core::ChangeDetectionPipeline* p = &pipeline;
+  pipeline.set_interval_close_callback([this, p](std::size_t closed) {
+    if (!due(closed)) return;
+    try {
+      (void)write(PayloadKind::kSerial, p->position().interval_index,
+                  p->save_state());
+    } catch (const std::exception& e) {
+      SCD_WARN() << "checkpoint write failed (stream continues): "
+                 << e.what();
+    }
+  });
+}
+
+void CheckpointWriter::attach(ingest::ParallelPipeline& pipeline) {
+  ingest::ParallelPipeline* p = &pipeline;
+  pipeline.set_interval_close_callback([this, p](std::size_t closed) {
+    if (!due(closed)) return;
+    try {
+      (void)write(PayloadKind::kParallel, p->position().interval_index,
+                  p->save_state());
+    } catch (const std::exception& e) {
+      SCD_WARN() << "checkpoint write failed (stream continues): "
+                 << e.what();
+    }
+  });
+}
+
+void CheckpointWriter::prune() noexcept {
+  try {
+    const std::vector<std::filesystem::path> existing =
+        list_checkpoints(options_.directory);
+    for (std::size_t i = options_.keep; i < existing.size(); ++i) {
+      ops_->remove_file(existing[i]);
+    }
+    // Stray temp files are always garbage from an interrupted writer.
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(options_.directory, ec)) {
+      if (entry.path().extension() == kTempSuffix) {
+        ops_->remove_file(entry.path());
+      }
+    }
+  } catch (...) {
+    // Retention is best-effort; an unreadable directory entry must not fail
+    // a successful snapshot.
+  }
+}
+
+// ---------------------------------------------------------------------------
+// recover()
+
+namespace {
+
+/// Shared scan loop: `try_restore(payload)` builds a scratch pipeline,
+/// restores into it and swaps it into place, throwing on rejection.
+template <typename TryRestore>
+RecoverResult recover_scan(const std::filesystem::path& directory,
+                           PayloadKind expected_kind,
+                           std::uint64_t expected_fingerprint, bool metrics,
+                           TryRestore&& try_restore) {
+  RecoverResult result;
+#if SCD_OBS_ENABLED
+  CheckpointInstruments* obs =
+      metrics ? &CheckpointInstruments::global() : nullptr;
+#else
+  (void)metrics;
+#endif
+  for (const std::filesystem::path& path : list_checkpoints(directory)) {
+    try {
+      const ParsedCheckpoint parsed = parse_checkpoint(read_file(path));
+      if (parsed.fingerprint != expected_fingerprint) {
+        throw CheckpointError(
+            CheckpointErrorKind::kConfigMismatch,
+            path.string() +
+                " was written by a pipeline with a different configuration "
+                "(fingerprint mismatch); refusing to restore");
+      }
+      if (parsed.kind != expected_kind) {
+        throw CheckpointError(
+            CheckpointErrorKind::kConfigMismatch,
+            path.string() + " holds a " +
+                (parsed.kind == PayloadKind::kSerial ? "serial" : "parallel") +
+                " snapshot but a " +
+                (expected_kind == PayloadKind::kSerial ? "serial"
+                                                       : "parallel") +
+                " pipeline is restoring");
+      }
+      try_restore(parsed.payload);
+      result.restored = true;
+      result.path = path;
+      result.interval_index = parsed.interval_index;
+#if SCD_OBS_ENABLED
+      if (obs != nullptr) obs->restores.inc();
+#endif
+      return result;
+    } catch (const CheckpointError& e) {
+      if (e.checkpoint_kind() == CheckpointErrorKind::kConfigMismatch) throw;
+      SCD_WARN() << "recover: skipping " << path.string() << ": " << e.what();
+    } catch (const sketch::SerializeError& e) {
+      // Framing verified but the engine rejected the payload — version
+      // drift or a corruption the CRC missed. An older checkpoint may
+      // still be good.
+      SCD_WARN() << "recover: skipping " << path.string() << ": " << e.what();
+    }
+    ++result.skipped;
+#if SCD_OBS_ENABLED
+    if (obs != nullptr) obs->restore_skipped.inc();
+#endif
+  }
+  return result;
+}
+
+}  // namespace
+
+RecoverResult recover(const std::filesystem::path& directory,
+                      core::ChangeDetectionPipeline& pipeline) {
+  const core::PipelineConfig& config = pipeline.config();
+  return recover_scan(
+      directory, PayloadKind::kSerial, config_fingerprint(config),
+      config.metrics, [&](const std::vector<std::uint8_t>& payload) {
+        // Restore into a scratch pipeline first: a mid-restore throw must
+        // not leave the caller's pipeline half-mutated.
+        core::ChangeDetectionPipeline scratch(config);
+        scratch.restore_state(payload);
+        pipeline = std::move(scratch);
+      });
+}
+
+RecoverResult recover(const std::filesystem::path& directory,
+                      ingest::ParallelPipeline& pipeline) {
+  const core::PipelineConfig& config = pipeline.config();
+  const ingest::ParallelConfig parallel = pipeline.parallel_config();
+  return recover_scan(
+      directory, PayloadKind::kParallel, config_fingerprint(config),
+      config.metrics, [&](const std::vector<std::uint8_t>& payload) {
+        ingest::ParallelPipeline scratch(config, parallel);
+        scratch.restore_state(payload);
+        pipeline = std::move(scratch);
+      });
+}
+
+}  // namespace scd::checkpoint

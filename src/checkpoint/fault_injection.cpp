@@ -1,0 +1,110 @@
+#include "checkpoint/fault_injection.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <ios>
+#include <iterator>
+#include <utility>
+
+#include "checkpoint/checkpoint.h"
+
+namespace scd::checkpoint {
+
+namespace {
+
+/// Plain (deliberately non-durable) prefix write — the injector simulates a
+/// crash, so nothing it leaves behind should be fsynced.
+void write_prefix(const std::filesystem::path& path,
+                  const std::uint8_t* data, std::size_t size) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (size > 0) {
+    out.write(reinterpret_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  }
+}
+
+[[nodiscard]] std::vector<std::uint8_t> read_all(
+    const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+ScdFaultInjector::ScdFaultInjector(Plan plan)
+    : plan_(plan), real_(real_file_ops()) {}
+
+bool ScdFaultInjector::armed() noexcept {
+  const bool hit = ops_seen_ >= plan_.arm_after_ops;
+  ++ops_seen_;
+  return hit;
+}
+
+void ScdFaultInjector::write_file_durable(
+    const std::filesystem::path& path, const std::vector<std::uint8_t>& data) {
+  if (plan_.fail_after_bytes.has_value() && armed()) {
+    const std::size_t kept = std::min(*plan_.fail_after_bytes, data.size());
+    write_prefix(path, data.data(), kept);
+    events_.push_back("FAULT partial-write " + path.string() + ": kept " +
+                      std::to_string(kept) + " of " +
+                      std::to_string(data.size()) + " bytes, then failed");
+    throw CheckpointError(
+        CheckpointErrorKind::kWriteFailed,
+        "injected write failure after " + std::to_string(kept) + " bytes");
+  }
+  real_.write_file_durable(path, data);
+  events_.push_back("write " + path.string() + " (" +
+                    std::to_string(data.size()) + " bytes)");
+}
+
+void ScdFaultInjector::rename_durable(const std::filesystem::path& from,
+                                      const std::filesystem::path& to) {
+  const bool rename_fault =
+      plan_.torn_rename_bytes.has_value() || plan_.flip_bit.has_value();
+  if (rename_fault && armed()) {
+    if (plan_.torn_rename_bytes.has_value()) {
+      const std::vector<std::uint8_t> source = read_all(from);
+      const std::size_t kept = std::min(*plan_.torn_rename_bytes,
+                                        source.size());
+      write_prefix(to, source.data(), kept);
+      events_.push_back("FAULT torn-rename " + to.string() + ": destination "
+                        "holds " + std::to_string(kept) + " of " +
+                        std::to_string(source.size()) + " bytes");
+      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
+                            "injected torn rename: destination truncated to " +
+                                std::to_string(kept) + " bytes");
+    }
+    // Bit rot: the rename itself succeeds, then the final file silently
+    // loses one bit. No error escapes — the CRC has to find it later.
+    real_.rename_durable(from, to);
+    std::vector<std::uint8_t> bytes = read_all(to);
+    if (!bytes.empty()) {
+      const std::size_t bit = *plan_.flip_bit % (bytes.size() * 8);
+      bytes[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      write_prefix(to, bytes.data(), bytes.size());
+      events_.push_back("FAULT bit-flip " + to.string() + ": flipped bit " +
+                        std::to_string(bit));
+    }
+    return;
+  }
+  real_.rename_durable(from, to);
+  events_.push_back("rename " + from.string() + " -> " + to.string());
+}
+
+void ScdFaultInjector::remove_file(
+    const std::filesystem::path& path) noexcept {
+  real_.remove_file(path);
+  try {
+    events_.push_back("remove " + path.string());
+  } catch (...) {
+    // An event-log allocation failure must not escape a noexcept cleanup.
+  }
+}
+
+void ScdFaultInjector::dump_log(const std::filesystem::path& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  for (const std::string& event : events_) out << event << '\n';
+}
+
+}  // namespace scd::checkpoint

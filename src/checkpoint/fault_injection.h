@@ -1,0 +1,76 @@
+// ScdFaultInjector — a FileOps that fails on purpose.
+//
+// The checkpoint writer's crash-safety claims ("no torn checkpoint is ever
+// loaded", "every failure leaves a clean older checkpoint behind") are only
+// testable if the failures can be produced on demand. The injector wraps
+// the real FileOps and, per an explicit Plan, simulates the three classic
+// storage faults:
+//   * partial write  — the temp file receives only the first N bytes and
+//     the write "crashes" (throws kWriteFailed);
+//   * torn rename    — the destination appears but holds a truncated copy,
+//     as after power loss on a non-atomic filesystem;
+//   * bit rot        — the write completes, then one bit of the final file
+//     is silently flipped (the CRC must catch it at restore time).
+// Every operation and injected fault is appended to an in-memory event log
+// that dump_log() writes to a file — CI uploads it as the fault-injection
+// artifact when the crash-recovery job fails.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+
+namespace scd::checkpoint {
+
+class ScdFaultInjector final : public FileOps {
+ public:
+  struct Plan {
+    /// Truncate the durable write after this many bytes and throw
+    /// kWriteFailed (the on-disk temp file keeps the prefix).
+    std::optional<std::size_t> fail_after_bytes;
+    /// Replace the rename with "destination = first N bytes of source",
+    /// then throw kWriteFailed — a torn rename frozen mid-crash.
+    std::optional<std::size_t> torn_rename_bytes;
+    /// After a fully successful write+rename, flip this bit index (counted
+    /// from the start of the final file, modulo its size). No error is
+    /// raised — the corruption is silent by design.
+    std::optional<std::size_t> flip_bit;
+    /// Number of operations OF THE FAULTED KIND (writes for
+    /// fail_after_bytes; renames for torn_rename_bytes / flip_bit) to
+    /// perform faithfully before the plan arms (0 = first one already
+    /// faulty). Since one checkpoint is exactly one write plus one rename,
+    /// this is "write n good checkpoints, then break the n+1th".
+    std::size_t arm_after_ops = 0;
+  };
+
+  explicit ScdFaultInjector(Plan plan);
+
+  void write_file_durable(const std::filesystem::path& path,
+                          const std::vector<std::uint8_t>& data) override;
+  void rename_durable(const std::filesystem::path& from,
+                      const std::filesystem::path& to) override;
+  void remove_file(const std::filesystem::path& path) noexcept override;
+
+  /// One line per operation or injected fault, in order.
+  [[nodiscard]] const std::vector<std::string>& events() const noexcept {
+    return events_;
+  }
+
+  /// Writes the event log to `path` (plain text, one event per line); used
+  /// by tests to leave a post-mortem artifact for CI.
+  void dump_log(const std::filesystem::path& path) const;
+
+ private:
+  [[nodiscard]] bool armed() noexcept;  // counts one op, then evaluates
+
+  Plan plan_;
+  FileOps& real_;
+  std::size_t ops_seen_ = 0;
+  std::vector<std::string> events_;
+};
+
+}  // namespace scd::checkpoint

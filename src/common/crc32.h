@@ -1,0 +1,29 @@
+// CRC-32 (ISO-HDLC / zlib polynomial 0xEDB88320), table-driven.
+//
+// Used to frame checkpoint sections (src/checkpoint) so that a torn write,
+// a truncated rename, or a flipped bit is detected before any state is
+// deserialized. Not cryptographic — it guards against storage corruption,
+// not an adversary.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scd::common {
+
+/// Incremental CRC-32: feed `crc32_update(seed, ...)` chunks, starting from
+/// `kCrc32Init` and finishing with `crc32_finish`. The one-shot `crc32`
+/// covers the whole-buffer case.
+inline constexpr std::uint32_t kCrc32Init = 0xffffffffu;
+
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                         std::size_t size) noexcept;
+
+[[nodiscard]] constexpr std::uint32_t crc32_finish(std::uint32_t state) noexcept {
+  return state ^ 0xffffffffu;
+}
+
+/// CRC-32 of one contiguous buffer ("123456789" -> 0xcbf43926).
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+}  // namespace scd::common

@@ -47,6 +47,15 @@ class Xoshiro256 {
     return result;
   }
 
+  /// Raw generator state, for checkpoint/restore: a generator restored via
+  /// set_state produces the exact sequence the source would have.
+  [[nodiscard]] const std::array<std::uint64_t, 4>& state() const noexcept {
+    return state_;
+  }
+  void set_state(const std::array<std::uint64_t, 4>& state) noexcept {
+    state_ = state;
+  }
+
  private:
   [[nodiscard]] static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
@@ -59,6 +68,24 @@ class Xoshiro256 {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed = 1) noexcept : gen_(seed) {}
+
+  /// Complete generator state for checkpoint/restore: the xoshiro words plus
+  /// the Box–Muller spare deviate, so a restored Rng continues the exact
+  /// deviate sequence (normal() included) of the snapshotted one.
+  struct Snapshot {
+    std::array<std::uint64_t, 4> state{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept {
+    return {gen_.state(), cached_normal_, has_cached_normal_};
+  }
+  void restore(const Snapshot& snap) noexcept {
+    gen_.set_state(snap.state);
+    cached_normal_ = snap.cached_normal;
+    has_cached_normal_ = snap.has_cached_normal;
+  }
 
   /// Uniform over all 64-bit values.
   [[nodiscard]] std::uint64_t next_u64() noexcept { return gen_.next(); }

@@ -1,6 +1,7 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <deque>
@@ -8,6 +9,7 @@
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/random.h"
@@ -20,6 +22,7 @@
 #include "obs/pipeline_metrics.h"
 #include "obs/scoped_timer.h"
 #include "sketch/kary_sketch.h"
+#include "sketch/serialize.h"
 #include "traffic/flow_record.h"
 
 namespace scd::core {
@@ -67,6 +70,216 @@ namespace {
 // under 1 ns per record while the histogram still converges quickly.
 constexpr std::uint64_t kUpdateSampleMask = 63;
 
+// ---------------------------------------------------------------------------
+// Engine-state byte codec. The encoding is explicit little-endian so a
+// checkpoint written on one host restores bit-identically on any other; the
+// checkpoint layer (src/checkpoint) adds CRC framing and atomicity on top of
+// this raw stream.
+
+/// Engine-state stream layout version; bump on any field change.
+constexpr std::uint64_t kEngineStateVersion = 1;
+/// Trailing sentinel: catches a reader/writer field-order drift that happens
+/// to stay inside the buffer.
+constexpr std::uint64_t kEngineStateSentinel = 0x5cdc0de5e17a11edULL;
+
+class ByteWriter {
+ public:
+  explicit ByteWriter(std::vector<std::uint8_t>& out) : out_(out) {}
+
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+ private:
+  std::vector<std::uint8_t>& out_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] std::uint64_t u64() {
+    if (size_ - pos_ < 8) {
+      throw sketch::SerializeError(sketch::SerializeErrorKind::kTruncated,
+                                   "engine state ends mid-field");
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  [[nodiscard]] double f64() { return std::bit_cast<double>(u64()); }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Bridges the engine's byte stream to the forecast layer's typed
+/// StateWriter: signals (sketches) are written as a register count followed
+/// by the raw register doubles.
+template <typename Sketch>
+class SketchStateWriter final : public forecast::StateWriter<Sketch> {
+ public:
+  explicit SketchStateWriter(ByteWriter& out) : out_(out) {}
+  void write_u64(std::uint64_t value) override { out_.u64(value); }
+  void write_f64(double value) override { out_.f64(value); }
+  void write_signal(const Sketch& value) override {
+    const auto regs = value.registers();
+    out_.u64(regs.size());
+    for (const double r : regs) out_.f64(r);
+  }
+
+ private:
+  ByteWriter& out_;
+};
+
+template <typename Sketch>
+class SketchStateReader final : public forecast::StateReader<Sketch> {
+ public:
+  SketchStateReader(ByteReader& in, std::size_t expected_registers)
+      : in_(in), expected_(expected_registers) {}
+
+  [[nodiscard]] std::uint64_t read_u64() override { return in_.u64(); }
+  [[nodiscard]] double read_f64() override { return in_.f64(); }
+  void read_signal(Sketch& out) override {
+    const std::uint64_t n = in_.u64();
+    if (n != expected_) {
+      throw sketch::SerializeError(
+          sketch::SerializeErrorKind::kBadDimensions,
+          "engine state sketch has " + std::to_string(n) +
+              " registers, expected " + std::to_string(expected_));
+    }
+    scratch_.resize(expected_);
+    for (double& r : scratch_) r = in_.f64();
+    out.load_registers(scratch_);
+  }
+  [[noreturn]] void fail(const std::string& what) override {
+    throw sketch::SerializeError(sketch::SerializeErrorKind::kBadDimensions,
+                                 "engine state: " + what);
+  }
+
+ private:
+  ByteReader& in_;
+  std::size_t expected_;
+  std::vector<double> scratch_;
+};
+
+void write_model_config(ByteWriter& out, const forecast::ModelConfig& m) {
+  out.u64(static_cast<std::uint64_t>(m.kind));
+  out.u64(m.window);
+  out.f64(m.alpha);
+  out.f64(m.beta);
+  out.f64(m.gamma);
+  out.u64(m.period);
+  out.u64(static_cast<std::uint64_t>(m.arima.p));
+  out.u64(static_cast<std::uint64_t>(m.arima.d));
+  out.u64(static_cast<std::uint64_t>(m.arima.q));
+  for (const double c : m.arima.ar) out.f64(c);
+  for (const double c : m.arima.ma) out.f64(c);
+}
+
+[[nodiscard]] forecast::ModelConfig read_model_config(ByteReader& in) {
+  forecast::ModelConfig m;
+  const std::uint64_t kind = in.u64();
+  if (kind >
+      static_cast<std::uint64_t>(forecast::ModelKind::kSeasonalHoltWinters)) {
+    throw sketch::SerializeError(sketch::SerializeErrorKind::kCorruptRegisters,
+                                 "engine state names an unknown model kind");
+  }
+  m.kind = static_cast<forecast::ModelKind>(kind);
+  m.window = static_cast<std::size_t>(in.u64());
+  m.alpha = in.f64();
+  m.beta = in.f64();
+  m.gamma = in.f64();
+  m.period = static_cast<std::size_t>(in.u64());
+  m.arima.p = static_cast<int>(in.u64());
+  m.arima.d = static_cast<int>(in.u64());
+  m.arima.q = static_cast<int>(in.u64());
+  for (double& c : m.arima.ar) c = in.f64();
+  for (double& c : m.arima.ma) c = in.f64();
+  if (!m.valid()) {
+    throw sketch::SerializeError(
+        sketch::SerializeErrorKind::kCorruptRegisters,
+        "engine state model config is invalid: " + m.to_string());
+  }
+  return m;
+}
+
+void write_rng(ByteWriter& out, const common::Rng& rng) {
+  const common::Rng::Snapshot snap = rng.snapshot();
+  for (const std::uint64_t word : snap.state) out.u64(word);
+  out.f64(snap.cached_normal);
+  out.u64(snap.has_cached_normal ? 1 : 0);
+}
+
+void read_rng(ByteReader& in, common::Rng& rng) {
+  common::Rng::Snapshot snap;
+  for (std::uint64_t& word : snap.state) word = in.u64();
+  snap.cached_normal = in.f64();
+  snap.has_cached_normal = in.u64() != 0;
+  rng.restore(snap);
+}
+
+void write_report(ByteWriter& out, const IntervalReport& r) {
+  out.u64(r.index);
+  out.f64(r.start_s);
+  out.f64(r.end_s);
+  out.u64(r.records);
+  out.u64(r.detection_ran ? 1 : 0);
+  out.u64(r.keys_checked);
+  out.f64(r.estimated_error_f2);
+  out.f64(r.alarm_threshold);
+  out.u64(r.alarms.size());
+  for (const detect::Alarm& a : r.alarms) {
+    out.u64(a.interval);
+    out.u64(a.key);
+    out.f64(a.error);
+    out.f64(a.threshold_abs);
+  }
+  out.f64(r.timings.close_s);
+  out.f64(r.timings.forecast_s);
+  out.f64(r.timings.estimate_f2_s);
+  out.f64(r.timings.key_replay_s);
+}
+
+[[nodiscard]] IntervalReport read_report(ByteReader& in) {
+  IntervalReport r;
+  r.index = static_cast<std::size_t>(in.u64());
+  r.start_s = in.f64();
+  r.end_s = in.f64();
+  r.records = in.u64();
+  r.detection_ran = in.u64() != 0;
+  r.keys_checked = static_cast<std::size_t>(in.u64());
+  r.estimated_error_f2 = in.f64();
+  r.alarm_threshold = in.f64();
+  const std::uint64_t alarms = in.u64();
+  r.alarms.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(alarms, 1024)));  // defensive pre-reserve cap
+  for (std::uint64_t i = 0; i < alarms; ++i) {
+    detect::Alarm a;
+    a.interval = static_cast<std::size_t>(in.u64());
+    a.key = in.u64();
+    a.error = in.f64();
+    a.threshold_abs = in.f64();
+    r.alarms.push_back(a);
+  }
+  r.timings.close_s = in.f64();
+  r.timings.forecast_s = in.f64();
+  r.timings.estimate_f2_s = in.f64();
+  r.timings.key_replay_s = in.f64();
+  return r;
+}
+
 class EngineBase {
  public:
   virtual ~EngineBase() = default;
@@ -76,6 +289,15 @@ class EngineBase {
   [[nodiscard]] virtual const forecast::ModelConfig& active_model()
       const noexcept = 0;
   [[nodiscard]] virtual PipelineStats stats() const noexcept = 0;
+  virtual void save_state(ByteWriter& out) const = 0;
+  virtual void restore_state(ByteReader& in) = 0;
+  virtual void set_interval_close_callback(
+      std::function<void(std::size_t)> callback) = 0;
+  [[nodiscard]] virtual StreamPosition position() const noexcept = 0;
+  /// Reports emitted so far: intervals closed minus any detection still
+  /// deferred (kNextInterval). The restore path uses this to re-base the
+  /// flush() report-count invariant.
+  [[nodiscard]] virtual std::size_t reports_emitted() const noexcept = 0;
 };
 
 template <typename Family>
@@ -209,6 +431,173 @@ class Engine final : public EngineBase {
     return stats_;  // sketch_bytes is fixed at construction
   }
 
+  void set_interval_close_callback(
+      std::function<void(std::size_t)> callback) override {
+    on_interval_close_ = std::move(callback);
+  }
+
+  [[nodiscard]] StreamPosition position() const noexcept override {
+    return {started_, interval_index_, current_start_, last_time_};
+  }
+
+  [[nodiscard]] std::size_t reports_emitted() const noexcept override {
+    return stats_.intervals_closed - (pending_.has_value() ? 1 : 0);
+  }
+
+  void save_state(ByteWriter& out) const override {
+    if (interval_open_ || records_in_interval_ != 0 || !keys_.empty()) {
+      throw std::logic_error(
+          "ChangeDetectionPipeline::save_state: an interval is in progress; "
+          "snapshot only at an interval boundary (see "
+          "set_interval_close_callback)");
+    }
+    out.u64(kEngineStateVersion);
+    // Config guards: restoring into a pipeline with different sketch
+    // geometry or hashing would silently corrupt every later estimate, so
+    // the stream pins the state-determining config axes.
+    out.u64(config_.h);
+    out.u64(config_.k);
+    out.u64(config_.seed);
+    out.u64(static_cast<std::uint64_t>(config_.key_kind));
+    out.u64(static_cast<std::uint64_t>(config_.update_kind));
+
+    out.u64(started_ ? 1 : 0);
+    out.f64(current_start_);
+    out.f64(current_len_);
+    out.f64(last_time_);
+    out.u64(interval_index_);
+    write_model_config(out, active_model_);
+    out.f64(smoothed_f2_);
+    out.u64(have_smoothed_f2_ ? 1 : 0);
+    write_rng(out, sample_rng_);
+    write_rng(out, interval_rng_);
+    out.u64(stats_.records);
+    out.u64(stats_.intervals_closed);
+    out.u64(stats_.alarms);
+    out.u64(stats_.refits);
+    out.u64(stats_.keys_replayed);
+    out.u64(stats_.hysteresis_suppressed);
+    out.u64(stats_.out_of_order_records);
+    out.f64(stats_.update_seconds);
+    out.u64(stats_.update_samples);
+    out.f64(stats_.close_seconds);
+    out.f64(stats_.forecast_seconds);
+    out.f64(stats_.estimate_f2_seconds);
+    out.f64(stats_.key_replay_seconds);
+    out.f64(stats_.refit_seconds);
+    // Hysteresis streaks, sorted by key: the map's iteration order is not
+    // deterministic, the byte stream must be.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> streaks;
+    streaks.reserve(alarm_streaks_.size());
+    for (const auto& [key, streak] : alarm_streaks_) {
+      streaks.emplace_back(key, streak);
+    }
+    std::sort(streaks.begin(), streaks.end());
+    out.u64(streaks.size());
+    for (const auto& [key, streak] : streaks) {
+      out.u64(key);
+      out.u64(streak);
+    }
+    SketchStateWriter<Sketch> model_out(out);
+    runner_->save_state(model_out);
+    out.u64(pending_.has_value() ? 1 : 0);
+    if (pending_.has_value()) {
+      out.f64(pending_->est_f2);
+      write_report(out, pending_->report);
+      model_out.write_signal(pending_->error);
+    }
+    out.u64(history_.size());
+    for (const Sketch& s : history_) model_out.write_signal(s);
+    out.u64(kEngineStateSentinel);
+  }
+
+  void restore_state(ByteReader& in) override {
+    const std::uint64_t version = in.u64();
+    if (version != kEngineStateVersion) {
+      throw sketch::SerializeError(
+          sketch::SerializeErrorKind::kBadVersion,
+          "engine state version " + std::to_string(version) +
+              " is not the supported version " +
+              std::to_string(kEngineStateVersion));
+    }
+    if (in.u64() != config_.h || in.u64() != config_.k) {
+      throw sketch::SerializeError(
+          sketch::SerializeErrorKind::kBadDimensions,
+          "engine state sketch geometry (h, k) does not match this "
+          "pipeline's configuration");
+    }
+    if (in.u64() != config_.seed ||
+        in.u64() != static_cast<std::uint64_t>(config_.key_kind) ||
+        in.u64() != static_cast<std::uint64_t>(config_.update_kind)) {
+      throw sketch::SerializeError(
+          sketch::SerializeErrorKind::kFamilyMismatch,
+          "engine state (seed, key kind, update kind) does not match this "
+          "pipeline's configuration");
+    }
+    started_ = in.u64() != 0;
+    current_start_ = in.f64();
+    current_len_ = in.f64();
+    last_time_ = in.f64();
+    interval_index_ = static_cast<std::size_t>(in.u64());
+    active_model_ = read_model_config(in);
+    smoothed_f2_ = in.f64();
+    have_smoothed_f2_ = in.u64() != 0;
+    read_rng(in, sample_rng_);
+    read_rng(in, interval_rng_);
+    stats_ = PipelineStats{};
+    stats_.records = in.u64();
+    stats_.intervals_closed = static_cast<std::size_t>(in.u64());
+    stats_.alarms = static_cast<std::size_t>(in.u64());
+    stats_.refits = static_cast<std::size_t>(in.u64());
+    stats_.keys_replayed = in.u64();
+    stats_.hysteresis_suppressed = in.u64();
+    stats_.out_of_order_records = in.u64();
+    stats_.update_seconds = in.f64();
+    stats_.update_samples = in.u64();
+    stats_.close_seconds = in.f64();
+    stats_.forecast_seconds = in.f64();
+    stats_.estimate_f2_seconds = in.f64();
+    stats_.key_replay_seconds = in.f64();
+    stats_.refit_seconds = in.f64();
+    stats_.sketch_bytes = observed_.table_bytes();
+    alarm_streaks_.clear();
+    const std::uint64_t streaks = in.u64();
+    for (std::uint64_t i = 0; i < streaks; ++i) {
+      const std::uint64_t key = in.u64();
+      alarm_streaks_[key] = static_cast<std::size_t>(in.u64());
+    }
+    rebuild_runner();
+    SketchStateReader<Sketch> model_in(in, observed_.registers().size());
+    runner_->restore_state(model_in);
+    pending_.reset();
+    if (in.u64() != 0) {
+      Pending p{Sketch(family_, config_.k), 0.0, IntervalReport{}};
+      p.est_f2 = in.f64();
+      p.report = read_report(in);
+      model_in.read_signal(p.error);
+      pending_.emplace(std::move(p));
+    }
+    history_.clear();
+    const std::uint64_t hist = in.u64();
+    for (std::uint64_t i = 0; i < hist; ++i) {
+      Sketch s(family_, config_.k);
+      model_in.read_signal(s);
+      history_.push_back(std::move(s));
+    }
+    if (in.u64() != kEngineStateSentinel) {
+      throw sketch::SerializeError(
+          sketch::SerializeErrorKind::kCorruptRegisters,
+          "engine state sentinel mismatch: reader and writer disagree on "
+          "the field layout");
+    }
+    // Boundary state: a snapshot is only taken between intervals, so the
+    // open-interval accumulators restore to empty.
+    observed_.set_zero();
+    keys_.clear();
+    records_in_interval_ = 0;
+    interval_open_ = false;
+  }
+
  private:
   struct Pending {
     Sketch error;
@@ -311,6 +700,12 @@ class Engine final : public EngineBase {
 #endif
 
     maybe_refit();
+
+    // Last act of the close: every counter is advanced, the report is out
+    // (or parked in pending_) and the accumulators are empty — the engine is
+    // in exactly the state a restore reproduces. Checkpoint triggers hook
+    // here so a snapshot can never straddle an interval.
+    if (on_interval_close_) on_interval_close_(stats_.intervals_closed);
   }
 
   void mark_detection_ran() noexcept {
@@ -479,6 +874,7 @@ class Engine final : public EngineBase {
   std::optional<Pending> pending_;
   std::deque<Sketch> history_;
   PipelineStats stats_;
+  std::function<void(std::size_t)> on_interval_close_;
   /// Shared process-wide instruments; null when config.metrics is false or
   /// the library was built with SCD_OBS_ENABLED=0.
   obs::PipelineInstruments* obs_ = nullptr;
@@ -505,6 +901,9 @@ class ChangeDetectionPipeline::Impl {
   PipelineConfig config_;
   std::unique_ptr<EngineBase> engine_;
   std::vector<IntervalReport> reports_;
+  /// Reports emitted before a restored snapshot was taken: the restored
+  /// engine's intervals_closed includes them, reports_ does not.
+  std::size_t reports_offset_ = 0;
   std::function<void(const IntervalReport&)> callback_;
 };
 
@@ -539,11 +938,12 @@ void ChangeDetectionPipeline::flush() {
   // (kNextInterval), or flushed with an empty key set. Replay modes added
   // later must preserve this.
   const std::size_t closed = impl_->engine_->stats().intervals_closed;
-  if (closed != impl_->reports_.size()) {
+  const std::size_t emitted = impl_->reports_offset_ + impl_->reports_.size();
+  if (closed != emitted) {
     SCD_ERROR() << "pipeline invariant violated after flush: "
                 << closed << " intervals closed but "
-                << impl_->reports_.size() << " reports emitted";
-    assert(closed == impl_->reports_.size());
+                << emitted << " reports emitted";
+    assert(closed == emitted);
   }
 }
 
@@ -555,6 +955,36 @@ const std::vector<IntervalReport>& ChangeDetectionPipeline::reports()
 void ChangeDetectionPipeline::set_report_callback(
     std::function<void(const IntervalReport&)> callback) {
   impl_->callback_ = std::move(callback);
+}
+
+void ChangeDetectionPipeline::set_interval_close_callback(
+    std::function<void(std::size_t)> callback) {
+  impl_->engine_->set_interval_close_callback(std::move(callback));
+}
+
+std::vector<std::uint8_t> ChangeDetectionPipeline::save_state() const {
+  std::vector<std::uint8_t> bytes;
+  ByteWriter out(bytes);
+  impl_->engine_->save_state(out);
+  return bytes;
+}
+
+void ChangeDetectionPipeline::restore_state(
+    const std::vector<std::uint8_t>& bytes) {
+  ByteReader in(bytes.data(), bytes.size());
+  impl_->engine_->restore_state(in);
+  if (in.remaining() != 0) {
+    throw sketch::SerializeError(
+        sketch::SerializeErrorKind::kTrailingBytes,
+        "engine state has " + std::to_string(in.remaining()) +
+            " unconsumed trailing bytes");
+  }
+  impl_->reports_.clear();
+  impl_->reports_offset_ = impl_->engine_->reports_emitted();
+}
+
+StreamPosition ChangeDetectionPipeline::position() const noexcept {
+  return impl_->engine_->position();
 }
 
 const forecast::ModelConfig& ChangeDetectionPipeline::active_model()

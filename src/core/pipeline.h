@@ -144,6 +144,21 @@ struct IntervalBatch {
   std::vector<std::uint64_t> keys;  // distinct keys (shard-concatenated)
 };
 
+/// Where a pipeline sits in its input stream. After a restore this tells the
+/// feeding layer which records the snapshot already accounts for: skip
+/// everything with time < next_interval_start_s and resume feeding from
+/// there — the replayed stream then produces reports bit-identical to an
+/// uninterrupted run.
+struct StreamPosition {
+  bool started = false;
+  /// Index of the interval that will close next (0-based).
+  std::size_t interval_index = 0;
+  /// Start time of the first interval the snapshot does NOT cover.
+  double next_interval_start_s = 0.0;
+  /// Largest record timestamp seen (out-of-order high-water mark).
+  double high_water_s = 0.0;
+};
+
 /// Everything the pipeline learned about one closed interval.
 struct IntervalReport {
   std::size_t index = 0;
@@ -196,6 +211,36 @@ class ChangeDetectionPipeline {
 
   /// Invoked synchronously as each interval report is produced.
   void set_report_callback(std::function<void(const IntervalReport&)> callback);
+
+  /// Invoked at the very end of every interval close — after the report is
+  /// out, the counters are advanced and any online re-fit has run — with the
+  /// number of intervals closed so far. At that instant the engine is in its
+  /// serial-equivalent boundary state, which is the one safe point for
+  /// save_state(); checkpointing layers hook here.
+  void set_interval_close_callback(std::function<void(std::size_t)> callback);
+
+  /// Serializes the complete mutable engine state: stream position, model
+  /// parameters and model state, refit history, RNG states, counters and any
+  /// deferred detection. Only legal at an interval boundary (no interval in
+  /// progress — i.e. from the interval-close callback, between
+  /// ingest_interval calls, or before the first record); throws
+  /// std::logic_error otherwise. The encoding is a versioned byte stream
+  /// whose integrity is the caller's job (src/checkpoint frames it with
+  /// CRCs); restore_state on a pipeline with the same config reproduces all
+  /// future reports bit-identically.
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const;
+
+  /// Restores a save_state() stream into this pipeline, which must have been
+  /// constructed with the same configuration (sketch geometry, seed and key
+  /// kinds are cross-checked). Existing reports are discarded — restore into
+  /// a freshly constructed pipeline, before installing callbacks. Throws
+  /// sketch::SerializeError on malformed input or config mismatch; on throw
+  /// the pipeline state is unspecified and the object must be discarded.
+  void restore_state(const std::vector<std::uint8_t>& bytes);
+
+  /// Current stream position; after restore_state, tells the feeder where to
+  /// resume.
+  [[nodiscard]] StreamPosition position() const noexcept;
 
   /// Model currently in use (changes after online re-fitting).
   [[nodiscard]] const forecast::ModelConfig& active_model() const noexcept;

@@ -80,6 +80,19 @@ class ArimaModel final : public ForecastModel<V> {
     return count_;
   }
 
+  void save_state(StateWriter<V>& out) const override {
+    out.write_u64(count_);
+    save_ring(out, z_history_);
+    save_ring(out, e_history_);
+    out.write_signal(prev_y_);
+  }
+  void restore_state(StateReader<V>& in) override {
+    count_ = in.read_u64();
+    load_ring(in, z_history_, zero_);
+    load_ring(in, e_history_, zero_);
+    in.read_signal(prev_y_);
+  }
+
  private:
   /// Z_f for the next interval from the current rings (missing history = 0).
   void forecast_z(V& out) const {

@@ -12,6 +12,7 @@
 #include <cstddef>
 
 #include "forecast/linear_space.h"
+#include "forecast/state_io.h"
 
 namespace scd::forecast {
 
@@ -32,6 +33,14 @@ class ForecastModel {
 
   /// Number of observe() calls so far.
   [[nodiscard]] virtual std::size_t observed_count() const noexcept = 0;
+
+  /// Checkpoint support: writes the model's complete mutable state (counters
+  /// and stored signals) in a fixed order. Configuration parameters are NOT
+  /// written — a restored model is first rebuilt from its ModelConfig, then
+  /// fed the snapshot. After restore_state consumes a matching save_state
+  /// stream, all future forecasts are bit-identical to the source model's.
+  virtual void save_state(StateWriter<V>& out) const = 0;
+  virtual void restore_state(StateReader<V>& in) = 0;
 };
 
 }  // namespace scd::forecast

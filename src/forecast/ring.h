@@ -33,6 +33,13 @@ class HistoryRing {
     return slots_[idx];
   }
 
+  /// Empties the ring (capacity unchanged); used by state restore before
+  /// re-pushing a snapshotted history.
+  void clear() noexcept {
+    slots_.clear();
+    head_ = 0;
+  }
+
   [[nodiscard]] std::size_t size() const noexcept { return slots_.size(); }
   [[nodiscard]] bool full() const noexcept { return slots_.size() == capacity_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }

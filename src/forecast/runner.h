@@ -43,6 +43,11 @@ class ForecastRunner {
 
   [[nodiscard]] const ForecastModel<V>& model() const noexcept { return *model_; }
 
+  /// Checkpoint passthrough: the runner itself is stateless beyond the model
+  /// (scratch_ is overwritten before every read).
+  void save_state(StateWriter<V>& out) const { model_->save_state(out); }
+  void restore_state(StateReader<V>& in) { model_->restore_state(in); }
+
  private:
   std::unique_ptr<ForecastModel<V>> model_;
   V scratch_;

@@ -88,6 +88,21 @@ class SeasonalHoltWintersModel final : public ForecastModel<V> {
     return count_;
   }
 
+  void save_state(StateWriter<V>& out) const override {
+    out.write_u64(count_);
+    out.write_signal(level_);
+    out.write_signal(trend_);
+    save_ring(out, seasons_);
+    save_ring(out, warmup_);
+  }
+  void restore_state(StateReader<V>& in) override {
+    count_ = in.read_u64();
+    in.read_signal(level_);
+    in.read_signal(trend_);
+    load_ring(in, seasons_, zero_like(level_));
+    load_ring(in, warmup_, zero_like(level_));
+  }
+
  private:
   void initialize() {
     // level = mean of the first m observations; season_i = o_i - level.

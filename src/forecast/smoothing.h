@@ -42,6 +42,15 @@ class MovingAverageModel final : public ForecastModel<V> {
     return count_;
   }
 
+  void save_state(StateWriter<V>& out) const override {
+    out.write_u64(count_);
+    save_ring(out, history_);
+  }
+  void restore_state(StateReader<V>& in) override {
+    count_ = in.read_u64();
+    load_ring(in, history_, zero_);
+  }
+
  private:
   std::size_t window_;
   HistoryRing<V> history_;
@@ -92,6 +101,15 @@ class SShapedMaModel final : public ForecastModel<V> {
     return count_;
   }
 
+  void save_state(StateWriter<V>& out) const override {
+    out.write_u64(count_);
+    save_ring(out, history_);
+  }
+  void restore_state(StateReader<V>& in) override {
+    count_ = in.read_u64();
+    load_ring(in, history_, zero_);
+  }
+
  private:
   std::size_t window_;
   HistoryRing<V> history_;
@@ -128,6 +146,15 @@ class EwmaModel final : public ForecastModel<V> {
 
   [[nodiscard]] std::size_t observed_count() const noexcept override {
     return count_;
+  }
+
+  void save_state(StateWriter<V>& out) const override {
+    out.write_u64(count_);
+    out.write_signal(forecast_);
+  }
+  void restore_state(StateReader<V>& in) override {
+    count_ = in.read_u64();
+    in.read_signal(forecast_);
   }
 
  private:
@@ -193,6 +220,19 @@ class HoltWintersModel final : public ForecastModel<V> {
 
   [[nodiscard]] std::size_t observed_count() const noexcept override {
     return count_;
+  }
+
+  void save_state(StateWriter<V>& out) const override {
+    out.write_u64(count_);
+    out.write_signal(smooth_);
+    out.write_signal(trend_);
+    out.write_signal(first_obs_);
+  }
+  void restore_state(StateReader<V>& in) override {
+    count_ = in.read_u64();
+    in.read_signal(smooth_);
+    in.read_signal(trend_);
+    in.read_signal(first_obs_);
   }
 
  private:

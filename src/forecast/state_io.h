@@ -1,0 +1,74 @@
+// Forecast-model state archival — the abstraction checkpointing rides on.
+//
+// Every ForecastModel is a fixed linear combination of past signals, so its
+// complete state is a handful of counters plus a few stored signals
+// (forecast sketches, history rings). StateWriter/StateReader abstract the
+// byte encoding away from the models: the checkpoint layer (src/checkpoint
+// via core/pipeline.cpp) supplies concrete implementations that know how to
+// encode the signal space V (a k-ary sketch's register table, a dense
+// vector, ...), while the models just enumerate their fields in a fixed,
+// documented order. Restoring through the same sequence of calls yields a
+// model whose future forecasts are bit-identical to the snapshotted one.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "forecast/ring.h"
+
+namespace scd::forecast {
+
+/// Receives a model's state fields in declaration order. Implementations
+/// throw their own typed error on an output failure.
+template <typename V>
+class StateWriter {
+ public:
+  virtual ~StateWriter() = default;
+  virtual void write_u64(std::uint64_t value) = 0;
+  virtual void write_f64(double value) = 0;
+  virtual void write_signal(const V& value) = 0;
+};
+
+/// Supplies a model's state fields in the order StateWriter received them.
+/// Implementations throw their own typed error on truncated or malformed
+/// input; models report semantic violations (e.g. a ring larger than its
+/// capacity) through fail(), which must throw and never return.
+template <typename V>
+class StateReader {
+ public:
+  virtual ~StateReader() = default;
+  [[nodiscard]] virtual std::uint64_t read_u64() = 0;
+  [[nodiscard]] virtual double read_f64() = 0;
+  virtual void read_signal(V& out) = 0;
+  [[noreturn]] virtual void fail(const std::string& what) = 0;
+};
+
+/// Writes a HistoryRing as its element count followed by the elements oldest
+/// first — re-pushing them in that order reproduces an equivalent ring
+/// (back(ago) is invariant under the physical head position).
+template <typename V>
+void save_ring(StateWriter<V>& out, const HistoryRing<V>& ring) {
+  out.write_u64(ring.size());
+  for (std::size_t ago = ring.size(); ago >= 1; --ago) {
+    out.write_signal(ring.back(ago));
+  }
+}
+
+/// Restores a ring written by save_ring into `ring`, which must already have
+/// the correct capacity (it comes from the model's configuration). `scratch`
+/// provides the signal structure to deserialize into.
+template <typename V>
+void load_ring(StateReader<V>& in, HistoryRing<V>& ring, V scratch) {
+  const std::uint64_t n = in.read_u64();
+  if (n > ring.capacity()) {
+    in.fail("history ring holds " + std::to_string(n) +
+            " elements but capacity is " + std::to_string(ring.capacity()));
+  }
+  ring.clear();
+  for (std::uint64_t i = 0; i < n; ++i) {
+    in.read_signal(scratch);
+    ring.push(scratch);
+  }
+}
+
+}  // namespace scd::forecast

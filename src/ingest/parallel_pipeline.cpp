@@ -1,7 +1,11 @@
 #include "ingest/parallel_pipeline.h"
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "common/random.h"
@@ -11,10 +15,49 @@
 #include "ingest/ingest_metrics.h"
 #include "ingest/shard_set.h"
 #include "obs/metrics.h"
+#include "sketch/serialize.h"
 #include "traffic/flow_record.h"
 #include "traffic/key_extract.h"
 
 namespace scd::ingest {
+
+namespace {
+
+/// Front-end state stream layout version; bump on any field change. The
+/// serial engine's payload is versioned separately inside its own blob.
+constexpr std::uint64_t kFrontendStateVersion = 1;
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void append_f64(std::vector<std::uint8_t>& out, double v) {
+  append_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+[[nodiscard]] std::uint64_t take_u64(const std::vector<std::uint8_t>& in,
+                                     std::size_t& pos) {
+  if (in.size() - pos < 8) {
+    throw sketch::SerializeError(sketch::SerializeErrorKind::kTruncated,
+                                 "parallel front-end state ends mid-field");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[pos + static_cast<std::size_t>(i)])
+         << (8 * i);
+  }
+  pos += 8;
+  return v;
+}
+
+[[nodiscard]] double take_f64(const std::vector<std::uint8_t>& in,
+                              std::size_t& pos) {
+  return std::bit_cast<double>(take_u64(in, pos));
+}
+
+}  // namespace
 
 void ParallelConfig::validate(const core::PipelineConfig& pipeline) const {
   if (workers < 1 || workers > 256) {
@@ -94,6 +137,7 @@ class ParallelPipeline::Impl {
       flush_chunk(shard_of(key));
     }
     ++stats_.records;
+    ++records_since_barrier_;
   }
 
   void flush() {
@@ -112,6 +156,77 @@ class ParallelPipeline::Impl {
     ParallelStats s = stats_;
     s.backpressure_waits = shards_->backpressure_waits();
     return s;
+  }
+
+  void set_interval_close_callback(std::function<void(std::size_t)> callback) {
+    on_interval_close_ = std::move(callback);
+  }
+
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const {
+    if (records_since_barrier_ != 0) {
+      throw std::logic_error(
+          "ParallelPipeline::save_state: records accepted since the last "
+          "interval-close barrier; snapshot only from the interval-close "
+          "callback");
+    }
+    std::vector<std::uint8_t> bytes;
+    append_u64(bytes, kFrontendStateVersion);
+    append_u64(bytes, started_ ? 1 : 0);
+    append_f64(bytes, current_start_);
+    append_f64(bytes, last_time_);
+    append_u64(bytes, stats_.records);
+    append_u64(bytes, stats_.out_of_order_records);
+    append_u64(bytes, stats_.barriers);
+    // Shard sketches are all drained at a barrier and backpressure_waits is
+    // a transient liveness counter, so the serial engine blob is the only
+    // nested payload.
+    const std::vector<std::uint8_t> serial = serial_.save_state();
+    append_u64(bytes, serial.size());
+    bytes.insert(bytes.end(), serial.begin(), serial.end());
+    return bytes;
+  }
+
+  void restore_state(const std::vector<std::uint8_t>& bytes) {
+    std::size_t pos = 0;
+    const std::uint64_t version = take_u64(bytes, pos);
+    if (version != kFrontendStateVersion) {
+      throw sketch::SerializeError(
+          sketch::SerializeErrorKind::kBadVersion,
+          "parallel front-end state version " + std::to_string(version) +
+              " is not the supported version " +
+              std::to_string(kFrontendStateVersion));
+    }
+    started_ = take_u64(bytes, pos) != 0;
+    current_start_ = take_f64(bytes, pos);
+    last_time_ = take_f64(bytes, pos);
+    stats_ = ParallelStats{};
+    stats_.records = take_u64(bytes, pos);
+    stats_.out_of_order_records = take_u64(bytes, pos);
+    stats_.barriers = static_cast<std::size_t>(take_u64(bytes, pos));
+    const std::uint64_t serial_size = take_u64(bytes, pos);
+    if (bytes.size() - pos < serial_size) {
+      throw sketch::SerializeError(
+          sketch::SerializeErrorKind::kTruncated,
+          "parallel front-end state ends inside the serial engine blob");
+    }
+    if (bytes.size() - pos > serial_size) {
+      throw sketch::SerializeError(
+          sketch::SerializeErrorKind::kTrailingBytes,
+          "parallel front-end state has trailing bytes after the serial "
+          "engine blob");
+    }
+    serial_.restore_state(std::vector<std::uint8_t>(
+        bytes.begin() + static_cast<std::ptrdiff_t>(pos), bytes.end()));
+    records_since_barrier_ = 0;
+    for (Chunk& chunk : pending_) chunk.clear();
+  }
+
+  [[nodiscard]] core::StreamPosition position() const noexcept {
+    core::StreamPosition p = serial_.position();
+    p.started = started_;
+    p.next_interval_start_s = current_start_;
+    p.high_water_s = std::max(p.high_water_s, last_time_);
+    return p;
   }
 
   core::PipelineConfig config_;
@@ -142,13 +257,19 @@ class ParallelPipeline::Impl {
     ++stats_.barriers;
     serial_.ingest_interval(std::move(batch));
     current_start_ += config_.interval_s;
+    records_since_barrier_ = 0;
+    // Fires with every shard drained and the front-end clock advanced: the
+    // only point where save_state() captures serial-equivalent state.
+    if (on_interval_close_) on_interval_close_(stats_.barriers);
   }
 
   std::vector<Chunk> pending_;  // per-shard producer-side batches
   bool started_ = false;
   double current_start_ = 0.0;
   double last_time_ = 0.0;
+  std::uint64_t records_since_barrier_ = 0;
   ParallelStats stats_;
+  std::function<void(std::size_t)> on_interval_close_;
 };
 
 ParallelPipeline::ParallelPipeline(core::PipelineConfig config,
@@ -180,6 +301,23 @@ const std::vector<core::IntervalReport>& ParallelPipeline::reports()
 void ParallelPipeline::set_report_callback(
     std::function<void(const core::IntervalReport&)> callback) {
   impl_->serial_.set_report_callback(std::move(callback));
+}
+
+void ParallelPipeline::set_interval_close_callback(
+    std::function<void(std::size_t)> callback) {
+  impl_->set_interval_close_callback(std::move(callback));
+}
+
+std::vector<std::uint8_t> ParallelPipeline::save_state() const {
+  return impl_->save_state();
+}
+
+void ParallelPipeline::restore_state(const std::vector<std::uint8_t>& bytes) {
+  impl_->restore_state(bytes);
+}
+
+core::StreamPosition ParallelPipeline::position() const noexcept {
+  return impl_->position();
 }
 
 core::PipelineStats ParallelPipeline::stats() const noexcept {

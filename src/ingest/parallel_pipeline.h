@@ -76,6 +76,36 @@ class ParallelPipeline {
   void set_report_callback(
       std::function<void(const core::IntervalReport&)> callback);
 
+  /// Invoked at the end of every interval-close barrier, after the merged
+  /// batch has been ingested by the serial stages and the front-end clock
+  /// has advanced — the one point where the whole parallel pipeline is in
+  /// serial-equivalent state (all shard sketches drained, no chunk in
+  /// flight). Checkpointing layers hook here; the argument is the number of
+  /// intervals closed so far. Distinct from the serial engine's own
+  /// interval-close callback, which would fire before the front-end clock
+  /// advanced.
+  void set_interval_close_callback(std::function<void(std::size_t)> callback);
+
+  /// Serializes front-end position and counters plus the full serial-engine
+  /// snapshot. Only legal at the interval-close barrier (from the
+  /// interval-close callback, or before the first record): throws
+  /// std::logic_error when records have been accepted since the last
+  /// barrier. Worker count and queue sizing are NOT part of the state — a
+  /// snapshot restores into a ParallelPipeline with any ParallelConfig, or
+  /// even into a plain serial feed of the same PipelineConfig.
+  [[nodiscard]] std::vector<std::uint8_t> save_state() const;
+
+  /// Restores a save_state() stream. Same contract as
+  /// ChangeDetectionPipeline::restore_state: the pipeline must be freshly
+  /// constructed with the same PipelineConfig, callbacks are installed
+  /// after; throws sketch::SerializeError on malformed input or config
+  /// mismatch.
+  void restore_state(const std::vector<std::uint8_t>& bytes);
+
+  /// Current stream position; after restore_state, tells the feeder where
+  /// to resume.
+  [[nodiscard]] core::StreamPosition position() const noexcept;
+
   /// Core counters (records, alarms, ...) with out_of_order_records folded
   /// in from the front-end.
   [[nodiscard]] core::PipelineStats stats() const noexcept;

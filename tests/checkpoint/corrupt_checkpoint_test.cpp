@@ -1,0 +1,200 @@
+// Corrupt-checkpoint corpus: every class of on-disk damage — truncation at
+// each section boundary, flipped bits in header and payload, a stale
+// version field, foreign magic, trailing garbage — must surface as a typed
+// skip (never a misload), and recover() must fall back to the newest older
+// checkpoint that still verifies.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "core/pipeline.h"
+
+namespace scd::checkpoint {
+namespace {
+
+core::PipelineConfig corpus_config() {
+  core::PipelineConfig config;
+  config.interval_s = 10.0;
+  config.h = 3;
+  config.k = 64;
+  config.model.kind = forecast::ModelKind::kEwma;
+  config.metrics = false;
+  return config;
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<std::uint8_t> read_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::filesystem::path& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Captures SCD_WARN lines so the skip *reason* is assertable.
+class LogCapture {
+ public:
+  LogCapture() {
+    common::set_log_sink([this](common::LogLevel, const std::string& line) {
+      lines_.push_back(line);
+    });
+  }
+  ~LogCapture() { common::set_log_sink(nullptr); }
+
+  [[nodiscard]] bool contains(const std::string& needle) const {
+    for (const std::string& line : lines_) {
+      if (line.find(needle) != std::string::npos) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+/// A directory with two valid checkpoints; tests corrupt the newer one and
+/// expect recovery from the older.
+struct Corpus {
+  std::filesystem::path dir;
+  std::filesystem::path newest;
+  std::filesystem::path older;
+  std::vector<std::uint8_t> pristine;  // newest file's original bytes
+
+  explicit Corpus(const std::string& name) : dir(fresh_dir(name)) {
+    const core::PipelineConfig config = corpus_config();
+    core::ChangeDetectionPipeline pipeline(config);
+    CheckpointWriterOptions options;
+    options.directory = dir;
+    options.keep = 10;
+    options.metrics = false;
+    CheckpointWriter writer(options, config);
+    writer.attach(pipeline);
+    for (double t = 1.0; t < 65.0; t += 10.0) {
+      for (std::uint64_t key = 0; key < 20; ++key) {
+        pipeline.add(key, 300.0, t);
+      }
+    }
+    const auto files = list_checkpoints(dir);
+    EXPECT_GE(files.size(), 2u);
+    newest = files[0];
+    older = files[1];
+    pristine = read_file(newest);
+    EXPECT_GE(pristine.size(), kCheckpointHeaderBytes);
+  }
+};
+
+/// Corrupts `corpus.newest`, runs recover(), and expects the older file to
+/// be restored with exactly one skip whose logged reason mentions `reason`.
+void expect_skip_to_previous(const Corpus& corpus, const std::string& label,
+                             const std::string& reason) {
+  SCOPED_TRACE(label);
+  LogCapture capture;
+  core::ChangeDetectionPipeline pipeline(corpus_config());
+  const RecoverResult result = recover(corpus.dir, pipeline);
+  EXPECT_TRUE(result.restored);
+  EXPECT_EQ(result.path, corpus.older);
+  EXPECT_EQ(result.skipped, 1u);
+  EXPECT_TRUE(capture.contains(reason))
+      << "no skip logged with reason \"" << reason << "\"";
+}
+
+TEST(CorruptCheckpoint, TruncationAtEverySectionBoundary) {
+  Corpus corpus("corrupt_trunc");
+  // Section boundaries of the 48-byte header (magic, version, kind,
+  // reserved, fingerprint, interval, payload_len, payload CRC, header CRC),
+  // plus mid-payload and one-byte-short-of-complete.
+  const std::size_t boundaries[] = {
+      0, 1, 4, 8, 12, 16, 24, 32, 40, 44, 47, 48,
+      kCheckpointHeaderBytes + (corpus.pristine.size() - 48) / 2,
+      corpus.pristine.size() - 1};
+  for (const std::size_t cut : boundaries) {
+    std::vector<std::uint8_t> bytes = corpus.pristine;
+    bytes.resize(cut);
+    write_file(corpus.newest, bytes);
+    expect_skip_to_previous(corpus, "truncated to " + std::to_string(cut),
+                            "[truncated]");
+  }
+}
+
+TEST(CorruptCheckpoint, BitFlipsAreCaughtByCrcs) {
+  Corpus corpus("corrupt_flip");
+  // One flip in each header field and several spread through the payload.
+  const std::size_t size = corpus.pristine.size();
+  const std::size_t offsets[] = {5,  9,  17, 25, 33, 41, 45,
+                                 49, 48 + (size - 48) / 3, size - 1};
+  for (const std::size_t offset : offsets) {
+    std::vector<std::uint8_t> bytes = corpus.pristine;
+    bytes[offset] ^= 0x10u;
+    write_file(corpus.newest, bytes);
+    expect_skip_to_previous(corpus, "bit flip at " + std::to_string(offset),
+                            "[bad-crc]");
+  }
+}
+
+TEST(CorruptCheckpoint, StaleVersionByte) {
+  Corpus corpus("corrupt_version");
+  std::vector<std::uint8_t> bytes = corpus.pristine;
+  bytes[4] = 0x7f;  // version -> 127
+  // Recompute the header CRC so *only* the version is wrong — this is what
+  // a file from a future/foreign build would look like.
+  const std::uint32_t crc = common::crc32(bytes.data(), 44);
+  for (int i = 0; i < 4; ++i) {
+    bytes[44 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(crc >> (8 * i));
+  }
+  write_file(corpus.newest, bytes);
+  expect_skip_to_previous(corpus, "stale version", "[bad-version]");
+}
+
+TEST(CorruptCheckpoint, ForeignMagic) {
+  Corpus corpus("corrupt_magic");
+  std::vector<std::uint8_t> bytes = corpus.pristine;
+  bytes[0] = 'X';
+  write_file(corpus.newest, bytes);
+  expect_skip_to_previous(corpus, "foreign magic", "[bad-magic]");
+}
+
+TEST(CorruptCheckpoint, TrailingGarbage) {
+  Corpus corpus("corrupt_trailing");
+  std::vector<std::uint8_t> bytes = corpus.pristine;
+  bytes.push_back(0xee);
+  bytes.push_back(0xee);
+  write_file(corpus.newest, bytes);
+  expect_skip_to_previous(corpus, "trailing garbage", "[bad-payload]");
+}
+
+TEST(CorruptCheckpoint, AllCandidatesCorruptMeansNoRestore) {
+  Corpus corpus("corrupt_all");
+  for (const auto& path : list_checkpoints(corpus.dir)) {
+    std::vector<std::uint8_t> bytes = read_file(path);
+    bytes.resize(bytes.size() / 2);
+    write_file(path, bytes);
+  }
+  LogCapture capture;
+  core::ChangeDetectionPipeline pipeline(corpus_config());
+  const RecoverResult result = recover(corpus.dir, pipeline);
+  EXPECT_FALSE(result.restored);
+  EXPECT_GE(result.skipped, 2u);
+  EXPECT_FALSE(pipeline.position().started);
+}
+
+}  // namespace
+}  // namespace scd::checkpoint

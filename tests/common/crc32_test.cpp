@@ -1,0 +1,42 @@
+#include "common/crc32.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scd::common {
+namespace {
+
+TEST(Crc32, CheckValue) {
+  // The ISO-HDLC/zlib "check" vector.
+  const std::string data = "123456789";
+  EXPECT_EQ(crc32(data.data(), data.size()), 0xcbf43926u);
+}
+
+TEST(Crc32, EmptyBufferIsZero) { EXPECT_EQ(crc32(nullptr, 0), 0u); }
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  const std::string data = "sketch-based change detection";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    std::uint32_t state = kCrc32Init;
+    state = crc32_update(state, data.data(), split);
+    state = crc32_update(state, data.data() + split, data.size() - split);
+    EXPECT_EQ(crc32_finish(state), crc32(data.data(), data.size()))
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<std::uint8_t> data(64, 0xa5);
+  const std::uint32_t reference = crc32(data.data(), data.size());
+  for (std::size_t bit = 0; bit < data.size() * 8; bit += 37) {
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    EXPECT_NE(crc32(data.data(), data.size()), reference) << "bit " << bit;
+    data[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  }
+}
+
+}  // namespace
+}  // namespace scd::common
