@@ -16,6 +16,13 @@
 #include "common/random.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
+#include "obs/trace.h"
+
+// SCD_TRACE_ENABLED defaults to SCD_OBS_ENABLED: in this -DSCD_OBS_ENABLED=0
+// build every SCD_TRACE_SPAN site must be a no-op statement, not a runtime
+// check. Compile-time proof of the "zero cost compiled out" claim.
+static_assert(SCD_TRACE_ENABLED == 0,
+              "span macros must compile away when SCD_OBS_ENABLED=0");
 
 namespace {
 

@@ -68,6 +68,10 @@ target_link_libraries(scd_core_noobs PUBLIC
 
 add_executable(bench_obs_overhead_compiledout
   ${CMAKE_SOURCE_DIR}/bench/bench_obs_overhead_compiledout.cpp)
+# The bench TU itself also compiles with obs off so its static_assert can
+# prove the span macros followed SCD_OBS_ENABLED out of the build.
+target_compile_definitions(bench_obs_overhead_compiledout
+  PRIVATE SCD_OBS_ENABLED=0)
 target_link_libraries(bench_obs_overhead_compiledout PRIVATE scd_core_noobs)
 set_target_properties(bench_obs_overhead_compiledout PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

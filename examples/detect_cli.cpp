@@ -6,7 +6,8 @@
 //              [--threshold 0.05] [--key dst|src|pair] [--update bytes|
 //              packets|records] [--online] [--sample 1.0] [--top 10]
 //              [--metrics prom|json] [--checkpoint-dir DIR]
-//              [--checkpoint-every N] [--restore]
+//              [--checkpoint-every N] [--restore] [--explain]
+//              [--trace-out FILE] [--flight-recorder-dir DIR]
 //
 // Reads a binary trace (see trace_inspect to create one), runs the
 // sketch-based change-detection pipeline, and prints one line per alarm.
@@ -15,17 +16,25 @@
 // alarm listing. With --checkpoint-dir, the pipeline snapshots its state
 // every N interval closes (docs/CHECKPOINT.md); --restore resumes from the
 // newest valid checkpoint, skipping trace records the snapshot already
-// consumed so the remaining output matches an uninterrupted run.
+// consumed so the remaining output matches an uninterrupted run. With
+// --explain, every alarm is followed by one "PROVENANCE {json}" line
+// carrying the full evidence chain (docs/OBSERVABILITY.md). --trace-out
+// writes the run's span trace as Chrome trace-event JSON (loadable in
+// Perfetto); --flight-recorder-dir arms the crash/alarm flight recorder.
 #include <cstdio>
 #include <optional>
 #include <string>
 
 #include "checkpoint/checkpoint.h"
+#include "common/atomic_file.h"
 #include "common/flags.h"
 #include "common/strutil.h"
 #include "core/pipeline.h"
+#include "detect/provenance.h"
 #include "eval/stage_budget.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "traffic/csv_import.h"
 #include "traffic/trace_io.h"
 
@@ -108,6 +117,13 @@ int main(int argc, char** argv) {
   flags.add_flag("restore",
                  "resume from the newest valid checkpoint in "
                  "--checkpoint-dir before reading the trace", "");
+  flags.add_flag("explain",
+                 "print one 'PROVENANCE {json}' evidence line per alarm", "");
+  flags.add_flag("trace-out",
+                 "write span trace as Chrome trace-event JSON to FILE", "");
+  flags.add_flag("flight-recorder-dir",
+                 "arm the flight recorder; dumps land in DIR "
+                 "(docs/OBSERVABILITY.md)", "");
 
   if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
     std::fprintf(stderr, "%s%s\n", flags.error().c_str(),
@@ -166,8 +182,24 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  const std::string trace_out = flags.get("trace-out");
+  const std::string flightrec_dir = flags.get("flight-recorder-dir");
+  const bool explain = flags.get_bool("explain");
+
   try {
     config.validate();
+    if (!trace_out.empty() || !flightrec_dir.empty()) {
+      obs::TraceController::global().set_enabled(true);
+    }
+    std::optional<obs::FlightRecorder> recorder;
+    if (!flightrec_dir.empty()) {
+      obs::FlightRecorder::Options options;
+      options.directory = flightrec_dir;
+      recorder.emplace(options);
+      recorder->set_config_fingerprint(core::config_fingerprint(config));
+      obs::FlightRecorder::set_global(&*recorder);
+      obs::FlightRecorder::install_fatal_signal_handlers();
+    }
     core::ChangeDetectionPipeline pipeline(config);
 
     // Restore must precede set_report_callback: recover() replaces the
@@ -201,7 +233,29 @@ int main(int argc, char** argv) {
       writer->attach(pipeline);
     }
 
-    pipeline.set_report_callback([&config](const core::IntervalReport& r) {
+    if (explain || recorder.has_value()) {
+      pipeline.set_alarm_provenance_callback(
+          [&recorder, explain](const detect::AlarmProvenance& prov) {
+            const std::string json = detect::to_json(prov);
+            if (explain) std::printf("PROVENANCE %s\n", json.c_str());
+            if (recorder.has_value()) recorder->observe_provenance(json);
+          });
+    }
+
+    pipeline.set_report_callback([&config,
+                                  &recorder](const core::IntervalReport& r) {
+      if (recorder.has_value()) {
+        obs::FlightIntervalSummary summary;
+        summary.index = r.index;
+        summary.start_s = static_cast<std::uint64_t>(r.start_s);
+        summary.end_s = static_cast<std::uint64_t>(r.end_s);
+        summary.records = r.records;
+        summary.detection_ran = r.detection_ran;
+        summary.estimated_error_f2 = r.estimated_error_f2;
+        summary.alarm_threshold = r.alarm_threshold;
+        summary.alarms = r.alarms.size();
+        recorder->observe_interval(summary);
+      }
       if (!r.detection_ran || r.alarms.empty()) return;
       std::printf("[%8.0f s] %zu alarm(s), threshold=%.4g\n", r.start_s,
                   r.alarms.size(), r.alarm_threshold);
@@ -264,6 +318,20 @@ int main(int argc, char** argv) {
                       ? obs::to_json(obs::MetricsRegistry::global()).c_str()
                       : obs::to_prometheus(obs::MetricsRegistry::global())
                             .c_str());
+    }
+    if (recorder.has_value()) recorder->flush();
+    if (!trace_out.empty()) {
+      const std::string chrome =
+          obs::to_chrome_trace(obs::TraceController::global().snapshot());
+      // Flush buffered PROVENANCE/report lines first so a merged 2>&1
+      // capture cannot interleave this notice mid-line.
+      std::fflush(stdout);
+      std::string write_error;
+      if (!common::write_file_atomic(trace_out, chrome, write_error)) {
+        std::fprintf(stderr, "trace export failed: %s\n", write_error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

@@ -6,21 +6,47 @@
 //     the recent sketch history,
 //   * hourly JSON metrics snapshots from the observability layer
 //     (obs::PeriodicSnapshot driven by stream time, so replays are
-//     deterministic; a live deployment would drive it with wall time).
+//     deterministic; a live deployment would drive it with wall time),
+//   * structured alarm provenance: every alarm is followed by one
+//     "PROVENANCE {json}" line carrying the full evidence chain — observed
+//     vs forecast estimate, per-row bucket values, threshold, config
+//     fingerprint (docs/OBSERVABILITY.md).
 //
-//   ./build/examples/online_monitor
+//   ./build/examples/online_monitor [--trace-out FILE]
+//                                   [--flight-recorder-dir DIR]
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <optional>
+#include <string>
 
+#include "common/atomic_file.h"
+#include "common/flags.h"
 #include "common/strutil.h"
 #include "core/pipeline.h"
+#include "detect/provenance.h"
 #include "obs/exposition.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 #include "traffic/router_profiles.h"
 #include "traffic/synthetic.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace scd;
+
+  common::FlagParser flags;
+  flags.add_flag("trace-out",
+                 "write span trace as Chrome trace-event JSON to FILE", "");
+  flags.add_flag("flight-recorder-dir",
+                 "arm the flight recorder; dumps land in DIR "
+                 "(docs/OBSERVABILITY.md)", "");
+  if (!flags.parse(argc, argv) || !flags.positional().empty()) {
+    std::fprintf(stderr, "%s%s\n", flags.error().c_str(),
+                 flags.help("online_monitor [flags]").c_str());
+    return 2;
+  }
+  const std::string trace_out = flags.get("trace-out");
+  const std::string flightrec_dir = flags.get("flight-recorder-dir");
 
   const traffic::RouterProfile& profile = traffic::router_by_name("small");
   traffic::SyntheticTraceGenerator generator(profile.config);
@@ -41,6 +67,19 @@ int main() {
   config.refit_window = 12;
   config.max_alarms_per_interval = 3;
 
+  if (!trace_out.empty() || !flightrec_dir.empty()) {
+    obs::TraceController::global().set_enabled(true);
+  }
+  std::optional<obs::FlightRecorder> recorder;
+  if (!flightrec_dir.empty()) {
+    obs::FlightRecorder::Options options;
+    options.directory = flightrec_dir;
+    recorder.emplace(options);
+    recorder->set_config_fingerprint(core::config_fingerprint(config));
+    obs::FlightRecorder::set_global(&*recorder);
+    obs::FlightRecorder::install_fatal_signal_handlers();
+  }
+
   // Snapshot the process metrics every simulated hour; one JSON line each,
   // ready for a log shipper.
   obs::PeriodicSnapshot snapshots(
@@ -50,9 +89,27 @@ int main() {
       });
 
   core::ChangeDetectionPipeline pipeline(config);
-  pipeline.set_report_callback([&pipeline, &snapshots](
+  pipeline.set_alarm_provenance_callback(
+      [&recorder](const detect::AlarmProvenance& prov) {
+        const std::string json = detect::to_json(prov);
+        std::printf("PROVENANCE %s\n", json.c_str());
+        if (recorder.has_value()) recorder->observe_provenance(json);
+      });
+  pipeline.set_report_callback([&pipeline, &snapshots, &recorder](
                                    const core::IntervalReport& r) {
     snapshots.tick(r.end_s);
+    if (recorder.has_value()) {
+      obs::FlightIntervalSummary summary;
+      summary.index = r.index;
+      summary.start_s = static_cast<std::uint64_t>(r.start_s);
+      summary.end_s = static_cast<std::uint64_t>(r.end_s);
+      summary.records = r.records;
+      summary.detection_ran = r.detection_ran;
+      summary.estimated_error_f2 = r.estimated_error_f2;
+      summary.alarm_threshold = r.alarm_threshold;
+      summary.alarms = r.alarms.size();
+      recorder->observe_interval(summary);
+    }
     if (!r.detection_ran) return;
     std::printf("[%5.0f s] keys_checked=%-6zu est|e|=%-10.3g alarms=%zu",
                 r.start_s, r.keys_checked,
@@ -79,5 +136,20 @@ int main() {
   std::printf("note: next-interval replay trades one interval of latency for\n"
               "zero key storage; keys that never reappear are missed, which\n"
               "is acceptable for DoS-style targets (§3.3).\n");
+
+  if (recorder.has_value()) recorder->flush();
+  if (!trace_out.empty()) {
+    const std::string chrome =
+        obs::to_chrome_trace(obs::TraceController::global().snapshot());
+    // Flush buffered PROVENANCE/report lines first so a merged 2>&1
+    // capture cannot interleave this notice mid-line.
+    std::fflush(stdout);
+    std::string write_error;
+    if (!common::write_file_atomic(trace_out, chrome, write_error)) {
+      std::fprintf(stderr, "trace export failed: %s\n", write_error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+  }
   return 0;
 }

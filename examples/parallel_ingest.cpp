@@ -20,9 +20,12 @@
 #include <string>
 
 #include "checkpoint/checkpoint.h"
+#include "common/atomic_file.h"
 #include "common/flags.h"
 #include "common/random.h"
 #include "ingest/parallel_pipeline.h"
+#include "obs/flight_recorder.h"
+#include "obs/trace.h"
 
 int main(int argc, char** argv) {
   using namespace scd;
@@ -36,12 +39,19 @@ int main(int argc, char** argv) {
   flags.add_flag("restore",
                  "resume from the newest valid checkpoint in "
                  "--checkpoint-dir before streaming", "");
+  flags.add_flag("trace-out",
+                 "write span trace as Chrome trace-event JSON to FILE", "");
+  flags.add_flag("flight-recorder-dir",
+                 "arm the flight recorder; dumps land in DIR "
+                 "(docs/OBSERVABILITY.md)", "");
   if (!flags.parse(argc, argv) || !flags.positional().empty()) {
     std::fprintf(stderr, "%s%s\n", flags.error().c_str(),
                  flags.help("parallel_ingest [flags]").c_str());
     return 2;
   }
   const std::string checkpoint_dir = flags.get("checkpoint-dir");
+  const std::string trace_out = flags.get("trace-out");
+  const std::string flightrec_dir = flags.get("flight-recorder-dir");
   if (flags.get_bool("restore") && checkpoint_dir.empty()) {
     std::fprintf(stderr, "--restore requires --checkpoint-dir\n");
     return 2;
@@ -63,6 +73,21 @@ int main(int argc, char** argv) {
   parallel.workers = 4;
   parallel.queue_capacity = 1 << 16;  // records per shard queue
   parallel.batch_size = 512;          // records handed off per queue push
+
+  // Tracing must be live before the shard workers run: the spans of interest
+  // (ingest_dequeue, shard_update_batch, barrier_combine) are theirs.
+  if (!trace_out.empty() || !flightrec_dir.empty()) {
+    obs::TraceController::global().set_enabled(true);
+  }
+  std::optional<obs::FlightRecorder> recorder;
+  if (!flightrec_dir.empty()) {
+    obs::FlightRecorder::Options options;
+    options.directory = flightrec_dir;
+    recorder.emplace(options);
+    recorder->set_config_fingerprint(core::config_fingerprint(config));
+    obs::FlightRecorder::set_global(&*recorder);
+    obs::FlightRecorder::install_fatal_signal_handlers();
+  }
 
   ingest::ParallelPipeline pipeline(config, parallel);
 
@@ -95,7 +120,26 @@ int main(int argc, char** argv) {
     writer->attach(pipeline);
   }
 
-  pipeline.set_report_callback([](const core::IntervalReport& report) {
+  if (recorder.has_value()) {
+    pipeline.set_alarm_provenance_callback(
+        [&recorder](const detect::AlarmProvenance& prov) {
+          recorder->observe_provenance(detect::to_json(prov));
+        });
+  }
+
+  pipeline.set_report_callback([&recorder](const core::IntervalReport& report) {
+    if (recorder.has_value()) {
+      obs::FlightIntervalSummary summary;
+      summary.index = report.index;
+      summary.start_s = static_cast<std::uint64_t>(report.start_s);
+      summary.end_s = static_cast<std::uint64_t>(report.end_s);
+      summary.records = report.records;
+      summary.detection_ran = report.detection_ran;
+      summary.estimated_error_f2 = report.estimated_error_f2;
+      summary.alarm_threshold = report.alarm_threshold;
+      summary.alarms = report.alarms.size();
+      recorder->observe_interval(summary);
+    }
     std::printf("interval %2zu  records=%-6llu", report.index,
                 static_cast<unsigned long long>(report.records));
     if (!report.detection_ran) {
@@ -140,5 +184,20 @@ int main(int argc, char** argv) {
   std::printf("barrier merges: %zu   backpressure waits: %llu\n",
               stats.barriers,
               static_cast<unsigned long long>(stats.backpressure_waits));
+
+  if (recorder.has_value()) recorder->flush();
+  if (!trace_out.empty()) {
+    const std::string chrome =
+        obs::to_chrome_trace(obs::TraceController::global().snapshot());
+    // Flush buffered PROVENANCE/report lines first so a merged 2>&1
+    // capture cannot interleave this notice mid-line.
+    std::fflush(stdout);
+    std::string write_error;
+    if (!common::write_file_atomic(trace_out, chrome, write_error)) {
+      std::fprintf(stderr, "trace export failed: %s\n", write_error.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+  }
   return 0;
 }

@@ -1,0 +1,216 @@
+#!/usr/bin/env python3
+"""Validate the observability artifacts the pipeline emits.
+
+Usage:
+    trace_check.py trace FILE [--require-span NAME]...
+    trace_check.py provenance FILE
+    trace_check.py flightrec FILE...
+
+Subcommands:
+    trace       FILE is Chrome trace-event JSON (detect_cli --trace-out).
+                Checks the traceEvents envelope, per-event fields, phase
+                values, and non-negative timestamps; --require-span fails
+                the run when a named span is absent.
+    provenance  FILE holds one JSON object per line (an optional leading
+                "PROVENANCE " prefix is stripped, so a grepped detect_cli
+                stdout works as-is). Checks the scd-provenance-v1 schema
+                and re-derives the evidence chain: median(row_error_
+                estimates) must equal the alarm error, and the observed
+                estimate must equal median(forecast + error rows).
+    flightrec   FILEs are flight-recorder dumps (scd-flightrec-v1).
+                Checks the envelope, interval summaries, embedded
+                provenance records, and the embedded Chrome trace.
+
+Exits non-zero on the first malformed artifact; prints one line per file
+otherwise. Used by CI's perf-smoke job and runnable locally.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+TRACE_PHASES = {"X", "i"}
+
+
+def fail(message: str) -> None:
+    print(f"trace_check: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_json(path: str):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: cannot parse JSON: {exc}")
+
+
+def check_trace_events(events, context: str) -> set[str]:
+    if not isinstance(events, list):
+        fail(f"{context}: traceEvents is not a list")
+    names: set[str] = set()
+    for i, event in enumerate(events):
+        where = f"{context}: traceEvents[{i}]"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                fail(f"{where}: missing '{key}'")
+        if event["ph"] not in TRACE_PHASES:
+            fail(f"{where}: unexpected phase {event['ph']!r}")
+        if event["ph"] == "X" and "dur" not in event:
+            fail(f"{where}: complete span missing 'dur'")
+        if not isinstance(event["ts"], (int, float)) or event["ts"] < 0:
+            fail(f"{where}: bad timestamp {event['ts']!r}")
+        if "dur" in event and event["dur"] < 0:
+            fail(f"{where}: negative duration")
+        names.add(event["name"])
+    return names
+
+
+def check_trace(path: str, required: list[str]) -> None:
+    doc = load_json(path)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing traceEvents envelope")
+    names = check_trace_events(doc["traceEvents"], path)
+    for span in required:
+        if span not in names:
+            fail(f"{path}: required span '{span}' absent "
+                 f"(saw: {', '.join(sorted(names)) or 'none'})")
+    print(f"{path}: {len(doc['traceEvents'])} events, "
+          f"{len(names)} distinct spans OK")
+
+
+def check_provenance_record(record, context: str) -> None:
+    if not isinstance(record, dict):
+        fail(f"{context}: not an object")
+    if record.get("schema") != "scd-provenance-v1":
+        fail(f"{context}: schema is {record.get('schema')!r}, "
+             "want 'scd-provenance-v1'")
+    scalars = ("interval", "key", "observed", "forecast", "error",
+               "threshold", "threshold_abs", "error_f2")
+    for key in scalars:
+        if not isinstance(record.get(key), (int, float)):
+            fail(f"{context}: missing or non-numeric '{key}'")
+    rows = {}
+    for key in ("row_error_buckets", "row_error_estimates",
+                "row_forecast_estimates"):
+        value = record.get(key)
+        if (not isinstance(value, list) or not value
+                or not all(isinstance(x, (int, float)) for x in value)):
+            fail(f"{context}: '{key}' is not a non-empty numeric array")
+        rows[key] = value
+    if len({len(v) for v in rows.values()}) != 1:
+        fail(f"{context}: row arrays disagree on h")
+    fingerprint = record.get("config_fingerprint")
+    if not (isinstance(fingerprint, str) and fingerprint.startswith("0x")):
+        fail(f"{context}: config_fingerprint is not a hex string")
+    if not isinstance(record.get("model"), str):
+        fail(f"{context}: missing 'model'")
+    # Re-derive the evidence chain (paper §3.2: per-row estimates, median
+    # across rows; S_o = S_f + S_e makes observed = median(f_i + e_i)).
+    tol = 1e-9
+    err = statistics.median(rows["row_error_estimates"])
+    if abs(err - record["error"]) > tol * (1.0 + abs(err)):
+        fail(f"{context}: median(row_error_estimates)={err!r} does not "
+             f"reproduce error={record['error']!r}")
+    observed = statistics.median(
+        [f + e for f, e in zip(rows["row_forecast_estimates"],
+                               rows["row_error_estimates"])])
+    if abs(observed - record["observed"]) > tol * (1.0 + abs(observed)):
+        fail(f"{context}: median(forecast+error rows)={observed!r} does not "
+             f"reproduce observed={record['observed']!r}")
+
+
+def check_provenance(path: str) -> None:
+    checked = 0
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        fail(f"{path}: {exc}")
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if line.startswith("PROVENANCE "):
+            line = line[len("PROVENANCE "):]
+        elif not line.startswith("{"):
+            continue  # raw CLI stdout: skip alarm listing / summary lines
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{lineno}: cannot parse JSON: {exc}")
+        check_provenance_record(record, f"{path}:{lineno}")
+        checked += 1
+    if checked == 0:
+        fail(f"{path}: no provenance records found")
+    print(f"{path}: {checked} provenance records OK")
+
+
+def check_flightrec(path: str) -> None:
+    doc = load_json(path)
+    if not isinstance(doc, dict):
+        fail(f"{path}: not an object")
+    if doc.get("schema") != "scd-flightrec-v1":
+        fail(f"{path}: schema is {doc.get('schema')!r}, "
+             "want 'scd-flightrec-v1'")
+    for key in ("reason", "config_fingerprint"):
+        if not isinstance(doc.get(key), str):
+            fail(f"{path}: missing '{key}'")
+    if not isinstance(doc.get("sequence"), int):
+        fail(f"{path}: missing 'sequence'")
+    intervals = doc.get("intervals")
+    if not isinstance(intervals, list):
+        fail(f"{path}: 'intervals' is not a list")
+    last_index = -1
+    for i, summary in enumerate(intervals):
+        where = f"{path}: intervals[{i}]"
+        if not isinstance(summary, dict):
+            fail(f"{where}: not an object")
+        for key in ("index", "start_s", "end_s", "records", "detection_ran",
+                    "estimated_error_f2", "alarm_threshold", "alarms"):
+            if key not in summary:
+                fail(f"{where}: missing '{key}'")
+        if summary["index"] <= last_index:
+            fail(f"{where}: interval indices not strictly increasing")
+        last_index = summary["index"]
+    provenance = doc.get("provenance")
+    if not isinstance(provenance, list):
+        fail(f"{path}: 'provenance' is not a list")
+    for i, record in enumerate(provenance):
+        check_provenance_record(record, f"{path}: provenance[{i}]")
+    trace = doc.get("trace")
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail(f"{path}: 'trace' is not a Chrome trace envelope")
+    check_trace_events(trace["traceEvents"], f"{path}: trace")
+    print(f"{path}: reason={doc['reason']!r}, {len(intervals)} intervals, "
+          f"{len(provenance)} provenance records, "
+          f"{len(trace['traceEvents'])} trace events OK")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    p_trace = sub.add_parser("trace", help="validate Chrome trace JSON")
+    p_trace.add_argument("file")
+    p_trace.add_argument("--require-span", action="append", default=[],
+                         metavar="NAME")
+    p_prov = sub.add_parser("provenance", help="validate provenance JSONL")
+    p_prov.add_argument("file")
+    p_rec = sub.add_parser("flightrec", help="validate flight-recorder dumps")
+    p_rec.add_argument("files", nargs="+")
+    args = parser.parse_args()
+
+    if args.command == "trace":
+        check_trace(args.file, args.require_span)
+    elif args.command == "provenance":
+        check_provenance(args.file)
+    else:
+        for path in args.files:
+            check_flightrec(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,12 +14,15 @@
 #include <utility>
 
 #include "checkpoint/checkpoint_metrics.h"
+#include "common/atomic_file.h"
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
 #include "ingest/parallel_pipeline.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sketch/serialize.h"
 
 namespace scd::checkpoint {
@@ -79,60 +82,10 @@ CheckpointError::CheckpointError(CheckpointErrorKind kind,
                                message),
       kind_(kind) {}
 
-namespace {
-
-// ---------------------------------------------------------------------------
-// Config fingerprint
-
-class Fnv1a64 {
- public:
-  void u64(std::uint64_t v) noexcept {
-    for (int i = 0; i < 8; ++i) {
-      hash_ ^= (v >> (8 * i)) & 0xffu;
-      hash_ *= 0x100000001b3ULL;
-    }
-  }
-  void f64(double v) noexcept { u64(std::bit_cast<std::uint64_t>(v)); }
-  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
-
- private:
-  std::uint64_t hash_ = 0xcbf29ce484222325ULL;
-};
-
-}  // namespace
-
 std::uint64_t config_fingerprint(const core::PipelineConfig& config) noexcept {
-  Fnv1a64 fp;
-  fp.f64(config.interval_s);
-  fp.u64(config.h);
-  fp.u64(config.k);
-  fp.u64(config.seed);
-  fp.u64(static_cast<std::uint64_t>(config.key_kind));
-  fp.u64(static_cast<std::uint64_t>(config.update_kind));
-  fp.u64(static_cast<std::uint64_t>(config.model.kind));
-  fp.u64(config.model.window);
-  fp.f64(config.model.alpha);
-  fp.f64(config.model.beta);
-  fp.f64(config.model.gamma);
-  fp.u64(config.model.period);
-  fp.u64(static_cast<std::uint64_t>(config.model.arima.p));
-  fp.u64(static_cast<std::uint64_t>(config.model.arima.d));
-  fp.u64(static_cast<std::uint64_t>(config.model.arima.q));
-  for (const double c : config.model.arima.ar) fp.f64(c);
-  for (const double c : config.model.arima.ma) fp.f64(c);
-  fp.f64(config.threshold);
-  fp.u64(static_cast<std::uint64_t>(config.criterion));
-  fp.u64(static_cast<std::uint64_t>(config.baseline));
-  fp.f64(config.baseline_alpha);
-  fp.u64(static_cast<std::uint64_t>(config.replay));
-  fp.f64(config.key_sample_rate);
-  fp.u64(config.randomize_intervals ? 1 : 0);
-  fp.u64(config.max_alarms_per_interval);
-  fp.u64(config.min_consecutive);
-  fp.u64(config.refit_every);
-  fp.u64(config.refit_window);
-  // config.metrics deliberately excluded: observability never alters state.
-  return fp.value();
+  // The fingerprint moved to core so provenance records and flight-recorder
+  // dumps share it; this alias keeps existing checkpoint call sites working.
+  return core::config_fingerprint(config);
 }
 
 // ---------------------------------------------------------------------------
@@ -140,70 +93,30 @@ std::uint64_t config_fingerprint(const core::PipelineConfig& config) noexcept {
 
 namespace {
 
+/// Delegates to the shared common/atomic_file.h primitives (the same recipe
+/// now also backs flight-recorder dumps), translating their (bool, message)
+/// reporting into CheckpointError. Message formats are unchanged:
+/// "<op> <path>: <strerror>".
 class PosixFileOps final : public FileOps {
  public:
   void write_file_durable(const std::filesystem::path& path,
                           const std::vector<std::uint8_t>& data) override {
-    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd < 0) {
-      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
-                            "open " + path.string() + ": " +
-                                std::strerror(errno));
-    }
-    std::size_t written = 0;
-    while (written < data.size()) {
-      const ::ssize_t n =
-          ::write(fd, data.data() + written, data.size() - written);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        const std::string detail = std::strerror(errno);
-        ::close(fd);
-        throw CheckpointError(CheckpointErrorKind::kWriteFailed,
-                              "write " + path.string() + ": " + detail);
-      }
-      written += static_cast<std::size_t>(n);
-    }
-    if (::fsync(fd) != 0) {
-      const std::string detail = std::strerror(errno);
-      ::close(fd);
-      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
-                            "fsync " + path.string() + ": " + detail);
-    }
-    if (::close(fd) != 0) {
-      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
-                            "close " + path.string() + ": " +
-                                std::strerror(errno));
+    std::string error;
+    if (!common::write_file_durable(path, data.data(), data.size(), error)) {
+      throw CheckpointError(CheckpointErrorKind::kWriteFailed, error);
     }
   }
 
   void rename_durable(const std::filesystem::path& from,
                       const std::filesystem::path& to) override {
-    if (::rename(from.c_str(), to.c_str()) != 0) {
-      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
-                            "rename " + from.string() + " -> " + to.string() +
-                                ": " + std::strerror(errno));
+    std::string error;
+    if (!common::rename_durable(from, to, error)) {
+      throw CheckpointError(CheckpointErrorKind::kWriteFailed, error);
     }
-    // fsync the containing directory so the rename itself is durable.
-    const std::filesystem::path dir = to.parent_path();
-    const int fd =
-        ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY | O_DIRECTORY);
-    if (fd < 0) {
-      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
-                            "open dir " + dir.string() + ": " +
-                                std::strerror(errno));
-    }
-    if (::fsync(fd) != 0) {
-      const std::string detail = std::strerror(errno);
-      ::close(fd);
-      throw CheckpointError(CheckpointErrorKind::kWriteFailed,
-                            "fsync dir " + dir.string() + ": " + detail);
-    }
-    ::close(fd);
   }
 
   void remove_file(const std::filesystem::path& path) noexcept override {
-    std::error_code ec;
-    std::filesystem::remove(path, ec);
+    common::remove_file_quiet(path);
   }
 };
 
@@ -377,7 +290,7 @@ std::vector<std::filesystem::path> list_checkpoints(
 CheckpointWriter::CheckpointWriter(CheckpointWriterOptions options,
                                    const core::PipelineConfig& config)
     : options_(std::move(options)),
-      fingerprint_(config_fingerprint(config)),
+      fingerprint_(checkpoint::config_fingerprint(config)),
       ops_(options_.file_ops != nullptr ? options_.file_ops
                                         : &real_file_ops()) {
   if (options_.every < 1 || options_.keep < 1) {
@@ -400,6 +313,7 @@ bool CheckpointWriter::due(std::size_t intervals_closed) const noexcept {
 std::filesystem::path CheckpointWriter::write(
     PayloadKind kind, std::uint64_t interval_index,
     const std::vector<std::uint8_t>& state) {
+  SCD_TRACE_SPAN_ARG("checkpoint_write", "checkpoint", interval_index);
   const common::Stopwatch watch;
 #if SCD_OBS_ENABLED
   CheckpointInstruments* obs =
@@ -414,8 +328,18 @@ std::filesystem::path CheckpointWriter::write(
   try {
     ops_->write_file_durable(temp_path, framed);
     ops_->rename_durable(temp_path, final_path);
-  } catch (...) {
+  } catch (const std::exception& e) {
     // Leave no temp file behind; the previous checkpoints are untouched.
+    ops_->remove_file(temp_path);
+#if SCD_OBS_ENABLED
+    if (obs != nullptr) obs->write_failures.inc();
+#endif
+    // A failing checkpoint is exactly when the recent past matters: capture
+    // it before rethrowing (the dump itself runs on the recorder's thread).
+    obs::FlightRecorder::notify_checkpoint_error("checkpoint write",
+                                                 e.what());
+    throw;
+  } catch (...) {
     ops_->remove_file(temp_path);
 #if SCD_OBS_ENABLED
     if (obs != nullptr) obs->write_failures.inc();
@@ -553,7 +477,7 @@ RecoverResult recover(const std::filesystem::path& directory,
                       core::ChangeDetectionPipeline& pipeline) {
   const core::PipelineConfig& config = pipeline.config();
   return recover_scan(
-      directory, PayloadKind::kSerial, config_fingerprint(config),
+      directory, PayloadKind::kSerial, checkpoint::config_fingerprint(config),
       config.metrics, [&](const std::vector<std::uint8_t>& payload) {
         // Restore into a scratch pipeline first: a mid-restore throw must
         // not leave the caller's pipeline half-mutated.
@@ -568,7 +492,7 @@ RecoverResult recover(const std::filesystem::path& directory,
   const core::PipelineConfig& config = pipeline.config();
   const ingest::ParallelConfig parallel = pipeline.parallel_config();
   return recover_scan(
-      directory, PayloadKind::kParallel, config_fingerprint(config),
+      directory, PayloadKind::kParallel, checkpoint::config_fingerprint(config),
       config.metrics, [&](const std::vector<std::uint8_t>& payload) {
         ingest::ParallelPipeline scratch(config, parallel);
         scratch.restore_state(payload);

@@ -15,12 +15,14 @@
 #include "common/random.h"
 #include "common/timer.h"
 #include "detect/detection.h"
+#include "detect/provenance.h"
 #include "forecast/runner.h"
 #include "gridsearch/grid_search.h"
 #include "hash/cw_hash.h"
 #include "hash/tabulation_hash.h"
 #include "obs/pipeline_metrics.h"
 #include "obs/scoped_timer.h"
+#include "obs/trace.h"
 #include "sketch/kary_sketch.h"
 #include "sketch/serialize.h"
 #include "traffic/flow_record.h"
@@ -62,6 +64,52 @@ void PipelineConfig::validate() const {
   }
 }
 
+std::uint64_t config_fingerprint(const PipelineConfig& config) noexcept {
+  // FNV-1a64 over the state-determining fields, in declaration order.
+  // Lives in core (not checkpoint) because provenance records and
+  // flight-recorder dumps stamp it too; checkpoint delegates here.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix_u64 = [&hash](std::uint64_t v) noexcept {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (v >> (8 * i)) & 0xffu;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  const auto mix_f64 = [&mix_u64](double v) noexcept {
+    mix_u64(std::bit_cast<std::uint64_t>(v));
+  };
+  mix_f64(config.interval_s);
+  mix_u64(config.h);
+  mix_u64(config.k);
+  mix_u64(config.seed);
+  mix_u64(static_cast<std::uint64_t>(config.key_kind));
+  mix_u64(static_cast<std::uint64_t>(config.update_kind));
+  mix_u64(static_cast<std::uint64_t>(config.model.kind));
+  mix_u64(config.model.window);
+  mix_f64(config.model.alpha);
+  mix_f64(config.model.beta);
+  mix_f64(config.model.gamma);
+  mix_u64(config.model.period);
+  mix_u64(static_cast<std::uint64_t>(config.model.arima.p));
+  mix_u64(static_cast<std::uint64_t>(config.model.arima.d));
+  mix_u64(static_cast<std::uint64_t>(config.model.arima.q));
+  for (const double c : config.model.arima.ar) mix_f64(c);
+  for (const double c : config.model.arima.ma) mix_f64(c);
+  mix_f64(config.threshold);
+  mix_u64(static_cast<std::uint64_t>(config.criterion));
+  mix_u64(static_cast<std::uint64_t>(config.baseline));
+  mix_f64(config.baseline_alpha);
+  mix_u64(static_cast<std::uint64_t>(config.replay));
+  mix_f64(config.key_sample_rate);
+  mix_u64(config.randomize_intervals ? 1 : 0);
+  mix_u64(config.max_alarms_per_interval);
+  mix_u64(config.min_consecutive);
+  mix_u64(config.refit_every);
+  mix_u64(config.refit_window);
+  // config.metrics deliberately excluded: observability never alters state.
+  return hash;
+}
+
 namespace {
 
 // One in every 2^kUpdateSampleShift add() calls is stopwatch-timed into the
@@ -77,7 +125,9 @@ constexpr std::uint64_t kUpdateSampleMask = 63;
 // this raw stream.
 
 /// Engine-state stream layout version; bump on any field change.
-constexpr std::uint64_t kEngineStateVersion = 1;
+/// v2: a deferred (kNextInterval) detection now also carries the interval's
+/// forecast sketch, so alarm provenance survives a checkpoint/restore.
+constexpr std::uint64_t kEngineStateVersion = 2;
 /// Trailing sentinel: catches a reader/writer field-order drift that happens
 /// to stay inside the buffer.
 constexpr std::uint64_t kEngineStateSentinel = 0x5cdc0de5e17a11edULL;
@@ -293,6 +343,8 @@ class EngineBase {
   virtual void restore_state(ByteReader& in) = 0;
   virtual void set_interval_close_callback(
       std::function<void(std::size_t)> callback) = 0;
+  virtual void set_alarm_provenance_callback(
+      std::function<void(const detect::AlarmProvenance&)> callback) = 0;
   [[nodiscard]] virtual StreamPosition position() const noexcept = 0;
   /// Reports emitted so far: intervals closed minus any detection still
   /// deferred (kNextInterval). The restore path uses this to re-base the
@@ -382,6 +434,7 @@ class Engine final : public EngineBase {
   }
 
   void ingest_interval(IntervalBatch&& batch) override {
+    SCD_TRACE_SPAN_ARG("ingest_interval", "core", batch.records);
     if (batch.registers.size() != observed_.registers().size()) {
       throw std::invalid_argument(
           "ChangeDetectionPipeline::ingest_interval: register table size "
@@ -434,6 +487,13 @@ class Engine final : public EngineBase {
   void set_interval_close_callback(
       std::function<void(std::size_t)> callback) override {
     on_interval_close_ = std::move(callback);
+  }
+
+  void set_alarm_provenance_callback(
+      std::function<void(const detect::AlarmProvenance&)> callback) override {
+    on_provenance_ = std::move(callback);
+    // Stamped into every record; computed once, the config never changes.
+    fingerprint_ = config_fingerprint(config_);
   }
 
   [[nodiscard]] StreamPosition position() const noexcept override {
@@ -505,6 +565,7 @@ class Engine final : public EngineBase {
       out.f64(pending_->est_f2);
       write_report(out, pending_->report);
       model_out.write_signal(pending_->error);
+      model_out.write_signal(pending_->forecast);  // v2
     }
     out.u64(history_.size());
     for (const Sketch& s : history_) model_out.write_signal(s);
@@ -571,10 +632,12 @@ class Engine final : public EngineBase {
     runner_->restore_state(model_in);
     pending_.reset();
     if (in.u64() != 0) {
-      Pending p{Sketch(family_, config_.k), 0.0, IntervalReport{}};
+      Pending p{Sketch(family_, config_.k), Sketch(family_, config_.k), 0.0,
+                IntervalReport{}};
       p.est_f2 = in.f64();
       p.report = read_report(in);
       model_in.read_signal(p.error);
+      model_in.read_signal(p.forecast);  // v2
       pending_.emplace(std::move(p));
     }
     history_.clear();
@@ -601,6 +664,8 @@ class Engine final : public EngineBase {
  private:
   struct Pending {
     Sketch error;
+    Sketch forecast;  // kept alongside the error so deferred detection can
+                      // still reconstruct per-row provenance evidence
     double est_f2;
     IntervalReport report;  // partially filled
   };
@@ -618,6 +683,7 @@ class Engine final : public EngineBase {
   }
 
   void close_interval() {
+    SCD_TRACE_SPAN_ARG("interval_close", "core", records_in_interval_);
     const common::Stopwatch close_watch;
     IntervalReport report;
     report.index = interval_index_;
@@ -645,6 +711,7 @@ class Engine final : public EngineBase {
     {
       obs::ScopedTimer timer(obs_ != nullptr ? &obs_->stage_forecast : nullptr,
                              &report.timings.forecast_s);
+      SCD_TRACE_SPAN("forecast_step", "core");
       step = runner_->step(observed_);
     }
     stats_.forecast_seconds += report.timings.forecast_s;
@@ -658,7 +725,8 @@ class Engine final : public EngineBase {
         emit_pending(std::vector<std::uint64_t>(keys_.begin(), keys_.end()));
       }
       if (step.has_value()) {
-        Pending p{std::move(step->error), 0.0, std::move(report)};
+        Pending p{std::move(step->error), std::move(step->forecast), 0.0,
+                  std::move(report)};
         p.est_f2 = timed_estimate_f2(p.error, p.report.timings);
         p.report.detection_ran = true;
         p.report.timings.close_s = close_watch.seconds();
@@ -673,7 +741,7 @@ class Engine final : public EngineBase {
         report.detection_ran = true;
         mark_detection_ran();
         const double est_f2 = timed_estimate_f2(step->error, report.timings);
-        fill_detection(step->error, est_f2,
+        fill_detection(step->error, &step->forecast, est_f2,
                        std::vector<std::uint64_t>(keys_.begin(), keys_.end()),
                        report);
       }
@@ -718,6 +786,7 @@ class Engine final : public EngineBase {
   /// the report that will eventually carry this detection.
   [[nodiscard]] double timed_estimate_f2(const Sketch& error,
                                          StageTimings& timings) {
+    SCD_TRACE_SPAN("estimate_f2", "core");
 #if SCD_OBS_ENABLED
     double elapsed = 0.0;
     double est_f2 = 0.0;
@@ -738,13 +807,14 @@ class Engine final : public EngineBase {
   void emit_pending(const std::vector<std::uint64_t>& keys) {
     Pending p = std::move(*pending_);
     pending_.reset();
-    fill_detection(p.error, p.est_f2, keys, p.report);
+    fill_detection(p.error, &p.forecast, p.est_f2, keys, p.report);
     emit_(std::move(p.report));
   }
 
-  void fill_detection(const Sketch& error, double est_f2,
-                      const std::vector<std::uint64_t>& keys,
+  void fill_detection(const Sketch& error, const Sketch* forecast,
+                      double est_f2, const std::vector<std::uint64_t>& keys,
                       IntervalReport& report) {
+    SCD_TRACE_SPAN_ARG("detection_sweep", "core", keys.size());
     report.keys_checked = keys.size();
     report.estimated_error_f2 = est_f2;
     stats_.keys_replayed += keys.size();
@@ -805,6 +875,9 @@ class Engine final : public EngineBase {
     report.alarms = detect::make_alarms(capped, report.index,
                                         report.alarm_threshold);
     stats_.alarms += report.alarms.size();
+    if (on_provenance_ && forecast != nullptr) {
+      emit_provenance(error, *forecast, est_f2, report);
+    }
 #if SCD_OBS_ENABLED
     replay_timer.stop();
     stats_.key_replay_seconds += report.timings.key_replay_s;
@@ -816,10 +889,47 @@ class Engine final : public EngineBase {
 #endif
   }
 
+  /// One provenance record per alarm: per-row evidence re-read from the
+  /// error and forecast sketches. The observed sketch is long gone by now,
+  /// but S_o = S_f + S_e elementwise, so each row's observed estimate is
+  /// exactly forecast_i + error_i and the reported `observed` median is
+  /// bit-equal to ESTIMATE on the observed sketch.
+  void emit_provenance(const Sketch& error, const Sketch& forecast,
+                       double est_f2, const IntervalReport& report) {
+    const std::size_t h = config_.h;
+    std::vector<double> err_buckets(h);
+    std::vector<double> err_est(h);
+    std::vector<double> fc_buckets(h);
+    std::vector<double> fc_est(h);
+    std::vector<double> scratch(h);
+    for (const detect::Alarm& alarm : report.alarms) {
+      error.estimate_rows(alarm.key, err_buckets, err_est);
+      forecast.estimate_rows(alarm.key, fc_buckets, fc_est);
+      detect::AlarmProvenance prov;
+      prov.interval = alarm.interval;
+      prov.key = alarm.key;
+      for (std::size_t i = 0; i < h; ++i) scratch[i] = fc_est[i] + err_est[i];
+      prov.observed = sketch::median_inplace(scratch);
+      scratch = fc_est;
+      prov.forecast = sketch::median_inplace(scratch);
+      prov.error = alarm.error;
+      prov.threshold = config_.threshold;
+      prov.threshold_abs = alarm.threshold_abs;
+      prov.error_f2 = est_f2;
+      prov.row_error_buckets = err_buckets;
+      prov.row_error_estimates = err_est;
+      prov.row_forecast_estimates = fc_est;
+      prov.config_fingerprint = fingerprint_;
+      prov.model = active_model_.to_string();
+      on_provenance_(prov);
+    }
+  }
+
   void maybe_refit() {
     if (config_.refit_every == 0 || interval_index_ == 0) return;
     if (interval_index_ % config_.refit_every != 0) return;
     if (history_.size() < 4) return;  // not enough signal to fit
+    SCD_TRACE_SPAN("refit", "core");
 #if SCD_OBS_ENABLED
     obs::ScopedTimer refit_timer(
         obs_ != nullptr ? &obs_->stage_refit : nullptr,
@@ -875,6 +985,8 @@ class Engine final : public EngineBase {
   std::deque<Sketch> history_;
   PipelineStats stats_;
   std::function<void(std::size_t)> on_interval_close_;
+  std::function<void(const detect::AlarmProvenance&)> on_provenance_;
+  std::uint64_t fingerprint_ = 0;  // set with the provenance callback
   /// Shared process-wide instruments; null when config.metrics is false or
   /// the library was built with SCD_OBS_ENABLED=0.
   obs::PipelineInstruments* obs_ = nullptr;
@@ -960,6 +1072,11 @@ void ChangeDetectionPipeline::set_report_callback(
 void ChangeDetectionPipeline::set_interval_close_callback(
     std::function<void(std::size_t)> callback) {
   impl_->engine_->set_interval_close_callback(std::move(callback));
+}
+
+void ChangeDetectionPipeline::set_alarm_provenance_callback(
+    std::function<void(const detect::AlarmProvenance&)> callback) {
+  impl_->engine_->set_alarm_provenance_callback(std::move(callback));
 }
 
 std::vector<std::uint8_t> ChangeDetectionPipeline::save_state() const {

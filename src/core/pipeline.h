@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "detect/alarm.h"
+#include "detect/provenance.h"
 #include "forecast/model_config.h"
 #include "traffic/flow_record.h"
 #include "traffic/key_extract.h"
@@ -92,6 +93,14 @@ struct PipelineConfig {
   /// Throws std::invalid_argument when out of range (bad K, sample rate...).
   void validate() const;
 };
+
+/// FNV-1a over every state-determining config field (metrics excluded —
+/// observability never alters state). Stamped into checkpoints so a restore
+/// with a drifted config is refused, and into alarm-provenance records and
+/// flight-recorder dumps so evidence is traceable to the exact configuration
+/// that produced it.
+[[nodiscard]] std::uint64_t config_fingerprint(
+    const PipelineConfig& config) noexcept;
 
 /// Wall-clock breakdown of one interval close, in seconds. forecast_s,
 /// estimate_f2_s and key_replay_s are sub-spans of close_s; in kNextInterval
@@ -211,6 +220,14 @@ class ChangeDetectionPipeline {
 
   /// Invoked synchronously as each interval report is produced.
   void set_report_callback(std::function<void(const IntervalReport&)> callback);
+
+  /// Invoked synchronously with one provenance record per alarm, carrying
+  /// the full evidence chain (observed/forecast/error estimates, per-row
+  /// bucket values, threshold, config fingerprint). Installing the callback
+  /// is what turns provenance capture on — without it detection skips the
+  /// extra per-alarm ESTIMATE work entirely.
+  void set_alarm_provenance_callback(
+      std::function<void(const detect::AlarmProvenance&)> callback);
 
   /// Invoked at the very end of every interval close — after the report is
   /// out, the counters are advanced and any online re-fit has run — with the

@@ -1,0 +1,68 @@
+#include "detect/provenance.h"
+
+#include <cmath>
+
+#include "common/strutil.h"
+
+namespace scd::detect {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  if (std::isfinite(v)) {
+    out += common::str_format("%.17g", v);
+  } else {
+    out += "null";  // JSON has no NaN/Inf
+  }
+}
+
+void append_array(std::string& out, const char* name,
+                  const std::vector<double>& values) {
+  out += ",\"";
+  out += name;
+  out += "\":[";
+  bool first = true;
+  for (const double v : values) {
+    if (!first) out += ",";
+    first = false;
+    append_double(out, v);
+  }
+  out += "]";
+}
+
+}  // namespace
+
+std::string to_json(const AlarmProvenance& provenance) {
+  std::string out = common::str_format(
+      "{\"schema\":\"scd-provenance-v1\",\"interval\":%llu,\"key\":%llu",
+      static_cast<unsigned long long>(provenance.interval),
+      static_cast<unsigned long long>(provenance.key));
+  const struct {
+    const char* name;
+    double value;
+  } fields[] = {
+      {"observed", provenance.observed},
+      {"forecast", provenance.forecast},
+      {"error", provenance.error},
+      {"threshold", provenance.threshold},
+      {"threshold_abs", provenance.threshold_abs},
+      {"error_f2", provenance.error_f2},
+  };
+  for (const auto& field : fields) {
+    out += ",\"";
+    out += field.name;
+    out += "\":";
+    append_double(out, field.value);
+  }
+  append_array(out, "row_error_buckets", provenance.row_error_buckets);
+  append_array(out, "row_error_estimates", provenance.row_error_estimates);
+  append_array(out, "row_forecast_estimates",
+               provenance.row_forecast_estimates);
+  out += common::str_format(
+      ",\"config_fingerprint\":\"0x%016llx\",\"model\":\"%s\"}",
+      static_cast<unsigned long long>(provenance.config_fingerprint),
+      provenance.model.c_str());
+  return out;
+}
+
+}  // namespace scd::detect

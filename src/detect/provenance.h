@@ -1,0 +1,54 @@
+// Alarm provenance: the full evidence chain behind one detected change.
+//
+// The paper's detector flags key `a` when the median-of-rows estimate of the
+// forecast-error sketch exceeds the threshold — a single number distilled
+// from H independent hash rows. When an operator asks "why did this key
+// alarm?", the answer needs the intermediate values that number was distilled
+// from: what was observed, what the model forecast, the per-row bucket values
+// feeding each median, the threshold in force, and a fingerprint of the
+// config that produced all of it. This record carries exactly that, and
+// serializes to a stable JSON schema ("scd-provenance-v1") consumed by
+// detect_cli --explain, online_monitor, the flight recorder, and
+// scripts/trace_check.py.
+//
+// Row-level identity worth knowing when reading dumps: the observed sketch's
+// table is elementwise forecast + error, so for every row i the observed
+// estimate equals forecast_i + error_i exactly, and the reported `observed`
+// is the median of those sums — bit-equal to what ESTIMATE on the observed
+// sketch would have returned, even though detection only keeps the error and
+// forecast sketches around.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scd::detect {
+
+struct AlarmProvenance {
+  std::uint64_t interval = 0;  // interval index the alarm fired in
+  std::uint64_t key = 0;
+  double observed = 0.0;       // median-of-rows observed estimate
+  double forecast = 0.0;       // median-of-rows forecast estimate
+  double error = 0.0;          // the alarm's error estimate (observed-forecast
+                               // medians are taken per-sketch, so this is NOT
+                               // simply observed - forecast)
+  double threshold = 0.0;      // relative threshold from config
+  double threshold_abs = 0.0;  // threshold * sqrt(F2 estimate), alarm units
+  double error_f2 = 0.0;       // second moment of the error sketch
+  // Per-row evidence from the error and forecast sketches: raw bucket value
+  // T[i][h_i(key)] and the unbiased per-row estimate whose across-row median
+  // is the headline number. All three vectors have length H.
+  std::vector<double> row_error_buckets;
+  std::vector<double> row_error_estimates;
+  std::vector<double> row_forecast_estimates;
+  std::uint64_t config_fingerprint = 0;
+  std::string model;  // active forecast model name
+};
+
+/// Renders one provenance record as a single-line JSON object. Doubles use
+/// %.17g (round-trip exact); NaN/Inf become null; the fingerprint is a
+/// "0x%016x" hex string.
+[[nodiscard]] std::string to_json(const AlarmProvenance& provenance);
+
+}  // namespace scd::detect

@@ -250,6 +250,7 @@ class ParallelPipeline::Impl {
   }
 
   void close_interval() {
+    SCD_TRACE_SPAN("interval_close_barrier", "ingest");
     for (std::size_t i = 0; i < pending_.size(); ++i) flush_chunk(i);
     core::IntervalBatch batch = shards_->barrier_merge();
     batch.start_s = current_start_;
@@ -301,6 +302,11 @@ const std::vector<core::IntervalReport>& ParallelPipeline::reports()
 void ParallelPipeline::set_report_callback(
     std::function<void(const core::IntervalReport&)> callback) {
   impl_->serial_.set_report_callback(std::move(callback));
+}
+
+void ParallelPipeline::set_alarm_provenance_callback(
+    std::function<void(const detect::AlarmProvenance&)> callback) {
+  impl_->serial_.set_alarm_provenance_callback(std::move(callback));
 }
 
 void ParallelPipeline::set_interval_close_callback(

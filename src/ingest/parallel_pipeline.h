@@ -76,6 +76,12 @@ class ParallelPipeline {
   void set_report_callback(
       std::function<void(const core::IntervalReport&)> callback);
 
+  /// Forwards to the serial engine's alarm-provenance hook: one record per
+  /// alarm with the full evidence chain (see core pipeline docs). Runs on
+  /// the coordinator thread during the interval-close barrier.
+  void set_alarm_provenance_callback(
+      std::function<void(const detect::AlarmProvenance&)> callback);
+
   /// Invoked at the end of every interval-close barrier, after the merged
   /// batch has been ingested by the serial stages and the front-end clock
   /// has advanced — the one point where the whole parallel pipeline is in

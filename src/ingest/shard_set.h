@@ -32,6 +32,7 @@
 #include "core/pipeline.h"
 #include "ingest/bounded_queue.h"
 #include "ingest/ingest_metrics.h"
+#include "obs/trace.h"
 #include "sketch/kary_sketch.h"
 
 namespace scd::ingest {
@@ -104,6 +105,7 @@ class ShardSet final : public ShardSetBase {
   }
 
   core::IntervalBatch barrier_merge() override {
+    SCD_TRACE_SPAN("barrier_combine", "ingest");
     for (auto& shard : shards_) {
       shard->queue.push(ShardMessage{{}, true});
     }
@@ -171,7 +173,15 @@ class ShardSet final : public ShardSetBase {
     obs::Histogram* apply_hist =
         instruments_ != nullptr ? instruments_->shard_apply_seconds[index]
                                 : nullptr;
-    while (auto msg = shard.queue.pop()) {
+    for (;;) {
+      std::optional<ShardMessage> msg;
+      {
+        // The dequeue span covers queue wait: a long "ingest_dequeue" next
+        // to short "shard_update_batch" spans reads as a starved worker.
+        SCD_TRACE_SPAN("ingest_dequeue", "ingest");
+        msg = shard.queue.pop();
+      }
+      if (!msg.has_value()) break;
       if (msg->barrier) {
         {
           std::lock_guard lock(barrier_mutex_);
@@ -187,6 +197,7 @@ class ShardSet final : public ShardSetBase {
         continue;
       }
       const common::Stopwatch apply_watch;
+      SCD_TRACE_SPAN_ARG("shard_update_batch", "ingest", msg->records.size());
       // Batched UPDATE (docs/PERFORMANCE.md): hash-batch + per-row sweep,
       // bit-identical to per-record update() on this shard's subsequence.
       sketch.update_batch(msg->records);

@@ -1,0 +1,336 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+
+#include "common/atomic_file.h"
+#include "common/logging.h"
+#include "common/strutil.h"
+#include "obs/metrics.h"
+
+namespace scd::obs {
+
+std::atomic<const FlightRecorder::PreparedDump*>
+    FlightRecorder::prepared_fatal_{nullptr};
+std::atomic<FlightRecorder*> FlightRecorder::global_{nullptr};
+
+namespace {
+
+[[nodiscard]] std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += common::str_format("\\u%04x", static_cast<unsigned>(
+                                                   static_cast<unsigned char>(c)));
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Dump filenames embed the reason; restrict it to a safe slug.
+[[nodiscard]] std::string slug(const std::string& reason) {
+  std::string out;
+  for (const char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    (c >= 'A' && c <= 'Z') || c == '-' || c == '_';
+    out += ok ? c : '-';
+  }
+  return out.empty() ? std::string("dump") : out;
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Options options)
+    : options_(std::move(options)),
+      trace_(options_.trace != nullptr ? *options_.trace
+                                       : TraceController::global()) {
+  if (!options_.directory.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options_.directory, ec);
+    if (ec) {
+      SCD_WARN() << "flight recorder: cannot create "
+                 << options_.directory.string() << ": " << ec.message();
+    }
+  }
+  if (options_.metrics) {
+    MetricsRegistry& registry = options_.registry != nullptr
+                                    ? *options_.registry
+                                    : MetricsRegistry::global();
+    metric_dumps_ = &registry.counter("scd_flightrec_dumps_total",
+                                      "Flight-recorder dumps written");
+    metric_dump_bytes_ = &registry.counter(
+        "scd_flightrec_dump_bytes_total", "Bytes of flight-recorder dumps");
+    metric_dump_failures_ =
+        &registry.counter("scd_flightrec_dump_failures_total",
+                          "Flight-recorder dump write failures");
+    metric_intervals_ =
+        &registry.gauge("scd_flightrec_intervals_retained",
+                        "Interval summaries currently retained");
+  }
+  worker_ = std::thread([this] { worker_loop(); });
+  // Baseline prepared dump, so a crash before the first interval still
+  // leaves a (mostly empty) fatal record.
+  enqueue(false, true, {});
+}
+
+FlightRecorder::~FlightRecorder() {
+  {
+    const std::scoped_lock lock(queue_mutex_);
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  FlightRecorder* self = this;
+  global_.compare_exchange_strong(self, nullptr);
+  // Retract any prepared dump that points into our slots.
+  const PreparedDump* prepared = prepared_fatal_.load();
+  for (const PreparedDump& mine : fatal_slots_) {
+    if (prepared == &mine) prepared_fatal_.store(nullptr);
+  }
+}
+
+void FlightRecorder::observe_interval(const FlightIntervalSummary& summary) {
+  bool alarmed = false;
+  {
+    const std::scoped_lock lock(state_mutex_);
+    intervals_.push_back(summary);
+    while (intervals_.size() > options_.keep_intervals) intervals_.pop_front();
+    alarmed = summary.alarms > 0;
+    if (metric_intervals_ != nullptr) {
+      metric_intervals_->set(static_cast<double>(intervals_.size()));
+    }
+  }
+  // The dump itself runs on the worker thread: this path is called from
+  // interval close and must never wait on disk.
+  enqueue(alarmed && options_.dump_on_alarm, true, "alarm");
+}
+
+void FlightRecorder::observe_provenance(std::string provenance_json) {
+  const std::scoped_lock lock(state_mutex_);
+  provenance_.push_back(std::move(provenance_json));
+  while (provenance_.size() > options_.keep_provenance) {
+    provenance_.pop_front();
+  }
+}
+
+void FlightRecorder::set_config_fingerprint(std::uint64_t fingerprint) {
+  fingerprint_.store(fingerprint, std::memory_order_relaxed);
+}
+
+void FlightRecorder::request_dump(std::string reason) {
+  enqueue(true, false, std::move(reason));
+}
+
+void FlightRecorder::enqueue(bool dump, bool refresh_fatal,
+                             std::string reason) {
+  if (!dump && !refresh_fatal) return;
+  {
+    const std::scoped_lock lock(queue_mutex_);
+    if (stop_) return;
+    if (dump && !pending_dump_) {
+      pending_dump_ = true;
+      Request req;
+      req.dump = true;
+      req.reason = std::move(reason);
+      queue_.push_back(std::move(req));
+    }
+    if (refresh_fatal && !pending_refresh_) {
+      pending_refresh_ = true;
+      Request req;
+      req.refresh_fatal = true;
+      queue_.push_back(std::move(req));
+    }
+  }
+  queue_cv_.notify_one();
+}
+
+std::optional<std::filesystem::path> FlightRecorder::dump_now(
+    const std::string& reason) {
+  return write_dump(reason);
+}
+
+void FlightRecorder::flush() {
+  std::unique_lock lock(queue_mutex_);
+  drained_cv_.wait(lock, [this] { return queue_.empty() && !worker_busy_; });
+}
+
+void FlightRecorder::worker_loop() {
+  for (;;) {
+    Request req;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      req = std::move(queue_.front());
+      queue_.pop_front();
+      if (req.dump) pending_dump_ = false;
+      if (req.refresh_fatal) pending_refresh_ = false;
+      worker_busy_ = true;
+    }
+    if (req.dump) write_dump(req.reason);
+    if (req.refresh_fatal) refresh_fatal_dump();
+    {
+      const std::scoped_lock lock(queue_mutex_);
+      worker_busy_ = false;
+      if (queue_.empty()) drained_cv_.notify_all();
+    }
+  }
+}
+
+std::string FlightRecorder::render_dump(const std::string& reason) {
+  const std::uint64_t seq =
+      sequence_.load(std::memory_order_relaxed);
+  std::string out = "{\"schema\":\"scd-flightrec-v1\",\"reason\":\"";
+  out += json_escape(reason);
+  out += common::str_format(
+      "\",\"sequence\":%llu,\"config_fingerprint\":\"0x%016llx\"",
+      static_cast<unsigned long long>(seq),
+      static_cast<unsigned long long>(
+          fingerprint_.load(std::memory_order_relaxed)));
+  {
+    const std::scoped_lock lock(state_mutex_);
+    out += ",\"note\":\"";
+    out += json_escape(last_error_note_);
+    out += "\",\"intervals\":[";
+    bool first = true;
+    for (const FlightIntervalSummary& iv : intervals_) {
+      if (!first) out += ",";
+      first = false;
+      out += common::str_format(
+          "{\"index\":%llu,\"start_s\":%llu,\"end_s\":%llu,\"records\":%llu,"
+          "\"detection_ran\":%s,\"estimated_error_f2\":%.17g,"
+          "\"alarm_threshold\":%.17g,\"alarms\":%llu}",
+          static_cast<unsigned long long>(iv.index),
+          static_cast<unsigned long long>(iv.start_s),
+          static_cast<unsigned long long>(iv.end_s),
+          static_cast<unsigned long long>(iv.records),
+          iv.detection_ran ? "true" : "false", iv.estimated_error_f2,
+          iv.alarm_threshold, static_cast<unsigned long long>(iv.alarms));
+    }
+    out += "],\"provenance\":[";
+    first = true;
+    for (const std::string& prov : provenance_) {
+      if (!first) out += ",";
+      first = false;
+      out += prov;  // already a rendered JSON object
+    }
+    out += "]";
+  }
+  out += ",\"trace\":";
+  out += to_chrome_trace(trace_.snapshot());
+  out += "}";
+  return out;
+}
+
+std::optional<std::filesystem::path> FlightRecorder::write_dump(
+    const std::string& reason) {
+  if (options_.directory.empty()) return std::nullopt;
+  const std::string data = render_dump(reason);
+  const std::uint64_t seq = sequence_.fetch_add(1, std::memory_order_relaxed);
+  const std::filesystem::path path =
+      options_.directory /
+      common::str_format("flightrec-%06llu-%s.json",
+                         static_cast<unsigned long long>(seq),
+                         slug(reason).c_str());
+  std::string error;
+  if (!common::write_file_atomic(path, data, error)) {
+    SCD_WARN() << "flight recorder: dump failed: " << error;
+    dump_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (metric_dump_failures_ != nullptr) metric_dump_failures_->inc();
+    return std::nullopt;
+  }
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+  dump_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
+  if (metric_dumps_ != nullptr) metric_dumps_->inc();
+  if (metric_dump_bytes_ != nullptr) metric_dump_bytes_->inc(data.size());
+  return path;
+}
+
+void FlightRecorder::refresh_fatal_dump() {
+  if (options_.directory.empty()) return;
+  // Render into a slot at least kFatalSlots-1 rotations away from the one
+  // currently published, so a handler that loaded the old pointer a moment
+  // ago still reads intact memory.
+  PreparedDump& slot = fatal_slots_[next_fatal_slot_];
+  next_fatal_slot_ = (next_fatal_slot_ + 1) % kFatalSlots;
+  slot.path = (options_.directory / "flightrec-fatal.json").string();
+  slot.data = render_dump("fatal-signal");
+  prepared_fatal_.store(&slot, std::memory_order_release);
+}
+
+void FlightRecorder::fatal_signal_handler(int sig) {
+  // Async-signal-safe only: open/write/fsync/close on pre-rendered bytes.
+  const PreparedDump* prepared =
+      prepared_fatal_.load(std::memory_order_acquire);
+  if (prepared != nullptr) {
+    const int fd =
+        ::open(prepared->path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      const char* bytes = prepared->data.data();
+      std::size_t remaining = prepared->data.size();
+      while (remaining > 0) {
+        const ::ssize_t n = ::write(fd, bytes, remaining);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          break;
+        }
+        bytes += n;
+        remaining -= static_cast<std::size_t>(n);
+      }
+      ::fsync(fd);
+      ::close(fd);
+    }
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+void FlightRecorder::install_fatal_signal_handlers() {
+  const int signals[] = {SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT};
+  struct sigaction action;
+  ::memset(&action, 0, sizeof(action));
+  action.sa_handler = &FlightRecorder::fatal_signal_handler;
+  ::sigemptyset(&action.sa_mask);
+  for (const int sig : signals) {
+    ::sigaction(sig, &action, nullptr);
+  }
+}
+
+void FlightRecorder::set_global(FlightRecorder* recorder) noexcept {
+  global_.store(recorder, std::memory_order_release);
+}
+
+FlightRecorder* FlightRecorder::global() noexcept {
+  return global_.load(std::memory_order_acquire);
+}
+
+void FlightRecorder::notify_checkpoint_error(const char* context,
+                                             const std::string& what) {
+  FlightRecorder* recorder = global();
+  if (recorder == nullptr) return;
+  {
+    const std::scoped_lock lock(recorder->state_mutex_);
+    recorder->last_error_note_ =
+        std::string(context != nullptr ? context : "checkpoint") + ": " + what;
+  }
+  recorder->request_dump("checkpoint-error");
+}
+
+}  // namespace scd::obs

@@ -1,0 +1,179 @@
+// Bounded flight recorder: keeps the last N interval summaries, the last M
+// alarm-provenance records, and the retained trace spans, and dumps them all
+// to disk as one JSON document when something worth explaining happens — an
+// alarm fires, a checkpoint write fails, or the process takes a fatal
+// signal.
+//
+// Dump triggers and their paths:
+//   * alarm / checkpoint-error / explicit request  — handed to a detached
+//     worker thread (the caller only enqueues; shard workers and the
+//     interval-close barrier never block on disk I/O) and written with the
+//     checkpoint atomic-write recipe (common::write_file_atomic).
+//   * fatal signal — the worker keeps a fully rendered dump pre-serialized
+//     in memory and republished after every interval, so the signal handler
+//     only has to open/write/fsync/close a fixed path. Nothing in the
+//     handler allocates, locks, or formats.
+//
+// Layering: obs depends only on common, so the recorder speaks plain-field
+// interval summaries and opaque pre-rendered provenance JSON strings; core
+// and detect adapt their types at the call site.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace scd::obs {
+
+/// Plain-field mirror of core's IntervalReport with just what an operator
+/// needs to reconstruct "what the pipeline was doing" around a dump.
+struct FlightIntervalSummary {
+  std::uint64_t index = 0;
+  std::uint64_t start_s = 0;
+  std::uint64_t end_s = 0;
+  std::uint64_t records = 0;
+  bool detection_ran = false;
+  double estimated_error_f2 = 0.0;
+  double alarm_threshold = 0.0;
+  std::uint64_t alarms = 0;
+};
+
+class FlightRecorder {
+ public:
+  struct Options {
+    std::filesystem::path directory;  // created if absent
+    std::size_t keep_intervals = 64;
+    std::size_t keep_provenance = 128;
+    bool dump_on_alarm = true;
+    bool metrics = true;                    // register scd_flightrec_* metrics
+    TraceController* trace = nullptr;       // null = TraceController::global()
+    MetricsRegistry* registry = nullptr;    // null = MetricsRegistry::global()
+  };
+
+  explicit FlightRecorder(Options options);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Records one closed interval; if it carried alarms (and dump_on_alarm is
+  /// set) an asynchronous dump is scheduled. Never blocks on I/O — safe to
+  /// call from the interval-close path.
+  void observe_interval(const FlightIntervalSummary& summary);
+
+  /// Records one alarm-provenance record (a complete JSON object, already
+  /// rendered by detect::AlarmProvenance::to_json).
+  void observe_provenance(std::string provenance_json);
+
+  /// Folds the pipeline config fingerprint into every dump header.
+  void set_config_fingerprint(std::uint64_t fingerprint);
+
+  /// Schedules an asynchronous dump tagged with `reason`. Multiple requests
+  /// that arrive before the worker runs coalesce into one dump.
+  void request_dump(std::string reason);
+
+  /// Writes a dump synchronously and returns its path (nullopt on write
+  /// failure — already logged and counted).
+  std::optional<std::filesystem::path> dump_now(const std::string& reason);
+
+  /// Blocks until every previously enqueued request has been processed.
+  void flush();
+
+  [[nodiscard]] std::uint64_t dumps() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dump_bytes() const noexcept {
+    return dump_bytes_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dump_failures() const noexcept {
+    return dump_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Installs handlers for SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT that write
+  /// the pre-rendered fatal dump ("flightrec-fatal.json" in the recorder
+  /// directory) and then re-raise with the default disposition. Requires a
+  /// global() recorder to be set.
+  static void install_fatal_signal_handlers();
+
+  /// Process-wide recorder hook (not owning). Null clears it.
+  static void set_global(FlightRecorder* recorder) noexcept;
+  [[nodiscard]] static FlightRecorder* global() noexcept;
+
+  /// Called by the checkpoint layer when a CheckpointError escapes: schedules
+  /// a "checkpoint-error" dump on the global recorder, if any. `context` and
+  /// `what` are recorded in the dump header.
+  static void notify_checkpoint_error(const char* context,
+                                      const std::string& what);
+
+ private:
+  struct Request {
+    bool dump = false;           // write a dump named by `reason`
+    bool refresh_fatal = false;  // re-render the prepared fatal dump
+    std::string reason;
+  };
+
+  // A fully rendered dump the signal handler can write without formatting.
+  struct PreparedDump {
+    std::string path;  // NUL-terminated via c_str()
+    std::string data;
+  };
+
+  void worker_loop();
+  [[nodiscard]] std::string render_dump(const std::string& reason);
+  std::optional<std::filesystem::path> write_dump(const std::string& reason);
+  void refresh_fatal_dump();
+  void enqueue(bool dump, bool refresh_fatal, std::string reason);
+  static void fatal_signal_handler(int sig);
+
+  // The handler-visible prepared dump and the process-wide recorder hook.
+  // Plain atomics: the signal handler may read them at any instant.
+  static std::atomic<const PreparedDump*> prepared_fatal_;
+  static std::atomic<FlightRecorder*> global_;
+
+  Options options_;
+  TraceController& trace_;
+
+  mutable std::mutex state_mutex_;  // guards the retention rings + note
+  std::deque<FlightIntervalSummary> intervals_;
+  std::deque<std::string> provenance_;
+  std::string last_error_note_;  // e.g. checkpoint-error context
+  std::atomic<std::uint64_t> fingerprint_{0};
+  std::atomic<std::uint64_t> sequence_{0};
+
+  std::atomic<std::uint64_t> dumps_{0};
+  std::atomic<std::uint64_t> dump_bytes_{0};
+  std::atomic<std::uint64_t> dump_failures_{0};
+  Counter* metric_dumps_ = nullptr;
+  Counter* metric_dump_bytes_ = nullptr;
+  Counter* metric_dump_failures_ = nullptr;
+  Gauge* metric_intervals_ = nullptr;
+
+  // Rotating prepared-fatal slots: the worker renders into the slot the
+  // handler is guaranteed not to be reading (publication is a single atomic
+  // pointer swap; old slots are retired only after another full rotation).
+  static constexpr std::size_t kFatalSlots = 4;
+  std::vector<PreparedDump> fatal_slots_{kFatalSlots};
+  std::size_t next_fatal_slot_ = 0;
+
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<Request> queue_;
+  bool pending_dump_ = false;     // coalescing flags for queued work
+  bool pending_refresh_ = false;
+  bool worker_busy_ = false;
+  bool stop_ = false;
+  std::thread worker_;
+};
+
+}  // namespace scd::obs

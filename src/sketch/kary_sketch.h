@@ -310,6 +310,29 @@ class BasicKarySketch {
     return median_inplace(std::span<double>(est.data(), h));
   }
 
+  /// Per-row evidence behind estimate(key), for alarm provenance: fills
+  /// `raw_buckets[i]` with the bucket value T[i][h_i(key)] and
+  /// `row_estimates[i]` with the unbiased per-row estimate
+  /// (T[i][h_i(key)] - sum/K) / (1 - 1/K). The median of `row_estimates`
+  /// equals estimate(key) exactly. Both spans must have length depth().
+  void estimate_rows(std::uint64_t key, std::span<double> raw_buckets,
+                     std::span<double> row_estimates) const {
+    assert_key_in_domain(key);
+    const std::size_t h = depth();
+    if (raw_buckets.size() != h || row_estimates.size() != h) {
+      throw std::invalid_argument("estimate_rows: spans must have length h");
+    }
+    const std::uint64_t mask = k_ - 1;
+    const double per_bucket = sum() / static_cast<double>(k_);
+    const double denom = 1.0 - 1.0 / static_cast<double>(k_);
+    for (std::size_t i = 0; i < h; ++i) {
+      const double bucket =
+          table_[i * k_ + (family_->hash16(i, key) & mask)];
+      raw_buckets[i] = bucket;
+      row_estimates[i] = (bucket - per_bucket) / denom;
+    }
+  }
+
   /// ESTIMATEF2 — estimates the second moment F2 = sum_a v_a^2.
   [[nodiscard]] double estimate_f2() const noexcept {
     const std::size_t h = depth();

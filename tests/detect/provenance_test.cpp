@@ -1,0 +1,212 @@
+// Alarm provenance: the evidence chain behind each alarm must reproduce the
+// detector's own numbers exactly, survive JSON rendering, and come through a
+// save/restore cycle bit-identical (the v2 engine state carries the pending
+// forecast sketch precisely so deferred detection can still explain itself).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/pipeline.h"
+#include "detect/provenance.h"
+#include "sketch/median.h"
+
+namespace scd::detect {
+namespace {
+
+struct Item {
+  std::uint64_t key;
+  double update;
+  double time_s;
+};
+
+// 10 intervals of 50 steady keys; key 13 spikes in interval 6 and key 29 in
+// interval 8 (the late spike lands after the mid-stream save point below).
+std::vector<Item> make_stream() {
+  std::vector<Item> items;
+  common::Rng rng(0x5eed);
+  for (int interval = 0; interval < 10; ++interval) {
+    const double base = interval * 10.0;
+    for (int rep = 0; rep < 3; ++rep) {
+      for (std::uint64_t key = 0; key < 50; ++key) {
+        items.push_back({key, 250.0 + rng.uniform(-40.0, 40.0),
+                         base + 1.0 + rep * 3.0});
+      }
+    }
+    if (interval == 6) items.push_back({13, 80000.0, base + 8.0});
+    if (interval == 8) items.push_back({29, 60000.0, base + 8.0});
+  }
+  return items;
+}
+
+core::PipelineConfig provenance_config() {
+  core::PipelineConfig config;
+  config.interval_s = 10.0;
+  config.h = 5;
+  config.k = 256;
+  config.threshold = 0.2;
+  config.model.kind = forecast::ModelKind::kEwma;
+  config.model.alpha = 0.6;
+  config.metrics = false;
+  return config;
+}
+
+double median_copy(std::vector<double> values) {
+  return sketch::median_inplace(values);
+}
+
+TEST(ProvenanceJson, RendersEveryFieldAndEscapesNonFinite) {
+  AlarmProvenance prov;
+  prov.interval = 7;
+  prov.key = 42;
+  prov.observed = 1.5;
+  prov.forecast = 1.25;
+  prov.error = 0.25;
+  prov.threshold = 0.2;
+  prov.threshold_abs = 0.125;
+  prov.error_f2 = 9.0;
+  prov.row_error_buckets = {1.0, 2.0, 3.0};
+  prov.row_error_estimates = {0.5, std::nan(""), 1.5};
+  prov.row_forecast_estimates = {1.0, 1.25, 1.5};
+  prov.config_fingerprint = 0xabcdULL;
+  prov.model = "EWMA(alpha=0.6000)";
+
+  const std::string json = to_json(prov);
+  EXPECT_NE(json.find("\"schema\":\"scd-provenance-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"interval\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"key\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"observed\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"row_error_buckets\":[1,2,3]"), std::string::npos);
+  // Non-finite doubles are not valid JSON numbers; they render as null.
+  EXPECT_NE(json.find("[0.5,null,1.5]"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"config_fingerprint\":\"0x000000000000abcd\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"model\":\"EWMA(alpha=0.6000)\""), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "must be one line";
+}
+
+TEST(PipelineProvenance, OneRecordPerAlarmReproducingDetectorNumbers) {
+  const core::PipelineConfig config = provenance_config();
+  core::ChangeDetectionPipeline pipeline(config);
+  std::vector<AlarmProvenance> provenance;
+  pipeline.set_alarm_provenance_callback(
+      [&provenance](const AlarmProvenance& p) { provenance.push_back(p); });
+  for (const Item& item : make_stream()) {
+    pipeline.add(item.key, item.update, item.time_s);
+  }
+  pipeline.flush();
+
+  std::size_t total_alarms = 0;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, const detect::Alarm*>
+      by_id;
+  for (const auto& report : pipeline.reports()) {
+    total_alarms += report.alarms.size();
+    for (const auto& alarm : report.alarms) {
+      by_id[{alarm.interval, alarm.key}] = &alarm;
+    }
+  }
+  ASSERT_GT(total_alarms, 0u);
+  ASSERT_EQ(provenance.size(), total_alarms);
+
+  const std::uint64_t fingerprint = core::config_fingerprint(config);
+  for (const AlarmProvenance& p : provenance) {
+    const auto it = by_id.find({p.interval, p.key});
+    ASSERT_NE(it, by_id.end()) << "provenance without matching alarm";
+    const detect::Alarm& alarm = *it->second;
+    // The headline error must be exactly the detector's number, and must be
+    // re-derivable from the per-row evidence.
+    EXPECT_EQ(p.error, alarm.error);
+    EXPECT_EQ(p.threshold_abs, alarm.threshold_abs);
+    EXPECT_EQ(p.threshold, config.threshold);
+    ASSERT_EQ(p.row_error_estimates.size(), config.h);
+    ASSERT_EQ(p.row_error_buckets.size(), config.h);
+    ASSERT_EQ(p.row_forecast_estimates.size(), config.h);
+    EXPECT_EQ(median_copy(p.row_error_estimates), p.error);
+    EXPECT_EQ(median_copy(p.row_forecast_estimates), p.forecast);
+    std::vector<double> observed_rows(config.h);
+    for (std::size_t i = 0; i < config.h; ++i) {
+      observed_rows[i] =
+          p.row_forecast_estimates[i] + p.row_error_estimates[i];
+    }
+    EXPECT_EQ(median_copy(observed_rows), p.observed);
+    EXPECT_GT(std::abs(p.error), p.threshold_abs);
+    EXPECT_EQ(p.config_fingerprint, fingerprint);
+    EXPECT_EQ(p.model, pipeline.active_model().to_string());
+  }
+}
+
+// kNextInterval defers detection of interval t to the close of t+1, so a
+// checkpoint taken between the two must carry BOTH pending sketches (error
+// and forecast — the v2 state). A restored run's provenance must be
+// bit-identical to the uninterrupted run's, late spike included.
+TEST(PipelineProvenance, NextIntervalRestoreReproducesProvenanceBitExact) {
+  core::PipelineConfig config = provenance_config();
+  config.replay = core::KeyReplayMode::kNextInterval;
+  const std::vector<Item> stream = make_stream();
+
+  core::ChangeDetectionPipeline uninterrupted(config);
+  std::vector<std::string> full_run;
+  uninterrupted.set_alarm_provenance_callback(
+      [&full_run](const AlarmProvenance& p) { full_run.push_back(to_json(p)); });
+  for (const Item& item : stream) {
+    uninterrupted.add(item.key, item.update, item.time_s);
+  }
+  uninterrupted.flush();
+  ASSERT_FALSE(full_run.empty());
+
+  // First leg: run to the close of interval 7 (pending detection for 7 in
+  // flight, spike-in-8 still unseen) and snapshot there.
+  core::ChangeDetectionPipeline first_leg(config);
+  std::vector<std::uint8_t> bytes;
+  first_leg.set_interval_close_callback([&](std::size_t closed) {
+    if (closed == 8) bytes = first_leg.save_state();
+  });
+  for (const Item& item : stream) {
+    first_leg.add(item.key, item.update, item.time_s);
+    // The snapshot is taken inside the add() that crosses the t=80 boundary;
+    // that record itself lands after the snapshot and is replayed below.
+    if (!bytes.empty()) break;
+  }
+  ASSERT_FALSE(bytes.empty());
+
+  // Second leg: restore and replay the remainder of the stream.
+  core::ChangeDetectionPipeline second_leg(config);
+  second_leg.restore_state(bytes);
+  const double resume_s = second_leg.position().next_interval_start_s;
+  std::vector<std::string> restored_run;
+  second_leg.set_alarm_provenance_callback(
+      [&restored_run](const AlarmProvenance& p) {
+        restored_run.push_back(to_json(p));
+      });
+  for (const Item& item : stream) {
+    if (item.time_s < resume_s) continue;
+    second_leg.add(item.key, item.update, item.time_s);
+  }
+  second_leg.flush();
+
+  // The uninterrupted run's records from interval 7 on are exactly what the
+  // restored run emits (JSON string equality = bit-exact doubles).
+  std::vector<std::string> expected_tail;
+  for (const auto& json : full_run) {
+    if (json.find("\"interval\":7") != std::string::npos ||
+        json.find("\"interval\":8") != std::string::npos ||
+        json.find("\"interval\":9") != std::string::npos) {
+      expected_tail.push_back(json);
+    }
+  }
+  ASSERT_FALSE(restored_run.empty());
+  EXPECT_EQ(restored_run, expected_tail);
+  // The late spike (key 29, interval 8) must be among the restored records.
+  bool saw_late_spike = false;
+  for (const auto& json : restored_run) {
+    if (json.find("\"key\":29") != std::string::npos) saw_late_spike = true;
+  }
+  EXPECT_TRUE(saw_late_spike);
+}
+
+}  // namespace
+}  // namespace scd::detect
