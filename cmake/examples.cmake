@@ -3,12 +3,15 @@
 function(scd_add_example name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/examples/${name}.cpp)
   target_link_libraries(${name} PRIVATE
-    scd_checkpoint scd_ingest scd_core scd_eval scd_gridsearch scd_detect
-    scd_perflow scd_forecast scd_sketch scd_hash scd_traffic scd_common)
+    scd_agg scd_net scd_checkpoint scd_ingest scd_core scd_eval
+    scd_gridsearch scd_detect scd_perflow scd_forecast scd_sketch scd_hash
+    scd_traffic scd_common)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/examples)
 endfunction()
 
+scd_add_example(agg_node)
+scd_add_example(aggregator)
 scd_add_example(quickstart)
 scd_add_example(compare_models)
 scd_add_example(prefix_drilldown)

@@ -1,0 +1,141 @@
+// Aggregator daemon: the collector side of the network-wide aggregation
+// tier (docs/DISTRIBUTED.md).
+//
+// Listens for node connections, COMBINEs each interval's per-node sketches
+// into the global view once every expected node has contributed (or the
+// straggler timeout forces the interval closed), and runs the ordinary
+// forecast/detect stages on the combined sketch — alarms printed here are
+// network-wide changes no single vantage point may be able to see. Pair it
+// with examples/agg_node.cpp:
+//
+//   ./build/examples/aggregator --port 7337 --nodes 1,2,3 &
+//   ./build/examples/agg_node --port 7337 --node-id 1 &
+//   ./build/examples/agg_node --port 7337 --node-id 2 &
+//   ./build/examples/agg_node --port 7337 --node-id 3
+//
+// The daemon runs until stdin reaches EOF (or --run-for seconds elapse),
+// then force-closes anything still pending, flushes, and prints a summary.
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "agg/agg_server.h"
+#include "common/flags.h"
+#include "common/strutil.h"
+
+namespace {
+
+/// The demo pipeline configuration, shared verbatim with agg_node.cpp: the
+/// handshake refuses nodes whose config fingerprint differs, so both
+/// binaries must build the exact same PipelineConfig.
+scd::core::PipelineConfig demo_config(double interval_s) {
+  scd::core::PipelineConfig config;
+  config.interval_s = interval_s;
+  config.h = 5;
+  config.k = 32768;
+  config.model.kind = scd::forecast::ModelKind::kEwma;
+  config.model.alpha = 0.5;
+  config.threshold = 0.1;
+  return config;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scd;
+
+  common::FlagParser flags;
+  flags.add_flag("host", "listen address", "127.0.0.1");
+  flags.add_flag("port", "listen port (0 = ephemeral, printed at startup)",
+                 "7337");
+  flags.add_flag("nodes", "comma-separated expected node ids", "1,2,3");
+  flags.add_flag("interval", "interval length in seconds (must match nodes)",
+                 "60");
+  flags.add_flag("straggler-timeout",
+                 "seconds to wait for missing nodes before force-closing an "
+                 "interval (0 = wait forever)", "30");
+  flags.add_flag("run-for", "exit after N seconds (0 = run until stdin EOF)",
+                 "0");
+  const bool parsed = flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.help("aggregator [flags]").c_str());
+    return 0;
+  }
+  if (!parsed || !flags.positional().empty()) {
+    std::fprintf(stderr, "%s%s\n", flags.error().c_str(),
+                 flags.help("aggregator [flags]").c_str());
+    return 2;
+  }
+
+  agg::AggregatorConfig agg_config;
+  agg_config.pipeline =
+      demo_config(flags.get_double("interval").value_or(60.0));
+  for (const std::string& token : common::split(flags.get("nodes"), ',')) {
+    if (token.empty()) continue;
+    agg_config.nodes.push_back(std::stoull(token));
+  }
+
+  agg::AggServerConfig server_config;
+  server_config.host = flags.get("host");
+  server_config.port =
+      static_cast<std::uint16_t>(flags.get_int("port").value_or(7337));
+  server_config.straggler_timeout_s =
+      flags.get_double("straggler-timeout").value_or(30.0);
+
+  agg::AggServer server(std::move(agg_config), server_config);
+  server.with_core([](agg::Aggregator& core) {
+    core.set_report_callback([](const core::IntervalReport& report) {
+      std::printf("global interval %2zu  records=%-8llu", report.index,
+                  static_cast<unsigned long long>(report.records));
+      if (!report.detection_ran) {
+        std::printf("  (model warming up)\n");
+        return;
+      }
+      std::printf("  alarms=%zu\n", report.alarms.size());
+      for (const auto& alarm : report.alarms) {
+        std::printf("    ALARM key=%llu  forecast error=%+.0f\n",
+                    static_cast<unsigned long long>(alarm.key), alarm.error);
+      }
+      std::fflush(stdout);
+    });
+  });
+  server.start();
+  std::fprintf(stderr, "aggregator listening on %s:%hu (%zu nodes expected)\n",
+               server_config.host.c_str(), server.port(),
+               common::split(flags.get("nodes"), ',').size());
+
+  const double run_for = flags.get_double("run-for").value_or(0.0);
+  if (run_for > 0) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(run_for));
+  } else {
+    // Run until the operator (or the driving script) closes stdin.
+    for (int c = std::getchar(); c != EOF; c = std::getchar()) {
+    }
+  }
+
+  // End of run: force-close whatever is still waiting on stragglers, flush
+  // the global detection stages, and summarize.
+  server.with_core([](agg::Aggregator& core) {
+    while (const auto oldest = core.oldest_pending()) {
+      core.close_stragglers(*oldest);
+    }
+    core.flush();
+    const agg::AggregatorStats& stats = core.stats();
+    std::size_t total_alarms = 0;
+    for (const auto& report : core.reports()) {
+      total_alarms += report.alarms.size();
+    }
+    std::printf(
+        "\n%zu global intervals, %zu alarms\n"
+        "contributions=%llu duplicates=%llu stale=%llu straggler_closes=%llu\n",
+        core.reports().size(), total_alarms,
+        static_cast<unsigned long long>(stats.contributions),
+        static_cast<unsigned long long>(stats.duplicates),
+        static_cast<unsigned long long>(stats.stale_drops),
+        static_cast<unsigned long long>(stats.straggler_closes));
+  });
+  server.stop();
+  return 0;
+}

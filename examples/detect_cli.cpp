@@ -125,7 +125,12 @@ int main(int argc, char** argv) {
                  "arm the flight recorder; dumps land in DIR "
                  "(docs/OBSERVABILITY.md)", "");
 
-  if (!flags.parse(argc, argv) || flags.positional().size() != 1) {
+  const bool parsed = flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.help("detect_cli <trace.scdt> [flags]").c_str());
+    return 0;
+  }
+  if (!parsed || flags.positional().size() != 1) {
     std::fprintf(stderr, "%s%s\n", flags.error().c_str(),
                  flags.help("detect_cli <trace.scdt> [flags]").c_str());
     return 2;

@@ -40,7 +40,14 @@ int main(int argc, char** argv) {
   flags.add_flag("flight-recorder-dir",
                  "arm the flight recorder; dumps land in DIR "
                  "(docs/OBSERVABILITY.md)", "");
-  if (!flags.parse(argc, argv) || !flags.positional().empty()) {
+  const bool parsed = flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    // Same contract as detect_cli: --help is informational, so usage goes
+    // to stdout and the exit code is 0; unknown flags stay a hard error.
+    std::printf("%s", flags.help("online_monitor [flags]").c_str());
+    return 0;
+  }
+  if (!parsed || !flags.positional().empty()) {
     std::fprintf(stderr, "%s%s\n", flags.error().c_str(),
                  flags.help("online_monitor [flags]").c_str());
     return 2;

@@ -44,7 +44,12 @@ int main(int argc, char** argv) {
   flags.add_flag("flight-recorder-dir",
                  "arm the flight recorder; dumps land in DIR "
                  "(docs/OBSERVABILITY.md)", "");
-  if (!flags.parse(argc, argv) || !flags.positional().empty()) {
+  const bool parsed = flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::printf("%s", flags.help("parallel_ingest [flags]").c_str());
+    return 0;
+  }
+  if (!parsed || !flags.positional().empty()) {
     std::fprintf(stderr, "%s%s\n", flags.error().c_str(),
                  flags.help("parallel_ingest [flags]").c_str());
     return 2;

@@ -1,0 +1,43 @@
+#include "agg/agg_metrics.h"
+
+#include "obs/metrics.h"
+
+namespace scd::agg {
+
+AggInstruments AggInstruments::create(obs::MetricsRegistry& registry) {
+  return AggInstruments{
+      registry.counter("scd_agg_contributions_total",
+                       "Per-node interval sketches accepted into the global "
+                       "COMBINE"),
+      registry.counter("scd_agg_duplicates_total",
+                       "Re-shipped (node, interval) contributions absorbed by "
+                       "dedup — each one is a crash or retry that did NOT "
+                       "double-count"),
+      registry.counter("scd_agg_stale_drops_total",
+                       "Contributions that arrived after their global "
+                       "interval had already closed"),
+      registry.counter("scd_agg_rejects_total",
+                       "Contributions rejected as malformed, from an unknown "
+                       "node, or incompatible with the global sketch "
+                       "configuration"),
+      registry.counter("scd_agg_intervals_combined_total",
+                       "Global intervals closed (COMBINE + detection on the "
+                       "network-wide sketch)"),
+      registry.counter("scd_agg_straggler_closes_total",
+                       "Global intervals force-closed with at least one "
+                       "expected node missing"),
+      registry.gauge("scd_agg_nodes_connected",
+                     "Node connections currently registered with the "
+                     "aggregator server"),
+      registry.counter("scd_agg_rejoins_total",
+                       "Handshakes from a node id that had connected before "
+                       "(crash/restart rejoins)"),
+  };
+}
+
+AggInstruments& AggInstruments::global() {
+  static AggInstruments instance = create(obs::MetricsRegistry::global());
+  return instance;
+}
+
+}  // namespace scd::agg

@@ -1,0 +1,40 @@
+// Instruments for the aggregation tier (src/agg).
+//
+// Same model as checkpoint/checkpoint_metrics.h: registered once against
+// the process-global registry, held by stable reference afterwards.
+// Families (documented in docs/OBSERVABILITY.md):
+//   scd_agg_contributions_total       counter  accepted (node, interval) parts
+//   scd_agg_duplicates_total          counter  re-shipped parts absorbed
+//   scd_agg_stale_drops_total         counter  parts for already-closed
+//                                              intervals, dropped
+//   scd_agg_rejects_total             counter  malformed/incompatible parts
+//   scd_agg_intervals_combined_total  counter  global intervals closed
+//   scd_agg_straggler_closes_total    counter  intervals force-closed missing
+//                                              at least one node
+//   scd_agg_nodes_connected           gauge    live node connections
+//   scd_agg_rejoins_total             counter  nodes that reconnected
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace scd::agg {
+
+struct AggInstruments {
+  obs::Counter& contributions;
+  obs::Counter& duplicates;
+  obs::Counter& stale_drops;
+  obs::Counter& rejects;
+  obs::Counter& intervals_combined;
+  obs::Counter& straggler_closes;
+  obs::Gauge& nodes_connected;
+  obs::Counter& rejoins;
+
+  /// Registers (or finds) the bundle in `registry`.
+  [[nodiscard]] static AggInstruments create(obs::MetricsRegistry& registry);
+
+  /// The process-wide bundle, registered on first use against
+  /// MetricsRegistry::global().
+  [[nodiscard]] static AggInstruments& global();
+};
+
+}  // namespace scd::agg

@@ -1,0 +1,297 @@
+#include "agg/agg_server.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "agg/agg_metrics.h"
+#include "net/net_metrics.h"
+#include "net/socket.h"
+#include "net/wire.h"
+#include "obs/metrics.h"
+
+namespace scd::agg {
+
+class AggServer::Impl {
+ public:
+  Impl(AggregatorConfig aggregator_config, AggServerConfig server_config)
+      : core_(std::move(aggregator_config)),
+        config_(std::move(server_config)) {
+#if SCD_OBS_ENABLED
+    if (core_.config().pipeline.metrics) {
+      agg_metrics_ = &AggInstruments::global();
+      net_metrics_ = &net::NetInstruments::global();
+    }
+#endif
+  }
+
+  ~Impl() { stop(); }
+
+  void start() {
+    if (running_.exchange(true)) return;
+    listener_ = net::ListenSocket::listen_tcp(config_.host, config_.port);
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    if (config_.straggler_timeout_s > 0) {
+      timer_thread_ = std::thread([this] { timer_loop(); });
+    }
+  }
+
+  void stop() {
+    if (!running_.exchange(false)) {
+      return;
+    }
+    listener_.close();  // wakes the blocked accept()
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      // shutdown (not close): the reader threads still own the fds and wake
+      // with EOF; close happens in each reader's epilogue.
+      for (auto& conn : conns_) conn->sock.shutdown_both();
+    }
+    if (accept_thread_.joinable()) accept_thread_.join();
+    if (timer_thread_.joinable()) timer_thread_.join();
+    std::vector<std::shared_ptr<Conn>> conns;
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns.swap(conns_);
+    }
+    for (auto& conn : conns) {
+      if (conn->thread.joinable()) conn->thread.join();
+    }
+  }
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+
+  void with_core(const std::function<void(Aggregator&)>& fn) {
+    std::lock_guard<std::mutex> lock(core_mutex_);
+    fn(core_);
+  }
+
+  [[nodiscard]] std::size_t connections() const noexcept {
+    return live_connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    net::Socket sock;
+    std::thread thread;
+  };
+
+  void accept_loop() {
+    while (running_.load(std::memory_order_relaxed)) {
+      net::Socket sock;
+      try {
+        sock = listener_.accept();
+      } catch (const net::WireError&) {
+        break;  // listener closed: shutdown
+      }
+      auto conn = std::make_shared<Conn>();
+      conn->sock = std::move(sock);
+      {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        if (!running_.load(std::memory_order_relaxed)) {
+          conn->sock.close();
+          break;
+        }
+        conn->thread = std::thread([this, conn] { serve(conn); });
+        conns_.push_back(conn);
+      }
+    }
+  }
+
+  void send_frame(Conn& conn, net::MessageType type, std::uint64_t node_id,
+                  std::uint64_t interval_index) {
+    net::FrameHeader header;
+    header.type = type;
+    header.node_id = node_id;
+    header.interval_index = interval_index;
+    header.config_fingerprint = core_.config_fingerprint();
+    const std::vector<std::uint8_t> bytes = net::encode_frame(header, {});
+    conn.sock.send_all(bytes);
+    if (net_metrics_) {
+      net_metrics_->frames_sent.inc();
+      net_metrics_->bytes_sent.inc(bytes.size());
+    }
+  }
+
+  /// Returns false when the connection should end (clean Bye or a protocol
+  /// violation). Throws on socket failure or malformed frames; the caller's
+  /// catch drops the connection and counts the reject.
+  bool handle_frame(Conn& conn, const net::Frame& frame,
+                    std::optional<std::uint64_t>& node_id) {
+    const net::FrameHeader& h = frame.header;
+    switch (h.type) {
+      case net::MessageType::kHello: {
+        bool known = true;
+        std::uint64_t next = 0;
+        bool rejoin = false;
+        {
+          std::lock_guard<std::mutex> lock(core_mutex_);
+          try {
+            next = core_.next_expected(h.node_id);
+          } catch (const std::invalid_argument&) {
+            known = false;
+          }
+          if (known) rejoin = !seen_nodes_.insert(h.node_id).second;
+        }
+        if (!known || h.config_fingerprint != core_.config_fingerprint()) {
+          // Refuse before any payload flows: an unknown node or one built
+          // with different sketch geometry must never reach COMBINE.
+          if (agg_metrics_) agg_metrics_->rejects.inc();
+          send_frame(conn, net::MessageType::kBye, h.node_id, 0);
+          return false;
+        }
+        node_id = h.node_id;
+        const std::size_t live =
+            live_connections_.fetch_add(1, std::memory_order_relaxed) + 1;
+        if (agg_metrics_) {
+          agg_metrics_->nodes_connected.set(static_cast<double>(live));
+          if (rejoin) agg_metrics_->rejoins.inc();
+        }
+        // The ack's interval_index is the rejoin protocol: "ship from here".
+        send_frame(conn, net::MessageType::kHelloAck, h.node_id, next);
+        return true;
+      }
+      case net::MessageType::kIntervalData: {
+        if (!node_id || h.node_id != *node_id ||
+            h.config_fingerprint != core_.config_fingerprint()) {
+          throw net::WireError(
+              net::WireErrorKind::kBadPayload,
+              "interval data before Hello, for a different node id, or with "
+              "a drifted config fingerprint");
+        }
+        const net::IntervalPayload payload =
+            net::decode_interval_payload(frame.payload);
+        SubmitResult result;
+        {
+          std::lock_guard<std::mutex> lock(core_mutex_);
+          result = core_.submit(h.node_id, h.interval_index, payload);
+        }
+        if (result.outcome == SubmitOutcome::kUnknownNode) {
+          send_frame(conn, net::MessageType::kBye, h.node_id, 0);
+          return false;
+        }
+        // Duplicates and stale contributions are acked too: the node must
+        // advance past them, and dedup already made them harmless.
+        send_frame(conn, net::MessageType::kAck, h.node_id, h.interval_index);
+        return true;
+      }
+      case net::MessageType::kBye:
+        return false;
+      case net::MessageType::kHelloAck:
+      case net::MessageType::kAck:
+        throw net::WireError(net::WireErrorKind::kBadPayload,
+                             "aggregator received a server->node message "
+                             "type from a node");
+    }
+    return false;
+  }
+
+  void serve(const std::shared_ptr<Conn>& conn) {
+    net::FrameReader reader(config_.max_payload_bytes);
+    std::vector<std::uint8_t> buf(64 * 1024);
+    std::optional<std::uint64_t> node_id;
+    try {
+      bool open = true;
+      while (open) {
+        const std::size_t n = conn->sock.recv_some(buf.data(), buf.size());
+        if (n == 0) break;  // EOF: node closed (or stop() shut us down)
+        if (net_metrics_) net_metrics_->bytes_received.inc(n);
+        reader.feed({buf.data(), n});
+        while (open) {
+          std::optional<net::Frame> frame = reader.next();
+          if (!frame) break;
+          if (net_metrics_) net_metrics_->frames_received.inc();
+          open = handle_frame(*conn, *frame, node_id);
+        }
+      }
+    } catch (const std::exception&) {
+      // Malformed framing, hostile payload, or the peer vanished mid-frame:
+      // drop the connection and count it. The core was never touched with
+      // anything unvalidated, so no aggregation state needs repair.
+      if (agg_metrics_) agg_metrics_->rejects.inc();
+      if (net_metrics_) net_metrics_->frame_rejects.inc();
+    }
+    conn->sock.close();
+    if (node_id) {
+      const std::size_t live =
+          live_connections_.fetch_sub(1, std::memory_order_relaxed) - 1;
+      if (agg_metrics_) {
+        agg_metrics_->nodes_connected.set(static_cast<double>(live));
+      }
+    }
+  }
+
+  void timer_loop() {
+    using Clock = std::chrono::steady_clock;
+    bool watching = false;
+    std::uint64_t watched_interval = 0;
+    Clock::time_point since{};
+    const auto timeout = std::chrono::duration_cast<Clock::duration>(
+        std::chrono::duration<double>(config_.straggler_timeout_s));
+    while (running_.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      std::lock_guard<std::mutex> lock(core_mutex_);
+      const std::optional<std::uint64_t> oldest = core_.oldest_pending();
+      if (!oldest) {
+        watching = false;
+        continue;
+      }
+      if (!watching || watched_interval != *oldest) {
+        // A new oldest interval: restart its grace period.
+        watching = true;
+        watched_interval = *oldest;
+        since = Clock::now();
+        continue;
+      }
+      if (Clock::now() - since >= timeout) {
+        core_.close_stragglers(watched_interval);
+        watching = false;
+      }
+    }
+  }
+
+  Aggregator core_;
+  AggServerConfig config_;
+  std::mutex core_mutex_;
+  std::mutex conns_mutex_;
+  net::ListenSocket listener_;
+  std::thread accept_thread_;
+  std::thread timer_thread_;
+  std::vector<std::shared_ptr<Conn>> conns_;
+  std::set<std::uint64_t> seen_nodes_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> live_connections_{0};
+  AggInstruments* agg_metrics_ = nullptr;
+  net::NetInstruments* net_metrics_ = nullptr;
+};
+
+AggServer::AggServer(AggregatorConfig aggregator_config,
+                     AggServerConfig server_config)
+    : impl_(std::make_unique<Impl>(std::move(aggregator_config),
+                                   std::move(server_config))) {}
+
+AggServer::~AggServer() = default;
+
+void AggServer::start() { impl_->start(); }
+void AggServer::stop() { impl_->stop(); }
+
+std::uint16_t AggServer::port() const noexcept { return impl_->port(); }
+
+void AggServer::with_core(const std::function<void(Aggregator&)>& fn) {
+  impl_->with_core(fn);
+}
+
+std::size_t AggServer::connections() const noexcept {
+  return impl_->connections();
+}
+
+}  // namespace scd::agg

@@ -1,0 +1,82 @@
+// AggServer — the TCP front-end of the aggregation tier.
+//
+// Owns a listening socket, one reader thread per node connection, and a
+// straggler timer. All protocol decisions are delegated to the transport-
+// free Aggregator core under a single mutex; this layer only moves frames,
+// enforces the handshake, and implements the one policy the core leaves
+// open: WHEN to force-close an interval with missing nodes (wall-clock
+// timeouts have no business inside the deterministic core).
+//
+// Handshake: a node sends kHello carrying its node id and config
+// fingerprint. A mismatching fingerprint or unknown node id is answered
+// with kBye and disconnected — a node built with different sketch geometry
+// must never be COMBINEd. On success the kHelloAck's interval_index tells
+// the node the next interval the aggregator expects of it, which is how a
+// rejoining node (restored from checkpoint) skips everything already
+// integrated instead of double-shipping it.
+//
+// Straggler policy: while the oldest pending global interval stays open,
+// a timer watches it; once it has been waiting longer than
+// straggler_timeout_s, the server force-closes THROUGH that interval
+// (Aggregator::close_stragglers) so one dead node cannot stall the global
+// view forever. Late contributions to closed intervals are acked but
+// dropped and counted (scd_agg_stale_drops_total).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "agg/aggregator.h"
+
+namespace scd::agg {
+
+struct AggServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with port() (tests rely on
+  /// this to avoid fixed-port collisions).
+  std::uint16_t port = 0;
+  /// Seconds the oldest pending interval may wait for stragglers before the
+  /// server force-closes it. <= 0 disables force-closing (intervals wait
+  /// forever — only sensible in tests that drive close_stragglers directly).
+  double straggler_timeout_s = 30.0;
+  /// Ceiling on a single frame's payload (hostile length prefixes).
+  std::size_t max_payload_bytes = net::kDefaultMaxPayloadBytes;
+};
+
+class AggServer {
+ public:
+  /// Validates both configs and constructs the core; start() actually binds.
+  AggServer(AggregatorConfig aggregator_config, AggServerConfig server_config);
+  ~AggServer();  // stop()s if still running
+  AggServer(const AggServer&) = delete;
+  AggServer& operator=(const AggServer&) = delete;
+
+  /// Binds, listens, and spawns the accept and straggler-timer threads.
+  /// Throws net::WireError(kIo) when the bind fails.
+  void start();
+
+  /// Closes the listener and every node connection, joins all threads.
+  /// Pending partial intervals stay pending (call with_core +
+  /// close_stragglers first when a final flush is wanted). Idempotent.
+  void stop();
+
+  /// The bound port (valid after start()).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Runs `fn` on the Aggregator core under the server's mutex — the only
+  /// safe way to touch the core while reader threads are live. Used for
+  /// installing callbacks before start(), reading reports/stats, and
+  /// test-driving close_stragglers deterministically.
+  void with_core(const std::function<void(Aggregator&)>& fn);
+
+  /// Live node connections (gauge mirror, for tests).
+  [[nodiscard]] std::size_t connections() const noexcept;
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace scd::agg

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <fstream>
 #include <iterator>
+#include <limits>
+#include <optional>
 #include <stdexcept>
 #include <system_error>
 #include <utility>
@@ -263,24 +265,75 @@ std::string checkpoint_filename(std::uint64_t interval_index) {
   return kCheckpointPrefix + digits + kCheckpointSuffix;
 }
 
+namespace {
+
+/// The interval index encoded in a checkpoint filename, or nullopt when the
+/// part between prefix and suffix is not a pure decimal number (hand-renamed
+/// files, foreign tools). Writer-produced names are 20-digit zero-padded,
+/// but the listing must not ASSUME that: "ckpt-5.scdc" sorted
+/// lexicographically lands above "ckpt-00000000000000000100.scdc", which
+/// once made recovery order depend on how a file had been (re)named.
+[[nodiscard]] std::optional<std::uint64_t> parse_checkpoint_interval(
+    const std::string& name) {
+  const std::size_t prefix_len = std::string(kCheckpointPrefix).size();
+  const std::size_t suffix_len = std::string(kCheckpointSuffix).size();
+  if (name.size() <= prefix_len + suffix_len) return std::nullopt;
+  const std::string digits =
+      name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return std::nullopt;
+  }
+  // 20 decimal digits can exceed 2^64 - 1; reject overflow instead of
+  // wrapping into a bogus (and possibly "newest") index.
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    const auto digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return std::nullopt;
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+}  // namespace
+
 std::vector<std::filesystem::path> list_checkpoints(
     const std::filesystem::path& directory) {
-  std::vector<std::filesystem::path> out;
+  struct Candidate {
+    std::filesystem::path path;
+    std::string name;
+    std::optional<std::uint64_t> interval;
+  };
+  std::vector<Candidate> found;
   std::error_code ec;
   for (const auto& entry :
        std::filesystem::directory_iterator(directory, ec)) {
     const std::string name = entry.path().filename().string();
     if (name.starts_with(kCheckpointPrefix) &&
         name.ends_with(kCheckpointSuffix)) {
-      out.push_back(entry.path());
+      found.push_back({entry.path(), name, parse_checkpoint_interval(name)});
     }
   }
-  // Zero-padded decimal index: lexicographic filename order IS interval
-  // order. Newest first.
-  std::sort(out.begin(), out.end(),
-            [](const std::filesystem::path& a, const std::filesystem::path& b) {
-              return a.filename().string() > b.filename().string();
+  // Newest (highest NUMERIC interval) first; names that do not parse sort
+  // last. Two files claiming the same interval (e.g. a padded and an
+  // unpadded spelling) tie-break on the filename, ascending — a total order
+  // independent of directory-iteration order, so recover() probes the same
+  // file first on every filesystem.
+  std::sort(found.begin(), found.end(),
+            [](const Candidate& a, const Candidate& b) {
+              const bool a_valid = a.interval.has_value();
+              const bool b_valid = b.interval.has_value();
+              if (a_valid != b_valid) return a_valid;
+              if (a_valid && *a.interval != *b.interval) {
+                return *a.interval > *b.interval;
+              }
+              return a.name < b.name;
             });
+  std::vector<std::filesystem::path> out;
+  out.reserve(found.size());
+  for (Candidate& candidate : found) out.push_back(std::move(candidate.path));
   return out;
 }
 

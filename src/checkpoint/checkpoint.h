@@ -206,7 +206,12 @@ struct RecoverResult {
 [[nodiscard]] std::string checkpoint_filename(std::uint64_t interval_index);
 
 /// Lists complete checkpoint files ("ckpt-*.scdc") in `directory`, sorted
-/// newest (highest interval) first. Missing directory = empty list.
+/// newest (highest NUMERIC interval) first — the index is parsed from the
+/// name rather than compared lexicographically, so an unpadded "ckpt-5.scdc"
+/// never outranks interval 100, and two spellings of the same interval
+/// tie-break on the filename (ascending) for a total order independent of
+/// directory-iteration order. Names whose index does not parse sort last.
+/// Missing directory = empty list.
 [[nodiscard]] std::vector<std::filesystem::path> list_checkpoints(
     const std::filesystem::path& directory);
 

@@ -12,8 +12,16 @@ void FlagParser::add_flag(const std::string& name, const std::string& help,
 }
 
 bool FlagParser::parse(int argc, const char* const* argv) {
+  // Scan for --help/-h up front, BEFORE flag validation can bail out: a
+  // user typing "prog --bogus --help" wants the usage text, so callers
+  // branch on help_requested() first regardless of parse()'s result.
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") help_requested_ = true;
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") continue;
     if (arg.rfind("--", 0) != 0) {
       positional_.push_back(arg);
       continue;

@@ -18,8 +18,16 @@ class FlagParser {
                 const std::string& default_value = "");
 
   /// Parses argv. Returns false (and fills error()) on unknown flags or
-  /// missing values.
+  /// missing values. "--help" (or "-h") is always recognized: parse()
+  /// returns true with help_requested() set, and the binary should print
+  /// help(usage) to stdout and exit 0 — as opposed to the unknown-flag
+  /// path, which prints to stderr and exits non-zero.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  /// True when parse() saw --help / -h.
+  [[nodiscard]] bool help_requested() const noexcept {
+    return help_requested_;
+  }
 
   [[nodiscard]] std::string get(const std::string& name) const;
   [[nodiscard]] bool has(const std::string& name) const;
@@ -44,6 +52,7 @@ class FlagParser {
   std::map<std::string, Flag> flags_;
   std::vector<std::string> positional_;
   std::string error_;
+  bool help_requested_ = false;
 };
 
 }  // namespace scd::common

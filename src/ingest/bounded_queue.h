@@ -34,9 +34,13 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
-  /// Blocks until there is space (backpressure). Returns false — and
-  /// discards the item — iff the queue was closed.
-  bool push(T item) {
+  /// Blocks until there is space (backpressure), then moves `item` in and
+  /// returns true. Returns false iff the queue was closed — including when
+  /// close() arrives while this call is waiting for capacity — and in that
+  /// case `item` is left UNTOUCHED so the caller can surface or count the
+  /// loss. (A previous by-value signature destroyed the in-flight item on
+  /// exactly that close/capacity race, losing records with no trace.)
+  bool push(T& item) {
     {
       std::unique_lock lock(mutex_);
       not_full_.wait(lock,

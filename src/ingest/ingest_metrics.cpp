@@ -24,6 +24,10 @@ IngestInstruments IngestInstruments::create(obs::MetricsRegistry& registry,
       registry.counter(
           "scd_ingest_batch_records_total",
           "Records applied via BasicKarySketch::update_batch on shard workers"),
+      registry.counter(
+          "scd_ingest_shutdown_dropped_records_total",
+          "Records discarded because queue close() raced a blocked push "
+          "during shutdown (the final interval is short these records)"),
       {}};
   out.shard_apply_seconds.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i) {

@@ -10,6 +10,8 @@
 //   scd_ingest_shard_apply_seconds    histogram  one chunk applied, {shard=i}
 //   scd_ingest_batch_size             histogram  records per batched UPDATE
 //   scd_ingest_batch_records_total    counter    records through update_batch
+//   scd_ingest_shutdown_dropped_records_total  counter  records lost when
+//                                                close() raced a blocked push
 #pragma once
 
 #include <cstddef>
@@ -28,6 +30,10 @@ struct IngestInstruments {
   obs::Histogram& batch_size;
   /// Total records applied via BasicKarySketch::update_batch.
   obs::Counter& batch_records;
+  /// Records discarded because the pipeline shut down while a full-queue
+  /// push was still waiting. Always zero in a clean run; nonzero means the
+  /// final interval's sketch is missing these records.
+  obs::Counter& shutdown_dropped_records;
   /// One histogram per shard worker, labelled {shard="0".."W-1"}.
   std::vector<obs::Histogram*> shard_apply_seconds;
 

@@ -140,6 +140,21 @@ class ParallelPipeline::Impl {
     ++records_since_barrier_;
   }
 
+  void start_at(double time_s) {
+    if (started_) {
+      throw std::logic_error(
+          "ParallelPipeline::start_at: the stream has already started (call "
+          "before the first record, or restore a snapshot instead)");
+    }
+    if (!std::isfinite(time_s)) {
+      throw std::invalid_argument(
+          "ParallelPipeline::start_at: anchor time must be finite");
+    }
+    started_ = true;
+    current_start_ = time_s;
+    last_time_ = time_s;
+  }
+
   void flush() {
     if (!started_) return;
     close_interval();
@@ -155,11 +170,18 @@ class ParallelPipeline::Impl {
   [[nodiscard]] ParallelStats parallel_stats() const noexcept {
     ParallelStats s = stats_;
     s.backpressure_waits = shards_->backpressure_waits();
+    s.shutdown_dropped_records = shards_->dropped_records();
     return s;
   }
 
   void set_interval_close_callback(std::function<void(std::size_t)> callback) {
     on_interval_close_ = std::move(callback);
+  }
+
+  void set_interval_batch_callback(
+      std::function<void(std::uint64_t, const core::IntervalBatch&)>
+          callback) {
+    on_interval_batch_ = std::move(callback);
   }
 
   [[nodiscard]] std::vector<std::uint8_t> save_state() const {
@@ -255,7 +277,15 @@ class ParallelPipeline::Impl {
     core::IntervalBatch batch = shards_->barrier_merge();
     batch.start_s = current_start_;
     batch.len_s = config_.interval_s;
+    // 0-based index of the interval being closed; stats_.barriers survives
+    // save_state/restore_state, so a restored node keeps numbering where the
+    // snapshot left off.
+    const std::uint64_t interval_index = stats_.barriers;
     ++stats_.barriers;
+    // Export tap BEFORE the serial ingest: the shipper must see the batch
+    // while it is still intact, and ship-then-ingest-then-checkpoint is the
+    // ordering the rejoin protocol relies on (docs/DISTRIBUTED.md).
+    if (on_interval_batch_) on_interval_batch_(interval_index, batch);
     serial_.ingest_interval(std::move(batch));
     current_start_ += config_.interval_s;
     records_since_barrier_ = 0;
@@ -271,6 +301,8 @@ class ParallelPipeline::Impl {
   std::uint64_t records_since_barrier_ = 0;
   ParallelStats stats_;
   std::function<void(std::size_t)> on_interval_close_;
+  std::function<void(std::uint64_t, const core::IntervalBatch&)>
+      on_interval_batch_;
 };
 
 ParallelPipeline::ParallelPipeline(core::PipelineConfig config,
@@ -292,6 +324,8 @@ void ParallelPipeline::add_record(const traffic::FlowRecord& record) {
       traffic::record_time_s(record));
 }
 
+void ParallelPipeline::start_at(double time_s) { impl_->start_at(time_s); }
+
 void ParallelPipeline::flush() { impl_->flush(); }
 
 const std::vector<core::IntervalReport>& ParallelPipeline::reports()
@@ -312,6 +346,11 @@ void ParallelPipeline::set_alarm_provenance_callback(
 void ParallelPipeline::set_interval_close_callback(
     std::function<void(std::size_t)> callback) {
   impl_->set_interval_close_callback(std::move(callback));
+}
+
+void ParallelPipeline::set_interval_batch_callback(
+    std::function<void(std::uint64_t, const core::IntervalBatch&)> callback) {
+  impl_->set_interval_batch_callback(std::move(callback));
 }
 
 std::vector<std::uint8_t> ParallelPipeline::save_state() const {

@@ -50,6 +50,9 @@ struct ParallelStats {
   std::uint64_t out_of_order_records = 0;
   std::uint64_t backpressure_waits = 0;  // chunk pushes that blocked
   std::size_t barriers = 0;              // interval-close merges
+  /// Records lost because shutdown closed a shard queue while a push was
+  /// blocked on capacity. Zero in any run that flush()es before destruction.
+  std::uint64_t shutdown_dropped_records = 0;
 };
 
 class ParallelPipeline {
@@ -67,6 +70,16 @@ class ParallelPipeline {
   void add(std::uint64_t key, double update, double time_s);
   void add_record(const traffic::FlowRecord& record);
 
+  /// Anchors the interval grid at `time_s` before any record arrives. By
+  /// default the first record's timestamp opens interval 0, which is right
+  /// for a single vantage point but wrong for the aggregation tier: every
+  /// node must cut intervals on the SAME boundaries or their sketches are
+  /// not COMBINE-compatible (docs/DISTRIBUTED.md). Records earlier than the
+  /// anchor are clamped like any out-of-order record; a quiet node closes
+  /// leading empty intervals as time advances. Throws std::logic_error once
+  /// the stream has started.
+  void start_at(double time_s);
+
   /// Closes the interval in progress (final barrier + merge) and flushes
   /// the serial stages. Call once at end of stream.
   void flush();
@@ -81,6 +94,18 @@ class ParallelPipeline {
   /// the coordinator thread during the interval-close barrier.
   void set_alarm_provenance_callback(
       std::function<void(const detect::AlarmProvenance&)> callback);
+
+  /// Invoked during every interval-close barrier with the 0-based interval
+  /// index and the COMBINE-merged batch (registers, distinct keys, record
+  /// count), BEFORE the serial stages consume it. This is the export tap of
+  /// the aggregation tier: a node-side shipper serializes the batch and
+  /// ships it, and because shipping completes before the serial ingest and
+  /// the checkpoint callback run, a crash can only ever lose work the
+  /// aggregator will see again on replay (dedup by (node, interval) makes
+  /// the re-ship harmless — docs/DISTRIBUTED.md). Runs on the coordinator
+  /// thread; a throw from the callback aborts the interval close.
+  void set_interval_batch_callback(
+      std::function<void(std::uint64_t, const core::IntervalBatch&)> callback);
 
   /// Invoked at the end of every interval-close barrier, after the merged
   /// batch has been ingested by the serial stages and the front-end clock

@@ -63,6 +63,9 @@ class ShardSetBase {
   virtual void stop() = 0;
   [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
   [[nodiscard]] virtual std::uint64_t backpressure_waits() const noexcept = 0;
+  /// Records lost because close() raced a blocked push during shutdown.
+  /// Nonzero only when the pipeline is destroyed with records in flight.
+  [[nodiscard]] virtual std::uint64_t dropped_records() const noexcept = 0;
 };
 
 template <typename Family>
@@ -97,9 +100,16 @@ class ShardSet final : public ShardSetBase {
     if (!queue.try_push(msg)) {
       ++backpressure_waits_;
       if (instruments_ != nullptr) instruments_->backpressure_waits.inc();
-      if (!queue.push(std::move(msg))) {
-        // Closed mid-shutdown; the records are dropped with the stream.
-        if (instruments_ != nullptr) instruments_->queue_records.add(-n);
+      if (!queue.push(msg)) {
+        // Closed mid-shutdown. The chunk is still intact (push leaves its
+        // argument alone on failure), so the loss is counted instead of
+        // vanishing: every dropped record biases the interval's sketch, and
+        // an operator must be able to see that the stream was cut short.
+        dropped_records_ += msg.records.size();
+        if (instruments_ != nullptr) {
+          instruments_->queue_records.add(-n);
+          instruments_->shutdown_dropped_records.inc(msg.records.size());
+        }
       }
     }
   }
@@ -107,7 +117,8 @@ class ShardSet final : public ShardSetBase {
   core::IntervalBatch barrier_merge() override {
     SCD_TRACE_SPAN("barrier_combine", "ingest");
     for (auto& shard : shards_) {
-      shard->queue.push(ShardMessage{{}, true});
+      ShardMessage barrier{{}, true};
+      shard->queue.push(barrier);
     }
     std::unique_lock lock(barrier_mutex_);
     barrier_cv_.wait(lock, [&] { return arrived_ == shards_.size(); });
@@ -150,6 +161,9 @@ class ShardSet final : public ShardSetBase {
   }
   [[nodiscard]] std::uint64_t backpressure_waits() const noexcept override {
     return backpressure_waits_;
+  }
+  [[nodiscard]] std::uint64_t dropped_records() const noexcept override {
+    return dropped_records_;
   }
 
  private:
@@ -222,6 +236,7 @@ class ShardSet final : public ShardSetBase {
   std::condition_variable barrier_cv_;
   std::size_t arrived_ = 0;
   std::uint64_t backpressure_waits_ = 0;  // producer-thread only
+  std::uint64_t dropped_records_ = 0;     // producer-thread only
 };
 
 }  // namespace scd::ingest

@@ -1,0 +1,31 @@
+#include "net/net_metrics.h"
+
+#include "obs/metrics.h"
+
+namespace scd::net {
+
+NetInstruments NetInstruments::create(obs::MetricsRegistry& registry) {
+  return NetInstruments{
+      registry.counter("scd_net_frames_sent_total",
+                       "Wire frames written to a socket (all message types)"),
+      registry.counter(
+          "scd_net_frames_received_total",
+          "Complete wire frames re-framed from received byte streams"),
+      registry.counter("scd_net_bytes_sent_total",
+                       "Bytes sent on aggregation-tier sockets "
+                       "(headers + payloads)"),
+      registry.counter("scd_net_bytes_received_total",
+                       "Raw bytes received on aggregation-tier sockets"),
+      registry.counter("scd_net_frame_rejects_total",
+                       "Frames or payloads rejected as malformed, corrupt, "
+                       "oversized, or of an unknown version"),
+  };
+}
+
+NetInstruments& NetInstruments::global() {
+  static NetInstruments instance =
+      create(obs::MetricsRegistry::global());
+  return instance;
+}
+
+}  // namespace scd::net

@@ -1,0 +1,32 @@
+// Instruments for the wire layer (src/net).
+//
+// Same model as checkpoint/checkpoint_metrics.h: registered once against
+// the process-global registry, held by stable reference afterwards.
+// Families (documented in docs/OBSERVABILITY.md):
+//   scd_net_frames_sent_total       counter    frames written to a socket
+//   scd_net_frames_received_total   counter    complete frames re-framed
+//   scd_net_bytes_sent_total        counter    payload+header bytes sent
+//   scd_net_bytes_received_total    counter    raw bytes fed to FrameReaders
+//   scd_net_frame_rejects_total     counter    malformed frames/payloads
+#pragma once
+
+#include "obs/metrics.h"
+
+namespace scd::net {
+
+struct NetInstruments {
+  obs::Counter& frames_sent;
+  obs::Counter& frames_received;
+  obs::Counter& bytes_sent;
+  obs::Counter& bytes_received;
+  obs::Counter& frame_rejects;
+
+  /// Registers (or finds) the bundle in `registry`.
+  [[nodiscard]] static NetInstruments create(obs::MetricsRegistry& registry);
+
+  /// The process-wide bundle, registered on first use against
+  /// MetricsRegistry::global().
+  [[nodiscard]] static NetInstruments& global();
+};
+
+}  // namespace scd::net

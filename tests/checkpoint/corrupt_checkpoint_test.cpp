@@ -181,6 +181,79 @@ TEST(CorruptCheckpoint, TrailingGarbage) {
   expect_skip_to_previous(corpus, "trailing garbage", "[bad-payload]");
 }
 
+TEST(CheckpointListing, OrdersByNumericIntervalNotLexicographically) {
+  const std::filesystem::path dir = fresh_dir("listing_numeric");
+  std::filesystem::create_directories(dir);
+  // An unpadded name (as a hand-renamed or foreign-tool file would have):
+  // lexicographically "ckpt-5..." outranks "ckpt-00...0100...", which once
+  // made recovery probe interval 5 before interval 100.
+  write_file(dir / "ckpt-5.scdc", {0x01});
+  write_file(dir / checkpoint_filename(100), {0x02});
+  write_file(dir / checkpoint_filename(99), {0x03});
+  const auto files = list_checkpoints(dir);
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0].filename().string(), checkpoint_filename(100));
+  EXPECT_EQ(files[1].filename().string(), checkpoint_filename(99));
+  EXPECT_EQ(files[2].filename().string(), "ckpt-5.scdc");
+}
+
+TEST(CheckpointListing, DuplicateIntervalTieBreaksOnFilename) {
+  const std::filesystem::path dir = fresh_dir("listing_dup");
+  std::filesystem::create_directories(dir);
+  // Two spellings of interval 7 plus an unparsable name: the listing must be
+  // one total order (interval desc, then filename asc, unparsable last) no
+  // matter how the directory iterator happens to enumerate them.
+  write_file(dir / "ckpt-7.scdc", {0x01});
+  write_file(dir / checkpoint_filename(7), {0x02});
+  write_file(dir / "ckpt-notanumber.scdc", {0x03});
+  write_file(dir / checkpoint_filename(3), {0x04});
+  const auto files = list_checkpoints(dir);
+  ASSERT_EQ(files.size(), 4u);
+  EXPECT_EQ(files[0].filename().string(), checkpoint_filename(7));
+  EXPECT_EQ(files[1].filename().string(), "ckpt-7.scdc");
+  EXPECT_EQ(files[2].filename().string(), checkpoint_filename(3));
+  EXPECT_EQ(files[3].filename().string(), "ckpt-notanumber.scdc");
+}
+
+TEST(CorruptCheckpoint, DuplicateIntervalRecoveryIsDeterministic) {
+  Corpus corpus("corrupt_dup_interval");
+  // Learn the newest snapshot's interval index from a pristine recovery.
+  std::uint64_t interval = 0;
+  {
+    core::ChangeDetectionPipeline pipeline(corpus_config());
+    const RecoverResult pristine = recover(corpus.dir, pipeline);
+    ASSERT_TRUE(pristine.restored);
+    ASSERT_EQ(pristine.path, corpus.newest);
+    interval = pristine.interval_index;
+  }
+  // Add a second, unpadded spelling of the SAME interval (a hand-restored
+  // backup). The padded writer-produced name sorts first (filename
+  // ascending within the tie), so pristine recovery still picks it...
+  const std::filesystem::path duplicate =
+      corpus.dir / ("ckpt-" + std::to_string(interval) + ".scdc");
+  write_file(duplicate, corpus.pristine);
+  {
+    core::ChangeDetectionPipeline pipeline(corpus_config());
+    const RecoverResult result = recover(corpus.dir, pipeline);
+    ASSERT_TRUE(result.restored);
+    EXPECT_EQ(result.path, corpus.newest);
+    EXPECT_EQ(result.skipped, 0u);
+  }
+  // ...and when the padded file is damaged, recovery falls back to the
+  // duplicate of the same interval — never to an older interval.
+  std::vector<std::uint8_t> damaged = corpus.pristine;
+  damaged.resize(damaged.size() / 2);
+  write_file(corpus.newest, damaged);
+  {
+    core::ChangeDetectionPipeline pipeline(corpus_config());
+    const RecoverResult result = recover(corpus.dir, pipeline);
+    ASSERT_TRUE(result.restored);
+    EXPECT_EQ(result.path, duplicate);
+    EXPECT_EQ(result.interval_index, interval);
+    EXPECT_EQ(result.skipped, 1u);
+  }
+}
+
 TEST(CorruptCheckpoint, AllCandidatesCorruptMeansNoRestore) {
   Corpus corpus("corrupt_all");
   for (const auto& path : list_checkpoints(corpus.dir)) {

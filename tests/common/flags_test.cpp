@@ -74,6 +74,28 @@ TEST(FlagParser, NumericParsingRejectsGarbage) {
   EXPECT_FALSE(flags.get_double("n").has_value());
 }
 
+TEST(FlagParser, HelpFlagIsAlwaysRecognized) {
+  FlagParser flags;
+  flags.add_flag("alpha", "smoothing");
+  for (const char* spelling : {"--help", "-h"}) {
+    FlagParser fresh = flags;
+    const auto argv = argv_of({spelling});
+    EXPECT_TRUE(fresh.parse(static_cast<int>(argv.size()), argv.data()));
+    EXPECT_TRUE(fresh.help_requested());
+  }
+  EXPECT_FALSE(flags.help_requested());  // never set without the flag
+}
+
+TEST(FlagParser, HelpRequestSurvivesOtherwiseInvalidArgv) {
+  // A user typing "prog --bogus --help" wants the usage text, not just the
+  // unknown-flag error: parse() fails but help_requested() must still be
+  // set, and callers branch on it first.
+  FlagParser flags;
+  const auto argv = argv_of({"--bogus=1", "--help"});
+  EXPECT_FALSE(flags.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flags.help_requested());
+}
+
 TEST(FlagParser, HelpListsFlags) {
   FlagParser flags;
   flags.add_flag("alpha", "smoothing", "0.5");

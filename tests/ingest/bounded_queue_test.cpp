@@ -16,7 +16,10 @@ namespace {
 
 TEST(BoundedQueue, PreservesFifoOrder) {
   BoundedQueue<int> q(8);
-  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  for (int i = 0; i < 5; ++i) {
+    int item = i;
+    EXPECT_TRUE(q.push(item));
+  }
   for (int i = 0; i < 5; ++i) {
     const auto item = q.pop();
     ASSERT_TRUE(item.has_value());
@@ -49,10 +52,12 @@ TEST(BoundedQueue, TryPushFailsWhenFullOrClosed) {
 
 TEST(BoundedQueue, CloseDrainsThenSignalsEndOfStream) {
   BoundedQueue<int> q(4);
-  EXPECT_TRUE(q.push(1));
-  EXPECT_TRUE(q.push(2));
+  int a = 1, b = 2, c = 3;
+  EXPECT_TRUE(q.push(a));
+  EXPECT_TRUE(q.push(b));
   q.close();
-  EXPECT_FALSE(q.push(3));  // push after close fails
+  EXPECT_FALSE(q.push(c));  // push after close fails
+  EXPECT_EQ(c, 3);          // ... and must not consume the item
   EXPECT_EQ(q.pop(), 1);    // items queued before close still drain
   EXPECT_EQ(q.pop(), 2);
   EXPECT_EQ(q.pop(), std::nullopt);
@@ -61,10 +66,12 @@ TEST(BoundedQueue, CloseDrainsThenSignalsEndOfStream) {
 
 TEST(BoundedQueue, FullPushBlocksUntilConsumerMakesSpace) {
   BoundedQueue<int> q(1);
-  ASSERT_TRUE(q.push(1));
+  int first = 1;
+  ASSERT_TRUE(q.push(first));
   std::atomic<bool> second_accepted{false};
   std::thread producer([&] {
-    EXPECT_TRUE(q.push(2));  // blocks until the main thread pops
+    int second = 2;
+    EXPECT_TRUE(q.push(second));  // blocks until the main thread pops
     second_accepted.store(true);
   });
   EXPECT_EQ(q.pop(), 1);
@@ -75,14 +82,43 @@ TEST(BoundedQueue, FullPushBlocksUntilConsumerMakesSpace) {
 
 TEST(BoundedQueue, CloseWakesBlockedProducer) {
   BoundedQueue<int> q(1);
-  ASSERT_TRUE(q.push(1));
+  int first = 1;
+  ASSERT_TRUE(q.push(first));
   std::thread producer([&] {
-    EXPECT_FALSE(q.push(2));  // blocked on full queue, then woken by close
+    int second = 2;
+    EXPECT_FALSE(q.push(second));  // blocked on full, then woken by close
+    EXPECT_EQ(second, 2);          // the item survives the failed push
   });
   // Give the producer a moment to reach the wait before closing.
   std::this_thread::yield();
   q.close();
   producer.join();
+}
+
+// Regression: push() used to take its argument by value, so when close()
+// raced a capacity wait the in-flight item was destroyed with no way for
+// the caller to notice WHAT was lost. The reference signature must leave
+// the item untouched on every failure path.
+TEST(BoundedQueue, FailedPushLeavesItemIntactForTheCaller) {
+  BoundedQueue<std::vector<int>> q(1);
+  std::vector<int> first{1, 2, 3};
+  ASSERT_TRUE(q.push(first));  // fills the queue (and moves `first` out)
+  std::vector<int> blocked{4, 5, 6};
+  std::thread producer([&] {
+    // Blocks on the full queue; close() below wakes it with failure. The
+    // chunk must still hold its records so the producer can count them.
+    EXPECT_FALSE(q.push(blocked));
+  });
+  // Whether close() lands before or during the producer's wait, the failed
+  // push must preserve the item — give the producer a moment to block.
+  std::this_thread::yield();
+  q.close();
+  producer.join();
+  EXPECT_EQ(blocked, (std::vector<int>{4, 5, 6}));
+
+  // The fast-fail path (already closed, no wait) must preserve it too.
+  EXPECT_FALSE(q.push(blocked));
+  EXPECT_EQ(blocked, (std::vector<int>{4, 5, 6}));
 }
 
 TEST(BoundedQueue, MultiProducerStressDeliversEveryItemOnce) {
@@ -96,8 +132,9 @@ TEST(BoundedQueue, MultiProducerStressDeliversEveryItemOnce) {
   for (int p = 0; p < kProducers; ++p) {
     producers.emplace_back([&q, p] {
       for (int i = 0; i < kPerProducer; ++i) {
-        ASSERT_TRUE(q.push(static_cast<std::uint64_t>(p) * kPerProducer +
-                           static_cast<std::uint64_t>(i)));
+        std::uint64_t item = static_cast<std::uint64_t>(p) * kPerProducer +
+                             static_cast<std::uint64_t>(i);
+        ASSERT_TRUE(q.push(item));
       }
     });
   }

@@ -1,0 +1,274 @@
+// Wire envelope and interval-payload codec tests: round-trips, incremental
+// re-framing, and one reject test per WireErrorKind the codecs can raise —
+// the wire crosses trust boundaries, so every malformed shape must map to a
+// typed error instead of UB or a silent mis-parse.
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32.h"
+#include "net/wire.h"
+
+namespace scd::net {
+namespace {
+
+FrameHeader header_of(MessageType type) {
+  FrameHeader h;
+  h.type = type;
+  h.node_id = 42;
+  h.interval_index = 7;
+  h.config_fingerprint = 0xfeedfacecafebeefull;
+  return h;
+}
+
+std::vector<std::uint8_t> payload_of(std::size_t n) {
+  std::vector<std::uint8_t> p(n);
+  for (std::size_t i = 0; i < n; ++i) p[i] = static_cast<std::uint8_t>(i * 37);
+  return p;
+}
+
+WireErrorKind decode_kind(const std::vector<std::uint8_t>& bytes) {
+  try {
+    (void)decode_frame(bytes);
+  } catch (const WireError& e) {
+    return e.wire_kind();
+  }
+  ADD_FAILURE() << "decode_frame accepted malformed bytes";
+  return WireErrorKind::kIo;
+}
+
+TEST(WireFrame, RoundTripsHeaderAndPayload) {
+  const auto payload = payload_of(1000);
+  const auto bytes = encode_frame(header_of(MessageType::kIntervalData),
+                                  payload);
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes + payload.size());
+
+  const Frame frame = decode_frame(bytes);
+  EXPECT_EQ(frame.header.type, MessageType::kIntervalData);
+  EXPECT_EQ(frame.header.node_id, 42u);
+  EXPECT_EQ(frame.header.interval_index, 7u);
+  EXPECT_EQ(frame.header.config_fingerprint, 0xfeedfacecafebeefull);
+  EXPECT_EQ(frame.header.payload_len, payload.size());
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(WireFrame, RoundTripsEmptyPayload) {
+  const auto bytes = encode_frame(header_of(MessageType::kHello), {});
+  ASSERT_EQ(bytes.size(), kFrameHeaderBytes);
+  const Frame frame = decode_frame(bytes);
+  EXPECT_EQ(frame.header.type, MessageType::kHello);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(WireFrame, EveryTruncationPointIsTyped) {
+  const auto bytes = encode_frame(header_of(MessageType::kIntervalData),
+                                  payload_of(64));
+  // Every proper prefix must throw kTruncated — inside the header and
+  // inside the payload alike.
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{1},
+                                kFrameHeaderBytes - 1, kFrameHeaderBytes,
+                                bytes.size() - 1}) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(),
+                                           bytes.begin() +
+                                               static_cast<std::ptrdiff_t>(cut));
+    EXPECT_EQ(decode_kind(prefix), WireErrorKind::kTruncated) << "cut " << cut;
+  }
+}
+
+TEST(WireFrame, RejectsBadMagic) {
+  auto bytes = encode_frame(header_of(MessageType::kHello), {});
+  bytes[0] ^= 0xff;
+  EXPECT_EQ(decode_kind(bytes), WireErrorKind::kBadMagic);
+}
+
+TEST(WireFrame, RejectsCorruptHeader) {
+  // Any flipped header byte past the magic fails the header CRC — version,
+  // type, and length fields are only trusted after the CRC passes.
+  auto bytes = encode_frame(header_of(MessageType::kAck), {});
+  bytes[20] ^= 0x01;  // node_id byte
+  EXPECT_EQ(decode_kind(bytes), WireErrorKind::kBadCrc);
+}
+
+TEST(WireFrame, RejectsUnknownVersionAndType) {
+  // Version/type rejects need a VALID header CRC over the altered field, so
+  // re-encode rather than flip: stamp the field, then recompute the CRC the
+  // same way encode_frame does. Easiest correct route: build the frame by
+  // hand from a good one.
+  auto with_field = [](std::size_t offset, std::uint32_t value) {
+    auto bytes = encode_frame(header_of(MessageType::kHello), {});
+    for (int i = 0; i < 4; ++i) {
+      bytes[offset + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(value >> (8 * i));
+    }
+    // Recompute header CRC over the first 52 bytes.
+    const std::uint32_t crc = common::crc32(bytes.data(), 52);
+    for (int i = 0; i < 4; ++i) {
+      bytes[52 + static_cast<std::size_t>(i)] =
+          static_cast<std::uint8_t>(crc >> (8 * i));
+    }
+    return bytes;
+  };
+  EXPECT_EQ(decode_kind(with_field(4, 999)), WireErrorKind::kBadVersion);
+  EXPECT_EQ(decode_kind(with_field(8, 0)), WireErrorKind::kBadType);
+  EXPECT_EQ(decode_kind(with_field(8, 6)), WireErrorKind::kBadType);
+}
+
+TEST(WireFrame, RejectsCorruptPayload) {
+  auto bytes = encode_frame(header_of(MessageType::kIntervalData),
+                            payload_of(128));
+  bytes[kFrameHeaderBytes + 5] ^= 0x80;
+  EXPECT_EQ(decode_kind(bytes), WireErrorKind::kBadCrc);
+}
+
+TEST(WireFrame, RejectsOversizedDeclaredPayload) {
+  const auto bytes = encode_frame(header_of(MessageType::kIntervalData),
+                                  payload_of(100));
+  try {
+    (void)decode_frame(bytes, /*max_payload_bytes=*/10);
+    FAIL() << "oversized payload accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.wire_kind(), WireErrorKind::kOversized);
+  }
+}
+
+TEST(WireFrame, RejectsTrailingBytes) {
+  auto bytes = encode_frame(header_of(MessageType::kHello), {});
+  bytes.push_back(0x00);
+  EXPECT_EQ(decode_kind(bytes), WireErrorKind::kBadPayload);
+}
+
+TEST(FrameReaderTest, ReassemblesByteAtATime) {
+  // The cruellest arrival pattern TCP can produce: one byte per recv. Two
+  // frames must still come out intact and in order.
+  const auto a = encode_frame(header_of(MessageType::kHello), {});
+  const auto b = encode_frame(header_of(MessageType::kIntervalData),
+                              payload_of(300));
+  std::vector<std::uint8_t> stream = a;
+  stream.insert(stream.end(), b.begin(), b.end());
+
+  FrameReader reader;
+  std::vector<Frame> frames;
+  for (const std::uint8_t byte : stream) {
+    reader.feed({&byte, 1});
+    while (auto frame = reader.next()) frames.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].header.type, MessageType::kHello);
+  EXPECT_EQ(frames[1].header.type, MessageType::kIntervalData);
+  EXPECT_EQ(frames[1].payload, payload_of(300));
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(FrameReaderTest, ReassemblesAfterManyFrames) {
+  // Bulk path (exercises the lazy compaction): many frames fed in odd-sized
+  // chunks straddling frame boundaries.
+  std::vector<std::uint8_t> stream;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    FrameHeader h = header_of(MessageType::kAck);
+    h.interval_index = i;
+    const auto f = encode_frame(h, payload_of(static_cast<std::size_t>(i * 7)));
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  FrameReader reader;
+  std::vector<Frame> frames;
+  const std::size_t chunk = 97;  // prime, never aligned with frames
+  for (std::size_t pos = 0; pos < stream.size(); pos += chunk) {
+    const std::size_t n = std::min(chunk, stream.size() - pos);
+    reader.feed({stream.data() + pos, n});
+    while (auto frame = reader.next()) frames.push_back(std::move(*frame));
+  }
+  ASSERT_EQ(frames.size(), 50u);
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    EXPECT_EQ(frames[static_cast<std::size_t>(i)].header.interval_index, i);
+  }
+}
+
+TEST(FrameReaderTest, RejectsBeforeBufferingHostilePayload) {
+  // A hostile length prefix must be refused the moment the header is
+  // complete — not after the reader has tried to buffer 2^60 bytes.
+  auto bytes = encode_frame(header_of(MessageType::kIntervalData),
+                            payload_of(32));
+  FrameReader reader(/*max_payload_bytes=*/16);
+  reader.feed({bytes.data(), kFrameHeaderBytes});  // header only, no payload
+  try {
+    (void)reader.next();
+    FAIL() << "oversized frame accepted";
+  } catch (const WireError& e) {
+    EXPECT_EQ(e.wire_kind(), WireErrorKind::kOversized);
+  }
+}
+
+TEST(IntervalPayloadCodec, RoundTrips) {
+  IntervalPayload in;
+  in.start_s = 1200.0;
+  in.len_s = 300.0;
+  in.records = 123456;
+  in.sketch_packet = payload_of(513);
+  in.keys = {1, 77, 0xffffffffull};
+
+  const IntervalPayload out = decode_interval_payload(
+      encode_interval_payload(in));
+  EXPECT_EQ(out.start_s, in.start_s);
+  EXPECT_EQ(out.len_s, in.len_s);
+  EXPECT_EQ(out.records, in.records);
+  EXPECT_EQ(out.sketch_packet, in.sketch_packet);
+  EXPECT_EQ(out.keys, in.keys);
+}
+
+TEST(IntervalPayloadCodec, RejectsMalformedShapes) {
+  IntervalPayload in;
+  in.start_s = 0.0;
+  in.len_s = 60.0;
+  in.sketch_packet = payload_of(64);
+  in.keys = {5, 6};
+  const auto good = encode_interval_payload(in);
+
+  auto expect_bad = [](std::vector<std::uint8_t> bytes, const char* what) {
+    try {
+      (void)decode_interval_payload(bytes);
+      ADD_FAILURE() << what << ": accepted";
+    } catch (const WireError& e) {
+      EXPECT_EQ(e.wire_kind(), WireErrorKind::kBadPayload) << what;
+    }
+  };
+
+  // Truncated at every structural boundary.
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{7}, std::size_t{39}, good.size() - 1}) {
+    expect_bad({good.begin(),
+                good.begin() + static_cast<std::ptrdiff_t>(cut)},
+               "truncation");
+  }
+  // Trailing garbage.
+  auto trailing = good;
+  trailing.push_back(0xab);
+  expect_bad(trailing, "trailing bytes");
+  // Non-positive interval length.
+  IntervalPayload zero_len = in;
+  zero_len.len_s = 0.0;
+  expect_bad(encode_interval_payload(zero_len), "len_s == 0");
+  // Non-finite start time.
+  IntervalPayload inf_start = in;
+  inf_start.start_s = std::numeric_limits<double>::infinity();
+  expect_bad(encode_interval_payload(inf_start), "non-finite start_s");
+  // Unknown payload version (first u64).
+  auto bad_version = good;
+  bad_version[0] = 9;
+  expect_bad(bad_version, "bad version");
+  // Hostile key count: claims 2^61 keys in a tiny buffer (the count*8
+  // overflow trap — the decoder must divide, not multiply).
+  auto huge_keys = good;
+  const std::size_t key_count_pos = good.size() - 8 * in.keys.size() - 8;
+  for (int i = 0; i < 8; ++i) {
+    huge_keys[key_count_pos + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>((1ull << 61) >> (8 * i));
+  }
+  expect_bad(huge_keys, "hostile key count");
+}
+
+}  // namespace
+}  // namespace scd::net

@@ -1,0 +1,20 @@
+# CLI --help contract check, run as a ctest via `cmake -P`:
+#   cmake -DTOOL=<binary> -P cli_help_check.cmake
+# Asserts BOTH halves of the contract at once — exit code 0 AND the usage
+# text on stdout (not stderr) — which a plain add_test cannot, because
+# PASS_REGULAR_EXPRESSION makes ctest ignore the exit code.
+if(NOT DEFINED TOOL)
+  message(FATAL_ERROR "pass -DTOOL=<path to binary>")
+endif()
+execute_process(COMMAND ${TOOL} --help
+  OUTPUT_VARIABLE stdout
+  ERROR_VARIABLE stderr
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "${TOOL} --help exited ${rc} (want 0); stderr: ${stderr}")
+endif()
+if(NOT stdout MATCHES "usage:")
+  message(FATAL_ERROR
+    "${TOOL} --help did not print usage to stdout; stdout: \"${stdout}\" "
+    "stderr: \"${stderr}\"")
+endif()
