@@ -1,0 +1,69 @@
+// Entry-point glue shared by the fuzz harnesses (fuzz_*.cpp).
+//
+// Each harness defines one LLVMFuzzerTestOneInput and builds in two modes:
+//
+//   * SCD_FUZZ_LIBFUZZER (clang, -fsanitize=fuzzer): libFuzzer provides
+//     main() and drives the callback with coverage-guided mutations. The
+//     CI fuzz-smoke job runs this for 60 s per target.
+//   * otherwise (any compiler, including gcc): this header provides a
+//     main() that replays every file / directory argument through the
+//     callback once — the deterministic corpus-replay smoke registered in
+//     ctest, so the parsers stay exercised on toolchains without libFuzzer.
+//
+// Contract under test, both modes: hostile bytes may only be rejected via
+// the module's typed error (WireError / SerializeError / CheckpointError).
+// Any other escape — a different exception, a sanitizer report, a crash —
+// is a finding.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+#ifndef SCD_FUZZ_LIBFUZZER
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+namespace scd_fuzz {
+
+inline int replay_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz: cannot open %s\n", path.string().c_str());
+    return 1;
+  }
+  std::vector<char> raw{std::istreambuf_iterator<char>(in),
+                        std::istreambuf_iterator<char>()};
+  (void)LLVMFuzzerTestOneInput(
+      reinterpret_cast<const std::uint8_t*>(raw.data()), raw.size());
+  return 0;
+}
+
+}  // namespace scd_fuzz
+
+int main(int argc, char** argv) {
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path arg(argv[i]);
+    if (std::filesystem::is_directory(arg)) {
+      for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+        if (!entry.is_regular_file()) continue;
+        if (scd_fuzz::replay_file(entry.path()) != 0) return 1;
+        ++replayed;
+      }
+    } else {
+      if (scd_fuzz::replay_file(arg) != 0) return 1;
+      ++replayed;
+    }
+  }
+  std::fprintf(stderr, "fuzz: replayed %d input(s) without a crash\n",
+               replayed);
+  return 0;
+}
+
+#endif  // !SCD_FUZZ_LIBFUZZER

@@ -1,0 +1,57 @@
+// Fuzz target: the wire framing layer (net/wire.h).
+//
+// Drives FrameReader across a data-dependent split point (partial headers
+// and payloads must resume correctly), then the one-shot decode_frame and
+// decode_interval_payload parsers over the whole input. The only legal
+// rejection is net::WireError; a poisoned reader stops parsing, matching
+// the server's drop-the-connection contract (agg/agg_server.cpp).
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "net/wire.h"
+
+#include "fuzz_driver.h"
+
+namespace {
+
+// Bounded so a hostile length prefix cannot make the harness itself
+// allocate gigabytes; the server configures the same cap via
+// AggServerConfig::max_payload_bytes.
+constexpr std::size_t kMaxPayloadBytes = 1 << 20;
+
+void drain(scd::net::FrameReader& reader) {
+  while (reader.next().has_value()) {
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+
+  try {
+    scd::net::FrameReader reader(kMaxPayloadBytes);
+    const std::size_t split = size == 0 ? 0 : data[0] % size;
+    reader.feed(bytes.first(split));
+    drain(reader);
+    reader.feed(bytes.subspan(split));
+    drain(reader);
+  } catch (const scd::net::WireError&) {
+    // Typed rejection: the contract. The reader is poisoned; stop.
+  }
+
+  try {
+    (void)scd::net::decode_frame(bytes, kMaxPayloadBytes);
+  } catch (const scd::net::WireError&) {
+  }
+
+  try {
+    (void)scd::net::decode_interval_payload(bytes);
+  } catch (const scd::net::WireError&) {
+  }
+
+  return 0;
+}

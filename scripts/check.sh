@@ -5,14 +5,17 @@
 #   1. clang-format --dry-run over tracked C++ sources   (skipped if absent)
 #   2. scripts/scd_lint.py project-invariant linter      (always)
 #   3. -Werror build via the `ci` preset                 (always)
-#   4. clang-tidy build via the `tidy` preset            (skipped if absent)
+#   4. clang thread-safety analysis (`thread-safety`     (skipped if clang
+#      preset, -Werror=thread-safety)                     absent)
+#   5. clang-tidy build via the `tidy` preset            (skipped if absent)
 #
 # Steps whose tool is missing are reported as SKIP and do not fail the gate;
 # everything that can run must pass. Exit 0 iff no runnable step failed.
 #
-# Usage: scripts/check.sh [--no-build] [--no-tidy]
-#   --no-build  skip the -Werror compile (for quick pre-commit lint runs)
-#   --no-tidy   skip clang-tidy even when installed
+# Usage: scripts/check.sh [--no-build] [--no-tidy] [--no-thread-safety]
+#   --no-build          skip the -Werror compile (for quick pre-commit runs)
+#   --no-tidy           skip clang-tidy even when installed
+#   --no-thread-safety  skip the thread-safety build even when clang exists
 
 set -u
 
@@ -20,10 +23,12 @@ cd "$(dirname "$0")/.."
 
 RUN_BUILD=1
 RUN_TIDY=1
+RUN_TSAFETY=1
 for arg in "$@"; do
   case "$arg" in
     --no-build) RUN_BUILD=0 ;;
     --no-tidy) RUN_TIDY=0 ;;
+    --no-thread-safety) RUN_TSAFETY=0 ;;
     *) echo "check.sh: unknown option '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -83,7 +88,43 @@ else
   skip "-Werror build" "--no-build"
 fi
 
-# 4. clang-tidy ---------------------------------------------------------------
+# 4. clang thread-safety analysis ---------------------------------------------
+# The compile-time concurrency contract (docs/CONCURRENCY.md): the SCD_*
+# annotations only do their job under clang's -Wthread-safety, so this stage
+# needs clang++ even when the rest of the gate runs under gcc. The lint's
+# mutex-wrapper rule keeps the load-bearing annotations pinned on hosts that
+# skip here; CI always has clang and never skips.
+step "thread-safety (clang -Werror=thread-safety)"
+if [ "$RUN_TSAFETY" -eq 0 ]; then
+  skip "thread-safety" "--no-thread-safety"
+elif command -v clang++ >/dev/null 2>&1; then
+  if command -v ninja >/dev/null 2>&1; then
+    if cmake --preset thread-safety >build-tsafety-configure.log 2>&1 &&
+       cmake --build --preset thread-safety -j "$(nproc)" \
+         >build-tsafety-build.log 2>&1; then
+      pass "thread-safety"
+      rm -f build-tsafety-configure.log build-tsafety-build.log
+    else
+      fail "thread-safety (see build-tsafety-configure.log / build-tsafety-build.log)"
+      tail -n 40 build-tsafety-build.log 2>/dev/null || tail -n 40 build-tsafety-configure.log
+    fi
+  else
+    if cmake -B build-tsafety -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+         -DCMAKE_CXX_COMPILER=clang++ -DSCD_THREAD_SAFETY=ON \
+         >build-tsafety-configure.log 2>&1 &&
+       cmake --build build-tsafety -j "$(nproc)" >build-tsafety-build.log 2>&1; then
+      pass "thread-safety (makefiles fallback)"
+      rm -f build-tsafety-configure.log build-tsafety-build.log
+    else
+      fail "thread-safety (see build-tsafety-configure.log / build-tsafety-build.log)"
+      tail -n 40 build-tsafety-build.log 2>/dev/null || tail -n 40 build-tsafety-configure.log
+    fi
+  fi
+else
+  skip "thread-safety" "clang++ not installed on this host"
+fi
+
+# 5. clang-tidy ---------------------------------------------------------------
 step "clang-tidy (tidy preset)"
 if [ "$RUN_TIDY" -eq 0 ]; then
   skip "clang-tidy" "--no-tidy"

@@ -31,6 +31,32 @@ THIS codebase's contracts, not C++ in general:
                      process-wide decision and no caller can bypass the
                      cpuid / SCD_SIMD gate.
 
+  mutex-wrapper      src/ code must use the annotated scd::common::Mutex /
+                     MutexLock / CondVar wrappers (common/mutex.h), never
+                     raw std::mutex / std::lock_guard / std::condition_
+                     variable — the raw types carry no thread-safety
+                     capability, so clang's -Wthread-safety cannot see
+                     through them. Also pins the annotation contract on the
+                     concurrency-critical types (BoundedQueue, ShardSet):
+                     stripping an SCD_GUARDED_BY / SCD_REQUIRES from them
+                     fails this rule even on toolchains without clang.
+
+  mo-rationale       Every explicit relaxed/acquire/release/acq_rel/consume
+                     memory order argument must carry a `// mo:` rationale
+                     comment: on the same line, or above it within the same
+                     contiguous block of lines (a blank line ends coverage,
+                     and coverage reaches at most twenty lines down). Default
+                     (seq_cst) ordering needs no comment; the weakened ones
+                     are exactly where a future reader needs to know which
+                     reordering was proven harmless.
+
+  lock-order-doc     The lock-acquisition-order table in
+                     docs/CONCURRENCY.md and the SCD_ACQUIRED_BEFORE
+                     annotations in src/ must agree in BOTH directions:
+                     every annotated edge needs a table row, and every
+                     table row needs a live annotation. A stale doc about
+                     lock order is worse than none.
+
 Waivers: append `// scd-lint: allow(<rule>)` to the offending line (or the
 line directly above it); `// scd-lint: allow-file(<rule>)` within the first
 30 lines of a file waives the rule for the whole file.
@@ -87,6 +113,8 @@ INCLUDE_CANON = [
     (re.compile(r"\bBasicCount(?:Min)?Sketch\b|\bCount(?:Min)?Sketch\b"),
      "sketch/count_sketch.h"),
     (re.compile(r"\bMetricsRegistry\b"), "obs/metrics.h"),
+    (re.compile(r"\bcommon::(?:Mutex|MutexLock|CondVar)\b"),
+     "common/mutex.h"),
     (re.compile(r"\bBoundedQueue\b"), "ingest/bounded_queue.h"),
     (re.compile(r"\bShardSet(?:Base)?\b"), "ingest/shard_set.h"),
     (re.compile(r"\bKeyKind\b"), "traffic/key_extract.h"),
@@ -103,7 +131,61 @@ INCLUDE_CANON = [
 ]
 
 ALL_RULES = ("throw-not-assert", "kkeybits-binding", "metric-docs",
-             "include-hygiene", "simd-isolation")
+             "include-hygiene", "simd-isolation", "mutex-wrapper",
+             "mo-rationale", "lock-order-doc")
+
+# ---- mutex-wrapper ----
+# The raw synchronization vocabulary that bypasses the annotated wrappers.
+RAW_SYNC_TYPE = re.compile(
+    r"\bstd\s*::\s*(mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|condition_variable|"
+    r"condition_variable_any|lock_guard|scoped_lock|unique_lock|"
+    r"shared_lock)\b")
+# The wrapper's own implementation is the one place raw types may live.
+MUTEX_WRAPPER_HOME = "src/common/mutex.h"
+
+# Thread-safety annotations that must stay on the concurrency-critical
+# types. Each entry: file -> list of (anchor, regex, description). The regex
+# runs on comment-stripped text; `[^;{]*?` spans a multi-line declarator
+# without escaping the declaration. This keeps the compile-time contract
+# checkable even on toolchains without clang's -Wthread-safety (the clang CI
+# leg enforces the full analysis; this pins the named load-bearing
+# annotations everywhere).
+ANNOTATION_CONTRACT = {
+    "src/ingest/bounded_queue.h": [
+        ("items_", r"\bitems_\s+SCD_GUARDED_BY\(mutex_\)",
+         "items_ must be declared SCD_GUARDED_BY(mutex_)"),
+        ("closed_", r"\bclosed_\s+SCD_GUARDED_BY\(mutex_\)",
+         "closed_ must be declared SCD_GUARDED_BY(mutex_)"),
+    ],
+    "src/ingest/shard_set.h": [
+        ("arrived_", r"\barrived_\s+SCD_GUARDED_BY\(barrier_mutex_\)",
+         "arrived_ must be declared SCD_GUARDED_BY(barrier_mutex_)"),
+        ("publish_handoff_locked",
+         r"\bpublish_handoff_locked\s*\([^;{]*?"
+         r"SCD_REQUIRES\(barrier_mutex_\)",
+         "publish_handoff_locked must declare SCD_REQUIRES(barrier_mutex_)"),
+        ("collect_handoffs_locked",
+         r"\bcollect_handoffs_locked\s*\([^;{]*?"
+         r"SCD_REQUIRES\(barrier_mutex_\)",
+         "collect_handoffs_locked must declare SCD_REQUIRES(barrier_mutex_)"),
+    ],
+}
+
+# ---- mo-rationale ----
+EXPLICIT_MEMORY_ORDER = re.compile(
+    r"\bmemory_order(?:_|::\s*)(relaxed|acquire|release|acq_rel|consume)\b")
+MO_COMMENT = re.compile(r"//.*\bmo:")
+
+# ---- lock-order-doc ----
+ACQUIRED_BEFORE = re.compile(
+    r"\b(\w+)\s+SCD_ACQUIRED_BEFORE\(\s*(\w+)\s*\)")
+ACQUIRED_AFTER = re.compile(
+    r"\b(\w+)\s+SCD_ACQUIRED_AFTER\(\s*(\w+)\s*\)")
+LOCK_ORDER_DOC_PATH = "docs/CONCURRENCY.md"
+# Table rows: | `first` | `second` | `src/...` | rationale |
+LOCK_ORDER_DOC_ROW = re.compile(
+    r"^\|\s*`(\w+)`\s*\|\s*`(\w+)`\s*\|\s*`([^`]+)`\s*\|")
 
 # The only simd header non-simd code may include; everything else under
 # simd/ is an implementation detail of the dispatch.
@@ -389,6 +471,153 @@ def check_simd_isolation(root: Path, files: list[Path]) -> list[Violation]:
 
 
 # --------------------------------------------------------------------------
+# mutex-wrapper
+# --------------------------------------------------------------------------
+
+def check_mutex_wrapper(root: Path, src_files: list[Path]) -> list[Violation]:
+    violations = []
+    for path in src_files:
+        rel = path.relative_to(root).as_posix()
+        if rel == MUTEX_WRAPPER_HOME:
+            continue
+        raw = path.read_text()
+        lines = raw.splitlines()
+        if file_waived(lines, "mutex-wrapper"):
+            continue
+        text = strip_comments_and_strings(raw)
+        for m in RAW_SYNC_TYPE.finditer(text):
+            lineno = line_of(text, m.start())
+            if waived(lines, lineno, "mutex-wrapper"):
+                continue
+            violations.append(Violation(
+                rel, lineno, "mutex-wrapper",
+                f"raw std::{m.group(1)} bypasses the annotated wrappers; "
+                "use scd::common::Mutex / MutexLock / CondVar "
+                "(common/mutex.h) so -Wthread-safety sees the capability"))
+        contract = ANNOTATION_CONTRACT.get(rel)
+        if not contract:
+            continue
+        for anchor, pattern, description in contract:
+            if re.search(pattern, text):
+                continue
+            offset = text.find(anchor)
+            lineno = line_of(text, offset) if offset != -1 else 1
+            if waived(lines, lineno, "mutex-wrapper"):
+                continue
+            violations.append(Violation(
+                rel, lineno, "mutex-wrapper",
+                f"thread-safety annotation contract broken: {description}"))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# mo-rationale
+# --------------------------------------------------------------------------
+
+def check_mo_rationale(root: Path, src_files: list[Path]) -> list[Violation]:
+    violations = []
+    for path in src_files:
+        rel = path.relative_to(root).as_posix()
+        raw = path.read_text()
+        lines = raw.splitlines()
+        if file_waived(lines, "mo-rationale"):
+            continue
+        text = strip_comments_and_strings(raw)
+        for m in EXPLICIT_MEMORY_ORDER.finditer(text):
+            lineno = line_of(text, m.start())
+            if waived(lines, lineno, "mo-rationale"):
+                continue
+            # Covered when the same line carries `// mo:`, or a line above
+            # it does within the same contiguous block: walk upward through
+            # non-blank lines (at most twenty), so one rationale covers an
+            # adjacent cluster of orderings but never drifts across a
+            # paragraph break. Comments live in `lines`, the unstripped
+            # source.
+            covered = False
+            for idx in range(lineno - 1, max(-1, lineno - 21), -1):
+                if idx < 0 or (idx != lineno - 1 and not lines[idx].strip()):
+                    break
+                if MO_COMMENT.search(lines[idx]):
+                    covered = True
+                    break
+            if covered:
+                continue
+            violations.append(Violation(
+                rel, lineno, "mo-rationale",
+                f"memory_order_{m.group(1)} without a '// mo:' rationale "
+                "comment (same line or the contiguous lines above); every "
+                "weakened ordering must say why the reordering is safe"))
+    return violations
+
+
+# --------------------------------------------------------------------------
+# lock-order-doc
+# --------------------------------------------------------------------------
+
+def collect_lock_order_edges(
+        root: Path, src_files: list[Path]) -> list[tuple[str, str, str, int]]:
+    """Returns (earlier, later, rel_file, lineno) edges from annotations."""
+    edges = []
+    for path in src_files:
+        rel = path.relative_to(root).as_posix()
+        if rel == "src/common/thread_annotations.h":
+            continue  # macro definitions, not uses
+        raw = path.read_text()
+        lines = raw.splitlines()
+        if file_waived(lines, "lock-order-doc"):
+            continue
+        text = strip_comments_and_strings(raw)
+        for m in ACQUIRED_BEFORE.finditer(text):
+            lineno = line_of(text, m.start())
+            if waived(lines, lineno, "lock-order-doc"):
+                continue
+            edges.append((m.group(1), m.group(2), rel, lineno))
+        for m in ACQUIRED_AFTER.finditer(text):
+            lineno = line_of(text, m.start())
+            if waived(lines, lineno, "lock-order-doc"):
+                continue
+            edges.append((m.group(2), m.group(1), rel, lineno))
+    return edges
+
+
+def check_lock_order_doc(root: Path, src_files: list[Path]) -> list[Violation]:
+    violations = []
+    edges = collect_lock_order_edges(root, src_files)
+
+    doc_path = root / LOCK_ORDER_DOC_PATH
+    documented: list[tuple[str, str, str, int]] = []
+    if doc_path.is_file():
+        for idx, line in enumerate(doc_path.read_text().splitlines(), 1):
+            m = LOCK_ORDER_DOC_ROW.match(line.strip())
+            if m and m.group(1) != "first":  # skip the header row
+                documented.append((m.group(1), m.group(2), m.group(3), idx))
+    elif edges:
+        violations.append(Violation(
+            LOCK_ORDER_DOC_PATH, 1, "lock-order-doc",
+            "SCD_ACQUIRED_BEFORE annotations exist but the lock-order doc "
+            "is missing"))
+        return violations
+
+    doc_keys = {(e, l, f) for e, l, f, _ in documented}
+    code_keys = {(e, l, f) for e, l, f, _ in edges}
+    for earlier, later, rel, lineno in edges:
+        if (earlier, later, rel) not in doc_keys:
+            violations.append(Violation(
+                rel, lineno, "lock-order-doc",
+                f"lock-order edge {earlier} -> {later} is annotated here "
+                f"but missing from the {LOCK_ORDER_DOC_PATH} table "
+                f"(expected row: | `{earlier}` | `{later}` | `{rel}` | ...)"))
+    for earlier, later, rel, lineno in documented:
+        if (earlier, later, rel) not in code_keys:
+            violations.append(Violation(
+                LOCK_ORDER_DOC_PATH, lineno, "lock-order-doc",
+                f"documented lock-order edge {earlier} -> {later} "
+                f"({rel}) has no matching SCD_ACQUIRED_BEFORE annotation "
+                "in code; the table is stale"))
+    return violations
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -429,6 +658,9 @@ def main(argv: list[str]) -> int:
     violations += check_metric_docs(root, src_files)
     violations += check_include_hygiene(root, src_files)
     violations += check_simd_isolation(root, binding_files)
+    violations += check_mutex_wrapper(root, src_files)
+    violations += check_mo_rationale(root, src_files)
+    violations += check_lock_order_doc(root, src_files)
 
     for v in violations:
         print(v)

@@ -14,6 +14,12 @@
 // rejoin/double-count matrix is testable without sockets or clocks. The TCP
 // front-end lives in agg_server.h and holds one mutex around this core.
 //
+// Threading contract: Aggregator owns no locks and is NOT thread-safe. In
+// the server it is a field of AggServerState, declared
+// SCD_GUARDED_BY(core_mutex) there — the compile-time thread-safety
+// analysis (docs/CONCURRENCY.md) enforces that every reader/timer/with_core
+// path holds that mutex, so no annotation is needed (or possible) here.
+//
 // Correctness rules:
 //   * Dedup is per (node, interval): each node has a watermark
 //     next_expected(node); anything below it is a duplicate and is absorbed

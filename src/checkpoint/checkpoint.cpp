@@ -153,23 +153,18 @@ void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
   return v;
 }
 
-struct ParsedCheckpoint {
-  PayloadKind kind = PayloadKind::kSerial;
-  std::uint64_t fingerprint = 0;
-  std::uint64_t interval_index = 0;
-  std::vector<std::uint8_t> payload;
-};
+}  // namespace
 
-[[nodiscard]] std::vector<std::uint8_t> frame_checkpoint(
-    PayloadKind kind, std::uint64_t fingerprint, std::uint64_t interval_index,
-    const std::vector<std::uint8_t>& payload) {
+std::vector<std::uint8_t> encode_checkpoint_frame(
+    PayloadKind kind, std::uint64_t config_fingerprint,
+    std::uint64_t interval_index, const std::vector<std::uint8_t>& payload) {
   std::vector<std::uint8_t> out;
   out.reserve(kCheckpointHeaderBytes + payload.size());
   put_u32(out, kCheckpointMagic);
   put_u32(out, kCheckpointVersion);
   put_u32(out, static_cast<std::uint32_t>(kind));
   put_u32(out, 0);  // reserved
-  put_u64(out, fingerprint);
+  put_u64(out, config_fingerprint);
   put_u64(out, interval_index);
   put_u64(out, payload.size());
   put_u32(out, common::crc32(payload.data(), payload.size()));
@@ -178,8 +173,7 @@ struct ParsedCheckpoint {
   return out;
 }
 
-[[nodiscard]] ParsedCheckpoint parse_checkpoint(
-    const std::vector<std::uint8_t>& bytes) {
+CheckpointFrame decode_checkpoint_frame(const std::vector<std::uint8_t>& bytes) {
   if (bytes.size() < kCheckpointHeaderBytes) {
     throw CheckpointError(CheckpointErrorKind::kTruncated,
                           "file ends inside the " +
@@ -210,9 +204,9 @@ struct ParsedCheckpoint {
     throw CheckpointError(CheckpointErrorKind::kBadPayload,
                           "unknown payload kind " + std::to_string(kind));
   }
-  ParsedCheckpoint parsed;
+  CheckpointFrame parsed;
   parsed.kind = static_cast<PayloadKind>(kind);
-  parsed.fingerprint = get_u64(p + 16);
+  parsed.config_fingerprint = get_u64(p + 16);
   parsed.interval_index = get_u64(p + 24);
   const std::uint64_t payload_len = get_u64(p + 32);
   const std::uint64_t body = bytes.size() - kCheckpointHeaderBytes;
@@ -237,6 +231,8 @@ struct ParsedCheckpoint {
                         bytes.end());
   return parsed;
 }
+
+namespace {
 
 [[nodiscard]] std::vector<std::uint8_t> read_file(
     const std::filesystem::path& path) {
@@ -377,7 +373,7 @@ std::filesystem::path CheckpointWriter::write(
   const std::filesystem::path temp_path =
       final_path.string() + kTempSuffix;
   const std::vector<std::uint8_t> framed =
-      frame_checkpoint(kind, fingerprint_, interval_index, state);
+      encode_checkpoint_frame(kind, fingerprint_, interval_index, state);
   try {
     ops_->write_file_durable(temp_path, framed);
     ops_->rename_durable(temp_path, final_path);
@@ -481,8 +477,8 @@ RecoverResult recover_scan(const std::filesystem::path& directory,
 #endif
   for (const std::filesystem::path& path : list_checkpoints(directory)) {
     try {
-      const ParsedCheckpoint parsed = parse_checkpoint(read_file(path));
-      if (parsed.fingerprint != expected_fingerprint) {
+      const CheckpointFrame parsed = decode_checkpoint_frame(read_file(path));
+      if (parsed.config_fingerprint != expected_fingerprint) {
         throw CheckpointError(
             CheckpointErrorKind::kConfigMismatch,
             path.string() +

@@ -202,6 +202,30 @@ struct RecoverResult {
 [[nodiscard]] RecoverResult recover(const std::filesystem::path& directory,
                                     ingest::ParallelPipeline& pipeline);
 
+/// One decoded checkpoint file: the validated header fields plus the raw
+/// (CRC-checked) payload bytes. The payload is still opaque here — restoring
+/// it into a pipeline is recover()'s job.
+struct CheckpointFrame {
+  PayloadKind kind = PayloadKind::kSerial;
+  std::uint64_t config_fingerprint = 0;
+  std::uint64_t interval_index = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+/// Parses and validates a whole checkpoint file image: magic, header CRC,
+/// version, payload kind, length, and payload CRC, in that order. Throws
+/// CheckpointError with the specific kind on the first violation. This is
+/// the exact parser recover() runs on untrusted on-disk bytes, exposed so
+/// the fuzz harness (fuzz/fuzz_checkpoint.cpp) can drive it directly.
+[[nodiscard]] CheckpointFrame decode_checkpoint_frame(
+    const std::vector<std::uint8_t>& bytes);
+
+/// Inverse of decode_checkpoint_frame: frames `payload` with a valid header.
+/// Exposed for corpus generation and round-trip tests.
+[[nodiscard]] std::vector<std::uint8_t> encode_checkpoint_frame(
+    PayloadKind kind, std::uint64_t config_fingerprint,
+    std::uint64_t interval_index, const std::vector<std::uint8_t>& payload);
+
 /// Checkpoint file names for `interval_index`: "ckpt-<20-digit index>.scdc".
 [[nodiscard]] std::string checkpoint_filename(std::uint64_t interval_index);
 

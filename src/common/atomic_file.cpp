@@ -12,7 +12,9 @@ namespace {
 
 [[nodiscard]] std::string op_error(const char* op,
                                    const std::filesystem::path& path) {
-  return std::string(op) + " " + path.string() + ": " + std::strerror(errno);
+  // strerror races only garble this message, never the error decision.
+  return std::string(op) + " " + path.string() + ": " +
+         std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
 }
 
 }  // namespace
@@ -51,8 +53,9 @@ bool write_file_durable(const std::filesystem::path& path, const void* data,
 bool rename_durable(const std::filesystem::path& from,
                     const std::filesystem::path& to, std::string& error) {
   if (::rename(from.c_str(), to.c_str()) != 0) {
+    // strerror races only garble this message, never the error decision.
     error = "rename " + from.string() + " -> " + to.string() + ": " +
-            std::strerror(errno);
+            std::strerror(errno);  // NOLINT(concurrency-mt-unsafe)
     return false;
   }
   // fsync the containing directory so the rename itself is durable.

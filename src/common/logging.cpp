@@ -3,19 +3,18 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <thread>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace scd::common {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
-std::mutex g_mutex;  // serializes lines and guards the sink
-LogSink& sink_slot() {
-  static LogSink sink;  // null = stderr default
-  return sink;
-}
+Mutex g_mutex;  // serializes lines and guards the sink
+LogSink g_sink SCD_GUARDED_BY(g_mutex);  // null = stderr default
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -46,8 +45,8 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
 void set_log_sink(LogSink sink) {
-  const std::lock_guard<std::mutex> lock(g_mutex);
-  sink_slot() = std::move(sink);
+  const MutexLock lock(g_mutex);
+  g_sink = std::move(sink);
 }
 
 double log_monotonic_now() noexcept {
@@ -61,9 +60,9 @@ void log_line(LogLevel level, const std::string& message) {
   std::snprintf(prefix, sizeof(prefix), "[%9.3fs tid=%04x] [%s] ",
                 log_monotonic_now(), thread_tag(), level_name(level));
   const std::string line = prefix + message;
-  const std::lock_guard<std::mutex> lock(g_mutex);
-  if (sink_slot()) {
-    sink_slot()(level, line);
+  const MutexLock lock(g_mutex);
+  if (g_sink) {
+    g_sink(level, line);
   } else {
     std::fprintf(stderr, "%s\n", line.c_str());
   }

@@ -1,0 +1,105 @@
+// Annotated mutex, scoped lock, and condition variable
+// (docs/CONCURRENCY.md).
+//
+// libstdc++'s std::mutex / std::lock_guard carry no thread-safety
+// attributes, so code using them is invisible to Clang's capability
+// analysis. These thin wrappers add the annotations and nothing else:
+//   * Mutex      — std::mutex declared as an SCD_CAPABILITY,
+//   * MutexLock  — std::lock_guard as an SCD_SCOPED_CAPABILITY,
+//   * CondVar    — std::condition_variable_any waiting on a Mutex, with
+//                  wait() declared SCD_REQUIRES(mu) so a wait outside the
+//                  critical section is a compile error.
+//
+// Every mutex-owning type in src/ must use these instead of the std types
+// directly; scd_lint's `mutex-wrapper` rule enforces that (waivable with
+// `// scd-lint: allow(mutex-wrapper)` plus a rationale).
+//
+// CondVar deliberately has no predicate overload: Clang analyzes a lambda
+// body as a separate unannotated function, so a `[&] { return guarded_; }`
+// predicate would warn even when the wait holds the lock. Callers write
+// the classic `while (!cond) cv.wait(mu);` loop instead, which the
+// analysis follows naturally.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace scd::common {
+
+/// std::mutex as a named capability. Same cost, same semantics; only the
+/// compile-time contract is new.
+class SCD_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SCD_ACQUIRE() { mu_.lock(); }
+  void unlock() SCD_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool try_lock() SCD_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;  // scd-lint: allow(mutex-wrapper) — the wrapper itself
+};
+
+/// RAII critical section over Mutex (std::lock_guard with annotations).
+class SCD_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SCD_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() SCD_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable bound to Mutex. wait() requires the lock by
+/// annotation, matching std::condition_variable's runtime precondition.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and reacquires before returning.
+  /// Callers loop on their predicate: `while (!cond) cv.wait(mu);`.
+  void wait(Mutex& mu) SCD_REQUIRES(mu) {
+    LockAdapter adapter{mu};
+    cv_.wait(adapter);
+  }
+
+  /// Timed wait; returns std::cv_status::timeout when `dur` elapses first.
+  template <typename Rep, typename Period>
+  std::cv_status wait_for(Mutex& mu,
+                          const std::chrono::duration<Rep, Period>& dur)
+      SCD_REQUIRES(mu) {
+    LockAdapter adapter{mu};
+    return cv_.wait_for(adapter, dur);
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  // BasicLockable shim handed to condition_variable_any: its lock/unlock
+  // run while the analysis believes the caller still holds `mu` (wait()'s
+  // REQUIRES), so they are excluded from analysis — the runtime behavior
+  // is exactly std::condition_variable's internal unlock/relock.
+  struct LockAdapter {
+    Mutex& mu;
+    void lock() SCD_NO_THREAD_SAFETY_ANALYSIS { mu.lock(); }
+    void unlock() SCD_NO_THREAD_SAFETY_ANALYSIS { mu.unlock(); }
+  };
+
+  std::condition_variable_any cv_;
+};
+
+}  // namespace scd::common

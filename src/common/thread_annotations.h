@@ -1,0 +1,76 @@
+// Clang thread-safety annotation macros (docs/CONCURRENCY.md).
+//
+// These wrap Clang's capability-analysis attributes so that every locking
+// invariant in the tree is written down where the compiler can check it:
+// which mutex guards which field, which private helper requires which lock,
+// and which locks may nest inside which. Under clang with -Wthread-safety
+// (the `thread-safety` preset / check.sh stage) a missing or violated
+// annotation is a hard error; under gcc and other compilers every macro
+// expands to nothing, so the annotated code stays portable.
+//
+// Naming follows the upstream attribute names with an SCD_ prefix — the
+// same convention abseil and the Clang documentation use — so the mapping
+// from macro to attribute is one-to-one and greppable.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#define SCD_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define SCD_THREAD_ANNOTATION(x)  // no-op off clang
+#endif
+
+/// Declares a type to be a capability ("mutex", "role", ...). Holding an
+/// instance is what SCD_REQUIRES / SCD_GUARDED_BY talk about.
+#define SCD_CAPABILITY(x) SCD_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime equals a capability hold
+/// (MutexLock). The analysis treats construction as acquire and
+/// destruction as release.
+#define SCD_SCOPED_CAPABILITY SCD_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field may only be read or written while holding `x`.
+#define SCD_GUARDED_BY(x) SCD_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* may only be touched while holding `x`.
+#define SCD_PT_GUARDED_BY(x) SCD_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Caller must hold the capability on entry and still holds it on exit —
+/// the contract of every private `*_locked()` helper.
+#define SCD_REQUIRES(...) \
+  SCD_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and does not release it before return.
+#define SCD_ACQUIRE(...) SCD_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases a capability the caller held on entry.
+#define SCD_RELEASE(...) SCD_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns `b`.
+#define SCD_TRY_ACQUIRE(b, ...) \
+  SCD_THREAD_ANNOTATION(try_acquire_capability(b, __VA_ARGS__))
+
+/// Caller must NOT hold the capability: the function takes it itself.
+/// Stamped on public entry points of lock-owning types so self-deadlock
+/// through re-entry is a compile error instead of a hang.
+#define SCD_EXCLUDES(...) SCD_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-order edges: this capability is always taken before / after the
+/// listed ones. The lint rule `lock-order-doc` cross-checks every
+/// SCD_ACQUIRED_BEFORE edge against the table in docs/CONCURRENCY.md.
+#define SCD_ACQUIRED_BEFORE(...) \
+  SCD_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define SCD_ACQUIRED_AFTER(...) \
+  SCD_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability (used by
+/// accessor methods that expose an owned Mutex).
+#define SCD_RETURN_CAPABILITY(x) SCD_THREAD_ANNOTATION(lock_returned(x))
+
+/// Runtime assertion that the capability is held (no acquire emitted).
+#define SCD_ASSERT_CAPABILITY(x) SCD_THREAD_ANNOTATION(assert_capability(x))
+
+/// Escape hatch for code the analysis cannot model (the CondVar wait
+/// adapter, seqlock readers). Every use needs a rationale comment and an
+/// entry in the docs/CONCURRENCY.md waiver registry.
+#define SCD_NO_THREAD_SAFETY_ANALYSIS \
+  SCD_THREAD_ANNOTATION(no_thread_safety_analysis)

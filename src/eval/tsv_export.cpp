@@ -39,6 +39,8 @@ void TsvWriter::row(const std::vector<std::string>& values) {
 
 const std::string& tsv_export_dir() {
   static const std::string dir = [] {
+    // Once-init read; nothing in the process calls setenv.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char* env = std::getenv("SCD_OUT_DIR");
     return env != nullptr ? std::string(env) : std::string();
   }();

@@ -12,14 +12,19 @@
 //     TSan-verify trivially.
 //   * close() wakes every waiter: producers fail fast, consumers drain the
 //     remaining items and then observe end-of-stream (nullopt).
+//
+// The locking contract is machine-checked (docs/CONCURRENCY.md): mutex_
+// guards items_ and closed_, every public entry point excludes it, and a
+// clang -Wthread-safety build rejects any access that drops the lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace scd::ingest {
 
@@ -40,11 +45,10 @@ class BoundedQueue {
   /// case `item` is left UNTOUCHED so the caller can surface or count the
   /// loss. (A previous by-value signature destroyed the in-flight item on
   /// exactly that close/capacity race, losing records with no trace.)
-  bool push(T& item) {
+  bool push(T& item) SCD_EXCLUDES(mutex_) {
     {
-      std::unique_lock lock(mutex_);
-      not_full_.wait(lock,
-                     [&] { return items_.size() < capacity_ || closed_; });
+      common::MutexLock lock(mutex_);
+      while (items_.size() >= capacity_ && !closed_) not_full_.wait(mutex_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
@@ -55,9 +59,9 @@ class BoundedQueue {
   /// Non-blocking variant: returns false when full or closed. Callers that
   /// fall back to push() after a failed try_push() get a backpressure count
   /// for free.
-  bool try_push(T& item) {
+  bool try_push(T& item) SCD_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      common::MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -67,11 +71,11 @@ class BoundedQueue {
 
   /// Blocks until an item is available or the queue is closed and drained
   /// (then nullopt — end of stream).
-  std::optional<T> pop() {
+  std::optional<T> pop() SCD_EXCLUDES(mutex_) {
     std::optional<T> out;
     {
-      std::unique_lock lock(mutex_);
-      not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+      common::MutexLock lock(mutex_);
+      while (items_.empty() && !closed_) not_empty_.wait(mutex_);
       if (items_.empty()) return std::nullopt;
       out.emplace(std::move(items_.front()));
       items_.pop_front();
@@ -81,32 +85,32 @@ class BoundedQueue {
   }
 
   /// Irreversible: pending pushes fail, consumers drain then see nullopt.
-  void close() {
+  void close() SCD_EXCLUDES(mutex_) {
     {
-      std::lock_guard lock(mutex_);
+      common::MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
     not_full_.notify_all();
   }
 
-  [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] std::size_t size() const SCD_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     return items_.size();
   }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
-  [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mutex_);
+  [[nodiscard]] bool closed() const SCD_EXCLUDES(mutex_) {
+    common::MutexLock lock(mutex_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable common::Mutex mutex_;
+  common::CondVar not_full_;
+  common::CondVar not_empty_;
+  std::deque<T> items_ SCD_GUARDED_BY(mutex_);
+  bool closed_ SCD_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace scd::ingest

@@ -16,18 +16,25 @@
 // handoffs in shard order. Sketch linearity makes the merge exact — the
 // merged table equals the serial pipeline's table up to floating-point
 // addition order within each register.
+//
+// Locking contract (docs/CONCURRENCY.md): barrier_mutex_ guards arrived_
+// and every Shard handoff slot; publish/collect go through the
+// SCD_REQUIRES(barrier_mutex_) helpers so a clang -Wthread-safety build
+// rejects an unlocked handoff access. The stats counters are relaxed
+// atomics: written by the producer thread, readable from any thread.
 #pragma once
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
 #include "ingest/bounded_queue.h"
@@ -98,14 +105,18 @@ class ShardSet final : public ShardSetBase {
     ShardMessage msg{std::move(chunk), false};
     if (instruments_ != nullptr) instruments_->queue_records.add(n);
     if (!queue.try_push(msg)) {
-      ++backpressure_waits_;
+      // mo: stats counter — single producer writes, any thread may read
+      // via backpressure_waits(); no ordering ties it to other state.
+      backpressure_waits_.fetch_add(1, std::memory_order_relaxed);
       if (instruments_ != nullptr) instruments_->backpressure_waits.inc();
       if (!queue.push(msg)) {
         // Closed mid-shutdown. The chunk is still intact (push leaves its
         // argument alone on failure), so the loss is counted instead of
         // vanishing: every dropped record biases the interval's sketch, and
         // an operator must be able to see that the stream was cut short.
-        dropped_records_ += msg.records.size();
+        // mo: stats counter — same single-writer/any-reader contract.
+        dropped_records_.fetch_add(msg.records.size(),
+                                   std::memory_order_relaxed);
         if (instruments_ != nullptr) {
           instruments_->queue_records.add(-n);
           instruments_->shutdown_dropped_records.inc(msg.records.size());
@@ -114,16 +125,68 @@ class ShardSet final : public ShardSetBase {
     }
   }
 
-  core::IntervalBatch barrier_merge() override {
+  core::IntervalBatch barrier_merge() SCD_EXCLUDES(barrier_mutex_) override {
     SCD_TRACE_SPAN("barrier_combine", "ingest");
     for (auto& shard : shards_) {
       ShardMessage barrier{{}, true};
       shard->queue.push(barrier);
     }
-    std::unique_lock lock(barrier_mutex_);
-    barrier_cv_.wait(lock, [&] { return arrived_ == shards_.size(); });
+    common::MutexLock lock(barrier_mutex_);
+    while (arrived_ != shards_.size()) barrier_cv_.wait(barrier_mutex_);
     arrived_ = 0;
+    return collect_handoffs_locked();
+  }
 
+  void stop() override {
+    for (auto& shard : shards_) shard->queue.close();
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
+  }
+
+  [[nodiscard]] std::size_t workers() const noexcept override {
+    return shards_.size();
+  }
+  [[nodiscard]] std::uint64_t backpressure_waits() const noexcept override {
+    // mo: stats read — a point-in-time sample, no ordering required.
+    return backpressure_waits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped_records() const noexcept override {
+    // mo: stats read — a point-in-time sample, no ordering required.
+    return dropped_records_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Shard {
+    explicit Shard(std::size_t queue_chunks) : queue(queue_chunks) {}
+    BoundedQueue<ShardMessage> queue;
+    // Handoff slot: written by the worker, read and cleared by the
+    // coordinator, both under the owning ShardSet's barrier_mutex_ (a
+    // nested struct cannot name the outer instance's mutex in an
+    // attribute, so the SCD_REQUIRES helpers below carry the contract).
+    std::optional<Sketch> handoff_sketch;
+    std::vector<std::uint64_t> handoff_keys;
+    std::uint64_t handoff_records = 0;
+    std::thread thread;
+  };
+
+  /// Worker side of the barrier: parks the finished interval's sketch and
+  /// key set in the shard's handoff slot and bumps the arrival count.
+  void publish_handoff_locked(Shard& shard, Sketch&& sketch,
+                              const std::unordered_set<std::uint64_t>& keys,
+                              std::uint64_t records)
+      SCD_REQUIRES(barrier_mutex_) {
+    shard.handoff_sketch.emplace(std::move(sketch));
+    shard.handoff_keys.assign(keys.begin(), keys.end());
+    shard.handoff_records = records;
+    ++arrived_;
+  }
+
+  /// Coordinator side: COMBINE-merges the W handoffs in shard order and
+  /// concatenates the key buffers, then clears every slot for the next
+  /// interval. Caller holds barrier_mutex_ and has seen all W arrivals.
+  [[nodiscard]] core::IntervalBatch collect_handoffs_locked()
+      SCD_REQUIRES(barrier_mutex_) {
     const common::Stopwatch merge_watch;
     // COMBINE(1, S_0, ..., 1, S_{W-1}) in shard order — fixed order keeps
     // the merged registers bit-identical run to run.
@@ -149,35 +212,6 @@ class ShardSet final : public ShardSetBase {
     return batch;
   }
 
-  void stop() override {
-    for (auto& shard : shards_) shard->queue.close();
-    for (auto& shard : shards_) {
-      if (shard->thread.joinable()) shard->thread.join();
-    }
-  }
-
-  [[nodiscard]] std::size_t workers() const noexcept override {
-    return shards_.size();
-  }
-  [[nodiscard]] std::uint64_t backpressure_waits() const noexcept override {
-    return backpressure_waits_;
-  }
-  [[nodiscard]] std::uint64_t dropped_records() const noexcept override {
-    return dropped_records_;
-  }
-
- private:
-  struct Shard {
-    explicit Shard(std::size_t queue_chunks) : queue(queue_chunks) {}
-    BoundedQueue<ShardMessage> queue;
-    // Handoff slot, written by the worker and read by the coordinator under
-    // barrier_mutex_ only.
-    std::optional<Sketch> handoff_sketch;
-    std::vector<std::uint64_t> handoff_keys;
-    std::uint64_t handoff_records = 0;
-    std::thread thread;
-  };
-
   void run_worker(std::size_t index) {
     Shard& shard = *shards_[index];
     // Worker-local interval state; only the barrier handoff is shared.
@@ -198,11 +232,8 @@ class ShardSet final : public ShardSetBase {
       if (!msg.has_value()) break;
       if (msg->barrier) {
         {
-          std::lock_guard lock(barrier_mutex_);
-          shard.handoff_sketch.emplace(std::move(sketch));
-          shard.handoff_keys.assign(keys.begin(), keys.end());
-          shard.handoff_records = records;
-          ++arrived_;
+          common::MutexLock lock(barrier_mutex_);
+          publish_handoff_locked(shard, std::move(sketch), keys, records);
         }
         barrier_cv_.notify_all();
         sketch = Sketch(family_, k_);
@@ -232,11 +263,13 @@ class ShardSet final : public ShardSetBase {
   std::size_t k_;
   IngestInstruments* instruments_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::mutex barrier_mutex_;
-  std::condition_variable barrier_cv_;
-  std::size_t arrived_ = 0;
-  std::uint64_t backpressure_waits_ = 0;  // producer-thread only
-  std::uint64_t dropped_records_ = 0;     // producer-thread only
+  common::Mutex barrier_mutex_;
+  common::CondVar barrier_cv_;
+  std::size_t arrived_ SCD_GUARDED_BY(barrier_mutex_) = 0;
+  // Stats counters: producer thread writes, stats() may be called from any
+  // thread (monitoring), so plain integers here were a data race.
+  std::atomic<std::uint64_t> backpressure_waits_{0};
+  std::atomic<std::uint64_t> dropped_records_{0};
 };
 
 }  // namespace scd::ingest

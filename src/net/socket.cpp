@@ -17,7 +17,10 @@ namespace scd::net {
 namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
-  throw WireError(WireErrorKind::kIo, what + ": " + std::strerror(errno));
+  // strerror races only garble the message, never the thrown kind.
+  throw WireError(
+      WireErrorKind::kIo,
+      what + ": " + std::strerror(errno));  // NOLINT(concurrency-mt-unsafe)
 }
 
 [[nodiscard]] in_addr resolve_host(const std::string& host) {

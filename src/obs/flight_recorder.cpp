@@ -11,6 +11,7 @@
 
 #include "common/atomic_file.h"
 #include "common/logging.h"
+#include "common/mutex.h"
 #include "common/strutil.h"
 #include "obs/metrics.h"
 
@@ -92,14 +93,15 @@ FlightRecorder::FlightRecorder(Options options)
 
 FlightRecorder::~FlightRecorder() {
   {
-    const std::scoped_lock lock(queue_mutex_);
+    const common::MutexLock lock(queue_mutex_);
     stop_ = true;
   }
   queue_cv_.notify_all();
   if (worker_.joinable()) worker_.join();
   FlightRecorder* self = this;
   global_.compare_exchange_strong(self, nullptr);
-  // Retract any prepared dump that points into our slots.
+  // Retract any prepared dump that points into our slots. (Default
+  // seq_cst: teardown path, not worth a weaker-order argument.)
   const PreparedDump* prepared = prepared_fatal_.load();
   for (const PreparedDump& mine : fatal_slots_) {
     if (prepared == &mine) prepared_fatal_.store(nullptr);
@@ -109,7 +111,7 @@ FlightRecorder::~FlightRecorder() {
 void FlightRecorder::observe_interval(const FlightIntervalSummary& summary) {
   bool alarmed = false;
   {
-    const std::scoped_lock lock(state_mutex_);
+    const common::MutexLock lock(state_mutex_);
     intervals_.push_back(summary);
     while (intervals_.size() > options_.keep_intervals) intervals_.pop_front();
     alarmed = summary.alarms > 0;
@@ -123,7 +125,7 @@ void FlightRecorder::observe_interval(const FlightIntervalSummary& summary) {
 }
 
 void FlightRecorder::observe_provenance(std::string provenance_json) {
-  const std::scoped_lock lock(state_mutex_);
+  const common::MutexLock lock(state_mutex_);
   provenance_.push_back(std::move(provenance_json));
   while (provenance_.size() > options_.keep_provenance) {
     provenance_.pop_front();
@@ -131,6 +133,8 @@ void FlightRecorder::observe_provenance(std::string provenance_json) {
 }
 
 void FlightRecorder::set_config_fingerprint(std::uint64_t fingerprint) {
+  // mo: independent header field sampled by render_dump; a dump racing
+  // the very first set may record the old value, which is acceptable.
   fingerprint_.store(fingerprint, std::memory_order_relaxed);
 }
 
@@ -142,7 +146,7 @@ void FlightRecorder::enqueue(bool dump, bool refresh_fatal,
                              std::string reason) {
   if (!dump && !refresh_fatal) return;
   {
-    const std::scoped_lock lock(queue_mutex_);
+    const common::MutexLock lock(queue_mutex_);
     if (stop_) return;
     if (dump && !pending_dump_) {
       pending_dump_ = true;
@@ -167,16 +171,16 @@ std::optional<std::filesystem::path> FlightRecorder::dump_now(
 }
 
 void FlightRecorder::flush() {
-  std::unique_lock lock(queue_mutex_);
-  drained_cv_.wait(lock, [this] { return queue_.empty() && !worker_busy_; });
+  common::MutexLock lock(queue_mutex_);
+  while (!queue_.empty() || worker_busy_) drained_cv_.wait(queue_mutex_);
 }
 
 void FlightRecorder::worker_loop() {
   for (;;) {
     Request req;
     {
-      std::unique_lock lock(queue_mutex_);
-      queue_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      common::MutexLock lock(queue_mutex_);
+      while (!stop_ && queue_.empty()) queue_cv_.wait(queue_mutex_);
       if (queue_.empty()) return;  // stop requested and queue drained
       req = std::move(queue_.front());
       queue_.pop_front();
@@ -187,7 +191,7 @@ void FlightRecorder::worker_loop() {
     if (req.dump) write_dump(req.reason);
     if (req.refresh_fatal) refresh_fatal_dump();
     {
-      const std::scoped_lock lock(queue_mutex_);
+      const common::MutexLock lock(queue_mutex_);
       worker_busy_ = false;
       if (queue_.empty()) drained_cv_.notify_all();
     }
@@ -195,6 +199,8 @@ void FlightRecorder::worker_loop() {
 }
 
 std::string FlightRecorder::render_dump(const std::string& reason) {
+  // mo: sequence/fingerprint are independent header fields; each dump is
+  // internally consistent because the retention rings are read under lock.
   const std::uint64_t seq =
       sequence_.load(std::memory_order_relaxed);
   std::string out = "{\"schema\":\"scd-flightrec-v1\",\"reason\":\"";
@@ -205,7 +211,7 @@ std::string FlightRecorder::render_dump(const std::string& reason) {
       static_cast<unsigned long long>(
           fingerprint_.load(std::memory_order_relaxed)));
   {
-    const std::scoped_lock lock(state_mutex_);
+    const common::MutexLock lock(state_mutex_);
     out += ",\"note\":\"";
     out += json_escape(last_error_note_);
     out += "\",\"intervals\":[";
@@ -243,6 +249,7 @@ std::optional<std::filesystem::path> FlightRecorder::write_dump(
     const std::string& reason) {
   if (options_.directory.empty()) return std::nullopt;
   const std::string data = render_dump(reason);
+  // mo: dump numbering — uniqueness needs only the atomic increment.
   const std::uint64_t seq = sequence_.fetch_add(1, std::memory_order_relaxed);
   const std::filesystem::path path =
       options_.directory /
@@ -252,10 +259,12 @@ std::optional<std::filesystem::path> FlightRecorder::write_dump(
   std::string error;
   if (!common::write_file_atomic(path, data, error)) {
     SCD_WARN() << "flight recorder: dump failed: " << error;
+    // mo: stats counter — no other state rides on it.
     dump_failures_.fetch_add(1, std::memory_order_relaxed);
     if (metric_dump_failures_ != nullptr) metric_dump_failures_->inc();
     return std::nullopt;
   }
+  // mo: stats counters — no other state rides on them.
   dumps_.fetch_add(1, std::memory_order_relaxed);
   dump_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
   if (metric_dumps_ != nullptr) metric_dumps_->inc();
@@ -272,11 +281,15 @@ void FlightRecorder::refresh_fatal_dump() {
   next_fatal_slot_ = (next_fatal_slot_ + 1) % kFatalSlots;
   slot.path = (options_.directory / "flightrec-fatal.json").string();
   slot.data = render_dump("fatal-signal");
+  // mo: publishes the fully rendered slot to the signal handler; pairs
+  // with the handler's acquire load.
   prepared_fatal_.store(&slot, std::memory_order_release);
 }
 
 void FlightRecorder::fatal_signal_handler(int sig) {
   // Async-signal-safe only: open/write/fsync/close on pre-rendered bytes.
+  // mo: pairs with refresh_fatal_dump()'s release — the handler sees the
+  // slot's path/data fully written.
   const PreparedDump* prepared =
       prepared_fatal_.load(std::memory_order_acquire);
   if (prepared != nullptr) {
@@ -314,10 +327,13 @@ void FlightRecorder::install_fatal_signal_handlers() {
 }
 
 void FlightRecorder::set_global(FlightRecorder* recorder) noexcept {
+  // mo: publishes a fully constructed recorder; pairs with global()'s
+  // acquire so readers see its members initialized.
   global_.store(recorder, std::memory_order_release);
 }
 
 FlightRecorder* FlightRecorder::global() noexcept {
+  // mo: pairs with set_global()'s release (see above).
   return global_.load(std::memory_order_acquire);
 }
 
@@ -326,7 +342,7 @@ void FlightRecorder::notify_checkpoint_error(const char* context,
   FlightRecorder* recorder = global();
   if (recorder == nullptr) return;
   {
-    const std::scoped_lock lock(recorder->state_mutex_);
+    const common::MutexLock lock(recorder->state_mutex_);
     recorder->last_error_note_ =
         std::string(context != nullptr ? context : "checkpoint") + ": " + what;
   }

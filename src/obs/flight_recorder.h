@@ -20,16 +20,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <filesystem>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -69,33 +69,38 @@ class FlightRecorder {
   /// Records one closed interval; if it carried alarms (and dump_on_alarm is
   /// set) an asynchronous dump is scheduled. Never blocks on I/O — safe to
   /// call from the interval-close path.
-  void observe_interval(const FlightIntervalSummary& summary);
+  void observe_interval(const FlightIntervalSummary& summary)
+      SCD_EXCLUDES(state_mutex_, queue_mutex_);
 
   /// Records one alarm-provenance record (a complete JSON object, already
   /// rendered by detect::AlarmProvenance::to_json).
-  void observe_provenance(std::string provenance_json);
+  void observe_provenance(std::string provenance_json)
+      SCD_EXCLUDES(state_mutex_);
 
   /// Folds the pipeline config fingerprint into every dump header.
   void set_config_fingerprint(std::uint64_t fingerprint);
 
   /// Schedules an asynchronous dump tagged with `reason`. Multiple requests
   /// that arrive before the worker runs coalesce into one dump.
-  void request_dump(std::string reason);
+  void request_dump(std::string reason) SCD_EXCLUDES(queue_mutex_);
 
   /// Writes a dump synchronously and returns its path (nullopt on write
   /// failure — already logged and counted).
   std::optional<std::filesystem::path> dump_now(const std::string& reason);
 
   /// Blocks until every previously enqueued request has been processed.
-  void flush();
+  void flush() SCD_EXCLUDES(queue_mutex_);
 
   [[nodiscard]] std::uint64_t dumps() const noexcept {
+    // mo: stats read — a point-in-time sample, no ordering required.
     return dumps_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t dump_bytes() const noexcept {
+    // mo: stats read — a point-in-time sample, no ordering required.
     return dump_bytes_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t dump_failures() const noexcept {
+    // mo: stats read — a point-in-time sample, no ordering required.
     return dump_failures_.load(std::memory_order_relaxed);
   }
 
@@ -128,11 +133,14 @@ class FlightRecorder {
     std::string data;
   };
 
-  void worker_loop();
-  [[nodiscard]] std::string render_dump(const std::string& reason);
-  std::optional<std::filesystem::path> write_dump(const std::string& reason);
-  void refresh_fatal_dump();
-  void enqueue(bool dump, bool refresh_fatal, std::string reason);
+  void worker_loop() SCD_EXCLUDES(state_mutex_, queue_mutex_);
+  [[nodiscard]] std::string render_dump(const std::string& reason)
+      SCD_EXCLUDES(state_mutex_);
+  std::optional<std::filesystem::path> write_dump(const std::string& reason)
+      SCD_EXCLUDES(state_mutex_);
+  void refresh_fatal_dump() SCD_EXCLUDES(state_mutex_);
+  void enqueue(bool dump, bool refresh_fatal, std::string reason)
+      SCD_EXCLUDES(queue_mutex_);
   static void fatal_signal_handler(int sig);
 
   // The handler-visible prepared dump and the process-wide recorder hook.
@@ -143,10 +151,14 @@ class FlightRecorder {
   Options options_;
   TraceController& trace_;
 
-  mutable std::mutex state_mutex_;  // guards the retention rings + note
-  std::deque<FlightIntervalSummary> intervals_;
-  std::deque<std::string> provenance_;
-  std::string last_error_note_;  // e.g. checkpoint-error context
+  // Guards the retention rings + note. Lock order (docs/CONCURRENCY.md):
+  // state_mutex_ may be taken with queue_mutex_ wanted next, never the
+  // reverse — callers record state first, then schedule the worker.
+  mutable common::Mutex state_mutex_ SCD_ACQUIRED_BEFORE(queue_mutex_);
+  std::deque<FlightIntervalSummary> intervals_ SCD_GUARDED_BY(state_mutex_);
+  std::deque<std::string> provenance_ SCD_GUARDED_BY(state_mutex_);
+  // e.g. checkpoint-error context
+  std::string last_error_note_ SCD_GUARDED_BY(state_mutex_);
   std::atomic<std::uint64_t> fingerprint_{0};
   std::atomic<std::uint64_t> sequence_{0};
 
@@ -165,14 +177,15 @@ class FlightRecorder {
   std::vector<PreparedDump> fatal_slots_{kFatalSlots};
   std::size_t next_fatal_slot_ = 0;
 
-  std::mutex queue_mutex_;
-  std::condition_variable queue_cv_;
-  std::condition_variable drained_cv_;
-  std::deque<Request> queue_;
-  bool pending_dump_ = false;     // coalescing flags for queued work
-  bool pending_refresh_ = false;
-  bool worker_busy_ = false;
-  bool stop_ = false;
+  common::Mutex queue_mutex_;
+  common::CondVar queue_cv_;
+  common::CondVar drained_cv_;
+  std::deque<Request> queue_ SCD_GUARDED_BY(queue_mutex_);
+  // Coalescing flags for queued work.
+  bool pending_dump_ SCD_GUARDED_BY(queue_mutex_) = false;
+  bool pending_refresh_ SCD_GUARDED_BY(queue_mutex_) = false;
+  bool worker_busy_ SCD_GUARDED_BY(queue_mutex_) = false;
+  bool stop_ SCD_GUARDED_BY(queue_mutex_) = false;
   std::thread worker_;
 };
 

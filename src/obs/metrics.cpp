@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/mutex.h"
+
 namespace scd::obs {
 
 namespace {
@@ -98,7 +100,7 @@ MetricsRegistry& MetricsRegistry::global() {
   return registry;
 }
 
-MetricsRegistry::Family& MetricsRegistry::find_or_create(
+MetricsRegistry::Family& MetricsRegistry::find_or_create_locked(
     const std::string& name, const std::string& help, MetricType type) {
   if (!valid_metric_name(name)) {
     throw std::invalid_argument("MetricsRegistry: invalid metric name: " +
@@ -124,8 +126,8 @@ MetricsRegistry::Family& MetricsRegistry::find_or_create(
 
 Counter& MetricsRegistry::counter(const std::string& name,
                                   const std::string& help, Labels labels) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  Family& family = find_or_create(name, help, MetricType::kCounter);
+  const common::MutexLock lock(mutex_);
+  Family& family = find_or_create_locked(name, help, MetricType::kCounter);
   labels = sorted(std::move(labels));
   if (Family::Instance* existing = family.find(labels)) {
     return *existing->counter;
@@ -139,8 +141,8 @@ Counter& MetricsRegistry::counter(const std::string& name,
 
 Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
                               Labels labels) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  Family& family = find_or_create(name, help, MetricType::kGauge);
+  const common::MutexLock lock(mutex_);
+  Family& family = find_or_create_locked(name, help, MetricType::kGauge);
   labels = sorted(std::move(labels));
   if (Family::Instance* existing = family.find(labels)) {
     return *existing->gauge;
@@ -156,8 +158,8 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
                                       const std::string& help,
                                       std::vector<double> bounds,
                                       Labels labels) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  Family& family = find_or_create(name, help, MetricType::kHistogram);
+  const common::MutexLock lock(mutex_);
+  Family& family = find_or_create_locked(name, help, MetricType::kHistogram);
   if (family.instances.empty()) {
     family.bounds = bounds;
   } else if (family.bounds != bounds) {
@@ -176,7 +178,7 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 }
 
 std::vector<FamilyView> MetricsRegistry::families() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   std::vector<FamilyView> views;
   views.reserve(families_.size());
   for (const auto& family : families_) {
@@ -202,7 +204,7 @@ std::vector<FamilyView> MetricsRegistry::families() const {
 }
 
 std::size_t MetricsRegistry::family_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const common::MutexLock lock(mutex_);
   return families_.size();
 }
 

@@ -26,10 +26,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 #ifndef SCD_OBS_ENABLED
 #define SCD_OBS_ENABLED 1
@@ -51,9 +53,12 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 class Counter {
  public:
   void inc(std::uint64_t n = 1) noexcept {
+    // mo: independent monotone counter — no other state is published with
+    // it, so relaxed increments are exact and exposition reads coherent.
     value_.fetch_add(n, std::memory_order_relaxed);
   }
   [[nodiscard]] std::uint64_t value() const noexcept {
+    // mo: monitoring read — a point-in-time sample, no ordering required.
     return value_.load(std::memory_order_relaxed);
   }
 
@@ -65,14 +70,19 @@ class Counter {
 
 class Gauge {
  public:
+  // mo: last-writer-wins sample of an independent scalar; nothing is
+  // ordered against it.
   void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
   void add(double delta) noexcept {
+    // mo: CAS loop only needs atomicity of the read-modify-write itself;
+    // the gauge value carries no happens-before obligations.
     double cur = value_.load(std::memory_order_relaxed);
     while (!value_.compare_exchange_weak(cur, cur + delta,
                                          std::memory_order_relaxed)) {
     }
   }
   [[nodiscard]] double value() const noexcept {
+    // mo: monitoring read — a point-in-time sample, no ordering required.
     return value_.load(std::memory_order_relaxed);
   }
 
@@ -95,6 +105,9 @@ class Histogram {
     // (stage latencies cluster in one or two buckets).
     std::size_t i = 0;
     while (i < bounds_.size() && v > bounds_[i]) ++i;
+    // mo: bucket/count/sum are each exact under relaxed increments; a
+    // scrape may see them mid-update (count ahead of sum), which is the
+    // accepted monitoring contract — no cross-field ordering is promised.
     buckets_[i].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     double cur = sum_.load(std::memory_order_relaxed);
@@ -104,9 +117,11 @@ class Histogram {
   }
 
   [[nodiscard]] std::uint64_t count() const noexcept {
+    // mo: monitoring read — a point-in-time sample, no ordering required.
     return count_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] double sum() const noexcept {
+    // mo: monitoring read — a point-in-time sample, no ordering required.
     return sum_.load(std::memory_order_relaxed);
   }
   [[nodiscard]] double mean() const noexcept {
@@ -121,6 +136,7 @@ class Histogram {
   /// Non-cumulative count of observations in bucket i; index bounds().size()
   /// is the +Inf overflow bucket.
   [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const noexcept {
+    // mo: monitoring read — a point-in-time sample, no ordering required.
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
@@ -172,28 +188,33 @@ class MetricsRegistry {
   /// or when `name` is already registered with a different type. Returned
   /// references stay valid for the registry's lifetime.
   Counter& counter(const std::string& name, const std::string& help,
-                   Labels labels = {});
+                   Labels labels = {}) SCD_EXCLUDES(mutex_);
   Gauge& gauge(const std::string& name, const std::string& help,
-               Labels labels = {});
+               Labels labels = {}) SCD_EXCLUDES(mutex_);
   /// `bounds` must be strictly increasing; pass
   /// Histogram::default_latency_buckets() for stage timings. Bounds must
   /// match any prior registration of the same family.
   Histogram& histogram(const std::string& name, const std::string& help,
-                       std::vector<double> bounds, Labels labels = {});
+                       std::vector<double> bounds, Labels labels = {})
+      SCD_EXCLUDES(mutex_);
 
   /// Stable snapshot of the family structure, sorted by name (instances in
   /// registration order). Values are read live through the pointers.
-  [[nodiscard]] std::vector<FamilyView> families() const;
+  [[nodiscard]] std::vector<FamilyView> families() const
+      SCD_EXCLUDES(mutex_);
 
-  [[nodiscard]] std::size_t family_count() const;
+  [[nodiscard]] std::size_t family_count() const SCD_EXCLUDES(mutex_);
 
  private:
   struct Family;
-  Family& find_or_create(const std::string& name, const std::string& help,
-                         MetricType type);
+  Family& find_or_create_locked(const std::string& name,
+                                const std::string& help, MetricType type)
+      SCD_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;  // guards family/instance structure, not values
-  std::vector<std::unique_ptr<Family>> families_;
+  // Guards the family/instance structure, not the metric values (those are
+  // lock-free atomics mutated through stable references).
+  mutable common::Mutex mutex_;
+  std::vector<std::unique_ptr<Family>> families_ SCD_GUARDED_BY(mutex_);
 };
 
 }  // namespace scd::obs

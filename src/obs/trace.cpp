@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "common/mutex.h"
 #include "common/strutil.h"
 #include "obs/metrics.h"
 
@@ -60,13 +61,20 @@ TraceRing::TraceRing(std::size_t capacity, std::uint32_t tid)
 void TraceRing::emit(const char* name, const char* category,
                      std::uint64_t start_ns, std::uint64_t dur_ns,
                      std::uint64_t arg, std::uint8_t phase) noexcept {
+  // mo: single-writer ring — only the owning thread advances head_, so a
+  // relaxed self-read is exact.
   const std::uint64_t pos = head_.load(std::memory_order_relaxed);
   Slot& slot = slots_[pos & mask_];
   // Seqlock write protocol: odd sequence while the payload is in flux, then
   // 2*(pos+1) once this generation's payload is complete. Payload words are
   // relaxed atomics bracketed by the release stores on seq, so a reader that
   // observes the same even sequence on both sides has a consistent event.
+  // mo: seqlock entry — release so the odd marker is ordered before the
+  // payload stores that follow it from the reader's perspective.
   slot.seq.store(2 * pos + 1, std::memory_order_release);
+  // mo: payload words need no ordering among themselves; the seq stores
+  // bracketing them carry the publication (seqlock waiver,
+  // docs/CONCURRENCY.md).
   slot.word[0].store(reinterpret_cast<std::uint64_t>(name),
                      std::memory_order_relaxed);
   slot.word[1].store(reinterpret_cast<std::uint64_t>(category),
@@ -77,11 +85,15 @@ void TraceRing::emit(const char* name, const char* category,
   slot.word[5].store(static_cast<std::uint64_t>(tid_) |
                          (static_cast<std::uint64_t>(phase) << 32),
                      std::memory_order_relaxed);
+  // mo: seqlock exit — release publishes the completed payload under the
+  // even generation number; head_'s release pairs with emitted()/snapshot.
   slot.seq.store(2 * (pos + 1), std::memory_order_release);
   head_.store(pos + 1, std::memory_order_release);
 }
 
 std::size_t TraceRing::snapshot_into(std::vector<TraceEvent>& out) const {
+  // mo: pairs with emit()'s release on head_ — everything emitted before
+  // the observed head is visible below.
   const std::uint64_t head = head_.load(std::memory_order_acquire);
   const std::uint64_t retained =
       head < capacity_ ? head : static_cast<std::uint64_t>(capacity_);
@@ -90,9 +102,13 @@ std::size_t TraceRing::snapshot_into(std::vector<TraceEvent>& out) const {
   for (std::uint64_t g = first; g < head; ++g) {
     const Slot& slot = slots_[g & mask_];
     const std::uint64_t want = 2 * (g + 1);
+    // mo: seqlock read entry — acquire orders the payload reads after the
+    // first sequence check.
     const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
     if (s1 != want) continue;  // overwritten or mid-write: skip, never tear
     TraceEvent ev;
+    // mo: payload reads are relaxed; validity is decided by the seq
+    // recheck below, torn candidates are discarded (seqlock waiver).
     ev.name = reinterpret_cast<const char*>(
         slot.word[0].load(std::memory_order_relaxed));
     ev.category = reinterpret_cast<const char*>(
@@ -103,6 +119,8 @@ std::size_t TraceRing::snapshot_into(std::vector<TraceEvent>& out) const {
     const std::uint64_t packed = slot.word[5].load(std::memory_order_relaxed);
     ev.tid = static_cast<std::uint32_t>(packed & 0xffffffffu);
     ev.phase = static_cast<std::uint8_t>(packed >> 32);
+    // mo: seqlock read exit — the acquire fence orders the payload reads
+    // before the recheck; a changed sequence means the writer interfered.
     std::atomic_thread_fence(std::memory_order_acquire);
     const std::uint64_t s2 = slot.seq.load(std::memory_order_relaxed);
     if (s2 != want) continue;  // writer lapped us mid-read
@@ -115,10 +133,11 @@ std::size_t TraceRing::snapshot_into(std::vector<TraceEvent>& out) const {
 namespace {
 // Monotonic controller-instance id: distinguishes a fresh controller reusing
 // the address of a destroyed one, so thread-local ring caches never go stale.
-std::atomic<std::uint64_t> g_controller_epoch{1};
+std::atomic<std::uint64_t> g_controller_epoch{1};  // fetch_add only
 }  // namespace
 
 TraceController::TraceController(MetricsRegistry* registry)
+    // mo: unique-id allocation — only atomicity of the increment matters.
     : epoch_(g_controller_epoch.fetch_add(1, std::memory_order_relaxed)),
       registry_(registry) {
   if (registry_ != nullptr) {
@@ -141,7 +160,7 @@ TraceController& TraceController::global() {
 }
 
 void TraceController::set_ring_capacity(std::size_t capacity) {
-  const std::scoped_lock lock(mutex_);
+  const common::MutexLock lock(mutex_);
   ring_capacity_ = capacity < 8 ? 8 : capacity;
 }
 
@@ -158,7 +177,7 @@ TraceRing& TraceController::ring_for_current_thread() {
   if (cache.owner == this && cache.epoch == epoch_ && cache.ring != nullptr) {
     return *cache.ring;
   }
-  const std::scoped_lock lock(mutex_);
+  const common::MutexLock lock(mutex_);
   auto ring = std::make_unique<TraceRing>(
       ring_capacity_, static_cast<std::uint32_t>(rings_.size()));
   TraceRing* raw = ring.get();
@@ -172,7 +191,7 @@ TraceRing& TraceController::ring_for_current_thread() {
 
 TraceController::Snapshot TraceController::snapshot() {
   Snapshot snap;
-  const std::scoped_lock lock(mutex_);
+  const common::MutexLock lock(mutex_);
   for (const auto& ring : rings_) {
     ring->snapshot_into(snap.events);
     snap.emitted += ring->emitted();

@@ -37,10 +37,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 #ifndef SCD_TRACE_ENABLED
@@ -100,6 +101,8 @@ class TraceRing {
 
   /// Total events ever emitted (monotonic).
   [[nodiscard]] std::uint64_t emitted() const noexcept {
+    // mo: pairs with emit()'s release store on head_ — a reader that sees
+    // head == h also sees the h slots published before it.
     return head_.load(std::memory_order_acquire);
   }
   /// Events lost to ring wrap: emitted() minus what the ring can retain.
@@ -147,20 +150,23 @@ class TraceController {
   [[nodiscard]] static TraceController& global();
 
   void set_enabled(bool enabled) noexcept {
+    // mo: independent on/off flag — span sites may observe the flip late
+    // by design; no other state is published through it.
     enabled_.store(enabled, std::memory_order_relaxed);
   }
   [[nodiscard]] bool enabled() const noexcept {
+    // mo: hot-path probe of the independent on/off flag (see set_enabled).
     return enabled_.load(std::memory_order_relaxed);
   }
 
   /// Capacity (events) for rings registered from now on; existing rings keep
   /// theirs. Default 8192 per thread.
-  void set_ring_capacity(std::size_t capacity);
+  void set_ring_capacity(std::size_t capacity) SCD_EXCLUDES(mutex_);
 
   /// The calling thread's ring, registered on first use. Rings outlive their
   /// threads (the controller keeps them) so a post-join snapshot still sees
   /// every worker's spans.
-  [[nodiscard]] TraceRing& ring_for_current_thread();
+  [[nodiscard]] TraceRing& ring_for_current_thread() SCD_EXCLUDES(mutex_);
 
   struct Snapshot {
     std::vector<TraceEvent> events;  // emission order per tid
@@ -170,10 +176,11 @@ class TraceController {
 
   /// Collects every ring's retained events plus lifetime counters, and (when
   /// a registry was supplied) syncs the scd_trace_* metrics by delta.
-  [[nodiscard]] Snapshot snapshot();
+  [[nodiscard]] Snapshot snapshot() SCD_EXCLUDES(mutex_);
 
   /// Fresh process-unique trace id (never 0) for SpanContext propagation.
   [[nodiscard]] std::uint64_t new_trace_id() noexcept {
+    // mo: uniqueness needs only the atomic increment, not ordering.
     return next_trace_id_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -189,12 +196,12 @@ class TraceController {
   const std::uint64_t epoch_;  // invalidates thread-local ring caches
   MetricsRegistry* registry_;
 
-  std::mutex mutex_;  // guards rings_/capacity_/metric sync, never emit()
-  std::vector<std::unique_ptr<TraceRing>> rings_;
-  std::size_t ring_capacity_ = 8192;
-  std::unique_ptr<TraceInstruments> instruments_;
-  std::uint64_t synced_spans_ = 0;
-  std::uint64_t synced_dropped_ = 0;
+  common::Mutex mutex_;  // guards registration/metric sync, never emit()
+  std::vector<std::unique_ptr<TraceRing>> rings_ SCD_GUARDED_BY(mutex_);
+  std::size_t ring_capacity_ SCD_GUARDED_BY(mutex_) = 8192;
+  std::unique_ptr<TraceInstruments> instruments_;  // written in ctor only
+  std::uint64_t synced_spans_ SCD_GUARDED_BY(mutex_) = 0;
+  std::uint64_t synced_dropped_ SCD_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII complete-span recorder. Construction samples the clock only when the

@@ -35,6 +35,8 @@ constexpr KernelTable kAvx2Table{IsaLevel::kAvx2, avx2::scale,
                                  avx2::sum_squares, avx2::hsum};
 
 KernelTable select_table() noexcept {
+  // Dispatch-init read; nothing in the process calls setenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("SCD_SIMD");
   if (env != nullptr) {
     if (std::strcmp(env, "scalar") == 0) return kScalarTable;

@@ -152,6 +152,8 @@ class BasicKarySketch {
         table_[i * k_ + (family_->hash16(i, key) & mask)] += u;
       }
     }
+    // mo: mutation invalidates the cache; mutators are single-threaded by
+    // contract, so no ordering against the table writes is needed.
     sum_valid_.store(false, std::memory_order_relaxed);
   }
 
@@ -260,6 +262,7 @@ class BasicKarySketch {
       }
     }
     if (!records.empty()) {
+      // mo: cache invalidation on the single-mutator path (see update()).
       sum_valid_.store(false, std::memory_order_relaxed);
     }
   }
@@ -274,12 +277,18 @@ class BasicKarySketch {
   /// the same value from the same frozen table. Mutation concurrent with
   /// any read remains a race on the table itself, as before.
   [[nodiscard]] double sum() const noexcept {
+    // mo: double-checked cache (waiver, docs/CONCURRENCY.md) — the
+    // release store on sum_valid_ publishes cached_sum_; the acquire load
+    // here pairs with it, so a reader that sees valid==true also sees the
+    // matching cached value. Racing fillers write the same value computed
+    // from the same frozen table.
     if (!sum_valid_.load(std::memory_order_acquire)) {
       const double s = simd::hsum(table_.data(), k_);
       cached_sum_.store(s, std::memory_order_relaxed);
       sum_valid_.store(true, std::memory_order_release);
       return s;
     }
+    // mo: value was published by the release/acquire pair above.
     return cached_sum_.load(std::memory_order_relaxed);
   }
 
@@ -359,12 +368,15 @@ class BasicKarySketch {
 
   void set_zero() noexcept {
     std::fill(table_.begin(), table_.end(), 0.0);
+    // mo: release publishes the zero cache exactly like sum()'s fill path.
     cached_sum_.store(0.0, std::memory_order_relaxed);
     sum_valid_.store(true, std::memory_order_release);
   }
 
   void scale(double c) noexcept {
     simd::scale(table_.data(), table_.size(), c);
+    // mo: single-mutator path — scaling the cached sum in place keeps the
+    // cache coherent without republishing (validity flag is unchanged).
     cached_sum_.store(cached_sum_.load(std::memory_order_relaxed) * c,
                       std::memory_order_relaxed);
   }
@@ -379,6 +391,7 @@ class BasicKarySketch {
           "width mismatch)");
     }
     simd::axpy(table_.data(), other.table_.data(), table_.size(), c);
+    // mo: cache invalidation on the single-mutator path (see update()).
     sum_valid_.store(false, std::memory_order_relaxed);
   }
 
@@ -415,6 +428,7 @@ class BasicKarySketch {
           "register table");
     }
     std::copy(values.begin(), values.end(), table_.begin());
+    // mo: cache invalidation on the single-mutator path (see update()).
     sum_valid_.store(false, std::memory_order_relaxed);
   }
 
@@ -450,7 +464,10 @@ class BasicKarySketch {
   /// pairs with the release store in sum()), and only trust cached_sum_
   /// when the flag was already set.
   void copy_sum_cache(const BasicKarySketch& other) noexcept {
+    // mo: acquire pairs with sum()'s release on the source — only when the
+    // flag was already set is the relaxed cached_sum_ read known complete.
     const bool valid = other.sum_valid_.load(std::memory_order_acquire);
+    // mo: destination is under construction (no concurrent readers yet).
     cached_sum_.store(
         valid ? other.cached_sum_.load(std::memory_order_relaxed) : 0.0,
         std::memory_order_relaxed);

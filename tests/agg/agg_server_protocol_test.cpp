@@ -1,0 +1,182 @@
+// Protocol-discipline regression tests for AggServer, driving the wire
+// directly with a raw socket (no Shipper) so malformed sequences can be
+// sent on purpose. Both tests pin fixes surfaced by the thread-safety
+// annotation pass (docs/CONCURRENCY.md):
+//   * a duplicate Hello on one connection used to re-increment the
+//     live-connection gauge, inflating it forever (one decrement per
+//     connection at epilogue) — now it is a protocol violation that drops
+//     the connection;
+//   * a refused Hello (drifted config fingerprint) used to mark the node
+//     as seen, so its eventual first real session was miscounted as a
+//     rejoin.
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "agg/agg_metrics.h"
+#include "agg/agg_server.h"
+#include "core/pipeline.h"
+#include "net/socket.h"
+#include "net/wire.h"
+
+namespace scd::agg {
+namespace {
+
+core::PipelineConfig pipeline_config() {
+  core::PipelineConfig config;
+  config.interval_s = 60.0;
+  config.h = 3;
+  config.k = 256;
+  config.model.kind = forecast::ModelKind::kEwma;
+  config.model.alpha = 0.5;
+  config.threshold = 0.2;
+  config.metrics = true;  // the gauge/rejoin counters are what we assert on
+  return config;
+}
+
+AggregatorConfig agg_config() {
+  AggregatorConfig config;
+  config.pipeline = pipeline_config();
+  config.nodes = {1, 2};
+  return config;
+}
+
+/// Polls `pred` for up to five seconds — connection epilogues run on the
+/// server's reader threads, so gauge updates are eventually-visible.
+[[nodiscard]] bool eventually(const std::function<bool()>& pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+/// One raw node-side connection: sends hand-built frames, reads replies.
+class RawNode {
+ public:
+  explicit RawNode(std::uint16_t port)
+      : sock_(net::Socket::connect_tcp("127.0.0.1", port)) {}
+
+  void send_hello(std::uint64_t node_id, std::uint64_t fingerprint) {
+    net::FrameHeader header;
+    header.type = net::MessageType::kHello;
+    header.node_id = node_id;
+    header.config_fingerprint = fingerprint;
+    sock_.send_all(net::encode_frame(header, {}));
+  }
+
+  void send_bye(std::uint64_t node_id) {
+    net::FrameHeader header;
+    header.type = net::MessageType::kBye;
+    header.node_id = node_id;
+    sock_.send_all(net::encode_frame(header, {}));
+  }
+
+  /// Next frame from the server, or nullopt when the server closed the
+  /// connection first (the expected fate of a protocol violator).
+  [[nodiscard]] std::optional<net::Frame> read_frame() {
+    std::vector<std::uint8_t> buf(4096);
+    for (;;) {
+      if (std::optional<net::Frame> frame = reader_.next()) return frame;
+      const std::size_t n = sock_.recv_some(buf.data(), buf.size());
+      if (n == 0) return std::nullopt;  // EOF
+      reader_.feed({buf.data(), n});
+    }
+  }
+
+ private:
+  net::Socket sock_;
+  net::FrameReader reader_;
+};
+
+TEST(AggServerProtocol, DuplicateHelloDropsConnectionWithoutInflatingGauge) {
+  AggServer server(agg_config(), AggServerConfig{});
+  server.start();
+  const std::uint64_t fingerprint =
+      core::config_fingerprint(pipeline_config());
+
+  {
+    RawNode node(server.port());
+    node.send_hello(1, fingerprint);
+    const std::optional<net::Frame> ack = node.read_frame();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->header.type, net::MessageType::kHelloAck);
+    EXPECT_TRUE(eventually([&] { return server.connections() == 1; }));
+
+    // Second Hello on the same connection: the server must drop us, not
+    // count a second live connection against one eventual decrement.
+    node.send_hello(1, fingerprint);
+    EXPECT_FALSE(node.read_frame().has_value()) << "expected EOF";
+  }
+  EXPECT_TRUE(eventually([&] { return server.connections() == 0; }))
+      << "gauge stuck at " << server.connections()
+      << " after the violator disconnected";
+
+  // The node is still welcome on a fresh connection, and the gauge counts
+  // it as exactly one.
+  {
+    RawNode node(server.port());
+    node.send_hello(1, fingerprint);
+    const std::optional<net::Frame> ack = node.read_frame();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->header.type, net::MessageType::kHelloAck);
+    EXPECT_TRUE(eventually([&] { return server.connections() == 1; }));
+    node.send_bye(1);
+  }
+  EXPECT_TRUE(eventually([&] { return server.connections() == 0; }));
+  server.stop();
+}
+
+TEST(AggServerProtocol, RefusedHelloIsNotRecordedAsRejoin) {
+  AggServer server(agg_config(), AggServerConfig{});
+  server.start();
+  const std::uint64_t fingerprint =
+      core::config_fingerprint(pipeline_config());
+  // Process-global counters: assert on deltas, not absolutes.
+  const std::uint64_t rejoins_before = AggInstruments::global().rejoins.value();
+
+  // A node with drifted sketch geometry is refused at the handshake...
+  {
+    RawNode node(server.port());
+    node.send_hello(2, fingerprint ^ 0xdeadbeef);
+    const std::optional<net::Frame> reply = node.read_frame();
+    ASSERT_TRUE(reply.has_value());
+    EXPECT_EQ(reply->header.type, net::MessageType::kBye);
+  }
+
+  // ...and that refusal must not have marked node 2 as seen: its first
+  // accepted session is a first join, not a rejoin.
+  {
+    RawNode node(server.port());
+    node.send_hello(2, fingerprint);
+    const std::optional<net::Frame> ack = node.read_frame();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->header.type, net::MessageType::kHelloAck);
+    node.send_bye(2);
+  }
+  EXPECT_TRUE(eventually([&] { return server.connections() == 0; }));
+  EXPECT_EQ(AggInstruments::global().rejoins.value(), rejoins_before);
+
+  // A genuine second session is a rejoin.
+  {
+    RawNode node(server.port());
+    node.send_hello(2, fingerprint);
+    const std::optional<net::Frame> ack = node.read_frame();
+    ASSERT_TRUE(ack.has_value());
+    EXPECT_EQ(ack->header.type, net::MessageType::kHelloAck);
+    node.send_bye(2);
+  }
+  EXPECT_TRUE(eventually([&] { return server.connections() == 0; }));
+  EXPECT_EQ(AggInstruments::global().rejoins.value(), rejoins_before + 1);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace scd::agg

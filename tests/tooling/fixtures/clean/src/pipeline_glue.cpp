@@ -1,6 +1,9 @@
-// Fixture: would trip include-hygiene and kkeybits-binding, but every
-// finding carries a waiver — the tree must lint clean.
+// Fixture: would trip include-hygiene, kkeybits-binding, mutex-wrapper,
+// mo-rationale and lock-order-doc, but every finding carries a waiver — the
+// tree must lint clean.
 // scd-lint: allow-file(kkeybits-binding)
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "traffic/key_extract.h"
 
 namespace scd {
@@ -14,6 +17,19 @@ int route(traffic::KeyKind kind) {
 // scd-lint: allow(include-hygiene)
 unsigned long weigh(const traffic::FlowRecord& record) {
   return record.bytes;
+}
+
+struct LegacyBridge {
+  // A third-party callback API hands us a std::unique_lock; waived.
+  std::mutex vendor_mutex;  // scd-lint: allow(mutex-wrapper)
+  // An edge kept out of the doc table while the bridge is experimental.
+  common::Mutex outer SCD_ACQUIRED_BEFORE(inner);  // scd-lint: allow(lock-order-doc)
+  common::Mutex inner;
+};
+
+unsigned long sample(std::atomic<unsigned long>& hits) {
+  // scd-lint: allow(mo-rationale)
+  return hits.load(std::memory_order_relaxed);
 }
 
 }  // namespace scd

@@ -1,0 +1,14 @@
+// Fixture: an SCD_ACQUIRED_BEFORE edge with no matching doc-table row.
+#pragma once
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace scd {
+
+struct EngineState {
+  common::Mutex first_mutex SCD_ACQUIRED_BEFORE(second_mutex);
+  common::Mutex second_mutex;
+};
+
+}  // namespace scd

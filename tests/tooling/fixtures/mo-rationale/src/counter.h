@@ -1,0 +1,17 @@
+// Fixture: a weakened memory order with no `// mo:` rationale in its block.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace scd {
+
+class EventCounter {
+ public:
+  void record() { hits_.fetch_add(1, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> hits_{0};
+};
+
+}  // namespace scd

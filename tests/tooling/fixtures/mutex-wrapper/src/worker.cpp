@@ -1,0 +1,15 @@
+// Fixture: a raw std::mutex member where the annotated wrapper is required.
+#include <mutex>
+
+namespace scd {
+
+class Worker {
+ public:
+  void poke() { ++counter_; }
+
+ private:
+  std::mutex mutex_;
+  int counter_ = 0;
+};
+
+}  // namespace scd

@@ -11,7 +11,9 @@ Run directly or via ctest (registered as tooling.scd_lint).
 
 import io
 import contextlib
+import shutil
 import sys
+import tempfile
 import unittest
 from pathlib import Path
 
@@ -69,6 +71,22 @@ class FixtureTest(unittest.TestCase):
         self.assert_single_violation(
             "simd-isolation", "simd-isolation", "src/ingest/fast_path.cpp")
 
+    def test_mutex_wrapper_fires_on_raw_std_mutex(self):
+        self.assert_single_violation(
+            "mutex-wrapper", "mutex-wrapper", "src/worker.cpp")
+
+    def test_mo_rationale_fires_on_uncommented_order(self):
+        self.assert_single_violation(
+            "mo-rationale", "mo-rationale", "src/counter.h")
+
+    def test_lock_order_doc_fires_on_undocumented_edge(self):
+        self.assert_single_violation(
+            "lock-order-doc-undocumented", "lock-order-doc", "src/state.h")
+
+    def test_lock_order_doc_fires_on_stale_row(self):
+        self.assert_single_violation(
+            "lock-order-doc-stale", "lock-order-doc", "docs/CONCURRENCY.md")
+
     def test_waivers_silence_every_rule(self):
         code, lines = run_lint(FIXTURES / "clean")
         self.assertEqual(code, 0, f"clean fixture not clean: {lines}")
@@ -82,7 +100,8 @@ class FixtureTest(unittest.TestCase):
         self.assertEqual(
             buf.getvalue().split(),
             ["throw-not-assert", "kkeybits-binding", "metric-docs",
-             "include-hygiene", "simd-isolation"])
+             "include-hygiene", "simd-isolation", "mutex-wrapper",
+             "mo-rationale", "lock-order-doc"])
 
     def test_missing_root_is_a_usage_error(self):
         code, _ = run_lint(REPO_ROOT / "tests" / "tooling" / "no-such-dir")
@@ -91,6 +110,58 @@ class FixtureTest(unittest.TestCase):
     def test_real_repository_lints_clean(self):
         code, lines = run_lint(REPO_ROOT)
         self.assertEqual(code, 0, f"repository has lint debt: {lines}")
+
+
+class AnnotationContractTest(unittest.TestCase):
+    """Live demonstration: stripping any single load-bearing thread-safety
+    annotation from the REAL BoundedQueue / ShardSet headers must fail the
+    lint (and therefore scripts/check.sh), even without clang."""
+
+    def lint_with_stripped(self, rel: str, annotation: str | None):
+        """Copies the real `rel` into a scratch repo root with the first
+        occurrence of `annotation` removed (None = copy untouched), then
+        lints that root."""
+        source = (REPO_ROOT / rel).read_text()
+        if annotation is not None:
+            self.assertIn(annotation, source,
+                          f"{rel} no longer carries {annotation}; update "
+                          "ANNOTATION_CONTRACT and this test together")
+            source = source.replace(annotation, "", 1)
+        with tempfile.TemporaryDirectory() as tmp:
+            target = Path(tmp) / rel
+            target.parent.mkdir(parents=True)
+            target.write_text(source)
+            return run_lint(Path(tmp))
+
+    def assert_contract_break(self, rel: str, annotation: str):
+        code, lines = self.lint_with_stripped(rel, annotation)
+        self.assertEqual(code, 1, f"stripping {annotation} from {rel} "
+                         f"went unnoticed: {lines}")
+        findings = [l for l in lines if "[mutex-wrapper]" in l]
+        self.assertTrue(
+            any("annotation contract broken" in l for l in findings),
+            f"expected an annotation-contract finding, got: {lines}")
+
+    def test_unstripped_copies_lint_clean(self):
+        # Control: the same scratch-copy machinery with nothing stripped
+        # produces no findings, so the assertions below isolate the strip.
+        for rel in ("src/ingest/bounded_queue.h", "src/ingest/shard_set.h"):
+            code, lines = self.lint_with_stripped(rel, None)
+            self.assertEqual(code, 0, f"{rel} scratch copy not clean: {lines}")
+
+    def test_stripping_guarded_by_from_bounded_queue_fails(self):
+        self.assert_contract_break(
+            "src/ingest/bounded_queue.h", " SCD_GUARDED_BY(mutex_)")
+
+    def test_stripping_guarded_by_from_shard_set_fails(self):
+        self.assert_contract_break(
+            "src/ingest/shard_set.h", " SCD_GUARDED_BY(barrier_mutex_)")
+
+    def test_stripping_requires_from_shard_set_fails(self):
+        # The leading newline+indent pins the match to the declaration,
+        # not the prose mention of the macro in the header comment.
+        self.assert_contract_break(
+            "src/ingest/shard_set.h", "\n      SCD_REQUIRES(barrier_mutex_)")
 
 
 if __name__ == "__main__":
