@@ -51,14 +51,23 @@ def kernel_rows(base: dict, cur: dict) -> list[str]:
     return rows
 
 
+SCALAR_METRICS = [
+    ("update", "per_record_mups", "UPDATE (Mupd/s)"),
+    ("update", "batched_mups", "batched UPDATE (Mupd/s)"),
+    ("end_to_end", "m_records_per_s", "end-to-end W=1 (Mrec/s)"),
+    ("end_to_end_w4", "m_records_per_s", "end-to-end W=4 (Mrec/s)"),
+    ("mmap_ingest", "mmap_m_records_per_s", "mmap feed (Mrec/s)"),
+]
+
+# End-to-end records/s is the headline number of docs/PERFORMANCE.md; a drop
+# past this fraction gets a loud callout on the step summary (still never a
+# build failure — shared-runner numbers stay advisory).
+E2E_REGRESSION_FRACTION = 0.20
+
+
 def scalar_rows(base: dict, cur: dict) -> list[str]:
-    metrics = [
-        ("update", "per_record_mups", "UPDATE (Mupd/s)"),
-        ("update", "batched_mups", "batched UPDATE (Mupd/s)"),
-        ("end_to_end", "m_records_per_s", "end-to-end (Mrec/s)"),
-    ]
     rows = []
-    for section, field, label in metrics:
+    for section, field, label in SCALAR_METRICS:
         b = base.get(section, {}).get(field)
         c = cur.get(section, {}).get(field)
         if b is None or c is None:
@@ -67,6 +76,28 @@ def scalar_rows(base: dict, cur: dict) -> list[str]:
             f"| {label} | — | — | {b:.3f} | {c:.3f} | {fmt_delta(b, c)} |"
         )
     return rows
+
+
+def e2e_regressions(base: dict, cur: dict) -> list[str]:
+    """Returns loud-warning lines for end-to-end throughput drops > 20%."""
+    warnings = []
+    for section, field, label in SCALAR_METRICS:
+        if not section.startswith(("end_to_end", "mmap_ingest")):
+            continue
+        b = base.get(section, {}).get(field)
+        c = cur.get(section, {}).get(field)
+        if b is None or c is None or b <= 0:
+            continue
+        if (b - c) / b > E2E_REGRESSION_FRACTION:
+            warnings.append(
+                f"> ## :rotating_light: {label} regressed {fmt_delta(b, c)} "
+                f"({b:.3f} -> {c:.3f})\n"
+                "> More than 20% below the committed baseline. Shared-runner "
+                "noise can do this, but so can a real ingest regression — "
+                "re-run locally in full mode before merging. (Informational: "
+                "this does not gate the build.)"
+            )
+    return warnings
 
 
 def main(argv: list[str]) -> int:
@@ -96,6 +127,11 @@ def main(argv: list[str]) -> int:
         print(row)
     if not rows:
         print("| _no comparable rows_ | | | | | |")
+    warnings = e2e_regressions(base, cur)
+    if warnings:
+        print()
+        for warning in warnings:
+            print(warning)
     return 0
 
 

@@ -25,7 +25,8 @@ THIS codebase's contracts, not C++ in general:
                      transitive include.
 
   simd-isolation     Only src/simd itself may include the per-ISA kernel
-                     headers (simd/kernels_scalar.h, simd/kernels_avx2.h).
+                     headers (simd/kernels_scalar.h, simd/kernels_avx2.h,
+                     simd/kernels_avx512.h).
                      Everyone else goes through the dispatching
                      simd/kernels.h, so ISA selection stays a single
                      process-wide decision and no caller can bypass the
@@ -159,16 +160,30 @@ ANNOTATION_CONTRACT = {
          "closed_ must be declared SCD_GUARDED_BY(mutex_)"),
     ],
     "src/ingest/shard_set.h": [
-        ("arrived_", r"\barrived_\s+SCD_GUARDED_BY\(barrier_mutex_\)",
-         "arrived_ must be declared SCD_GUARDED_BY(barrier_mutex_)"),
+        ("epochs_closed_",
+         r"\bepochs_closed_\s+SCD_GUARDED_BY\(epoch_mutex_\)",
+         "epochs_closed_ must be declared SCD_GUARDED_BY(epoch_mutex_)"),
+        ("epochs_merged_",
+         r"\bepochs_merged_\s+SCD_GUARDED_BY\(epoch_mutex_\)",
+         "epochs_merged_ must be declared SCD_GUARDED_BY(epoch_mutex_)"),
+        ("merge_error_",
+         r"\bmerge_error_\s+SCD_GUARDED_BY\(epoch_mutex_\)",
+         "merge_error_ must be declared SCD_GUARDED_BY(epoch_mutex_)"),
+        ("pool_", r"\bpool_\s+SCD_GUARDED_BY\(pool_mutex_\)",
+         "pool_ must be declared SCD_GUARDED_BY(pool_mutex_)"),
         ("publish_handoff_locked",
          r"\bpublish_handoff_locked\s*\([^;{]*?"
-         r"SCD_REQUIRES\(barrier_mutex_\)",
-         "publish_handoff_locked must declare SCD_REQUIRES(barrier_mutex_)"),
-        ("collect_handoffs_locked",
-         r"\bcollect_handoffs_locked\s*\([^;{]*?"
-         r"SCD_REQUIRES\(barrier_mutex_\)",
-         "collect_handoffs_locked must declare SCD_REQUIRES(barrier_mutex_)"),
+         r"SCD_REQUIRES\(epoch_mutex_\)",
+         "publish_handoff_locked must declare SCD_REQUIRES(epoch_mutex_)"),
+        ("take_epoch_locked",
+         r"\btake_epoch_locked\s*\([^;{]*?"
+         r"SCD_REQUIRES\(epoch_mutex_\)",
+         "take_epoch_locked must declare SCD_REQUIRES(epoch_mutex_)"),
+    ],
+    "src/ingest/parallel_pipeline.cpp": [
+        ("pending_closes_",
+         r"\bpending_closes_\s+SCD_GUARDED_BY\(close_mutex_\)",
+         "pending_closes_ must be declared SCD_GUARDED_BY(close_mutex_)"),
     ],
 }
 

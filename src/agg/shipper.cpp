@@ -94,7 +94,25 @@ void Shipper::attach(ingest::ParallelPipeline& pipeline) {
       [this](std::uint64_t interval_index, const core::IntervalBatch& batch) {
         ship(interval_index, batch);
       });
+  attached_ = &pipeline;
 }
+
+void Shipper::detach() noexcept {
+  if (attached_ == nullptr) return;
+  try {
+    // Ship every interval already closed, then uninstall. drain() returns
+    // with the merger idle and no epoch can close while this (producer)
+    // thread is here, so clearing the callback cannot race a delivery.
+    attached_->drain();
+  } catch (...) {
+    // A ship/merge failure is already parked in the pipeline and rethrows
+    // from its next add()/flush(); detaching must still complete.
+  }
+  attached_->set_interval_batch_callback(nullptr);
+  attached_ = nullptr;
+}
+
+Shipper::~Shipper() { detach(); }
 
 void Shipper::bye() noexcept {
   if (!sock_.valid()) return;

@@ -42,6 +42,12 @@ struct ShipperConfig {
 class Shipper {
  public:
   explicit Shipper(ShipperConfig config);
+  /// Detaches from an attached pipeline first (draining its merger), so a
+  /// shipper destroyed before the pipeline can never be called into from
+  /// the merger thread afterwards.
+  ~Shipper();
+  Shipper(const Shipper&) = delete;
+  Shipper& operator=(const Shipper&) = delete;
 
   /// Connects and runs the Hello/HelloAck handshake, presenting
   /// config_fingerprint(pipeline). Returns the next interval index the
@@ -57,10 +63,18 @@ class Shipper {
   /// socket failure, a refused contribution, or an out-of-protocol reply.
   bool ship(std::uint64_t interval_index, const core::IntervalBatch& batch);
 
-  /// Installs ship() as `pipeline`'s interval-batch callback. The pipeline
-  /// config must be the one passed to connect(). The Shipper must outlive
-  /// the pipeline's last interval close.
+  /// Installs ship() as `pipeline`'s interval-batch callback, which runs on
+  /// the pipeline's merger thread. The pipeline config must be the one
+  /// passed to connect(). Either the Shipper outlives the pipeline, or —
+  /// when destroyed first — the pipeline must still be alive so the
+  /// destructor can drain and detach.
   void attach(ingest::ParallelPipeline& pipeline);
+
+  /// Drains the attached pipeline's outstanding interval merges (shipping
+  /// them) and uninstalls the callback. Called automatically by the
+  /// destructor; safe to call when never attached. A pending merge failure
+  /// is swallowed here — it stays rethrowable from the pipeline itself.
+  void detach() noexcept;
 
   /// Sends kBye and closes — the clean end-of-stream. Safe to skip (a
   /// dropped connection is a normal lifecycle event for the aggregator);
@@ -86,6 +100,7 @@ class Shipper {
   sketch::FamilyRegistry registry_;
   sketch::KarySketch::FamilyPtr family_;
   core::PipelineConfig pipeline_{};
+  ingest::ParallelPipeline* attached_ = nullptr;
   std::uint64_t fingerprint_ = 0;
   std::uint64_t next_to_ship_ = 0;
   std::uint64_t skipped_ = 0;

@@ -421,7 +421,25 @@ void CheckpointWriter::attach(core::ChangeDetectionPipeline& pipeline) {
   });
 }
 
+void CheckpointWriter::detach() noexcept {
+  if (attached_ == nullptr) return;
+  try {
+    // Write any still-due snapshot, then uninstall. drain() returns with
+    // the merger idle and no epoch can close while this (producer) thread
+    // is here, so clearing the callback cannot race a delivery.
+    attached_->drain();
+  } catch (...) {
+    // A merge failure is already parked in the pipeline and rethrows from
+    // its next add()/flush(); detaching must still complete.
+  }
+  attached_->set_interval_close_callback(nullptr);
+  attached_ = nullptr;
+}
+
+CheckpointWriter::~CheckpointWriter() { detach(); }
+
 void CheckpointWriter::attach(ingest::ParallelPipeline& pipeline) {
+  attached_ = &pipeline;
   ingest::ParallelPipeline* p = &pipeline;
   pipeline.set_interval_close_callback([this, p](std::size_t closed) {
     if (!due(closed)) return;

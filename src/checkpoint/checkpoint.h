@@ -138,6 +138,12 @@ class CheckpointWriter {
   /// CheckpointError(kWriteFailed) when that fails).
   CheckpointWriter(CheckpointWriterOptions options,
                    const core::PipelineConfig& config);
+  /// Detaches from an attached parallel pipeline first (draining its
+  /// merger), so a writer destroyed before the pipeline can never be
+  /// called into from the merger thread afterwards.
+  ~CheckpointWriter();
+  CheckpointWriter(const CheckpointWriter&) = delete;
+  CheckpointWriter& operator=(const CheckpointWriter&) = delete;
 
   /// True when `intervals_closed` (from the interval-close callback) lands
   /// on the writer's cadence.
@@ -156,7 +162,17 @@ class CheckpointWriter {
   /// must not kill a live detection stream. The writer must outlive the
   /// pipeline's use of the callback.
   void attach(core::ChangeDetectionPipeline& pipeline);
+  /// The parallel overload's callback runs on the pipeline's merger
+  /// thread. Either the writer outlives the pipeline, or — when destroyed
+  /// first — the pipeline must still be alive so the destructor can drain
+  /// and detach.
   void attach(ingest::ParallelPipeline& pipeline);
+
+  /// Drains the attached parallel pipeline's outstanding interval merges
+  /// (writing any due checkpoints) and uninstalls the callback. Called
+  /// automatically by the destructor; no-op for serial attachments or when
+  /// never attached.
+  void detach() noexcept;
 
   [[nodiscard]] const CheckpointWriterOptions& options() const noexcept {
     return options_;
@@ -171,6 +187,7 @@ class CheckpointWriter {
   CheckpointWriterOptions options_;
   std::uint64_t fingerprint_;
   FileOps* ops_;  // never null after construction
+  ingest::ParallelPipeline* attached_ = nullptr;
 };
 
 /// Outcome of a recover() scan.

@@ -1,0 +1,41 @@
+#include "common/numa.h"
+
+#if SCD_HAVE_NUMA
+#include <numa.h>
+#endif
+
+namespace scd::common {
+
+#if SCD_HAVE_NUMA
+
+bool numa_available() noexcept {
+  static const bool available = [] {
+    return ::numa_available() >= 0 && ::numa_max_node() >= 1;
+  }();
+  return available;
+}
+
+std::size_t numa_node_count() noexcept {
+  if (!numa_available()) return 1;
+  return static_cast<std::size_t>(::numa_max_node()) + 1;
+}
+
+bool numa_bind_index(std::size_t index) noexcept {
+  if (!numa_available()) return false;
+  const int node = static_cast<int>(index % numa_node_count());
+  if (::numa_run_on_node(node) != 0) return false;
+  ::numa_set_preferred(node);
+  return true;
+}
+
+#else  // !SCD_HAVE_NUMA — the degraded single-node behavior.
+
+bool numa_available() noexcept { return false; }
+
+std::size_t numa_node_count() noexcept { return 1; }
+
+bool numa_bind_index(std::size_t /*index*/) noexcept { return false; }
+
+#endif
+
+}  // namespace scd::common

@@ -1,0 +1,32 @@
+// Optional NUMA-aware placement (docs/PERFORMANCE.md "Zero-copy ingest").
+//
+// On multi-socket hosts, a shard worker whose queue pages and sketch live on
+// the remote node pays ~2x memory latency on every row sweep. When libnuma
+// is available at build time (CMake defines SCD_HAVE_NUMA) these helpers
+// spread shard workers round-robin across nodes and set the calling
+// thread's memory-allocation preference to its node, so each worker's
+// pooled sketches and queue chunks are first-touched locally. Without
+// libnuma — or on single-node hosts — every call degrades to a no-op and
+// ingestion behaves exactly as before; callers must treat placement as
+// best-effort and never depend on it for correctness.
+#pragma once
+
+#include <cstddef>
+
+namespace scd::common {
+
+/// True when the binary was built against libnuma AND the running host
+/// exposes more than one NUMA node. False means every other call here is a
+/// no-op.
+[[nodiscard]] bool numa_available() noexcept;
+
+/// Number of NUMA nodes the policy spreads over (1 when unavailable).
+[[nodiscard]] std::size_t numa_node_count() noexcept;
+
+/// Best-effort: binds the calling thread's CPU affinity and memory
+/// preference to node `index % numa_node_count()`. Returns true only when a
+/// real binding was applied. Safe to call from any thread, any number of
+/// times; never throws, never fails the caller.
+bool numa_bind_index(std::size_t index) noexcept;
+
+}  // namespace scd::common

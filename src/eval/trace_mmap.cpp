@@ -1,0 +1,275 @@
+#include "eval/trace_mmap.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "hash/cw_hash.h"
+#include "hash/tabulation_hash.h"
+#include "sketch/kary_sketch.h"
+#include "traffic/flow_record.h"
+#include "traffic/key_extract.h"
+#include "traffic/trace_io.h"
+
+namespace scd::eval {
+
+namespace {
+
+constexpr std::size_t kTraceHeaderBytes = 16;
+
+template <typename T>
+T get_le(const std::uint8_t* p) noexcept {
+  T value = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    value = static_cast<T>(value | (static_cast<T>(p[i]) << (8 * i)));
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* trace_map_error_kind_name(TraceMapErrorKind kind) noexcept {
+  switch (kind) {
+    case TraceMapErrorKind::kOpenFailed: return "open-failed";
+    case TraceMapErrorKind::kTruncatedHeader: return "truncated-header";
+    case TraceMapErrorKind::kBadMagic: return "bad-magic";
+    case TraceMapErrorKind::kBadVersion: return "bad-version";
+    case TraceMapErrorKind::kTruncatedBody: return "truncated-body";
+    case TraceMapErrorKind::kTrailingBytes: return "trailing-bytes";
+  }
+  return "unknown";
+}
+
+TraceMapError::TraceMapError(TraceMapErrorKind kind,
+                             const std::string& message)
+    : std::runtime_error(std::string(trace_map_error_kind_name(kind)) + ": " +
+                         message),
+      kind_(kind) {}
+
+MappedTrace::MappedTrace(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(hicpp-vararg)
+  if (fd < 0) {
+    throw TraceMapError(TraceMapErrorKind::kOpenFailed,
+                        "cannot open " + path + ": " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw TraceMapError(TraceMapErrorKind::kOpenFailed,
+                        "cannot stat " + path + ": " + std::strerror(err));
+  }
+  const auto file_len = static_cast<std::size_t>(st.st_size);
+  if (file_len < kTraceHeaderBytes) {
+    ::close(fd);
+    throw TraceMapError(
+        TraceMapErrorKind::kTruncatedHeader,
+        path + " ends inside the 16-byte trace header (" +
+            std::to_string(file_len) + " bytes)");
+  }
+  void* map = ::mmap(nullptr, file_len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (map == MAP_FAILED) {
+    throw TraceMapError(TraceMapErrorKind::kOpenFailed,
+                        "cannot mmap " + path + ": " + std::strerror(errno));
+  }
+  // Advisory only: tells the kernel to read ahead aggressively and drop
+  // pages behind the sweep. A failure changes nothing observable.
+  (void)::madvise(map, file_len, MADV_SEQUENTIAL);
+  map_ = static_cast<const std::uint8_t*>(map);
+  map_len_ = file_len;
+
+  // Validate in the checkpoint parser's order: magic before version before
+  // lengths, so each error names the first thing actually wrong.
+  const std::uint32_t magic = get_le<std::uint32_t>(map_);
+  const std::uint32_t version = get_le<std::uint32_t>(map_ + 4);
+  count_ = get_le<std::uint64_t>(map_ + 8);
+  const auto fail = [this, &path](TraceMapErrorKind kind,
+                                  const std::string& message) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_len_);
+    map_ = nullptr;
+    throw TraceMapError(kind, path + ": " + message);
+  };
+  if (magic != traffic::kTraceMagic) {
+    fail(TraceMapErrorKind::kBadMagic, "not an SCDT trace file");
+  }
+  if (version != traffic::kTraceVersion) {
+    fail(TraceMapErrorKind::kBadVersion,
+         "trace format version " + std::to_string(version) +
+             " (this build reads version " +
+             std::to_string(traffic::kTraceVersion) + ")");
+  }
+  const std::size_t expected =
+      kTraceHeaderBytes + static_cast<std::size_t>(count_) *
+                              traffic::kTraceRecordBytes;
+  if (file_len < expected) {
+    const std::size_t whole =
+        (file_len - kTraceHeaderBytes) / traffic::kTraceRecordBytes;
+    fail(TraceMapErrorKind::kTruncatedBody,
+         "header promises " + std::to_string(count_) + " records but only " +
+             std::to_string(whole) + " whole records are present");
+  }
+  if (file_len > expected) {
+    fail(TraceMapErrorKind::kTrailingBytes,
+         std::to_string(file_len - expected) +
+             " bytes of trailing garbage after the last record");
+  }
+}
+
+MappedTrace::~MappedTrace() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<std::uint8_t*>(map_), map_len_);
+  }
+}
+
+MappedTrace::MappedTrace(MappedTrace&& other) noexcept
+    : map_(std::exchange(other.map_, nullptr)),
+      map_len_(std::exchange(other.map_len_, 0)),
+      count_(std::exchange(other.count_, 0)) {}
+
+MappedTrace& MappedTrace::operator=(MappedTrace&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(const_cast<std::uint8_t*>(map_), map_len_);
+    map_ = std::exchange(other.map_, nullptr);
+    map_len_ = std::exchange(other.map_len_, 0);
+    count_ = std::exchange(other.count_, 0);
+  }
+  return *this;
+}
+
+traffic::FlowRecord MappedTrace::record(std::size_t index) const noexcept {
+  const std::uint8_t* p =
+      map_ + kTraceHeaderBytes + index * traffic::kTraceRecordBytes;
+  traffic::FlowRecord r;
+  r.timestamp_us = get_le<std::uint64_t>(p);
+  r.src_ip = get_le<std::uint32_t>(p + 8);
+  r.dst_ip = get_le<std::uint32_t>(p + 12);
+  r.src_port = get_le<std::uint16_t>(p + 16);
+  r.dst_port = get_le<std::uint16_t>(p + 18);
+  r.protocol = p[20];
+  r.tos = p[21];
+  r.flags = get_le<std::uint16_t>(p + 22);
+  r.packets = get_le<std::uint32_t>(p + 24);
+  r.bytes = get_le<std::uint64_t>(p + 28);
+  return r;
+}
+
+void MappedTrace::decode(std::size_t first,
+                         std::span<traffic::FlowRecord> out) const noexcept {
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = record(first + i);
+}
+
+namespace {
+
+/// The slice feed, templated on the hash family exactly like ShardSet: the
+/// 32-bit tabulation fast path for IP-derived keys, the CW family for
+/// 64-bit address pairs.
+template <typename Family>
+MmapFeedStats feed_impl(const MappedTrace& trace,
+                        core::ChangeDetectionPipeline& pipeline,
+                        const MmapFeedOptions& options) {
+  using Sketch = sketch::BasicKarySketch<Family>;
+  const core::PipelineConfig& config = pipeline.config();
+  Sketch sketch(std::make_shared<const Family>(config.seed, config.h),
+                config.k);
+  std::unordered_set<std::uint64_t> keys;
+  MmapFeedStats stats;
+
+  // Mirrors ChangeDetectionPipeline::add's stream position: first record
+  // opens interval 0 at its timestamp, regressing records are clamped into
+  // the open interval, gaps close empty intervals.
+  bool started = false;
+  double current_start = 0.0;
+  double last_time = 0.0;
+  std::uint64_t records_in_interval = 0;
+
+  const auto close_interval = [&] {
+    core::IntervalBatch batch;
+    batch.start_s = current_start;
+    batch.len_s = config.interval_s;
+    batch.records = records_in_interval;
+    batch.registers.assign(sketch.registers().begin(),
+                           sketch.registers().end());
+    batch.keys.assign(keys.begin(), keys.end());
+    pipeline.ingest_interval(std::move(batch));
+    sketch.set_zero();
+    keys.clear();
+    records_in_interval = 0;
+    current_start += config.interval_s;
+    ++stats.intervals_closed;
+  };
+
+  std::vector<traffic::FlowRecord> raw(options.slice_records);
+  std::vector<sketch::Record> staged(options.slice_records);
+  const auto apply = [&](std::size_t begin, std::size_t end) {
+    if (begin == end) return;
+    for (std::size_t i = begin; i < end; ++i) keys.insert(staged[i].key);
+    sketch.update_batch(
+        std::span<const sketch::Record>(staged.data() + begin, end - begin));
+    records_in_interval += end - begin;
+    stats.records += end - begin;
+  };
+
+  const std::uint64_t total = trace.record_count();
+  for (std::uint64_t base = 0; base < total; base += options.slice_records) {
+    const auto n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(options.slice_records, total - base));
+    trace.decode(static_cast<std::size_t>(base), {raw.data(), n});
+    std::size_t segment = 0;  // first staged record not yet applied
+    for (std::size_t i = 0; i < n; ++i) {
+      double t = traffic::record_time_s(raw[i]);
+      if (!started) {
+        started = true;
+        current_start = t;
+        last_time = t;
+      }
+      if (t < last_time) {
+        ++stats.out_of_order_records;
+        if (t < current_start) t = current_start;
+      } else {
+        last_time = t;
+      }
+      if (t >= current_start + config.interval_s) {
+        // Boundary inside the slice: flush the staged prefix into the open
+        // interval, then close up to the record's interval (closing empty
+        // intervals across any quiet gap).
+        apply(segment, i);
+        segment = i;
+        while (t >= current_start + config.interval_s) close_interval();
+      }
+      staged[i] = {traffic::extract_key(raw[i], config.key_kind),
+                   traffic::extract_update(raw[i], config.update_kind)};
+    }
+    apply(segment, n);
+  }
+  // End of stream: close the interval in progress, like flush().
+  if (started) close_interval();
+  return stats;
+}
+
+}  // namespace
+
+MmapFeedStats feed_trace(const MappedTrace& trace,
+                         core::ChangeDetectionPipeline& pipeline,
+                         const MmapFeedOptions& options) {
+  if (options.slice_records < 1) {
+    throw std::invalid_argument(
+        "feed_trace: slice_records must be at least 1");
+  }
+  if (traffic::key_fits_32bit(pipeline.config().key_kind)) {
+    return feed_impl<hash::TabulationHashFamily>(trace, pipeline, options);
+  }
+  return feed_impl<hash::CwHashFamily>(trace, pipeline, options);
+}
+
+}  // namespace scd::eval

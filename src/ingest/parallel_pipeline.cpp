@@ -4,11 +4,15 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <deque>
+#include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
 
+#include "common/mutex.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "core/pipeline.h"
 #include "hash/cw_hash.h"
 #include "hash/tabulation_hash.h"
@@ -70,6 +74,10 @@ void ParallelConfig::validate(const core::PipelineConfig& pipeline) const {
     throw std::invalid_argument(
         "ParallelConfig: queue_capacity must hold at least one batch");
   }
+  if (max_pending_intervals < 1 || max_pending_intervals > 64) {
+    throw std::invalid_argument(
+        "ParallelConfig: max_pending_intervals must be in [1, 64]");
+  }
   if (pipeline.randomize_intervals) {
     throw std::invalid_argument(
         "ParallelConfig: randomize_intervals is incompatible with sharded "
@@ -108,6 +116,13 @@ class ParallelPipeline::Impl {
     }
     pending_.resize(parallel_.workers);
     for (Chunk& chunk : pending_) chunk.reserve(parallel_.batch_size);
+    // Arm the asynchronous epoch merge (docs/PERFORMANCE.md): the merger
+    // thread delivers every closed interval, in order, to handle_merged.
+    shards_->begin_async(
+        [this](std::uint64_t epoch, core::IntervalBatch&& batch) {
+          handle_merged(epoch, std::move(batch));
+        },
+        parallel_.max_pending_intervals);
   }
 
   ~Impl() { shards_->stop(); }
@@ -158,8 +173,14 @@ class ParallelPipeline::Impl {
   void flush() {
     if (!started_) return;
     close_interval();
+    // Wait for the merger to consume every closed epoch: after drain() the
+    // serial stages have ingested all intervals and the merger is idle, so
+    // touching serial_ from this thread is ordered (via the drain lock).
+    shards_->drain();
     serial_.flush();
   }
+
+  void drain() { shards_->drain(); }
 
   [[nodiscard]] core::PipelineStats stats() const noexcept {
     core::PipelineStats s = serial_.stats();
@@ -185,11 +206,39 @@ class ParallelPipeline::Impl {
   }
 
   [[nodiscard]] std::vector<std::uint8_t> save_state() const {
+    if (active_close_.has_value()) {
+      // Interval-close-callback context (merger thread): serialize the
+      // closed interval's captured position, NOT the producer's live
+      // fields, which may already belong to later epochs. The bytes are
+      // identical to what a synchronous close would have produced at this
+      // boundary, so restore/replay semantics are unchanged.
+      const PendingClose& close = *active_close_;
+      std::vector<std::uint8_t> bytes;
+      append_u64(bytes, kFrontendStateVersion);
+      append_u64(bytes, 1);  // a closed interval implies a started stream
+      append_f64(bytes, close.start_s + config_.interval_s);
+      append_f64(bytes, close.last_time);
+      append_u64(bytes, close.records);
+      append_u64(bytes, close.out_of_order);
+      append_u64(bytes, close.interval_index + 1);
+      const std::vector<std::uint8_t> serial = serial_.save_state();
+      append_u64(bytes, serial.size());
+      bytes.insert(bytes.end(), serial.begin(), serial.end());
+      return bytes;
+    }
     if (records_since_barrier_ != 0) {
       throw std::logic_error(
           "ParallelPipeline::save_state: records accepted since the last "
-          "interval-close barrier; snapshot only from the interval-close "
-          "callback");
+          "interval close; snapshot only from the interval-close callback");
+    }
+    {
+      common::MutexLock lock(close_mutex_);
+      if (!pending_closes_.empty()) {
+        throw std::logic_error(
+            "ParallelPipeline::save_state: closed intervals are still being "
+            "merged; snapshot from the interval-close callback or after "
+            "flush()");
+      }
     }
     std::vector<std::uint8_t> bytes;
     append_u64(bytes, kFrontendStateVersion);
@@ -241,10 +290,20 @@ class ParallelPipeline::Impl {
         bytes.begin() + static_cast<std::ptrdiff_t>(pos), bytes.end()));
     records_since_barrier_ = 0;
     for (Chunk& chunk : pending_) chunk.clear();
+    common::MutexLock lock(close_mutex_);
+    pending_closes_.clear();
   }
 
   [[nodiscard]] core::StreamPosition position() const noexcept {
     core::StreamPosition p = serial_.position();
+    if (active_close_.has_value()) {
+      // Interval-close-callback context (merger thread): report the closed
+      // interval's boundary, not the producer's live clock.
+      p.started = true;
+      p.next_interval_start_s = active_close_->start_s + config_.interval_s;
+      p.high_water_s = std::max(p.high_water_s, active_close_->last_time);
+      return p;
+    }
     p.started = started_;
     p.next_interval_start_s = current_start_;
     p.high_water_s = std::max(p.high_water_s, last_time_);
@@ -271,27 +330,78 @@ class ParallelPipeline::Impl {
     pending_[shard].reserve(parallel_.batch_size);
   }
 
+  /// Front-end position captured when an interval is closed, consumed by
+  /// the merger when that interval's merge lands. Snapshot-at-close
+  /// semantics: `records` and `last_time` are the producer's counters at
+  /// the moment of the close, so a checkpoint cut from the interval-close
+  /// callback serializes exactly what a synchronous close would have.
+  struct PendingClose {
+    double start_s = 0.0;
+    std::uint64_t interval_index = 0;
+    double last_time = 0.0;
+    std::uint64_t records = 0;
+    std::uint64_t out_of_order = 0;
+  };
+
   void close_interval() {
+    // The span now covers only the epoch stamp, not the merge: a wide
+    // "interval_close_barrier" next to a short "barrier_combine" reads as
+    // producer-side backpressure (max_pending_intervals reached).
     SCD_TRACE_SPAN("interval_close_barrier", "ingest");
     for (std::size_t i = 0; i < pending_.size(); ++i) flush_chunk(i);
-    core::IntervalBatch batch = shards_->barrier_merge();
-    batch.start_s = current_start_;
-    batch.len_s = config_.interval_s;
+    PendingClose close;
+    close.start_s = current_start_;
     // 0-based index of the interval being closed; stats_.barriers survives
     // save_state/restore_state, so a restored node keeps numbering where the
     // snapshot left off.
-    const std::uint64_t interval_index = stats_.barriers;
+    close.interval_index = stats_.barriers;
+    close.last_time = last_time_;
+    close.records = stats_.records;
+    close.out_of_order = stats_.out_of_order_records;
+    {
+      common::MutexLock lock(close_mutex_);
+      pending_closes_.push_back(close);
+    }
     ++stats_.barriers;
+    current_start_ += config_.interval_s;
+    records_since_barrier_ = 0;
+    // Stamp the epoch AFTER the PendingClose is queued — the merger may
+    // consume the epoch immediately and must find its close on the ledger.
+    // May block on max_pending_intervals; rethrows a pending merge failure.
+    shards_->close_epoch();
+  }
+
+  /// Merger-thread consumer of one merged epoch. Epochs arrive in close
+  /// order, so the front of the pending-close ledger is always this
+  /// epoch's. Runs the aggregation-tier ordering contract sequentially:
+  /// ship (interval-batch tap) → serial ingest → checkpoint
+  /// (interval-close callback) — docs/DISTRIBUTED.md.
+  void handle_merged(std::uint64_t epoch, core::IntervalBatch&& batch) {
+    (void)epoch;  // == interval ordinal since construction; ledger is FIFO
+    PendingClose close;
+    {
+      common::MutexLock lock(close_mutex_);
+      close = pending_closes_.front();
+    }
+    batch.start_s = close.start_s;
+    batch.len_s = config_.interval_s;
+    // Visible to save_state()/position() re-entered from the callbacks
+    // below; cleared before the ledger pop, so a producer that sees an
+    // empty ledger can never observe it mid-write.
+    active_close_ = close;
     // Export tap BEFORE the serial ingest: the shipper must see the batch
     // while it is still intact, and ship-then-ingest-then-checkpoint is the
     // ordering the rejoin protocol relies on (docs/DISTRIBUTED.md).
-    if (on_interval_batch_) on_interval_batch_(interval_index, batch);
+    if (on_interval_batch_) on_interval_batch_(close.interval_index, batch);
     serial_.ingest_interval(std::move(batch));
-    current_start_ += config_.interval_s;
-    records_since_barrier_ = 0;
-    // Fires with every shard drained and the front-end clock advanced: the
-    // only point where save_state() captures serial-equivalent state.
-    if (on_interval_close_) on_interval_close_(stats_.barriers);
+    // Fires with this interval fully ingested: save_state() from the
+    // callback captures serial-equivalent state for the closed interval.
+    if (on_interval_close_) {
+      on_interval_close_(static_cast<std::size_t>(close.interval_index) + 1);
+    }
+    active_close_.reset();
+    common::MutexLock lock(close_mutex_);
+    pending_closes_.pop_front();
   }
 
   std::vector<Chunk> pending_;  // per-shard producer-side batches
@@ -300,6 +410,15 @@ class ParallelPipeline::Impl {
   double last_time_ = 0.0;
   std::uint64_t records_since_barrier_ = 0;
   ParallelStats stats_;
+  // Closed-but-unmerged interval ledger: producer pushes at close, the
+  // merger pops after the interval is fully consumed (callbacks included).
+  // An empty ledger + records_since_barrier_ == 0 means quiescent.
+  mutable common::Mutex close_mutex_;
+  std::deque<PendingClose> pending_closes_ SCD_GUARDED_BY(close_mutex_);
+  // Set only by the merger thread around the interval callbacks; read by
+  // save_state()/position() re-entered from those callbacks (same thread).
+  // Producer-side readers are excluded by the empty-ledger check above.
+  std::optional<PendingClose> active_close_;
   std::function<void(std::size_t)> on_interval_close_;
   std::function<void(std::uint64_t, const core::IntervalBatch&)>
       on_interval_batch_;
@@ -327,6 +446,8 @@ void ParallelPipeline::add_record(const traffic::FlowRecord& record) {
 void ParallelPipeline::start_at(double time_s) { impl_->start_at(time_s); }
 
 void ParallelPipeline::flush() { impl_->flush(); }
+
+void ParallelPipeline::drain() { impl_->drain(); }
 
 const std::vector<core::IntervalReport>& ParallelPipeline::reports()
     const noexcept {

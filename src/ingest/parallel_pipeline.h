@@ -3,18 +3,30 @@
 //
 // The paper's COMBINE operation (§3.1) makes the observed sketch S_o(t)
 // shardable: W workers update private sketches drawn from one shared hash
-// family, and at each interval boundary a deterministic barrier merges them
+// family, and at each interval boundary the per-shard sketches are merged
 // with an exact linear combination. The serial ChangeDetectionPipeline then
 // consumes the merged interval via ingest_interval(), so forecasting,
 // thresholding, key replay, hysteresis and online re-fitting all run
 // unmodified — the parallel front-end only parallelizes UPDATE, the per-
 // record hot path that dominates at line rate.
 //
+// Interval close is asynchronous (docs/PERFORMANCE.md): closing an interval
+// stamps an epoch token through the shard queues and returns; workers
+// publish their finished sketches and immediately start the next epoch on a
+// pooled sketch, and a dedicated merger thread COMBINE-merges each epoch
+// and drives the serial stages — so the producer and the workers never
+// stall on the merge. All interval-granularity callbacks (report, alarm
+// provenance, interval batch, interval close) therefore run on the merger
+// thread, strictly in interval order, never concurrently with each other.
+// At most ParallelConfig::max_pending_intervals closed intervals may be
+// outstanding before the producer blocks (bounded memory).
+//
 // Determinism: records are routed to shards by key, each shard queue is
-// FIFO with a single producer, and the merge folds shards in index order.
-// On the same input the alarm set (interval, key) equals the serial
-// pipeline's; register values agree up to floating-point addition order
-// within each register (bit-exact when updates are integer-valued).
+// FIFO with a single producer, the merge folds shards in index order, and
+// epochs are merged in order. On the same input the alarm set
+// (interval, key) equals the serial pipeline's; register values agree up to
+// floating-point addition order within each register (bit-exact when
+// updates are integer-valued).
 #pragma once
 
 #include <cstdint>
@@ -37,6 +49,12 @@ struct ParallelConfig {
   /// Records per producer-side chunk. The queue lock is taken once per
   /// chunk, so the per-record overhead is ~lock_cost / batch_size.
   std::size_t batch_size = 512;
+  /// Upper bound on intervals that are closed but not yet merged and
+  /// ingested. Closing one more blocks the producer until the merger
+  /// catches up — the backpressure that bounds pooled-sketch memory at
+  /// (max_pending_intervals + 1) sketch sets. 1 ≈ the old synchronous
+  /// barrier; 2 (default) double-buffers a full interval of merge latency.
+  std::size_t max_pending_intervals = 2;
 
   /// Throws std::invalid_argument when out of range or when the pipeline
   /// config is incompatible with deterministic parallel ingestion
@@ -80,9 +98,19 @@ class ParallelPipeline {
   /// the stream has started.
   void start_at(double time_s);
 
-  /// Closes the interval in progress (final barrier + merge) and flushes
-  /// the serial stages. Call once at end of stream.
+  /// Closes the interval in progress, waits for every outstanding epoch to
+  /// be merged and ingested, and flushes the serial stages. Call once at
+  /// end of stream. Also the synchronization point for the accessors below:
+  /// reports()/stats()/position()/save_state() are safe after flush() (or
+  /// from inside an interval callback), not concurrently with merging.
   void flush();
+
+  /// Blocks until every interval closed so far has been merged, ingested,
+  /// and had its callbacks run, WITHOUT closing the open interval. After
+  /// drain() the merger is idle, so replacing or detaching callbacks is
+  /// safe; Shipper and CheckpointWriter drain-and-detach automatically in
+  /// their destructors. Rethrows a pending merge/callback failure.
+  void drain();
 
   [[nodiscard]] const std::vector<core::IntervalReport>& reports()
       const noexcept;
@@ -91,39 +119,42 @@ class ParallelPipeline {
 
   /// Forwards to the serial engine's alarm-provenance hook: one record per
   /// alarm with the full evidence chain (see core pipeline docs). Runs on
-  /// the coordinator thread during the interval-close barrier.
+  /// the merger thread while the interval's merge is consumed.
   void set_alarm_provenance_callback(
       std::function<void(const detect::AlarmProvenance&)> callback);
 
-  /// Invoked during every interval-close barrier with the 0-based interval
-  /// index and the COMBINE-merged batch (registers, distinct keys, record
-  /// count), BEFORE the serial stages consume it. This is the export tap of
-  /// the aggregation tier: a node-side shipper serializes the batch and
-  /// ships it, and because shipping completes before the serial ingest and
-  /// the checkpoint callback run, a crash can only ever lose work the
+  /// Invoked for every closed interval with the 0-based interval index and
+  /// the COMBINE-merged batch (registers, distinct keys, record count),
+  /// BEFORE the serial stages consume it. This is the export tap of the
+  /// aggregation tier: a node-side shipper serializes the batch and ships
+  /// it, and because shipping completes before the serial ingest and the
+  /// checkpoint callback run, a crash can only ever lose work the
   /// aggregator will see again on replay (dedup by (node, interval) makes
-  /// the re-ship harmless — docs/DISTRIBUTED.md). Runs on the coordinator
-  /// thread; a throw from the callback aborts the interval close.
+  /// the re-ship harmless — docs/DISTRIBUTED.md). Runs on the merger
+  /// thread, in interval order; a throw from the callback fails the stream
+  /// (rethrown from the next add()/flush()).
   void set_interval_batch_callback(
       std::function<void(std::uint64_t, const core::IntervalBatch&)> callback);
 
-  /// Invoked at the end of every interval-close barrier, after the merged
-  /// batch has been ingested by the serial stages and the front-end clock
-  /// has advanced — the one point where the whole parallel pipeline is in
-  /// serial-equivalent state (all shard sketches drained, no chunk in
-  /// flight). Checkpointing layers hook here; the argument is the number of
-  /// intervals closed so far. Distinct from the serial engine's own
-  /// interval-close callback, which would fire before the front-end clock
-  /// advanced.
+  /// Invoked once per closed interval, after the merged batch has been
+  /// ingested by the serial stages — the point where the pipeline state
+  /// visible to save_state() is serial-equivalent for that interval.
+  /// Checkpointing layers hook here; the argument is the number of
+  /// intervals closed so far. Runs on the merger thread, in interval order.
+  /// Distinct from the serial engine's own interval-close callback, which
+  /// would fire before the front-end position advanced.
   void set_interval_close_callback(std::function<void(std::size_t)> callback);
 
   /// Serializes front-end position and counters plus the full serial-engine
-  /// snapshot. Only legal at the interval-close barrier (from the
-  /// interval-close callback, or before the first record): throws
-  /// std::logic_error when records have been accepted since the last
-  /// barrier. Worker count and queue sizing are NOT part of the state — a
-  /// snapshot restores into a ParallelPipeline with any ParallelConfig, or
-  /// even into a plain serial feed of the same PipelineConfig.
+  /// snapshot. Only legal at an interval boundary: from the interval-close
+  /// callback (where it captures exactly the just-ingested interval's
+  /// position, even though the producer may already be filling later
+  /// epochs), after flush(), or before the first record. Throws
+  /// std::logic_error when records have been accepted since the last close
+  /// or closed intervals are still being merged. Worker count and queue
+  /// sizing are NOT part of the state — a snapshot restores into a
+  /// ParallelPipeline with any ParallelConfig, or even into a plain serial
+  /// feed of the same PipelineConfig.
   [[nodiscard]] std::vector<std::uint8_t> save_state() const;
 
   /// Restores a save_state() stream. Same contract as

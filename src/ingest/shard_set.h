@@ -7,25 +7,42 @@
 //   * each shard's registers accumulate a deterministic subsequence of the
 //     stream (single producer per queue, FIFO), and
 //   * the per-shard distinct-key buffers are disjoint — concatenating them
-//     at the barrier reproduces the serial pipeline's key set exactly.
+//     at the epoch boundary reproduces the serial pipeline's key set exactly.
 //
-// The interval-close barrier is deterministic: the producer pushes one
-// barrier token per queue after all of the interval's records; each worker,
-// on seeing the token, hands off its sketch and key buffer and starts the
-// next interval with fresh ones; the coordinator COMBINE-merges the W
-// handoffs in shard order. Sketch linearity makes the merge exact — the
-// merged table equals the serial pipeline's table up to floating-point
-// addition order within each register.
+// Interval close is epoch-based and asynchronous (docs/PERFORMANCE.md): the
+// producer stamps one epoch-tagged token per queue after the interval's
+// records and returns immediately; each worker, on seeing the token,
+// publishes its finished sketch and key buffer for that epoch and starts
+// the next epoch on a fresh sketch drawn from a shared pool (the merger
+// recycles consumed sketches back, so steady state is double-buffered with
+// no allocation). A dedicated merger thread waits until all W shards have
+// published epoch e, COMBINE-merges the handoffs in shard order, and hands
+// the merged IntervalBatch to the owner's callback — epochs are merged and
+// delivered strictly in order, off the ingest hot path. Workers therefore
+// never stall at an interval boundary; the only producer-side wait is the
+// max_outstanding backpressure cap. Sketch linearity makes the merge exact
+// — the merged table equals the serial pipeline's table up to
+// floating-point addition order within each register, and the fixed shard
+// order keeps it bit-identical run to run.
 //
-// Locking contract (docs/CONCURRENCY.md): barrier_mutex_ guards arrived_
-// and every Shard handoff slot; publish/collect go through the
-// SCD_REQUIRES(barrier_mutex_) helpers so a clang -Wthread-safety build
-// rejects an unlocked handoff access. The stats counters are relaxed
-// atomics: written by the producer thread, readable from any thread.
+// The synchronous barrier_merge() remains for single-epoch callers (tests,
+// tools): it closes one epoch and performs the merge inline on the calling
+// thread. The two modes share the publish/collect protocol.
+//
+// Locking contract (docs/CONCURRENCY.md): epoch_mutex_ guards the per-shard
+// publish deques and the epoch counters; publish/collect go through the
+// SCD_REQUIRES(epoch_mutex_) helpers so a clang -Wthread-safety build
+// rejects an unlocked handoff access. pool_mutex_ guards the recycled
+// sketch pool and is ordered after epoch_mutex_ (never the reverse). The
+// stats counters are relaxed atomics: written by the producer thread,
+// readable from any thread.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -34,6 +51,7 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/numa.h"
 #include "common/thread_annotations.h"
 #include "common/timer.h"
 #include "core/pipeline.h"
@@ -54,19 +72,45 @@ using Chunk = std::vector<Record>;
 struct ShardMessage {
   Chunk records;
   bool barrier = false;
+  /// Epoch being closed; meaningful only on barrier tokens. The producer
+  /// stamps tokens with consecutive epochs, so each worker's published
+  /// handoffs are in epoch order by construction.
+  std::uint64_t epoch = 0;
 };
 
 /// Type-erased interface so ParallelPipeline can hold either family's shard
 /// set behind one pointer (mirroring the core pipeline's engine dispatch).
 class ShardSetBase {
  public:
+  /// Merged-epoch delivery: (epoch, batch), invoked on the merger thread in
+  /// strict epoch order.
+  using MergedBatchCallback =
+      std::function<void(std::uint64_t, core::IntervalBatch&&)>;
+
   virtual ~ShardSetBase() = default;
   /// Enqueues a chunk for `shard` (blocking when the queue is full).
   virtual void submit(std::size_t shard, Chunk&& chunk) = 0;
-  /// Closes the interval in progress: barrier, COMBINE-merge, key concat.
-  /// All of the interval's chunks must have been submitted first.
+  /// Closes the interval in progress synchronously: barrier, COMBINE-merge,
+  /// key concat on the calling thread. All of the interval's chunks must
+  /// have been submitted first. Mutually exclusive with the async epoch
+  /// mode below.
   [[nodiscard]] virtual core::IntervalBatch barrier_merge() = 0;
-  /// Closes all queues and joins the workers. Idempotent.
+  /// Arms asynchronous epoch merging: spawns the merger thread, which
+  /// invokes `on_merged` once per closed epoch, in epoch order. At most
+  /// `max_outstanding` epochs may be closed-but-unmerged before
+  /// close_epoch() blocks (backpressure bound on pooled-sketch memory).
+  /// Call once, before any record is submitted.
+  virtual void begin_async(MergedBatchCallback on_merged,
+                           std::size_t max_outstanding) = 0;
+  /// Closes the current epoch without waiting for the merge: stamps one
+  /// epoch-tagged token per shard queue and returns. Rethrows a pending
+  /// merger failure (a callback throw) on the calling thread.
+  virtual void close_epoch() = 0;
+  /// Blocks until every closed epoch has been merged and delivered.
+  /// Rethrows a pending merger failure.
+  virtual void drain() = 0;
+  /// Closes all queues and joins the workers (and merger). Idempotent.
+  /// Closed-but-unmerged epochs are discarded, like in-flight records.
   virtual void stop() = 0;
   [[nodiscard]] virtual std::size_t workers() const noexcept = 0;
   [[nodiscard]] virtual std::uint64_t backpressure_waits() const noexcept = 0;
@@ -102,7 +146,7 @@ class ShardSet final : public ShardSetBase {
   void submit(std::size_t shard, Chunk&& chunk) override {
     BoundedQueue<ShardMessage>& queue = shards_[shard]->queue;
     const auto n = static_cast<double>(chunk.size());
-    ShardMessage msg{std::move(chunk), false};
+    ShardMessage msg{std::move(chunk), false, 0};
     if (instruments_ != nullptr) instruments_->queue_records.add(n);
     if (!queue.try_push(msg)) {
       // mo: stats counter — single producer writes, any thread may read
@@ -125,23 +169,67 @@ class ShardSet final : public ShardSetBase {
     }
   }
 
-  core::IntervalBatch barrier_merge() SCD_EXCLUDES(barrier_mutex_) override {
-    SCD_TRACE_SPAN("barrier_combine", "ingest");
-    for (auto& shard : shards_) {
-      ShardMessage barrier{{}, true};
-      shard->queue.push(barrier);
+  core::IntervalBatch barrier_merge() SCD_EXCLUDES(epoch_mutex_) override {
+    const std::uint64_t epoch = stamp_epoch_tokens();
+    std::vector<EpochHandoff> handoffs;
+    {
+      common::MutexLock lock(epoch_mutex_);
+      while (!epoch_ready_locked()) epoch_cv_.wait(epoch_mutex_);
+      handoffs = take_epoch_locked();
+      ++epochs_merged_;
     }
-    common::MutexLock lock(barrier_mutex_);
-    while (arrived_ != shards_.size()) barrier_cv_.wait(barrier_mutex_);
-    arrived_ = 0;
-    return collect_handoffs_locked();
+    (void)epoch;
+    return merge_epoch(std::move(handoffs));
   }
 
-  void stop() override {
+  void begin_async(MergedBatchCallback on_merged,
+                   std::size_t max_outstanding) override {
+    on_merged_ = std::move(on_merged);
+    max_outstanding_ = max_outstanding;
+    merger_ = std::thread([this] { run_merger(); });
+  }
+
+  void close_epoch() SCD_EXCLUDES(epoch_mutex_) override {
+    {
+      common::MutexLock lock(epoch_mutex_);
+      rethrow_merge_error_locked();
+      // Backpressure: bound the closed-but-unmerged window so pooled-sketch
+      // memory stays at max_outstanding_ + 1 sketch sets per shard.
+      while (epochs_closed_ - epochs_merged_ >= max_outstanding_ &&
+             merge_error_ == nullptr) {
+        epoch_cv_.wait(epoch_mutex_);
+      }
+      rethrow_merge_error_locked();
+    }
+    (void)stamp_epoch_tokens();
+  }
+
+  void drain() SCD_EXCLUDES(epoch_mutex_) override {
+    common::MutexLock lock(epoch_mutex_);
+    while (epochs_merged_ < epochs_closed_ && merge_error_ == nullptr) {
+      epoch_cv_.wait(epoch_mutex_);
+    }
+    rethrow_merge_error_locked();
+  }
+
+  void stop() SCD_EXCLUDES(epoch_mutex_) override {
+    // Order matters: close the queues and join the workers FIRST, so every
+    // epoch token already in flight is consumed and its handoff published
+    // (close() lets consumers drain remaining items). Only then tell the
+    // merger to finish — it merges and delivers every fully-published
+    // epoch before exiting, preserving the synchronous-close guarantee
+    // that a closed interval is never silently lost: an unflushed
+    // destructor drops only records of the still-open interval.
     for (auto& shard : shards_) shard->queue.close();
     for (auto& shard : shards_) {
       if (shard->thread.joinable()) shard->thread.join();
     }
+    {
+      common::MutexLock lock(epoch_mutex_);
+      stopping_ = true;
+    }
+    epoch_cv_.notify_all();
+    if (merger_.joinable()) merger_.join();
   }
 
   [[nodiscard]] std::size_t workers() const noexcept override {
@@ -157,64 +245,174 @@ class ShardSet final : public ShardSetBase {
   }
 
  private:
+  /// One finished epoch from one shard: the worker's parked sketch, the
+  /// interval's distinct keys, and the record count.
+  struct EpochHandoff {
+    std::uint64_t epoch = 0;
+    std::optional<Sketch> sketch;
+    std::vector<std::uint64_t> keys;
+    std::uint64_t records = 0;
+  };
+
   struct Shard {
     explicit Shard(std::size_t queue_chunks) : queue(queue_chunks) {}
     BoundedQueue<ShardMessage> queue;
-    // Handoff slot: written by the worker, read and cleared by the
-    // coordinator, both under the owning ShardSet's barrier_mutex_ (a
-    // nested struct cannot name the outer instance's mutex in an
-    // attribute, so the SCD_REQUIRES helpers below carry the contract).
-    std::optional<Sketch> handoff_sketch;
-    std::vector<std::uint64_t> handoff_keys;
-    std::uint64_t handoff_records = 0;
+    // Published epochs, oldest first: appended by the worker, drained in
+    // epoch order by the merger (or a barrier_merge caller), both under
+    // the owning ShardSet's epoch_mutex_ (a nested struct cannot name the
+    // outer instance's mutex in an attribute, so the SCD_REQUIRES helpers
+    // below carry the contract).
+    std::deque<EpochHandoff> published;
     std::thread thread;
   };
 
-  /// Worker side of the barrier: parks the finished interval's sketch and
-  /// key set in the shard's handoff slot and bumps the arrival count.
-  void publish_handoff_locked(Shard& shard, Sketch&& sketch,
-                              const std::unordered_set<std::uint64_t>& keys,
-                              std::uint64_t records)
-      SCD_REQUIRES(barrier_mutex_) {
-    shard.handoff_sketch.emplace(std::move(sketch));
-    shard.handoff_keys.assign(keys.begin(), keys.end());
-    shard.handoff_records = records;
-    ++arrived_;
+  /// Stamps one epoch-tagged barrier token per shard queue and advances the
+  /// closed-epoch counter. Producer thread only.
+  std::uint64_t stamp_epoch_tokens() SCD_EXCLUDES(epoch_mutex_) {
+    std::uint64_t epoch = 0;
+    {
+      common::MutexLock lock(epoch_mutex_);
+      epoch = epochs_closed_++;
+    }
+    for (auto& shard : shards_) {
+      ShardMessage token{{}, true, epoch};
+      shard->queue.push(token);
+    }
+    return epoch;
   }
 
-  /// Coordinator side: COMBINE-merges the W handoffs in shard order and
-  /// concatenates the key buffers, then clears every slot for the next
-  /// interval. Caller holds barrier_mutex_ and has seen all W arrivals.
-  [[nodiscard]] core::IntervalBatch collect_handoffs_locked()
-      SCD_REQUIRES(barrier_mutex_) {
+  /// Worker side of the epoch close: parks the finished interval's sketch
+  /// and key set at the back of the shard's publish deque.
+  void publish_handoff_locked(Shard& shard, EpochHandoff&& handoff)
+      SCD_REQUIRES(epoch_mutex_) {
+    shard.published.push_back(std::move(handoff));
+  }
+
+  /// True when every shard has published its oldest outstanding epoch.
+  [[nodiscard]] bool epoch_ready_locked() const SCD_REQUIRES(epoch_mutex_) {
+    for (const auto& shard : shards_) {
+      if (shard->published.empty()) return false;
+    }
+    return true;
+  }
+
+  /// Pops the oldest published epoch from every shard, in shard order.
+  /// Caller holds epoch_mutex_ and has seen epoch_ready_locked().
+  [[nodiscard]] std::vector<EpochHandoff> take_epoch_locked()
+      SCD_REQUIRES(epoch_mutex_) {
+    std::vector<EpochHandoff> handoffs;
+    handoffs.reserve(shards_.size());
+    for (auto& shard : shards_) {
+      handoffs.push_back(std::move(shard->published.front()));
+      shard->published.pop_front();
+    }
+    return handoffs;
+  }
+
+  void rethrow_merge_error_locked() SCD_REQUIRES(epoch_mutex_) {
+    if (merge_error_ != nullptr) std::rethrow_exception(merge_error_);
+  }
+
+  /// COMBINE-merges one epoch's W handoffs in shard order and concatenates
+  /// the key buffers; recycles the consumed sketches into the pool. Runs
+  /// with no lock held — the handoffs were moved out under epoch_mutex_.
+  [[nodiscard]] core::IntervalBatch merge_epoch(
+      std::vector<EpochHandoff> handoffs) SCD_EXCLUDES(epoch_mutex_) {
+    SCD_TRACE_SPAN("barrier_combine", "ingest");
     const common::Stopwatch merge_watch;
     // COMBINE(1, S_0, ..., 1, S_{W-1}) in shard order — fixed order keeps
     // the merged registers bit-identical run to run.
     std::vector<const Sketch*> parts;
-    parts.reserve(shards_.size());
-    for (auto& shard : shards_) parts.push_back(&*shard->handoff_sketch);
-    const std::vector<double> coeffs(shards_.size(), 1.0);
+    parts.reserve(handoffs.size());
+    for (auto& handoff : handoffs) parts.push_back(&*handoff.sketch);
+    const std::vector<double> coeffs(handoffs.size(), 1.0);
     const Sketch merged = Sketch::combine(coeffs, parts);
 
     core::IntervalBatch batch;
     batch.registers.assign(merged.registers().begin(),
                            merged.registers().end());
-    for (auto& shard : shards_) {
-      batch.records += shard->handoff_records;
-      batch.keys.insert(batch.keys.end(), shard->handoff_keys.begin(),
-                        shard->handoff_keys.end());
-      shard->handoff_sketch.reset();
-      shard->handoff_keys.clear();
+    for (auto& handoff : handoffs) {
+      batch.records += handoff.records;
+      batch.keys.insert(batch.keys.end(), handoff.keys.begin(),
+                        handoff.keys.end());
     }
+    recycle_sketches(std::move(handoffs));
     if (instruments_ != nullptr) {
       instruments_->merge_seconds.observe(merge_watch.seconds());
     }
     return batch;
   }
 
+  /// Returns consumed handoff sketches to the pool, zeroed, so workers
+  /// start their next epoch without allocating a fresh table.
+  void recycle_sketches(std::vector<EpochHandoff> handoffs)
+      SCD_EXCLUDES(pool_mutex_) {
+    common::MutexLock lock(pool_mutex_);
+    for (auto& handoff : handoffs) {
+      handoff.sketch->set_zero();
+      pool_.push_back(std::move(*handoff.sketch));
+    }
+  }
+
+  /// A zeroed sketch for the worker's next epoch: pooled when available
+  /// (steady state — the merger recycles one per shard per epoch),
+  /// freshly allocated otherwise (first epochs only).
+  [[nodiscard]] Sketch pooled_sketch() SCD_EXCLUDES(pool_mutex_) {
+    {
+      common::MutexLock lock(pool_mutex_);
+      if (!pool_.empty()) {
+        Sketch sketch = std::move(pool_.back());
+        pool_.pop_back();
+        return sketch;
+      }
+    }
+    return Sketch(family_, k_);
+  }
+
+  /// Merger thread: merges published epochs strictly in order and delivers
+  /// each batch to on_merged_. A callback throw is parked in merge_error_
+  /// and rethrown on the producer thread (close_epoch/drain); the merger
+  /// stops — the stream is failed, exactly like a synchronous close throw.
+  void run_merger() {
+    for (;;) {
+      std::vector<EpochHandoff> handoffs;
+      {
+        common::MutexLock lock(epoch_mutex_);
+        while (!epoch_ready_locked() && !stopping_) {
+          epoch_cv_.wait(epoch_mutex_);
+        }
+        // Drain-on-stop: ready epochs are still merged and delivered after
+        // stopping_ is set (the workers were joined first, so every closed
+        // epoch is fully published by now); exit only when none remain.
+        if (!epoch_ready_locked()) return;
+        handoffs = take_epoch_locked();
+      }
+      const std::uint64_t epoch = handoffs.front().epoch;
+      try {
+        core::IntervalBatch batch = merge_epoch(std::move(handoffs));
+        on_merged_(epoch, std::move(batch));
+      } catch (...) {
+        common::MutexLock lock(epoch_mutex_);
+        merge_error_ = std::current_exception();
+        epoch_cv_.notify_all();
+        return;
+      }
+      {
+        common::MutexLock lock(epoch_mutex_);
+        ++epochs_merged_;
+      }
+      epoch_cv_.notify_all();
+    }
+  }
+
   void run_worker(std::size_t index) {
+    // Best-effort NUMA placement (common/numa.h): pin this worker to a node
+    // round-robin BEFORE allocating its sketch, so the table and every
+    // pooled sketch it later first-touches land on local memory. A no-op
+    // without libnuma or on single-node hosts.
+    common::numa_bind_index(index);
     Shard& shard = *shards_[index];
-    // Worker-local interval state; only the barrier handoff is shared.
+    // Worker-local interval state; only the epoch handoff is shared.
     Sketch sketch(family_, k_);
     std::unordered_set<std::uint64_t> keys;
     std::uint64_t records = 0;
@@ -231,12 +429,19 @@ class ShardSet final : public ShardSetBase {
       }
       if (!msg.has_value()) break;
       if (msg->barrier) {
+        EpochHandoff handoff;
+        handoff.epoch = msg->epoch;
+        handoff.sketch.emplace(std::move(sketch));
+        handoff.keys.assign(keys.begin(), keys.end());
+        handoff.records = records;
         {
-          common::MutexLock lock(barrier_mutex_);
-          publish_handoff_locked(shard, std::move(sketch), keys, records);
+          common::MutexLock lock(epoch_mutex_);
+          publish_handoff_locked(shard, std::move(handoff));
         }
-        barrier_cv_.notify_all();
-        sketch = Sketch(family_, k_);
+        epoch_cv_.notify_all();
+        // The worker starts the next epoch immediately — no wait for the
+        // merge. The pooled sketch is the async scheme's double buffer.
+        sketch = pooled_sketch();
         keys.clear();
         records = 0;
         continue;
@@ -263,9 +468,25 @@ class ShardSet final : public ShardSetBase {
   std::size_t k_;
   IngestInstruments* instruments_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  common::Mutex barrier_mutex_;
-  common::CondVar barrier_cv_;
-  std::size_t arrived_ SCD_GUARDED_BY(barrier_mutex_) = 0;
+  // Epoch protocol state. epoch_mutex_ is ordered before pool_mutex_
+  // (docs/CONCURRENCY.md lock-order table); in practice neither path nests
+  // them today, but the declared order is the one any future nesting must
+  // follow.
+  common::Mutex epoch_mutex_ SCD_ACQUIRED_BEFORE(pool_mutex_);
+  common::CondVar epoch_cv_;
+  std::uint64_t epochs_closed_ SCD_GUARDED_BY(epoch_mutex_) = 0;
+  std::uint64_t epochs_merged_ SCD_GUARDED_BY(epoch_mutex_) = 0;
+  bool stopping_ SCD_GUARDED_BY(epoch_mutex_) = false;
+  std::exception_ptr merge_error_ SCD_GUARDED_BY(epoch_mutex_);
+  // Recycled zeroed sketches (double buffering): merger refills, workers
+  // draw at each epoch boundary.
+  common::Mutex pool_mutex_;
+  std::vector<Sketch> pool_ SCD_GUARDED_BY(pool_mutex_);
+  // Async-mode configuration: written once by begin_async before any epoch
+  // closes, read by the producer and merger afterwards.
+  MergedBatchCallback on_merged_;
+  std::size_t max_outstanding_ = 1;
+  std::thread merger_;
   // Stats counters: producer thread writes, stats() may be called from any
   // thread (monitoring), so plain integers here were a data race.
   std::atomic<std::uint64_t> backpressure_waits_{0};

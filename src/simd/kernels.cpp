@@ -1,4 +1,5 @@
-// Kernel dispatch: resolve scalar-vs-AVX2 exactly once per process.
+// Kernel dispatch: resolve scalar-vs-AVX2-vs-AVX-512 exactly once per
+// process.
 //
 // The chosen table is a function-local static, so the cpuid probe and the
 // SCD_SIMD environment lookup happen on the first kernel call (thread-safe
@@ -11,6 +12,7 @@
 #include <cstring>
 
 #include "simd/kernels_avx2.h"
+#include "simd/kernels_avx512.h"
 #include "simd/kernels_scalar.h"
 
 namespace scd::simd {
@@ -24,15 +26,24 @@ struct KernelTable {
   double (*dot)(const double*, const double*, std::size_t) noexcept;
   double (*sum_squares)(const double*, std::size_t) noexcept;
   double (*hsum)(const double*, std::size_t) noexcept;
+  void (*index_shift_mask)(const std::uint64_t*, std::size_t, unsigned,
+                           std::uint64_t, std::uint32_t*) noexcept;
 };
 
-constexpr KernelTable kScalarTable{IsaLevel::kScalar, scalar::scale,
-                                   scalar::axpy,      scalar::dot,
-                                   scalar::sum_squares, scalar::hsum};
+constexpr KernelTable kScalarTable{IsaLevel::kScalar,    scalar::scale,
+                                   scalar::axpy,         scalar::dot,
+                                   scalar::sum_squares,  scalar::hsum,
+                                   scalar::index_shift_mask};
 
-constexpr KernelTable kAvx2Table{IsaLevel::kAvx2, avx2::scale,
-                                 avx2::axpy,      avx2::dot,
-                                 avx2::sum_squares, avx2::hsum};
+constexpr KernelTable kAvx2Table{IsaLevel::kAvx2,    avx2::scale,
+                                 avx2::axpy,         avx2::dot,
+                                 avx2::sum_squares,  avx2::hsum,
+                                 avx2::index_shift_mask};
+
+constexpr KernelTable kAvx512Table{IsaLevel::kAvx512,    avx512::scale,
+                                   avx512::axpy,         avx512::dot,
+                                   avx512::sum_squares,  avx512::hsum,
+                                   avx512::index_shift_mask};
 
 KernelTable select_table() noexcept {
   // Dispatch-init read; nothing in the process calls setenv.
@@ -48,11 +59,20 @@ KernelTable select_table() noexcept {
           stderr);
       return kScalarTable;
     }
+    if (std::strcmp(env, "avx512") == 0) {
+      if (avx512::supported()) return kAvx512Table;
+      std::fputs(
+          "scd: SCD_SIMD=avx512 requested but the CPU lacks AVX-512F; "
+          "falling back to scalar kernels\n",
+          stderr);
+      return kScalarTable;
+    }
     std::fprintf(stderr,
-                 "scd: unknown SCD_SIMD value '%s' (expected 'scalar' or "
-                 "'avx2'); using auto-detection\n",
+                 "scd: unknown SCD_SIMD value '%s' (expected 'scalar', "
+                 "'avx2' or 'avx512'); using auto-detection\n",
                  env);
   }
+  if (avx512::supported()) return kAvx512Table;
   return avx2::supported() ? kAvx2Table : kScalarTable;
 }
 
@@ -67,6 +87,8 @@ IsaLevel active_isa() noexcept { return table().isa; }
 
 const char* isa_name(IsaLevel level) noexcept {
   switch (level) {
+    case IsaLevel::kAvx512:
+      return "avx512";
     case IsaLevel::kAvx2:
       return "avx2";
     case IsaLevel::kScalar:
@@ -76,6 +98,8 @@ const char* isa_name(IsaLevel level) noexcept {
 }
 
 bool cpu_supports_avx2() noexcept { return avx2::supported(); }
+
+bool cpu_supports_avx512() noexcept { return avx512::supported(); }
 
 void scale(double* x, std::size_t n, double c) noexcept {
   table().scale(x, n, c);
@@ -95,6 +119,12 @@ double sum_squares(const double* x, std::size_t n) noexcept {
 
 double hsum(const double* x, std::size_t n) noexcept {
   return table().hsum(x, n);
+}
+
+void index_shift_mask(const std::uint64_t* packed, std::size_t n,
+                      unsigned shift, std::uint64_t mask,
+                      std::uint32_t* out) noexcept {
+  table().index_shift_mask(packed, n, shift, mask, out);
 }
 
 }  // namespace scd::simd

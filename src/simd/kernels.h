@@ -11,9 +11,11 @@
 //
 // Dispatch policy (decided once, process-wide):
 //   * SCD_SIMD=scalar forces the scalar reference — the knob the equivalence
-//     tests and CI use to exercise both implementations on one host;
-//   * SCD_SIMD=avx2 forces AVX2 and aborts if the CPU lacks it (test knob);
-//   * otherwise AVX2 is used iff the CPU supports it.
+//     tests and CI use to exercise every implementation on one host;
+//   * SCD_SIMD=avx2 / SCD_SIMD=avx512 force that backend, falling back to
+//     scalar with a stderr warning if the CPU lacks it (test knob);
+//   * otherwise the widest backend the CPU supports wins:
+//     avx512 > avx2 > scalar.
 //
 // Numerical contract:
 //   * scale and axpy are element-wise and bit-exact across implementations:
@@ -26,24 +28,31 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace scd::simd {
 
 enum class IsaLevel {
   kScalar,
   kAvx2,
+  kAvx512,
 };
 
 /// The implementation selected for this process (resolved on first call,
 /// constant afterwards).
 [[nodiscard]] IsaLevel active_isa() noexcept;
 
-/// Human-readable name for logs and bench output ("scalar", "avx2").
+/// Human-readable name for logs and bench output ("scalar", "avx2",
+/// "avx512").
 [[nodiscard]] const char* isa_name(IsaLevel level) noexcept;
 
 /// True when the CPU can execute the AVX2+FMA kernels (independent of what
 /// the dispatch selected).
 [[nodiscard]] bool cpu_supports_avx2() noexcept;
+
+/// True when the CPU can execute the AVX-512F kernels (independent of what
+/// the dispatch selected).
+[[nodiscard]] bool cpu_supports_avx512() noexcept;
 
 /// x[i] *= c.
 void scale(double* x, std::size_t n, double c) noexcept;
@@ -60,5 +69,13 @@ void axpy(double* y, const double* x, std::size_t n, double c) noexcept;
 
 /// sum_i x[i] — the sum(S) reduction.
 [[nodiscard]] double hsum(const double* x, std::size_t n) noexcept;
+
+/// out[i] = (packed[i] >> shift) & mask — the batched-UPDATE row sweep's
+/// bucket-index extraction over packed 64-bit hash groups. Pure integer
+/// lane-wise work, so every implementation is exact; mask must fit 32 bits
+/// (it is K-1 <= 65535 in practice). out must not overlap packed.
+void index_shift_mask(const std::uint64_t* packed, std::size_t n,
+                      unsigned shift, std::uint64_t mask,
+                      std::uint32_t* out) noexcept;
 
 }  // namespace scd::simd

@@ -164,6 +164,34 @@ SCD_AVX2_TARGET double hsum(const double* x, std::size_t n) noexcept {
   return total;
 }
 
+SCD_AVX2_TARGET void index_shift_mask(const std::uint64_t* packed,
+                                      std::size_t n, unsigned shift,
+                                      std::uint64_t mask,
+                                      std::uint32_t* out) noexcept {
+  // Widened integer path for the batched-UPDATE row sweep: four packed
+  // 64-bit hash groups are shifted and masked per register. The extracted
+  // indices are < 2^16 (mask is K-1, K <= 65536), so each survives in the
+  // low dword of its 64-bit lane; the permute gathers those even dwords
+  // into the low 128 bits for a narrow store.
+  const __m128i sh = _mm_cvtsi32_si128(static_cast<int>(shift));
+  const __m256i vm = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i pick = _mm256_setr_epi32(0, 2, 4, 6, 0, 2, 4, 6);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v = _mm256_and_si256(
+        _mm256_srl_epi64(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(packed + i)),
+            sh),
+        vm);
+    const __m256i g = _mm256_permutevar8x32_epi32(v, pick);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + i),
+                     _mm256_castsi256_si128(g));
+  }
+  for (; i < n; ++i) {
+    out[i] = static_cast<std::uint32_t>((packed[i] >> shift) & mask);
+  }
+}
+
 }  // namespace scd::simd::avx2
 
 #else  // non-x86: the AVX2 backend is never selectable.
@@ -188,6 +216,11 @@ double sum_squares(const double* x, std::size_t n) noexcept {
 }
 double hsum(const double* x, std::size_t n) noexcept {
   return scalar::hsum(x, n);
+}
+void index_shift_mask(const std::uint64_t* packed, std::size_t n,
+                      unsigned shift, std::uint64_t mask,
+                      std::uint32_t* out) noexcept {
+  scalar::index_shift_mask(packed, n, shift, mask, out);
 }
 
 }  // namespace scd::simd::avx2

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 
 namespace scd::simd::scalar {
 
@@ -39,6 +40,14 @@ inline void axpy(double* y, const double* x, std::size_t n,
   double acc = 0.0;
   for (std::size_t i = 0; i < n; ++i) acc += x[i];
   return acc;
+}
+
+inline void index_shift_mask(const std::uint64_t* packed, std::size_t n,
+                             unsigned shift, std::uint64_t mask,
+                             std::uint32_t* out) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<std::uint32_t>((packed[i] >> shift) & mask);
+  }
 }
 
 }  // namespace scd::simd::scalar

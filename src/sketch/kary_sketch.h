@@ -195,6 +195,11 @@ class BasicKarySketch {
           gv_storage.resize(groups * kUpdateBlock);
         }
         std::uint64_t* const gv = gv_storage.data();
+        thread_local std::vector<std::uint32_t> idx_storage;
+        if (idx_storage.size() < kUpdateBlock) {
+          idx_storage.resize(kUpdateBlock);
+        }
+        std::uint32_t* const idx = idx_storage.data();
         for (std::size_t j = 0; j < n; ++j) {
           assert_key_in_domain(block[j].key);
           // Hash-table lookups are the batched path's dominant cost (the
@@ -218,12 +223,19 @@ class BasicKarySketch {
           const std::uint64_t* const rg = &gv[(i / 4) * kUpdateBlock];
           const unsigned shift = static_cast<unsigned>((i % 4) * 16);
           if (prefetch_rows) {
+            // Widened integer pre-pass (simd::index_shift_mask): extract the
+            // whole block's bucket indices with vector shifts/masks, then run
+            // the add sweep over the narrow u32 stream. On the large-K rows
+            // this path serves, the sweep is miss-bound, so decoupling the
+            // index arithmetic keeps the prefetch address one load (not a
+            // shift+mask chain) ahead of the add. Adds stay in record order:
+            // bit-identical to the per-record path.
+            simd::index_shift_mask(rg, n, shift, mask, idx);
             for (std::size_t j = 0; j < n; ++j) {
               if (j + kPrefetchLead < n) {
-                __builtin_prefetch(
-                    &row[(rg[j + kPrefetchLead] >> shift) & mask], 1);
+                __builtin_prefetch(&row[idx[j + kPrefetchLead]], 1);
               }
-              row[(rg[j] >> shift) & mask] += block[j].update;
+              row[idx[j]] += block[j].update;
             }
           } else {
             for (std::size_t j = 0; j < n; ++j) {

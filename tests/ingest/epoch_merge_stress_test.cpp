@@ -1,0 +1,109 @@
+// Epoch-merge stress: workers racing the merger thread across 100 epochs.
+//
+// The async interval close (docs/PERFORMANCE.md) lets the producer stamp
+// epoch e+1's tokens while the merger is still COMBINE-merging epoch e and
+// the workers are already filling pooled sketches for e+1 — three thread
+// roles live on the epoch ledger at once. This test drives that overlap as
+// hard as the API allows: tiny intervals so closes come fast, small chunks
+// so every close splits mid-chunk, max_pending_intervals deep enough that
+// the merger genuinely trails, and callbacks that record delivery order.
+// Runs under the tsan preset via `ctest -L concurrency`; the assertions
+// themselves re-check the ordering contract (interval-order, no gaps, no
+// duplicates) that the sanitizer cannot see.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "ingest/parallel_pipeline.h"
+
+namespace scd::ingest {
+namespace {
+
+core::PipelineConfig stress_config() {
+  core::PipelineConfig config;
+  config.interval_s = 1.0;  // a close every 40 records
+  config.h = 3;
+  config.k = 256;
+  config.model.kind = forecast::ModelKind::kEwma;
+  config.threshold = 0.5;
+  config.metrics = false;
+  return config;
+}
+
+TEST(EpochMergeStress, HundredEpochsWorkersRacingMerger) {
+  constexpr std::size_t kEpochs = 100;
+  static constexpr std::uint64_t kKeysPerEpoch = 40;
+
+  ParallelConfig parallel;
+  parallel.workers = 4;
+  parallel.batch_size = 8;         // every close splits pending chunks
+  parallel.queue_capacity = 256;   // small enough to exercise backpressure
+  parallel.max_pending_intervals = 8;  // let the producer run well ahead
+
+  ParallelPipeline pipeline(stress_config(), parallel);
+
+  // Delivery order as seen from the merger thread: the batch tap and the
+  // close callback must interleave strictly per interval.
+  std::vector<std::uint64_t> batch_order;
+  std::vector<std::size_t> close_order;
+  pipeline.set_interval_batch_callback(
+      [&batch_order](std::uint64_t interval_index,
+                     const core::IntervalBatch& batch) {
+        batch_order.push_back(interval_index);
+        EXPECT_EQ(batch.records, kKeysPerEpoch);
+      });
+  pipeline.set_interval_close_callback(
+      [&close_order, &batch_order](std::size_t closed) {
+        close_order.push_back(closed);
+        // The tap for this interval ran before its close callback.
+        EXPECT_EQ(batch_order.size(), close_order.size());
+      });
+
+  for (std::size_t epoch = 0; epoch < kEpochs; ++epoch) {
+    const double start = static_cast<double>(epoch);
+    for (std::uint64_t key = 0; key < kKeysPerEpoch; ++key) {
+      pipeline.add(key + 1, 100.0, start + 0.5);
+    }
+  }
+  pipeline.flush();
+
+  ASSERT_EQ(pipeline.parallel_stats().barriers, kEpochs);
+  ASSERT_EQ(pipeline.reports().size(), kEpochs);
+  ASSERT_EQ(batch_order.size(), kEpochs);
+  ASSERT_EQ(close_order.size(), kEpochs);
+  for (std::size_t i = 0; i < kEpochs; ++i) {
+    EXPECT_EQ(batch_order[i], i);          // in order, no gaps, no dups
+    EXPECT_EQ(close_order[i], i + 1);
+    EXPECT_EQ(pipeline.reports()[i].records, kKeysPerEpoch);
+  }
+  EXPECT_EQ(pipeline.stats().records, kEpochs * kKeysPerEpoch);
+  EXPECT_EQ(pipeline.parallel_stats().shutdown_dropped_records, 0u);
+}
+
+TEST(EpochMergeStress, DrainMidStreamLeavesOpenIntervalIntact) {
+  ParallelConfig parallel;
+  parallel.workers = 2;
+  parallel.batch_size = 4;
+  parallel.max_pending_intervals = 4;
+
+  ParallelPipeline pipeline(stress_config(), parallel);
+  for (std::size_t epoch = 0; epoch < 10; ++epoch) {
+    for (std::uint64_t key = 0; key < 20; ++key) {
+      pipeline.add(key + 1, 50.0, static_cast<double>(epoch) + 0.25);
+    }
+    // Drain while the next interval is (soon) open: all closed epochs must
+    // be merged, the open one untouched.
+    if (epoch % 3 == 0) {
+      pipeline.drain();
+      EXPECT_EQ(pipeline.reports().size(), epoch);
+    }
+  }
+  pipeline.flush();
+  EXPECT_EQ(pipeline.reports().size(), 10u);
+  EXPECT_EQ(pipeline.stats().records, 200u);
+}
+
+}  // namespace
+}  // namespace scd::ingest

@@ -10,12 +10,14 @@
 //     results must agree within a tolerance scaled to the condition of the
 //     sum (ULP-level per accumulated term).
 //
-// ctest runs this binary twice: once with ambient dispatch (AVX2 where the
-// CPU has it) and once re-registered with SCD_SIMD=scalar
-// (simd.kernels_scalar_dispatch), so both dispatch decisions are exercised
-// on one host. The AVX2 backend is additionally tested directly (bypassing
-// dispatch) whenever the CPU supports it, so coverage does not depend on
-// which table the environment selected.
+// ctest runs this binary several times: once with ambient dispatch (the
+// widest ISA the CPU has), once re-registered with SCD_SIMD=scalar
+// (simd.kernels_scalar_dispatch), and once with SCD_SIMD=avx512
+// (simd.kernels_avx512_dispatch) — the last doubles as the clean-fallback
+// test on hosts without AVX-512. The AVX2 and AVX-512 backends are
+// additionally tested directly (bypassing dispatch) whenever the CPU
+// supports them, so coverage does not depend on which table the
+// environment selected.
 #include "simd/kernels.h"
 
 #include <gtest/gtest.h>
@@ -28,6 +30,7 @@
 
 #include "common/random.h"
 #include "simd/kernels_avx2.h"
+#include "simd/kernels_avx512.h"
 #include "simd/kernels_scalar.h"
 
 namespace scd::simd {
@@ -72,6 +75,10 @@ std::vector<Backend> backends_under_test() {
     out.push_back(Backend{"avx2", &avx2::scale, &avx2::axpy, &avx2::dot,
                           &avx2::sum_squares, &avx2::hsum});
   }
+  if (avx512::supported()) {
+    out.push_back(Backend{"avx512", &avx512::scale, &avx512::axpy,
+                          &avx512::dot, &avx512::sum_squares, &avx512::hsum});
+  }
   return out;
 }
 
@@ -79,13 +86,45 @@ TEST(KernelDispatch, HonorsScdSimdEnvironment) {
   const char* env = std::getenv("SCD_SIMD");
   if (env != nullptr && std::string_view(env) == "scalar") {
     EXPECT_EQ(active_isa(), IsaLevel::kScalar);
-  } else if (env == nullptr) {
-    // Auto-detection: AVX2 iff the CPU has it.
+  } else if (env != nullptr && std::string_view(env) == "avx2") {
+    // Forced AVX2 must either run AVX2 or fall back cleanly to scalar.
     EXPECT_EQ(active_isa(),
               cpu_supports_avx2() ? IsaLevel::kAvx2 : IsaLevel::kScalar);
+  } else if (env != nullptr && std::string_view(env) == "avx512") {
+    // The dispatch-fallback contract: on a host without AVX-512F the forced
+    // request degrades to scalar (with a stderr note), never crashes.
+    EXPECT_EQ(active_isa(),
+              cpu_supports_avx512() ? IsaLevel::kAvx512 : IsaLevel::kScalar);
+  } else if (env == nullptr) {
+    // Auto-detection: the widest ISA the CPU has wins.
+    const IsaLevel expected = cpu_supports_avx512() ? IsaLevel::kAvx512
+                              : cpu_supports_avx2() ? IsaLevel::kAvx2
+                                                    : IsaLevel::kScalar;
+    EXPECT_EQ(active_isa(), expected);
   }
-  EXPECT_STREQ(isa_name(active_isa()),
-               active_isa() == IsaLevel::kAvx2 ? "avx2" : "scalar");
+  switch (active_isa()) {
+    case IsaLevel::kAvx512:
+      EXPECT_STREQ(isa_name(active_isa()), "avx512");
+      break;
+    case IsaLevel::kAvx2:
+      EXPECT_STREQ(isa_name(active_isa()), "avx2");
+      break;
+    case IsaLevel::kScalar:
+      EXPECT_STREQ(isa_name(active_isa()), "scalar");
+      break;
+  }
+}
+
+TEST(KernelDispatch, DispatchedKernelsWorkUnderForcedIsa) {
+  // Regardless of which table the environment picked (including the
+  // fallback path for SCD_SIMD=avx512 on a non-AVX-512 host), the
+  // dispatched entry points must produce correct results — "clean
+  // fallback" means computing, not just not crashing.
+  std::vector<double> x = {1.0, 2.0, 3.0, 4.0, 5.0};
+  simd::scale(x.data(), x.size(), 2.0);
+  EXPECT_EQ(x[0], 2.0);
+  EXPECT_EQ(x[4], 10.0);
+  EXPECT_EQ(simd::hsum(x.data(), x.size()), 30.0);
 }
 
 TEST(KernelEquivalence, ScaleIsBitExact) {
@@ -165,6 +204,42 @@ TEST(KernelEquivalence, HsumWithinReductionTolerance) {
       for (double v : x) magnitude += std::abs(v);
       ASSERT_NEAR(expect, got, reduction_tolerance(magnitude))
           << backend.name << " hsum n=" << n;
+    }
+  }
+}
+
+TEST(KernelEquivalence, IndexShiftMaskIsExact) {
+  // Pure integer lane work — every backend must agree bit-for-bit with the
+  // scalar reference for every lane shift and tail shape.
+  using IndexFn = void (*)(const std::uint64_t*, std::size_t, unsigned,
+                           std::uint64_t, std::uint32_t*) noexcept;
+  std::vector<std::pair<const char*, IndexFn>> impls = {
+      {"dispatch", &simd::index_shift_mask}};
+  if (avx2::supported()) impls.emplace_back("avx2", &avx2::index_shift_mask);
+  if (avx512::supported()) {
+    impls.emplace_back("avx512", &avx512::index_shift_mask);
+  }
+  common::Rng rng(17);
+  for (const auto& [name, fn] : impls) {
+    for (std::size_t n : kSizes) {
+      if (n > 4096) continue;  // block-sized inputs; larger adds nothing
+      std::vector<std::uint64_t> packed(n);
+      for (auto& v : packed) {
+        v = (static_cast<std::uint64_t>(rng.next_in(0, 65535)) << 48) |
+            (static_cast<std::uint64_t>(rng.next_in(0, 65535)) << 32) |
+            (static_cast<std::uint64_t>(rng.next_in(0, 65535)) << 16) |
+            static_cast<std::uint64_t>(rng.next_in(0, 65535));
+      }
+      for (unsigned lane = 0; lane < 4; ++lane) {
+        for (std::uint64_t mask : {0x3FFULL, 0xFFFULL, 0xFFFFULL}) {
+          std::vector<std::uint32_t> expect(n), got(n, 0xDEADBEEF);
+          scalar::index_shift_mask(packed.data(), n, lane * 16, mask,
+                                   expect.data());
+          fn(packed.data(), n, lane * 16, mask, got.data());
+          ASSERT_EQ(expect, got) << name << " n=" << n << " lane=" << lane
+                                 << " mask=" << mask;
+        }
+      }
     }
   }
 }

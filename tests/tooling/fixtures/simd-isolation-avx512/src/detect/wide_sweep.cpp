@@ -1,0 +1,13 @@
+// Fixture seed: reaches the AVX-512 kernel backend directly instead of
+// going through the dispatching simd/kernels.h — on a non-AVX-512 host this
+// would execute illegal instructions, which is exactly why the
+// simd-isolation rule must fire on the include line below.
+#include "simd/kernels_avx512.h"
+
+namespace fixture {
+
+double f2_of(const double* values, unsigned long n) {
+  return scd::simd::avx512::sum_squares(values, n);
+}
+
+}  // namespace fixture

@@ -71,6 +71,11 @@ class FixtureTest(unittest.TestCase):
         self.assert_single_violation(
             "simd-isolation", "simd-isolation", "src/ingest/fast_path.cpp")
 
+    def test_simd_isolation_fires_on_avx512_include(self):
+        self.assert_single_violation(
+            "simd-isolation-avx512", "simd-isolation",
+            "src/detect/wide_sweep.cpp")
+
     def test_mutex_wrapper_fires_on_raw_std_mutex(self):
         self.assert_single_violation(
             "mutex-wrapper", "mutex-wrapper", "src/worker.cpp")
@@ -131,6 +136,18 @@ class AnnotationContractTest(unittest.TestCase):
             target = Path(tmp) / rel
             target.parent.mkdir(parents=True)
             target.write_text(source)
+            # shard_set.h declares a lock-order edge (epoch_mutex_ before
+            # pool_mutex_); give the scratch root a doc table covering
+            # exactly the edges the copy carries so `lock-order-doc` stays
+            # out of these mutex-wrapper assertions.
+            rows = [
+                f"| `{m.group(1)}` | `{m.group(2)}` | `{rel}` | scratch |"
+                for m in scd_lint.ACQUIRED_BEFORE.finditer(source)
+            ]
+            if rows:
+                doc = Path(tmp) / scd_lint.LOCK_ORDER_DOC_PATH
+                doc.parent.mkdir(parents=True)
+                doc.write_text("\n".join(rows) + "\n")
             return run_lint(Path(tmp))
 
     def assert_contract_break(self, rel: str, annotation: str):
@@ -155,13 +172,17 @@ class AnnotationContractTest(unittest.TestCase):
 
     def test_stripping_guarded_by_from_shard_set_fails(self):
         self.assert_contract_break(
-            "src/ingest/shard_set.h", " SCD_GUARDED_BY(barrier_mutex_)")
+            "src/ingest/shard_set.h", " SCD_GUARDED_BY(epoch_mutex_)")
+
+    def test_stripping_pool_guard_from_shard_set_fails(self):
+        self.assert_contract_break(
+            "src/ingest/shard_set.h", " SCD_GUARDED_BY(pool_mutex_)")
 
     def test_stripping_requires_from_shard_set_fails(self):
         # The leading newline+indent pins the match to the declaration,
         # not the prose mention of the macro in the header comment.
         self.assert_contract_break(
-            "src/ingest/shard_set.h", "\n      SCD_REQUIRES(barrier_mutex_)")
+            "src/ingest/shard_set.h", "\n      SCD_REQUIRES(epoch_mutex_)")
 
 
 if __name__ == "__main__":
