@@ -12,7 +12,14 @@
 //     vs forecast estimate, per-row bucket values, threshold, config
 //     fingerprint (docs/OBSERVABILITY.md).
 //
-//   ./build/examples/online_monitor [--trace-out FILE]
+// With --recovery=invertible (or group-testing) the monitor switches to
+// single-pass sketch recovery: changed keys are read directly out of the
+// forecast-error sketch (docs/KEY_RECOVERY.md), so there is no replay pass
+// and no key storage at all — the final stats line shows keys_replayed=0.
+//
+//   ./build/examples/online_monitor [--recovery=replay|group-testing|
+//                                     invertible]
+//                                   [--trace-out FILE]
 //                                   [--flight-recorder-dir DIR]
 #include <algorithm>
 #include <cmath>
@@ -35,6 +42,10 @@ int main(int argc, char** argv) {
   using namespace scd;
 
   common::FlagParser flags;
+  flags.add_flag("recovery",
+                 "changed-key recovery mode: replay (two-pass baseline), "
+                 "group-testing, or invertible (docs/KEY_RECOVERY.md)",
+                 "replay");
   flags.add_flag("trace-out",
                  "write span trace as Chrome trace-event JSON to FILE", "");
   flags.add_flag("flight-recorder-dir",
@@ -50,6 +61,19 @@ int main(int argc, char** argv) {
   if (!parsed || !flags.positional().empty()) {
     std::fprintf(stderr, "%s%s\n", flags.error().c_str(),
                  flags.help("online_monitor [flags]").c_str());
+    return 2;
+  }
+  const std::string recovery_name = flags.get("recovery");
+  core::RecoveryMode recovery = core::RecoveryMode::kReplay;
+  if (recovery_name == "group-testing") {
+    recovery = core::RecoveryMode::kGroupTesting;
+  } else if (recovery_name == "invertible") {
+    recovery = core::RecoveryMode::kInvertible;
+  } else if (recovery_name != "replay") {
+    std::fprintf(stderr,
+                 "unknown --recovery mode '%s' (want replay, group-testing, "
+                 "or invertible)\n",
+                 recovery_name.c_str());
     return 2;
   }
   const std::string trace_out = flags.get("trace-out");
@@ -73,6 +97,14 @@ int main(int argc, char** argv) {
   config.refit_every = 12;            // re-fit hourly (12 x 5 min)
   config.refit_window = 12;
   config.max_alarms_per_interval = 3;
+  config.recovery = recovery;
+  if (recovery != core::RecoveryMode::kReplay) {
+    // Sketch recovery reads keys out of the error sketch itself, so the
+    // replay-tuning knobs do not apply: no deferred detection, no key
+    // sampling (validate() enforces both).
+    config.replay = core::KeyReplayMode::kCurrentInterval;
+    config.key_sample_rate = 1.0;
+  }
 
   if (!trace_out.empty() || !flightrec_dir.empty()) {
     obs::TraceController::global().set_enabled(true);
@@ -140,9 +172,20 @@ int main(int argc, char** argv) {
               alpha_after);
   std::printf("metrics snapshots emitted: %zu (one per simulated hour)\n",
               snapshots.snapshots_emitted());
-  std::printf("note: next-interval replay trades one interval of latency for\n"
-              "zero key storage; keys that never reappear are missed, which\n"
-              "is acceptable for DoS-style targets (§3.3).\n");
+  const core::PipelineStats stats = pipeline.stats();
+  if (recovery == core::RecoveryMode::kReplay) {
+    std::printf("note: next-interval replay trades one interval of latency "
+                "for\nzero key storage; keys that never reappear are missed, "
+                "which\nis acceptable for DoS-style targets (§3.3).\n");
+  } else {
+    std::printf("recovery=%s: keys_replayed=%llu (single pass — changed "
+                "keys\nwere read straight out of the error sketch; "
+                "candidates swept=%llu,\nkeys recovered=%llu).\n",
+                recovery_name.c_str(),
+                static_cast<unsigned long long>(stats.keys_replayed),
+                static_cast<unsigned long long>(stats.recovery_candidates),
+                static_cast<unsigned long long>(stats.keys_recovered));
+  }
 
   if (recorder.has_value()) recorder->flush();
   if (!trace_out.empty()) {

@@ -1,9 +1,14 @@
-// Fuzz target: the sketch export-packet parser (sketch/serialize.h).
+// Fuzz target: the sketch export-packet parsers (sketch/serialize.h).
 //
 // sketch_from_bytes runs on every interval contribution the aggregator
 // accepts from the network, so it must reject arbitrary bytes with a typed
-// SerializeError and nothing else. Accepted inputs are round-tripped:
-// re-encoding a parsed sketch must succeed and re-parse cleanly.
+// SerializeError and nothing else. The invertible-family parser
+// (mv_sketch_from_bytes) shares the header and register layout but carries
+// the per-bucket vote state, so the same input is fed to both readers —
+// each must either accept its own family kind or reject with a typed error
+// (a cross-family packet is kFamilyMismatch, never a mis-parse). Accepted
+// inputs are round-tripped: re-encoding a parsed sketch must succeed and
+// re-parse cleanly.
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -25,6 +30,15 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
     const std::vector<std::uint8_t> reencoded =
         scd::sketch::sketch_to_bytes(parsed);
     (void)scd::sketch::sketch_from_bytes(reencoded, registry);
+  } catch (const scd::sketch::SerializeError&) {
+    // Typed rejection: the contract.
+  }
+  try {
+    const scd::sketch::MvSketch parsed =
+        scd::sketch::mv_sketch_from_bytes(bytes, registry);
+    const std::vector<std::uint8_t> reencoded =
+        scd::sketch::mv_sketch_to_bytes(parsed);
+    (void)scd::sketch::mv_sketch_from_bytes(reencoded, registry);
   } catch (const scd::sketch::SerializeError&) {
     // Typed rejection: the contract.
   }

@@ -17,6 +17,7 @@
 #include "checkpoint/checkpoint.h"
 #include "net/wire.h"
 #include "sketch/kary_sketch.h"
+#include "sketch/mv_sketch.h"
 #include "sketch/serialize.h"
 
 namespace {
@@ -75,6 +76,18 @@ int main(int argc, char** argv) {
   }
   const std::vector<std::uint8_t> packet = scd::sketch::sketch_to_bytes(sketch);
   write_variants(sketch_dir, "seed-packet", packet);
+
+  // Invertible-family packet: same header layout, different kind byte, plus
+  // the trailing candidate/vote arrays — seeds the vote-state validation
+  // branches (non-finite vote, out-of-domain candidate) past the magic and
+  // dimension checks.
+  scd::sketch::MvSketch mv_sketch(registry.tabulation(7, 3), 64);
+  for (std::uint64_t key = 1; key <= 32; ++key) {
+    mv_sketch.update((key * 2654435761u) & 0xffffffffu,
+                     static_cast<double>(key));
+  }
+  write_variants(sketch_dir, "seed-mv-packet",
+                 scd::sketch::mv_sketch_to_bytes(mv_sketch));
 
   // Wire seeds: a Hello, a Bye, and an IntervalData carrying the packet.
   scd::net::FrameHeader hello;

@@ -2,18 +2,29 @@
 """Render a markdown delta table between two bench_kernel_throughput JSONs.
 
 Usage:
-    perf_delta.py BASELINE.json CURRENT.json
+    perf_delta.py [--no-gate] BASELINE.json CURRENT.json
 
 Prints a GitHub-flavoured markdown table comparing the current run against
-the committed baseline (BENCH_THROUGHPUT.json). Meant for CI's
-$GITHUB_STEP_SUMMARY; numbers from shared runners are noisy, so the output
-is informational and the script always exits 0 — it never gates a build.
-Missing files or rows degrade to a note instead of an error.
+the committed baseline (BENCH_THROUGHPUT.json), then gates: the script
+exits nonzero when a kernel's GB/s or the batched-UPDATE speedup ratio
+(batched_mups / per_record_mups) regresses more than 25% below the
+baseline. Those two are ratios of co-located measurements, so shared-runner
+noise largely cancels — a 25% drop is a real codegen or kernel regression.
+The absolute end-to-end and mmap rows stay informational only (they swing
+with runner load); a >20% drop there gets a loud callout but never fails.
+
+--no-gate restores the pure-summary behaviour (always exit 0) for the
+$GITHUB_STEP_SUMMARY rendering step. Missing files or rows degrade to a
+note instead of an error and never gate.
 """
 from __future__ import annotations
 
 import json
 import sys
+
+# Kernel GB/s or the batched-UPDATE ratio more than this fraction below the
+# baseline fails the perf gate.
+GATE_REGRESSION_FRACTION = 0.25
 
 
 def load(path: str) -> dict | None:
@@ -61,7 +72,7 @@ SCALAR_METRICS = [
 
 # End-to-end records/s is the headline number of docs/PERFORMANCE.md; a drop
 # past this fraction gets a loud callout on the step summary (still never a
-# build failure — shared-runner numbers stay advisory).
+# build failure — shared-runner absolute numbers stay advisory).
 E2E_REGRESSION_FRACTION = 0.20
 
 
@@ -100,12 +111,53 @@ def e2e_regressions(base: dict, cur: dict) -> list[str]:
     return warnings
 
 
+def batched_ratio(run: dict) -> float | None:
+    """batched_mups / per_record_mups — the batching speedup this host sees."""
+    update = run.get("update", {})
+    per_record = update.get("per_record_mups")
+    batched = update.get("batched_mups")
+    if per_record is None or batched is None or per_record <= 0:
+        return None
+    return batched / per_record
+
+
+def gate_failures(base: dict, cur: dict) -> list[str]:
+    """Gating regressions: kernel GB/s and the batched-UPDATE ratio."""
+    failures = []
+    baseline = {
+        (r["kernel"], r["backend"], r["n"]): r["gb_per_s"]
+        for r in base.get("kernels_gb_per_s", [])
+    }
+    for r in cur.get("kernels_gb_per_s", []):
+        key = (r["kernel"], r["backend"], r["n"])
+        b = baseline.get(key)
+        c = r["gb_per_s"]
+        if b is None or b <= 0:
+            continue
+        if (b - c) / b > GATE_REGRESSION_FRACTION:
+            failures.append(
+                f"kernel {r['kernel']}/{r['backend']} n={r['n']}: "
+                f"{b:.2f} -> {c:.2f} GB/s ({fmt_delta(b, c)})"
+            )
+    b_ratio = batched_ratio(base)
+    c_ratio = batched_ratio(cur)
+    if b_ratio is not None and c_ratio is not None:
+        if (b_ratio - c_ratio) / b_ratio > GATE_REGRESSION_FRACTION:
+            failures.append(
+                f"batched-UPDATE ratio: {b_ratio:.2f}x -> {c_ratio:.2f}x "
+                f"({fmt_delta(b_ratio, c_ratio)})"
+            )
+    return failures
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 3:
-        print("usage: perf_delta.py BASELINE.json CURRENT.json")
+    args = [a for a in argv[1:] if a != "--no-gate"]
+    gate = "--no-gate" not in argv[1:]
+    if len(args) != 2:
+        print("usage: perf_delta.py [--no-gate] BASELINE.json CURRENT.json")
         return 0
-    base = load(argv[1])
-    cur = load(argv[2])
+    base = load(args[0])
+    cur = load(args[1])
     if base is None or cur is None:
         return 0
 
@@ -116,8 +168,9 @@ def main(argv: list[str]) -> int:
     if cur_quick and not base_quick:
         print(
             "> Current run is quick mode on shared CI hardware; the "
-            "baseline is a full run (docs/PERFORMANCE.md). Deltas are "
-            "informational only."
+            "baseline is a full run (docs/PERFORMANCE.md). Absolute deltas "
+            "are informational; only kernel GB/s and the batched-UPDATE "
+            "ratio gate."
         )
         print()
     print("| benchmark | backend | n | baseline | current | delta |")
@@ -132,6 +185,18 @@ def main(argv: list[str]) -> int:
         print()
         for warning in warnings:
             print(warning)
+    if not gate:
+        return 0
+    failures = gate_failures(base, cur)
+    if failures:
+        print()
+        print(
+            f"PERF GATE: {len(failures)} regression(s) more than "
+            f"{GATE_REGRESSION_FRACTION:.0%} below baseline:"
+        )
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
     return 0
 
 

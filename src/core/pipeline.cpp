@@ -23,7 +23,9 @@
 #include "obs/pipeline_metrics.h"
 #include "obs/scoped_timer.h"
 #include "obs/trace.h"
+#include "sketch/group_testing.h"
 #include "sketch/kary_sketch.h"
+#include "sketch/mv_sketch.h"
 #include "sketch/serialize.h"
 #include "traffic/flow_record.h"
 
@@ -61,6 +63,29 @@ void PipelineConfig::validate() const {
   if (refit_every > 0 && refit_window < 4) {
     throw std::invalid_argument(
         "PipelineConfig: refit_window must be >= 4 when re-fitting");
+  }
+  if (recovery != RecoveryMode::kReplay) {
+    // The sketch-recovery modes keep no key set: replay scheduling and key
+    // sampling are meaningless, so reject non-default settings instead of
+    // silently ignoring them.
+    if (replay != KeyReplayMode::kCurrentInterval) {
+      throw std::invalid_argument(
+          "PipelineConfig: sketch-recovery modes require "
+          "KeyReplayMode::kCurrentInterval (replay scheduling does not "
+          "apply)");
+    }
+    if (key_sample_rate != 1.0) {
+      throw std::invalid_argument(
+          "PipelineConfig: sketch-recovery modes require key_sample_rate == "
+          "1.0 (no keys are sampled)");
+    }
+  }
+  if (recovery == RecoveryMode::kGroupTesting &&
+      !traffic::key_fits_32bit(key_kind)) {
+    throw std::invalid_argument(
+        "PipelineConfig: group-testing recovery covers 32-bit key kinds "
+        "only (the bit counters span 32 bits); use kInvertible for 64-bit "
+        "keys");
   }
 }
 
@@ -106,6 +131,13 @@ std::uint64_t config_fingerprint(const PipelineConfig& config) noexcept {
   mix_u64(config.min_consecutive);
   mix_u64(config.refit_every);
   mix_u64(config.refit_window);
+  // The recovery mode is mixed only when it departs from kReplay: every
+  // fingerprint computed before the field existed stays valid, so
+  // checkpoints and provenance records from replay-mode deployments restore
+  // unchanged.
+  if (config.recovery != RecoveryMode::kReplay) {
+    mix_u64(static_cast<std::uint64_t>(config.recovery));
+  }
   // config.metrics deliberately excluded: observability never alters state.
   return hash;
 }
@@ -127,7 +159,10 @@ constexpr std::uint64_t kUpdateSampleMask = 63;
 /// Engine-state stream layout version; bump on any field change.
 /// v2: a deferred (kNextInterval) detection now also carries the interval's
 /// forecast sketch, so alarm provenance survives a checkpoint/restore.
-constexpr std::uint64_t kEngineStateVersion = 2;
+/// v3: recovery counters (recovery_candidates, keys_recovered) join the
+/// stats block, and invertible-family signals carry their candidate/vote
+/// state after the registers.
+constexpr std::uint64_t kEngineStateVersion = 3;
 /// Trailing sentinel: catches a reader/writer field-order drift that happens
 /// to stay inside the buffer.
 constexpr std::uint64_t kEngineStateSentinel = 0x5cdc0de5e17a11edULL;
@@ -176,7 +211,9 @@ class ByteReader {
 
 /// Bridges the engine's byte stream to the forecast layer's typed
 /// StateWriter: signals (sketches) are written as a register count followed
-/// by the raw register doubles.
+/// by the raw register doubles. Invertible sketches append their
+/// candidate/vote state (same cell count) so a restored error sketch stays
+/// recoverable.
 template <typename Sketch>
 class SketchStateWriter final : public forecast::StateWriter<Sketch> {
  public:
@@ -187,6 +224,11 @@ class SketchStateWriter final : public forecast::StateWriter<Sketch> {
     const auto regs = value.registers();
     out_.u64(regs.size());
     for (const double r : regs) out_.f64(r);
+    if constexpr (requires { value.candidates(); }) {
+      out_.u64(value.candidates().size());
+      for (const std::uint64_t c : value.candidates()) out_.u64(c);
+      for (const double v : value.votes()) out_.f64(v);
+    }
   }
 
  private:
@@ -212,6 +254,28 @@ class SketchStateReader final : public forecast::StateReader<Sketch> {
     scratch_.resize(expected_);
     for (double& r : scratch_) r = in_.f64();
     out.load_registers(scratch_);
+    if constexpr (requires { out.candidates(); }) {
+      const std::size_t cells = out.candidates().size();
+      const std::uint64_t aux = in_.u64();
+      if (aux != cells) {
+        throw sketch::SerializeError(
+            sketch::SerializeErrorKind::kBadDimensions,
+            "engine state vote table has " + std::to_string(aux) +
+                " cells, expected " + std::to_string(cells));
+      }
+      std::vector<std::uint64_t> candidates(cells);
+      for (std::uint64_t& c : candidates) c = in_.u64();
+      std::vector<double> votes(cells);
+      for (double& v : votes) {
+        v = in_.f64();
+        if (!std::isfinite(v) || v < 0.0) {
+          throw sketch::SerializeError(
+              sketch::SerializeErrorKind::kCorruptRegisters,
+              "engine state vote table holds an invalid vote value");
+        }
+      }
+      out.load_aux(candidates, votes);
+    }
   }
   [[noreturn]] void fail(const std::string& what) override {
     throw sketch::SerializeError(sketch::SerializeErrorKind::kBadDimensions,
@@ -352,11 +416,27 @@ class EngineBase {
   [[nodiscard]] virtual std::size_t reports_emitted() const noexcept = 0;
 };
 
-template <typename Family>
+/// The pipeline engine, generic over the sketch family. SketchT decides the
+/// key-identification strategy at compile time: a sketch exposing
+/// recover_heavy_keys() (MvSketch, GroupTestingSketch) runs the replay-free
+/// recovery sweep and keeps no key set at all; a plain k-ary sketch runs the
+/// paper's key replay. The runtime RecoveryMode -> SketchT mapping lives in
+/// ChangeDetectionPipeline::Impl.
+template <typename SketchT>
 class Engine final : public EngineBase {
  public:
-  using Sketch = sketch::BasicKarySketch<Family>;
+  using Sketch = SketchT;
+  using Family = typename SketchT::FamilyType;
   using Emit = std::function<void(IntervalReport&&)>;
+
+  /// Replay-free sketch-recovery engine: changed keys are read out of the
+  /// error sketch, never replayed.
+  static constexpr bool kRecovers =
+      requires(const SketchT& s) { s.recover_heavy_keys(0.0); };
+  /// Sketch carries per-bucket candidate/vote state that shard merges and
+  /// checkpoints must transport (the invertible family).
+  static constexpr bool kHasVoteState =
+      requires(const SketchT& s) { s.candidates(); };
 
   Engine(const PipelineConfig& config, Emit emit)
       : config_(config),
@@ -427,9 +507,13 @@ class Engine final : public EngineBase {
 #endif
     ++records_in_interval_;
     ++stats_.records;
-    if (config_.key_sample_rate >= 1.0 ||
-        sample_rng_.bernoulli(config_.key_sample_rate)) {
-      keys_.insert(key);
+    // Sketch-recovery engines never keep keys — that absence is the mode's
+    // whole point (no per-interval key state, no second pass).
+    if constexpr (!kRecovers) {
+      if (config_.key_sample_rate >= 1.0 ||
+          sample_rng_.bernoulli(config_.key_sample_rate)) {
+        keys_.insert(key);
+      }
     }
   }
 
@@ -459,7 +543,18 @@ class Engine final : public EngineBase {
     current_len_ = batch.len_s;
     last_time_ = std::max(last_time_, batch.start_s + batch.len_s);
     observed_.load_registers(batch.registers);
-    keys_.insert(batch.keys.begin(), batch.keys.end());
+    if constexpr (kHasVoteState) {
+      if (batch.mv_candidates.size() != observed_.candidates().size() ||
+          batch.mv_votes.size() != observed_.votes().size()) {
+        throw std::invalid_argument(
+            "ChangeDetectionPipeline::ingest_interval: majority-vote state "
+            "size does not match the configured h*k");
+      }
+      observed_.load_aux(batch.mv_candidates, batch.mv_votes);
+    }
+    if constexpr (!kRecovers) {
+      keys_.insert(batch.keys.begin(), batch.keys.end());
+    }
     records_in_interval_ = batch.records;
     stats_.records += batch.records;
     close_interval();
@@ -536,6 +631,8 @@ class Engine final : public EngineBase {
     out.u64(stats_.alarms);
     out.u64(stats_.refits);
     out.u64(stats_.keys_replayed);
+    out.u64(stats_.recovery_candidates);  // v3
+    out.u64(stats_.keys_recovered);       // v3
     out.u64(stats_.hysteresis_suppressed);
     out.u64(stats_.out_of_order_records);
     out.f64(stats_.update_seconds);
@@ -611,6 +708,8 @@ class Engine final : public EngineBase {
     stats_.alarms = static_cast<std::size_t>(in.u64());
     stats_.refits = static_cast<std::size_t>(in.u64());
     stats_.keys_replayed = in.u64();
+    stats_.recovery_candidates = in.u64();  // v3
+    stats_.keys_recovered = in.u64();       // v3
     stats_.hysteresis_suppressed = in.u64();
     stats_.out_of_order_records = in.u64();
     stats_.update_seconds = in.f64();
@@ -817,7 +916,7 @@ class Engine final : public EngineBase {
     SCD_TRACE_SPAN_ARG("detection_sweep", "core", keys.size());
     report.keys_checked = keys.size();
     report.estimated_error_f2 = est_f2;
-    stats_.keys_replayed += keys.size();
+    if constexpr (!kRecovers) stats_.keys_replayed += keys.size();
     // Threshold anchor: this interval's F2, or the smoothed history (which
     // a large in-progress change cannot inflate).
     double anchor_f2 = std::max(est_f2, 0.0);
@@ -833,7 +932,7 @@ class Engine final : public EngineBase {
     report.alarm_threshold = config_.threshold * l2;
 #if SCD_OBS_ENABLED
     if (obs_ != nullptr) {
-      obs_->keys_replayed.inc(keys.size());
+      if constexpr (!kRecovers) obs_->keys_replayed.inc(keys.size());
       obs_->last_error_l2.set(std::sqrt(std::max(est_f2, 0.0)));
       obs_->last_alarm_threshold.set(report.alarm_threshold);
     }
@@ -844,8 +943,35 @@ class Engine final : public EngineBase {
         obs_ != nullptr ? &obs_->stage_key_replay : nullptr,
         &report.timings.key_replay_s);
 #endif
-    auto ranked = detect::rank_by_abs_error(
-        keys, [&error](std::uint64_t key) { return error.estimate(key); });
+    std::vector<detect::KeyError> ranked;
+    if constexpr (kRecovers) {
+      // Replay-free path: read the changed keys straight out of the error
+      // sketch. Under the threshold criterion the bucket sweep prunes at
+      // T_A; under top-N every voted bucket contributes its candidate and
+      // the cap below keeps the largest.
+      const double cut = config_.criterion == DetectionCriterion::kTopN
+                             ? 0.0
+                             : report.alarm_threshold;
+      std::size_t swept = 0;
+      const auto recovered = error.recover_heavy_keys(cut, &swept);
+      report.keys_checked = recovered.size();
+      stats_.recovery_candidates += swept;
+      stats_.keys_recovered += recovered.size();
+      ranked.reserve(recovered.size());
+      for (const sketch::RecoveredHeavyKey& r : recovered) {
+        ranked.push_back(detect::KeyError{r.key, r.value});
+      }
+#if SCD_OBS_ENABLED
+      if (obs_ != nullptr) {
+        obs_->recovery_candidates.inc(swept);
+        obs_->recovery_keys.inc(recovered.size());
+        obs_->recovery_last_keys.set(static_cast<double>(recovered.size()));
+      }
+#endif
+    } else {
+      ranked = detect::rank_by_abs_error(
+          keys, [&error](std::uint64_t key) { return error.estimate(key); });
+    }
     auto flagged =
         config_.criterion == DetectionCriterion::kTopN
             ? detect::top_n(ranked, config_.max_alarms_per_interval)
@@ -1002,11 +1128,29 @@ class ChangeDetectionPipeline::Impl {
       if (callback_) callback_(report);
       reports_.push_back(std::move(report));
     };
-    if (traffic::key_fits_32bit(config_.key_kind)) {
-      engine_ = std::make_unique<Engine<hash::TabulationHashFamily>>(config_,
-                                                                     emit);
-    } else {
-      engine_ = std::make_unique<Engine<hash::CwHashFamily>>(config_, emit);
+    // RecoveryMode x key width -> engine sketch type. validate() already
+    // rejected group-testing with a 64-bit key kind.
+    const bool key32 = traffic::key_fits_32bit(config_.key_kind);
+    switch (config_.recovery) {
+      case RecoveryMode::kReplay:
+        if (key32) {
+          engine_ = std::make_unique<Engine<sketch::KarySketch>>(config_, emit);
+        } else {
+          engine_ =
+              std::make_unique<Engine<sketch::KarySketch64>>(config_, emit);
+        }
+        break;
+      case RecoveryMode::kInvertible:
+        if (key32) {
+          engine_ = std::make_unique<Engine<sketch::MvSketch>>(config_, emit);
+        } else {
+          engine_ = std::make_unique<Engine<sketch::MvSketch64>>(config_, emit);
+        }
+        break;
+      case RecoveryMode::kGroupTesting:
+        engine_ =
+            std::make_unique<Engine<sketch::GroupTestingSketch>>(config_, emit);
+        break;
     }
   }
 

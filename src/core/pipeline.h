@@ -53,6 +53,24 @@ enum class ThresholdBaseline {
   kSmoothedF2,
 };
 
+/// How the keys behind an aggregate change are identified (ROADMAP open
+/// item 2; docs/KEY_RECOVERY.md):
+///   * kReplay — the paper's §3.3 key replay: remember the interval's keys
+///     and run each through ESTIMATE at close (exact ranking, but a second
+///     pass plus O(distinct keys) state per interval);
+///   * kGroupTesting — read keys out of the per-bit counters of the
+///     group-testing sketch (no key state; 33x memory/UPDATE cost);
+///   * kInvertible — read keys out of the majority-vote invertible sketch
+///     (no key state; 3x memory, single-pass).
+/// In the sketch-recovery modes the pipeline keeps no key set at all:
+/// changed keys are recovered directly from the forecast-error sketch
+/// S_e(t), so KeyReplayMode and key_sample_rate do not apply.
+enum class RecoveryMode {
+  kReplay,
+  kGroupTesting,
+  kInvertible,
+};
+
 struct PipelineConfig {
   double interval_s = 300.0;             // paper's default tradeoff (§4.2)
   std::size_t h = 5;                     // hash functions
@@ -68,6 +86,11 @@ struct PipelineConfig {
   double baseline_alpha = 0.3;
   KeyReplayMode replay = KeyReplayMode::kCurrentInterval;
   double key_sample_rate = 1.0;          // fraction of keys replayed
+  /// Key-identification strategy. The sketch-recovery modes require the
+  /// defaults for the replay knobs they make meaningless (kCurrentInterval,
+  /// key_sample_rate 1.0 — validate() rejects anything else) and
+  /// kGroupTesting additionally requires a 32-bit key kind.
+  RecoveryMode recovery = RecoveryMode::kReplay;
   /// §6 boundary-effect mitigation: draw each interval's length from an
   /// exponential distribution with mean interval_s (clamped to
   /// [0.25, 4] * interval_s) and normalize the observed sketch by the
@@ -121,6 +144,12 @@ struct PipelineStats {
   std::size_t refits = 0;           // online re-fits performed
   std::size_t sketch_bytes = 0;     // register memory of one sketch (H*K*8)
   std::uint64_t keys_replayed = 0;  // candidate keys run through ESTIMATE
+  /// Sketch-recovery modes only: candidate keys swept out of the error
+  /// sketch's buckets (pre-verification) and keys that survived the median
+  /// verification. keys_replayed stays 0 in these modes — that zero is the
+  /// "no replay pass" evidence the online monitor prints.
+  std::uint64_t recovery_candidates = 0;
+  std::uint64_t keys_recovered = 0;
   std::uint64_t hysteresis_suppressed = 0;  // withheld by min_consecutive
   /// Records whose timestamp regressed below the stream's high-water mark.
   /// Such records are clamped into the open interval (never mis-binned into
@@ -149,8 +178,14 @@ struct IntervalBatch {
   double start_s = 0.0;
   double len_s = 0.0;
   std::uint64_t records = 0;
-  std::vector<double> registers;    // row-major h x k
+  /// Row-major register table. h x k for the replay/invertible modes'
+  /// counter table; h x k x 33 cell table for kGroupTesting.
+  std::vector<double> registers;
   std::vector<std::uint64_t> keys;  // distinct keys (shard-concatenated)
+  /// kInvertible only: the merged sketch's per-bucket majority-vote state
+  /// (h x k each). Empty in every other mode.
+  std::vector<std::uint64_t> mv_candidates;
+  std::vector<double> mv_votes;
 };
 
 /// Where a pipeline sits in its input stream. After a restore this tells the

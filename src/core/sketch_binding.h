@@ -10,7 +10,9 @@
 
 #include <type_traits>
 
+#include "sketch/group_testing.h"
 #include "sketch/kary_sketch.h"
+#include "sketch/mv_sketch.h"
 #include "traffic/key_extract.h"
 
 namespace scd::core {
@@ -20,6 +22,14 @@ template <traffic::KeyKind Kind>
 using SketchForKeyKind =
     std::conditional_t<traffic::key_fits_32bit(Kind), sketch::KarySketch,
                        sketch::KarySketch64>;
+
+/// The invertible (majority-vote) sketch covering `Kind`'s key domain.
+/// Mirrors SketchForKeyKind for callers selecting RecoveryMode::kInvertible
+/// at compile time.
+template <traffic::KeyKind Kind>
+using MvSketchForKeyKind =
+    std::conditional_t<traffic::key_fits_32bit(Kind), sketch::MvSketch,
+                       sketch::MvSketch64>;
 
 /// True when `SketchT`'s hash family hashes every key `Kind` can produce.
 /// static_assert this wherever a sketch type is chosen by hand.
@@ -34,5 +44,17 @@ static_assert(kSketchCoversKeyKind<sketch::KarySketch64,
 static_assert(!kSketchCoversKeyKind<sketch::KarySketch,
                                     traffic::KeyKind::kSrcDstPair>,
               "64-bit key kinds must bind to KarySketch64");
+static_assert(kSketchCoversKeyKind<sketch::MvSketch,
+                                   traffic::KeyKind::kDstIp>);
+static_assert(kSketchCoversKeyKind<sketch::MvSketch64,
+                                   traffic::KeyKind::kSrcDstPair>);
+static_assert(!kSketchCoversKeyKind<sketch::MvSketch,
+                                    traffic::KeyKind::kSrcDstPair>,
+              "64-bit key kinds must bind to MvSketch64");
+static_assert(kSketchCoversKeyKind<sketch::GroupTestingSketch,
+                                   traffic::KeyKind::kDstIp>);
+static_assert(!kSketchCoversKeyKind<sketch::GroupTestingSketch,
+                                    traffic::KeyKind::kSrcDstPair>,
+              "group-testing recovery hashes 32-bit keys only");
 
 }  // namespace scd::core

@@ -19,6 +19,9 @@
 #include "ingest/ingest_metrics.h"
 #include "ingest/shard_set.h"
 #include "obs/metrics.h"
+#include "sketch/group_testing.h"
+#include "sketch/kary_sketch.h"
+#include "sketch/mv_sketch.h"
 #include "sketch/serialize.h"
 #include "traffic/flow_record.h"
 #include "traffic/key_extract.h"
@@ -105,14 +108,34 @@ class ParallelPipeline::Impl {
 #endif
     const std::size_t queue_chunks = std::max<std::size_t>(
         1, parallel_.queue_capacity / parallel_.batch_size);
-    if (traffic::key_fits_32bit(config_.key_kind)) {
-      shards_ = std::make_unique<ShardSet<hash::TabulationHashFamily>>(
+    // Shard-set dispatch mirrors the serial engine's (recovery mode, key
+    // width) switch so the workers accumulate the same sketch type the
+    // detection engine consumes. validate() has already rejected the
+    // group-testing + 64-bit combination.
+    const bool key32 = traffic::key_fits_32bit(config_.key_kind);
+    const auto make_shards = [&]<typename SketchT>() {
+      shards_ = std::make_unique<ShardSet<SketchT>>(
           config_.seed, config_.h, config_.k, parallel_.workers, queue_chunks,
           instruments_.get());
-    } else {
-      shards_ = std::make_unique<ShardSet<hash::CwHashFamily>>(
-          config_.seed, config_.h, config_.k, parallel_.workers, queue_chunks,
-          instruments_.get());
+    };
+    switch (config_.recovery) {
+      case core::RecoveryMode::kReplay:
+        if (key32) {
+          make_shards.operator()<sketch::KarySketch>();
+        } else {
+          make_shards.operator()<sketch::KarySketch64>();
+        }
+        break;
+      case core::RecoveryMode::kInvertible:
+        if (key32) {
+          make_shards.operator()<sketch::MvSketch>();
+        } else {
+          make_shards.operator()<sketch::MvSketch64>();
+        }
+        break;
+      case core::RecoveryMode::kGroupTesting:
+        make_shards.operator()<sketch::GroupTestingSketch>();
+        break;
     }
     pending_.resize(parallel_.workers);
     for (Chunk& chunk : pending_) chunk.reserve(parallel_.batch_size);

@@ -119,10 +119,27 @@ class ShardSetBase {
   [[nodiscard]] virtual std::uint64_t dropped_records() const noexcept = 0;
 };
 
-template <typename Family>
+/// Templated on the sketch type (not the hash family) so the parallel path
+/// covers every engine the core pipeline can run: plain k-ary (either
+/// family), the invertible majority-vote sketch, and group testing. Sketches
+/// that recover keys from their own state (`recover_heavy_keys`) skip the
+/// per-shard distinct-key buffers entirely — that is the single-pass win —
+/// and vote-carrying sketches publish their merged candidate/vote arrays
+/// through IntervalBatch::mv_candidates / mv_votes.
+template <typename SketchT>
 class ShardSet final : public ShardSetBase {
  public:
-  using Sketch = sketch::BasicKarySketch<Family>;
+  using Sketch = SketchT;
+  using Family = typename SketchT::FamilyType;
+
+  /// The sketch can enumerate heavy keys from its own state, so workers do
+  /// not need to collect the interval's distinct keys for replay.
+  static constexpr bool kRecovers =
+      requires(const SketchT& s) { s.recover_heavy_keys(0.0); };
+  /// The sketch carries majority-vote candidate/vote arrays that must ride
+  /// along with the merged registers.
+  static constexpr bool kHasVoteState =
+      requires(const SketchT& s) { s.candidates(); };
 
   /// `queue_chunks` is the per-shard queue capacity in chunks; `instruments`
   /// may be null (metrics disabled).
@@ -331,6 +348,11 @@ class ShardSet final : public ShardSetBase {
     core::IntervalBatch batch;
     batch.registers.assign(merged.registers().begin(),
                            merged.registers().end());
+    if constexpr (kHasVoteState) {
+      batch.mv_candidates.assign(merged.candidates().begin(),
+                                 merged.candidates().end());
+      batch.mv_votes.assign(merged.votes().begin(), merged.votes().end());
+    }
     for (auto& handoff : handoffs) {
       batch.records += handoff.records;
       batch.keys.insert(batch.keys.end(), handoff.keys.begin(),
@@ -432,7 +454,9 @@ class ShardSet final : public ShardSetBase {
         EpochHandoff handoff;
         handoff.epoch = msg->epoch;
         handoff.sketch.emplace(std::move(sketch));
-        handoff.keys.assign(keys.begin(), keys.end());
+        if constexpr (!kRecovers) {
+          handoff.keys.assign(keys.begin(), keys.end());
+        }
         handoff.records = records;
         {
           common::MutexLock lock(epoch_mutex_);
@@ -451,7 +475,9 @@ class ShardSet final : public ShardSetBase {
       // Batched UPDATE (docs/PERFORMANCE.md): hash-batch + per-row sweep,
       // bit-identical to per-record update() on this shard's subsequence.
       sketch.update_batch(msg->records);
-      for (const Record& r : msg->records) keys.insert(r.key);
+      if constexpr (!kRecovers) {
+        for (const Record& r : msg->records) keys.insert(r.key);
+      }
       records += msg->records.size();
       if (apply_hist != nullptr) {
         apply_hist->observe(apply_watch.seconds());

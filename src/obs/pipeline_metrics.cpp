@@ -32,6 +32,12 @@ PipelineInstruments PipelineInstruments::create(MetricsRegistry& registry) {
                        {{"criterion", "topn"}}),
       registry.counter("scd_pipeline_keys_replayed_total",
                        "Candidate keys replayed through ESTIMATE"),
+      registry.counter("scd_recovery_candidates_total",
+                       "Candidate keys swept out of the error sketch's "
+                       "buckets before verification (sketch-recovery modes)"),
+      registry.counter("scd_recovery_keys_total",
+                       "Recovered keys that survived median-estimate "
+                       "verification (sketch-recovery modes)"),
       registry.counter(
           "scd_pipeline_hysteresis_suppressed_total",
           "Above-threshold keys withheld by min_consecutive hysteresis"),
@@ -42,6 +48,9 @@ PipelineInstruments PipelineInstruments::create(MetricsRegistry& registry) {
                        "high-water mark (clamped into the open interval)"),
       registry.gauge("scd_pipeline_replay_buffer_keys",
                      "Sampled key-set size at the last interval close"),
+      registry.gauge("scd_recovery_last_keys",
+                     "Verified keys recovered by the latest detection "
+                     "(sketch-recovery modes)"),
       registry.gauge("scd_pipeline_sketch_bytes",
                      "Register memory of the observed sketch (H*K*8)"),
       registry.gauge("scd_pipeline_last_alarm_threshold",

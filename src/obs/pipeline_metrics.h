@@ -27,11 +27,14 @@ struct PipelineInstruments {
   Counter& alarms_threshold;       // scd_pipeline_alarms_total{criterion=...}
   Counter& alarms_topn;
   Counter& keys_replayed;          // scd_pipeline_keys_replayed_total
+  Counter& recovery_candidates;    // scd_recovery_candidates_total
+  Counter& recovery_keys;          // scd_recovery_keys_total
   Counter& hysteresis_suppressed;  // flagged but below min_consecutive
   Counter& refits;                 // scd_pipeline_refits_total
   Counter& out_of_order;           // scd_pipeline_out_of_order_total
 
   Gauge& replay_buffer_keys;       // sampled key-set occupancy at close
+  Gauge& recovery_last_keys;       // scd_recovery_last_keys
   Gauge& sketch_bytes;             // register memory of the observed sketch
   Gauge& last_alarm_threshold;     // T_A of the latest detection
   Gauge& last_error_l2;            // sqrt(max(ESTIMATEF2, 0)) of the latest

@@ -4,6 +4,7 @@
 #include <array>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 #include <unordered_set>
 
 #include "sketch/median.h"
@@ -11,21 +12,31 @@
 namespace scd::sketch {
 
 GroupTestingSketch::GroupTestingSketch(FamilyPtr family, std::size_t k)
-    : family_(std::move(family)),
-      k_(k),
-      cells_(family_->rows() * k * kCellStride, 0.0) {
-  assert(family_ != nullptr);
-  assert(hash::valid_bucket_count(k_) && k_ >= 2);
-  assert(family_->rows() >= 1 && family_->rows() <= kMaxRows);
+    : family_(std::move(family)), k_(k) {
+  if (family_ == nullptr) {
+    throw std::invalid_argument("GroupTestingSketch: null hash family");
+  }
+  if (!hash::valid_bucket_count(k_) || k_ < 2) {
+    throw std::invalid_argument(
+        "GroupTestingSketch: k must be a power of two in [2, 65536]");
+  }
+  if (family_->rows() < 1 || family_->rows() > kMaxRows) {
+    throw std::invalid_argument("GroupTestingSketch: rows must be in [1, 32]");
+  }
+  cells_.assign(family_->rows() * k_ * kCellStride, 0.0);
 }
 
-void GroupTestingSketch::update(std::uint32_t key, double u) noexcept {
+void GroupTestingSketch::update(std::uint64_t key, double u) noexcept {
+  assert((key >> kKeyBits) == 0 &&
+         "key exceeds the group-testing bit counters; 64-bit key kinds are "
+         "not supported by this family");
+  const auto key32 = static_cast<std::uint32_t>(key);
   const std::uint64_t mask = k_ - 1;
   for (std::size_t row = 0; row < depth(); ++row) {
-    const std::size_t bucket = family_->hash16(row, key) & mask;
+    const std::size_t bucket = family_->hash16(row, key32) & mask;
     double* cell = &cells_[cell_index(row, bucket)];
     cell[0] += u;
-    std::uint32_t bits = key;
+    std::uint32_t bits = key32;
     while (bits != 0) {
       const unsigned b = static_cast<unsigned>(__builtin_ctz(bits));
       cell[1 + b] += u;
@@ -33,6 +44,13 @@ void GroupTestingSketch::update(std::uint32_t key, double u) noexcept {
     }
   }
 }
+
+void GroupTestingSketch::update_batch(
+    std::span<const Record> records) noexcept {
+  for (const Record& r : records) update(r.key, r.update);
+}
+
+double GroupTestingSketch::sum() const noexcept { return row_sum(0); }
 
 double GroupTestingSketch::row_sum(std::size_t row) const noexcept {
   double sum = 0.0;
@@ -42,16 +60,40 @@ double GroupTestingSketch::row_sum(std::size_t row) const noexcept {
   return sum;
 }
 
-double GroupTestingSketch::estimate(std::uint32_t key) const noexcept {
+double GroupTestingSketch::estimate_with(
+    std::uint64_t key, std::span<const double> row_sums) const noexcept {
   const std::uint64_t mask = k_ - 1;
   const auto kd = static_cast<double>(k_);
   std::array<double, kMaxRows> est;
   for (std::size_t row = 0; row < depth(); ++row) {
     const std::size_t bucket = family_->hash16(row, key) & mask;
     const double total = cells_[cell_index(row, bucket)];
-    est[row] = (total - row_sum(row) / kd) / (1.0 - 1.0 / kd);
+    est[row] = (total - row_sums[row] / kd) / (1.0 - 1.0 / kd);
   }
   return median_inplace(std::span<double>(est.data(), depth()));
+}
+
+double GroupTestingSketch::estimate(std::uint64_t key) const noexcept {
+  std::array<double, kMaxRows> sums;
+  for (std::size_t row = 0; row < depth(); ++row) sums[row] = row_sum(row);
+  return estimate_with(key, std::span<const double>(sums.data(), depth()));
+}
+
+void GroupTestingSketch::estimate_rows(std::uint64_t key,
+                                       std::span<double> raw_buckets,
+                                       std::span<double> row_estimates) const {
+  const std::size_t h = depth();
+  if (raw_buckets.size() != h || row_estimates.size() != h) {
+    throw std::invalid_argument("estimate_rows: spans must have length h");
+  }
+  const std::uint64_t mask = k_ - 1;
+  const auto kd = static_cast<double>(k_);
+  for (std::size_t row = 0; row < h; ++row) {
+    const std::size_t bucket = family_->hash16(row, key) & mask;
+    const double total = cells_[cell_index(row, bucket)];
+    raw_buckets[row] = total;
+    row_estimates[row] = (total - row_sum(row) / kd) / (1.0 - 1.0 / kd);
+  }
 }
 
 double GroupTestingSketch::estimate_f2() const noexcept {
@@ -69,8 +111,12 @@ double GroupTestingSketch::estimate_f2() const noexcept {
   return median_inplace(std::span<double>(est.data(), depth()));
 }
 
-std::vector<RecoveredKey> GroupTestingSketch::recover(
-    double threshold_abs) const {
+double GroupTestingSketch::estimate_l2() const noexcept {
+  return std::sqrt(std::max(estimate_f2(), 0.0));
+}
+
+std::vector<RecoveredHeavyKey> GroupTestingSketch::recover_heavy_keys(
+    double threshold_abs, std::size_t* candidates_swept) const {
   const std::uint64_t mask = k_ - 1;
   std::unordered_set<std::uint32_t> candidates;
   for (std::size_t row = 0; row < depth(); ++row) {
@@ -88,19 +134,37 @@ std::vector<RecoveredKey> GroupTestingSketch::recover(
       if ((family_->hash16(row, key) & mask) == bucket) candidates.insert(key);
     }
   }
-  std::vector<RecoveredKey> recovered;
+  if (candidates_swept != nullptr) *candidates_swept = candidates.size();
+  std::array<double, kMaxRows> sums;
+  for (std::size_t row = 0; row < depth(); ++row) sums[row] = row_sum(row);
+  const std::span<const double> sums_span(sums.data(), depth());
+  std::vector<RecoveredHeavyKey> recovered;
+  recovered.reserve(candidates.size());
   for (const std::uint32_t key : candidates) {
-    const double value = estimate(key);
-    if (std::abs(value) >= threshold_abs) recovered.push_back({key, value});
+    const double value = estimate_with(key, sums_span);
+    if (std::abs(value) >= threshold_abs) {
+      recovered.push_back(RecoveredHeavyKey{key, value});
+    }
   }
   std::sort(recovered.begin(), recovered.end(),
-            [](const RecoveredKey& a, const RecoveredKey& b) {
-              if (std::abs(a.value) != std::abs(b.value)) {
-                return std::abs(a.value) > std::abs(b.value);
-              }
+            [](const RecoveredHeavyKey& a, const RecoveredHeavyKey& b) {
+              const double aa = std::abs(a.value);
+              const double bb = std::abs(b.value);
+              if (aa != bb) return aa > bb;
               return a.key < b.key;
             });
   return recovered;
+}
+
+std::vector<RecoveredKey> GroupTestingSketch::recover(
+    double threshold_abs) const {
+  const std::vector<RecoveredHeavyKey> wide = recover_heavy_keys(threshold_abs);
+  std::vector<RecoveredKey> out;
+  out.reserve(wide.size());
+  for (const RecoveredHeavyKey& r : wide) {
+    out.push_back(RecoveredKey{static_cast<std::uint32_t>(r.key), r.value});
+  }
+  return out;
 }
 
 void GroupTestingSketch::set_zero() noexcept {
@@ -112,11 +176,39 @@ void GroupTestingSketch::scale(double c) noexcept {
 }
 
 void GroupTestingSketch::add_scaled(const GroupTestingSketch& other,
-                                    double c) noexcept {
-  assert(family_ == other.family_ && k_ == other.k_);
+                                    double c) {
+  if (!compatible(other)) {
+    throw std::invalid_argument(
+        "GroupTestingSketch::add_scaled: incompatible sketches (family or "
+        "width mismatch)");
+  }
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     cells_[i] += c * other.cells_[i];
   }
+}
+
+GroupTestingSketch GroupTestingSketch::combine(
+    std::span<const double> coeffs,
+    std::span<const GroupTestingSketch* const> sketches) {
+  if (sketches.empty() || coeffs.size() != sketches.size()) {
+    throw std::invalid_argument(
+        "GroupTestingSketch::combine: need one coefficient per sketch and at "
+        "least one sketch");
+  }
+  GroupTestingSketch out(sketches.front()->family_, sketches.front()->k_);
+  for (std::size_t l = 0; l < sketches.size(); ++l) {
+    out.add_scaled(*sketches[l], coeffs[l]);
+  }
+  return out;
+}
+
+void GroupTestingSketch::load_registers(std::span<const double> values) {
+  if (values.size() != cells_.size()) {
+    throw std::invalid_argument(
+        "GroupTestingSketch::load_registers: span size does not match the "
+        "cell table");
+  }
+  std::copy(values.begin(), values.end(), cells_.begin());
 }
 
 }  // namespace scd::sketch

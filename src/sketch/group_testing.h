@@ -13,7 +13,15 @@
 // is a LinearSignal like the plain k-ary sketch: the forecasting models run
 // on it unchanged and key recovery can be performed on the *forecast error*
 // sketch. The price is the paper's stated one: a 33x register blow-up and
-// 33x UPDATE cost for 32-bit keys.
+// 33x UPDATE cost for 32-bit keys. It implements the same pipeline sketch
+// surface as BasicKarySketch / BasicMvSketch (registers, combine,
+// recover_heavy_keys) so ChangeDetectionPipeline can run on it directly as
+// the --recovery=group-testing mode; keys are bound to 32 bits — there is
+// no 64-bit group-testing variant (that would be 65 counters per cell).
+//
+// Structural misuse (null family, bad shape, mismatched spans, combining
+// incompatible sketches) throws std::invalid_argument in all build types,
+// matching BasicKarySketch's contract.
 #pragma once
 
 #include <cstdint>
@@ -22,7 +30,8 @@
 #include <vector>
 
 #include "hash/tabulation_hash.h"
-#include "sketch/kary_sketch.h"  // kMaxRows
+#include "sketch/kary_sketch.h"  // kMaxRows, Record
+#include "sketch/mv_sketch.h"    // RecoveredHeavyKey
 
 namespace scd::sketch {
 
@@ -35,29 +44,79 @@ class GroupTestingSketch {
  public:
   using Family = hash::TabulationHashFamily;
   using FamilyPtr = std::shared_ptr<const Family>;
+  using FamilyType = Family;
 
-  static constexpr std::size_t kKeyBits = 32;
+  static constexpr unsigned kKeyBits = 32;
 
   /// K must be a power of two in [2, 2^16]. Memory: depth * K * 33 doubles.
+  /// Throws std::invalid_argument on a null family or out-of-range shape.
   GroupTestingSketch(FamilyPtr family, std::size_t k);
 
-  void update(std::uint32_t key, double u) noexcept;
+  /// UPDATE. `key` must fit 32 bits (asserted in debug builds — the bit
+  /// counters only cover kKeyBits).
+  void update(std::uint64_t key, double u) noexcept;
+
+  /// Batched UPDATE, bit-identical to calling update() record by record.
+  /// The 33-counter fan-out dominates the cost, so there is no row-sweep
+  /// rearrangement worth doing here.
+  void update_batch(std::span<const Record> records) noexcept;
+
+  /// Total update mass sum(S) over row 0 (identical across rows).
+  [[nodiscard]] double sum() const noexcept;
 
   /// Estimates v_key from the totals (same estimator as the k-ary sketch).
-  [[nodiscard]] double estimate(std::uint32_t key) const noexcept;
+  [[nodiscard]] double estimate(std::uint64_t key) const noexcept;
+
+  /// Per-row evidence behind estimate(key), for alarm provenance; both
+  /// spans must have length depth(). Matches BasicKarySketch.
+  void estimate_rows(std::uint64_t key, std::span<double> raw_buckets,
+                     std::span<double> row_estimates) const;
 
   /// Estimated second moment from the totals.
   [[nodiscard]] double estimate_f2() const noexcept;
+  [[nodiscard]] double estimate_l2() const noexcept;
 
   /// Recovers keys whose |estimated value| >= threshold_abs. Keys are read
   /// out of buckets whose cell total clears the threshold, validated against
   /// the row hash, then re-estimated and filtered. Sorted by |value| desc.
   [[nodiscard]] std::vector<RecoveredKey> recover(double threshold_abs) const;
 
+  /// Same sweep in the shared pipeline result type (64-bit keys, sorted by
+  /// |value| descending, ties by key ascending). `candidates_swept`, when
+  /// non-null, receives the pre-verification candidate count.
+  [[nodiscard]] std::vector<RecoveredHeavyKey> recover_heavy_keys(
+      double threshold_abs, std::size_t* candidates_swept = nullptr) const;
+
   // LinearSignal operations — forecasting works on this sketch directly.
   void set_zero() noexcept;
   void scale(double c) noexcept;
-  void add_scaled(const GroupTestingSketch& other, double c) noexcept;
+
+  /// *this += c * other. Throws std::invalid_argument unless the two
+  /// sketches share the same family and width.
+  void add_scaled(const GroupTestingSketch& other, double c);
+
+  [[nodiscard]] bool compatible(const GroupTestingSketch& other)
+      const noexcept {
+    return family_ == other.family_ && k_ == other.k_;
+  }
+
+  /// COMBINE(c_1, S_1, ..., c_l, S_l), applied in argument order. Throws
+  /// std::invalid_argument when empty, on length mismatch, or on any
+  /// incompatible sketch.
+  [[nodiscard]] static GroupTestingSketch combine(
+      std::span<const double> coeffs,
+      std::span<const GroupTestingSketch* const> sketches);
+
+  /// Replaces the full cell table (totals + bit counters) wholesale; the
+  /// span must have depth() * K * 33 entries. Throws std::invalid_argument
+  /// on a wrong-sized span.
+  void load_registers(std::span<const double> values);
+
+  /// Raw cell access for tests and serialization: [row][bucket][total,
+  /// bit0..bit31] flattened.
+  [[nodiscard]] std::span<const double> registers() const noexcept {
+    return cells_;
+  }
 
   [[nodiscard]] std::size_t depth() const noexcept { return family_->rows(); }
   [[nodiscard]] std::size_t width() const noexcept { return k_; }
@@ -74,6 +133,9 @@ class GroupTestingSketch {
     return (row * k_ + bucket) * kCellStride;
   }
   [[nodiscard]] double row_sum(std::size_t row) const noexcept;
+  [[nodiscard]] double estimate_with(std::uint64_t key,
+                                     std::span<const double> row_sums)
+      const noexcept;
 
   FamilyPtr family_;
   std::size_t k_;

@@ -63,6 +63,7 @@ template <hash::HashFamily16 Family>
 class BasicKarySketch {
  public:
   using FamilyPtr = std::shared_ptr<const Family>;
+  using FamilyType = Family;
 
   /// Widest key (in bits) the hash family evaluates without truncation.
   static constexpr unsigned kKeyBits = Family::kKeyBits;

@@ -1,0 +1,58 @@
+#include "sketch/mv_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "hash/cw_hash.h"
+#include "hash/tabulation_hash.h"
+
+namespace scd::sketch {
+
+template <hash::HashFamily16 Family>
+std::vector<RecoveredHeavyKey> BasicMvSketch<Family>::recover_heavy_keys(
+    double threshold_abs, std::size_t* candidates_swept) const {
+  const std::size_t h = depth();
+  // One sum for the whole sweep — the per-candidate verification below runs
+  // the same ESTIMATE arithmetic as estimate() against this shared anchor.
+  const double per_bucket = sum() / static_cast<double>(k_);
+  const double denom = 1.0 - 1.0 / static_cast<double>(k_);
+
+  std::vector<std::uint64_t> cands;
+  for (std::size_t i = 0; i < h; ++i) {
+    const double* const row_counters = &table_[i * k_];
+    const double* const row_votes = &votes_[i * k_];
+    const std::uint64_t* const row_cands = &candidates_[i * k_];
+    for (std::size_t j = 0; j < k_; ++j) {
+      if (row_votes[j] > 0.0 && std::abs(row_counters[j]) >= threshold_abs) {
+        cands.push_back(row_cands[j]);
+      }
+    }
+  }
+  std::sort(cands.begin(), cands.end());
+  cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+  if (candidates_swept != nullptr) *candidates_swept = cands.size();
+
+  std::vector<RecoveredHeavyKey> out;
+  out.reserve(cands.size());
+  for (const std::uint64_t key : cands) {
+    const double est = estimate_with(key, per_bucket, denom);
+    if (std::abs(est) >= threshold_abs) {
+      out.push_back(RecoveredHeavyKey{key, est});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const RecoveredHeavyKey& a, const RecoveredHeavyKey& b) {
+              const double aa = std::abs(a.value);
+              const double bb = std::abs(b.value);
+              if (aa != bb) return aa > bb;
+              return a.key < b.key;
+            });
+  return out;
+}
+
+template class BasicMvSketch<hash::TabulationHashFamily>;
+template class BasicMvSketch<hash::CwHashFamily>;
+
+}  // namespace scd::sketch

@@ -58,6 +58,11 @@ void write_impl(std::ostream& out, const Sketch& sketch, FamilyKind kind) {
   put(out, static_cast<std::uint32_t>(sketch.depth()));
   put(out, static_cast<std::uint32_t>(sketch.width()));
   for (const double v : sketch.registers()) put_double(out, v);
+  // Invertible family kinds carry the vote state after the registers.
+  if constexpr (requires { sketch.candidates(); }) {
+    for (const std::uint64_t c : sketch.candidates()) put(out, c);
+    for (const double v : sketch.votes()) put_double(out, v);
+  }
   if (!out) {
     throw SerializeError(SerializeErrorKind::kWriteFailed, "write failed");
   }
@@ -82,7 +87,7 @@ Header read_header(std::istream& in) {
   // Validate the raw byte before casting into the enum: a cast to FamilyKind
   // from an out-of-range value is unspecified for comparison purposes.
   const auto kind_byte = get<std::uint8_t>(in);
-  if (kind_byte > static_cast<std::uint8_t>(FamilyKind::kCarterWegman)) {
+  if (kind_byte > static_cast<std::uint8_t>(FamilyKind::kMvCarterWegman)) {
     throw SerializeError(SerializeErrorKind::kBadFamilyKind,
                          "unknown family kind");
   }
@@ -113,6 +118,31 @@ Sketch read_body(std::istream& in, const Header& header,
     }
   }
   sketch.load_registers(registers);
+  // Invertible family kinds: candidates + votes follow the registers.
+  if constexpr (requires { sketch.candidates(); }) {
+    const std::size_t cells = header.rows * header.k;
+    std::vector<std::uint64_t> candidates(cells);
+    for (std::uint64_t& c : candidates) {
+      c = get<std::uint64_t>(in);
+      if constexpr (Sketch::kKeyBits < 64) {
+        if ((c >> Sketch::kKeyBits) != 0) {
+          throw SerializeError(SerializeErrorKind::kCorruptRegisters,
+                               "candidate key exceeds the family key domain");
+        }
+      }
+    }
+    std::vector<double> votes(cells);
+    for (double& v : votes) {
+      v = get_double(in);
+      // A vote is an accumulated absolute mass: finite and nonnegative by
+      // construction. Anything else is corruption or a hostile packet.
+      if (!std::isfinite(v) || v < 0.0) {
+        throw SerializeError(SerializeErrorKind::kCorruptRegisters,
+                             "invalid vote value");
+      }
+    }
+    sketch.load_aux(candidates, votes);
+  }
   return sketch;
 }
 
@@ -144,6 +174,14 @@ void write_sketch(std::ostream& out, const KarySketch64& sketch) {
   write_impl(out, sketch, FamilyKind::kCarterWegman);
 }
 
+void write_sketch(std::ostream& out, const MvSketch& sketch) {
+  write_impl(out, sketch, FamilyKind::kMvTabulation);
+}
+
+void write_sketch(std::ostream& out, const MvSketch64& sketch) {
+  write_impl(out, sketch, FamilyKind::kMvCarterWegman);
+}
+
 KarySketch read_sketch32(std::istream& in, FamilyRegistry& registry) {
   const Header header = read_header(in);
   if (header.kind != FamilyKind::kTabulation) {
@@ -164,6 +202,26 @@ KarySketch64 read_sketch64(std::istream& in, FamilyRegistry& registry) {
       in, header, registry.carter_wegman(header.seed, header.rows));
 }
 
+MvSketch read_mv_sketch32(std::istream& in, FamilyRegistry& registry) {
+  const Header header = read_header(in);
+  if (header.kind != FamilyKind::kMvTabulation) {
+    throw SerializeError(SerializeErrorKind::kFamilyMismatch,
+                         "expected invertible tabulation family");
+  }
+  return read_body<MvSketch>(in, header,
+                             registry.tabulation(header.seed, header.rows));
+}
+
+MvSketch64 read_mv_sketch64(std::istream& in, FamilyRegistry& registry) {
+  const Header header = read_header(in);
+  if (header.kind != FamilyKind::kMvCarterWegman) {
+    throw SerializeError(SerializeErrorKind::kFamilyMismatch,
+                         "expected invertible Carter-Wegman family");
+  }
+  return read_body<MvSketch64>(
+      in, header, registry.carter_wegman(header.seed, header.rows));
+}
+
 std::vector<std::uint8_t> sketch_to_bytes(const KarySketch& sketch) {
   std::ostringstream out(std::ios::binary);
   write_sketch(out, sketch);
@@ -176,6 +234,25 @@ KarySketch sketch_from_bytes(const std::vector<std::uint8_t>& bytes,
   std::istringstream in(std::string(bytes.begin(), bytes.end()),
                         std::ios::binary);
   KarySketch sketch = read_sketch32(in, registry);
+  if (in.peek() != std::char_traits<char>::eof()) {
+    throw SerializeError(SerializeErrorKind::kTrailingBytes,
+                         "trailing bytes after sketch payload");
+  }
+  return sketch;
+}
+
+std::vector<std::uint8_t> mv_sketch_to_bytes(const MvSketch& sketch) {
+  std::ostringstream out(std::ios::binary);
+  write_sketch(out, sketch);
+  const std::string str = out.str();
+  return {str.begin(), str.end()};
+}
+
+MvSketch mv_sketch_from_bytes(const std::vector<std::uint8_t>& bytes,
+                              FamilyRegistry& registry) {
+  std::istringstream in(std::string(bytes.begin(), bytes.end()),
+                        std::ios::binary);
+  MvSketch sketch = read_mv_sketch32(in, registry);
   if (in.peek() != std::char_traits<char>::eof()) {
     throw SerializeError(SerializeErrorKind::kTrailingBytes,
                          "trailing bytes after sketch payload");

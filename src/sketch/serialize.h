@@ -11,6 +11,12 @@
 // Format (little-endian):
 //   magic "SCDK" u32 | version u32 | family_kind u8 | seed u64 | rows u32 |
 //   k u32 | registers: rows * k doubles
+//
+// The invertible (majority-vote) family kinds append the per-bucket vote
+// state after the registers:
+//   candidates: rows * k u64 | votes: rows * k doubles
+// Votes must be finite and nonnegative, and candidates must fit the
+// family's key domain; violations reject as kCorruptRegisters.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +28,7 @@
 #include <vector>
 
 #include "sketch/kary_sketch.h"
+#include "sketch/mv_sketch.h"
 
 namespace scd::sketch {
 
@@ -31,6 +38,8 @@ inline constexpr std::uint32_t kSketchVersion = 1;
 enum class FamilyKind : std::uint8_t {
   kTabulation = 0,
   kCarterWegman = 1,
+  kMvTabulation = 2,    // invertible, 32-bit keys (MvSketch)
+  kMvCarterWegman = 3,  // invertible, 64-bit keys (MvSketch64)
 };
 
 /// Why a dump was rejected. Sketch dumps cross the network from untrusted
@@ -42,7 +51,7 @@ enum class SerializeErrorKind {
   kBadVersion,        ///< unknown format version
   kBadFamilyKind,     ///< family-kind byte is not a known FamilyKind
   kBadDimensions,     ///< rows/k outside the valid sketch envelope
-  kCorruptRegisters,  ///< register payload decodes to non-finite values
+  kCorruptRegisters,  ///< register/vote payload decodes to invalid values
   kFamilyMismatch,    ///< dump's family kind does not match the reader used
   kTrailingBytes,     ///< byte-buffer parse left unconsumed bytes
   kWriteFailed,       ///< output stream failed mid-write
@@ -81,20 +90,32 @@ class FamilyRegistry {
 /// Writes a sketch. Throws SerializeError(kWriteFailed) on stream failure.
 void write_sketch(std::ostream& out, const KarySketch& sketch);
 void write_sketch(std::ostream& out, const KarySketch64& sketch);
+void write_sketch(std::ostream& out, const MvSketch& sketch);
+void write_sketch(std::ostream& out, const MvSketch64& sketch);
 
 /// Reads a sketch previously written with write_sketch. Throws a
-/// SerializeError on malformed input or a family-kind mismatch. Trailing
-/// stream data is allowed: exporters concatenate sketches into one stream.
+/// SerializeError on malformed input or a family-kind mismatch (an
+/// invertible-family dump fed to a k-ary reader, or vice versa, is
+/// kFamilyMismatch — the typed reject the aggregator counts and drops).
+/// Trailing stream data is allowed: exporters concatenate sketches into one
+/// stream.
 [[nodiscard]] KarySketch read_sketch32(std::istream& in,
                                        FamilyRegistry& registry);
 [[nodiscard]] KarySketch64 read_sketch64(std::istream& in,
                                          FamilyRegistry& registry);
+[[nodiscard]] MvSketch read_mv_sketch32(std::istream& in,
+                                        FamilyRegistry& registry);
+[[nodiscard]] MvSketch64 read_mv_sketch64(std::istream& in,
+                                          FamilyRegistry& registry);
 
 /// Convenience: (de)serialize via a byte buffer (the "export packet").
-/// Unlike the stream readers, sketch_from_bytes rejects trailing bytes —
-/// a packet is exactly one sketch.
+/// Unlike the stream readers, the *_from_bytes parsers reject trailing
+/// bytes — a packet is exactly one sketch.
 [[nodiscard]] std::vector<std::uint8_t> sketch_to_bytes(const KarySketch& s);
 [[nodiscard]] KarySketch sketch_from_bytes(
+    const std::vector<std::uint8_t>& bytes, FamilyRegistry& registry);
+[[nodiscard]] std::vector<std::uint8_t> mv_sketch_to_bytes(const MvSketch& s);
+[[nodiscard]] MvSketch mv_sketch_from_bytes(
     const std::vector<std::uint8_t>& bytes, FamilyRegistry& registry);
 
 }  // namespace scd::sketch

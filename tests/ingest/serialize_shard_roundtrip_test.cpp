@@ -43,7 +43,7 @@ TEST(SerializeShardRoundTrip, ParallelMergeSurvivesTheWireFormat) {
 
   // Sharded ingest: two producer threads route chunks by key to kWorkers
   // private sketches; the barrier COMBINE-merges them.
-  ShardSet<hash::TabulationHashFamily> shards(kSeed, kH, kK, kWorkers,
+  ShardSet<sketch::KarySketch> shards(kSeed, kH, kK, kWorkers,
                                               /*queue_chunks=*/64,
                                               /*instruments=*/nullptr);
   const auto produce = [&shards, &records](std::size_t half) {
@@ -87,7 +87,7 @@ TEST(SerializeShardRoundTrip, ParallelMergeSurvivesTheWireFormat) {
 TEST(SerializeShardRoundTrip, CorruptedShardExportIsRejected) {
   // A truncated or bit-flipped export from a shard merge must be rejected
   // with a typed error, not silently merged into the collector's view.
-  ShardSet<hash::TabulationHashFamily> shards(kSeed, kH, /*k=*/256,
+  ShardSet<sketch::KarySketch> shards(kSeed, kH, /*k=*/256,
                                               /*worker_count=*/2,
                                               /*queue_chunks=*/8,
                                               /*instruments=*/nullptr);

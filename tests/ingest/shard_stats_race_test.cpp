@@ -14,6 +14,7 @@
 
 #include "hash/tabulation_hash.h"
 #include "ingest/shard_set.h"
+#include "sketch/kary_sketch.h"
 
 namespace scd::ingest {
 namespace {
@@ -25,7 +26,7 @@ TEST(ShardStatsRace, StatsReadableFromMonitorThreadDuringIngest) {
   // One-chunk queues: the producer outruns the workers and takes the
   // blocking-push path, so backpressure_waits_ is actually being written
   // while the monitor reads it.
-  ShardSet<hash::TabulationHashFamily> shards(
+  ShardSet<sketch::KarySketch> shards(
       /*seed=*/0x5eed, /*h=*/5, /*k=*/1024, kWorkers, /*queue_chunks=*/1,
       /*instruments=*/nullptr);
 
